@@ -1,0 +1,222 @@
+//! The middlebox application: inspect, modify, forward.
+//!
+//! "WireCAP implements a packet transmit function that allows captured
+//! packets to be forwarded, potentially after the packets are modified or
+//! inspected in flight. Therefore, WireCAP can be used to support
+//! middlebox-type applications." (§1)
+//!
+//! The forwarder decrements the IPv4 TTL and patches the header checksum
+//! incrementally (RFC 1624) — the canonical router-style in-flight
+//! modification — then hands the frame onward.
+
+use netproto::ethernet::{EtherType, EthernetFrame};
+use netproto::Packet;
+use std::net::Ipv4Addr;
+
+/// Outcome of pushing one packet through the middlebox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forwarded after modification.
+    Forwarded,
+    /// TTL expired: dropped (a router would emit ICMP time-exceeded).
+    TtlExpired,
+    /// Not IPv4: forwarded untouched.
+    PassedThrough,
+}
+
+/// A TTL-decrementing middlebox.
+#[derive(Debug)]
+pub struct Middlebox {
+    /// Packets forwarded after modification.
+    pub forwarded: u64,
+    /// Packets dropped on TTL expiry.
+    pub expired: u64,
+    /// Non-IPv4 packets passed through unmodified.
+    pub passed: u64,
+    /// The router's own address, used as the source of ICMP errors.
+    pub router_ip: Ipv4Addr,
+    /// ICMP Time Exceeded messages generated.
+    pub icmp_sent: u64,
+}
+
+impl Default for Middlebox {
+    fn default() -> Self {
+        Middlebox {
+            forwarded: 0,
+            expired: 0,
+            passed: 0,
+            router_ip: Ipv4Addr::new(192, 0, 2, 1),
+            icmp_sent: 0,
+        }
+    }
+}
+
+impl Middlebox {
+    /// Creates a middlebox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a middlebox with an explicit router address for ICMP
+    /// error generation.
+    pub fn with_router_ip(router_ip: Ipv4Addr) -> Self {
+        Middlebox {
+            router_ip,
+            ..Self::default()
+        }
+    }
+
+    /// RFC 792 Time Exceeded generation for a frame whose TTL expired —
+    /// what a real router emits back toward the sender. Returns the
+    /// complete response frame.
+    pub fn time_exceeded_reply(&mut self, original_frame: &[u8]) -> Option<Packet> {
+        let reply = netproto::icmp::build_time_exceeded(original_frame, self.router_ip).ok()?;
+        self.icmp_sent += 1;
+        Some(Packet::new(0, reply))
+    }
+
+    /// Processes one packet in place; returns the verdict and (for
+    /// forwarded traffic) leaves the modified frame in `frame`.
+    pub fn process(&mut self, frame: &mut [u8]) -> Verdict {
+        let is_ipv4 = EthernetFrame::parse(frame)
+            .map(|e| e.ethertype() == EtherType::Ipv4)
+            .unwrap_or(false);
+        if !is_ipv4 || frame.len() < 14 + 20 {
+            self.passed += 1;
+            return Verdict::PassedThrough;
+        }
+        let ttl_at = 14 + 8;
+        let ttl = frame[ttl_at];
+        if ttl <= 1 {
+            self.expired += 1;
+            return Verdict::TtlExpired;
+        }
+        frame[ttl_at] = ttl - 1;
+        incremental_checksum_fix(frame, ttl);
+        self.forwarded += 1;
+        Verdict::Forwarded
+    }
+
+    /// Convenience wrapper for owned packets: returns the modified copy
+    /// when forwarded.
+    pub fn process_packet(&mut self, pkt: &Packet) -> (Verdict, Option<Packet>) {
+        let mut bytes = pkt.data.to_vec();
+        let verdict = self.process(&mut bytes);
+        match verdict {
+            Verdict::TtlExpired => (verdict, None),
+            _ => (
+                verdict,
+                Some(Packet {
+                    ts_ns: pkt.ts_ns,
+                    wire_len: pkt.wire_len,
+                    data: bytes.into(),
+                }),
+            ),
+        }
+    }
+}
+
+/// RFC 1624 incremental update for a TTL decrement: the TTL shares a
+/// 16-bit word with the protocol field at header offset 8.
+fn incremental_checksum_fix(frame: &mut [u8], old_ttl: u8) {
+    let csum_at = 14 + 10;
+    let old_word = u16::from_be_bytes([old_ttl, frame[14 + 9]]);
+    let new_word = u16::from_be_bytes([old_ttl - 1, frame[14 + 9]]);
+    let old_csum = u16::from_be_bytes([frame[csum_at], frame[csum_at + 1]]);
+    // HC' = ~(~HC + ~m + m')   (RFC 1624 eqn. 3)
+    let mut sum = u32::from(!old_csum) + u32::from(!old_word) + u32::from(new_word);
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    let new_csum = !(sum as u16);
+    frame[csum_at..csum_at + 2].copy_from_slice(&new_csum.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netproto::ipv4::Ipv4Header;
+    use netproto::{FlowKey, PacketBuilder};
+
+    fn frame() -> Vec<u8> {
+        PacketBuilder::new()
+            .build(
+                &FlowKey::udp(
+                    "131.225.2.1".parse().unwrap(),
+                    53,
+                    "8.8.8.8".parse().unwrap(),
+                    53,
+                ),
+                100,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn forwarding_decrements_ttl_and_keeps_checksum_valid() {
+        let mut mb = Middlebox::new();
+        let mut f = frame();
+        let before = Ipv4Header::parse(&f[14..]).unwrap().ttl();
+        assert_eq!(mb.process(&mut f), Verdict::Forwarded);
+        let ip = Ipv4Header::parse(&f[14..]).unwrap();
+        assert_eq!(ip.ttl(), before - 1);
+        assert!(ip.checksum_ok(), "incremental checksum update broke the header");
+        assert_eq!(mb.forwarded, 1);
+    }
+
+    #[test]
+    fn repeated_hops_stay_valid_until_expiry() {
+        let mut mb = Middlebox::new();
+        let mut f = frame();
+        for _ in 0..63 {
+            assert_eq!(mb.process(&mut f), Verdict::Forwarded);
+            assert!(Ipv4Header::parse(&f[14..]).unwrap().checksum_ok());
+        }
+        assert_eq!(Ipv4Header::parse(&f[14..]).unwrap().ttl(), 1);
+        assert_eq!(mb.process(&mut f), Verdict::TtlExpired);
+        assert_eq!(mb.expired, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_can_answer_with_icmp() {
+        let mut mb = Middlebox::with_router_ip("203.0.113.1".parse().unwrap());
+        let mut f = frame();
+        f[14 + 8] = 1; // TTL 1: next hop would be 0
+        // refresh the header checksum for the modified TTL
+        f[14 + 10] = 0;
+        f[14 + 11] = 0;
+        let csum = netproto::checksum::checksum(&f[14..34]);
+        f[24..26].copy_from_slice(&csum.to_be_bytes());
+
+        assert_eq!(mb.process(&mut f), Verdict::TtlExpired);
+        let reply = mb.time_exceeded_reply(&f).expect("ICMP reply");
+        netproto::builder::validate_frame(&reply.data).unwrap();
+        let ip = Ipv4Header::parse(&reply.data[14..]).unwrap();
+        assert_eq!(ip.protocol(), 1);
+        // Back toward the original source.
+        assert_eq!(ip.dst(), "131.225.2.1".parse::<std::net::Ipv4Addr>().unwrap());
+        assert_eq!(mb.icmp_sent, 1);
+    }
+
+    #[test]
+    fn non_ip_passes_through() {
+        let mut mb = Middlebox::new();
+        let mut arp = vec![0u8; 60];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        let orig = arp.clone();
+        assert_eq!(mb.process(&mut arp), Verdict::PassedThrough);
+        assert_eq!(arp, orig);
+    }
+
+    #[test]
+    fn process_packet_returns_modified_copy() {
+        let mut mb = Middlebox::new();
+        let pkt = Packet::new(7, frame());
+        let (v, out) = mb.process_packet(&pkt);
+        assert_eq!(v, Verdict::Forwarded);
+        let out = out.unwrap();
+        assert_ne!(out.data, pkt.data);
+        assert_eq!(out.ts_ns, 7);
+    }
+}

@@ -1,0 +1,110 @@
+//! `pkt_handler` — the paper's packet-processing application.
+//!
+//! "It captures and processes packets from a specific queue and executes
+//! a repeating while loop. In each loop, a packet is captured and applied
+//! with a Berkeley Packet Filter (BPF) x times before being discarded.
+//! By varying x, we simulate different packet-processing rates of real
+//! applications … the BPF filter '131.225.2 and UDP' is used, and x is
+//! set to 0 and 300." (§2.2)
+//!
+//! This is the *real* workload: the filter is compiled by the `bpf` crate
+//! and executed x times per packet on the VM. The drop-rate simulations
+//! reduce it to the calibrated service rate; the live mode and the
+//! Criterion benches run it for real.
+
+use bpf::Filter;
+use netproto::Packet;
+
+/// The filter expression the paper uses.
+pub const PAPER_FILTER: &str = "131.225.2 and UDP";
+
+/// A `pkt_handler` instance: filter × x per packet.
+#[derive(Debug, Clone)]
+pub struct PktHandler {
+    filter: Filter,
+    x: u32,
+    processed: u64,
+    matched_last: bool,
+}
+
+impl PktHandler {
+    /// Creates a handler applying `expr` x times per packet.
+    pub fn new(expr: &str, x: u32) -> Result<Self, bpf::Error> {
+        Ok(PktHandler {
+            filter: Filter::compile(expr)?,
+            x,
+            processed: 0,
+            matched_last: false,
+        })
+    }
+
+    /// The paper's configuration: `131.225.2 and UDP` with the given x.
+    pub fn paper(x: u32) -> Self {
+        Self::new(PAPER_FILTER, x).expect("the paper's filter compiles")
+    }
+
+    /// Processes one packet: applies the BPF filter x times, then
+    /// discards it. Returns the final filter verdict.
+    pub fn handle(&mut self, pkt: &Packet) -> bool {
+        let mut verdict = false;
+        for _ in 0..self.x.max(1) {
+            verdict = self.filter.matches(&pkt.data);
+        }
+        self.processed += 1;
+        self.matched_last = verdict;
+        verdict
+    }
+
+    /// Packets processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The x parameter.
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netproto::{FlowKey, PacketBuilder};
+
+    fn pkt(src: &str, udp: bool) -> Packet {
+        let flow = if udp {
+            FlowKey::udp(src.parse().unwrap(), 53, "8.8.8.8".parse().unwrap(), 53)
+        } else {
+            FlowKey::tcp(src.parse().unwrap(), 53, "8.8.8.8".parse().unwrap(), 53)
+        };
+        PacketBuilder::new().build_packet(0, &flow, 64).unwrap()
+    }
+
+    #[test]
+    fn paper_filter_verdicts() {
+        let mut h = PktHandler::paper(300);
+        assert!(h.handle(&pkt("131.225.2.77", true)));
+        assert!(!h.handle(&pkt("131.225.2.77", false))); // TCP
+        assert!(!h.handle(&pkt("131.226.2.77", true))); // wrong net
+        assert_eq!(h.processed(), 3);
+    }
+
+    #[test]
+    fn x_zero_still_filters_once() {
+        let mut h = PktHandler::paper(0);
+        assert!(h.handle(&pkt("131.225.2.1", true)));
+        assert_eq!(h.x(), 0);
+    }
+
+    #[test]
+    fn custom_filter() {
+        let mut h = PktHandler::new("tcp and dst port 53", 5).unwrap();
+        assert!(!h.handle(&pkt("1.2.3.4", true)));
+        assert!(h.handle(&pkt("1.2.3.4", false)));
+    }
+
+    #[test]
+    fn bad_filter_is_an_error() {
+        assert!(PktHandler::new("frobnicate", 1).is_err());
+    }
+}

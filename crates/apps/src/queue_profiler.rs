@@ -1,0 +1,110 @@
+//! `queue_profiler` — the paper's load-imbalance measurement tool.
+//!
+//! "The first tool is called queue_profiler. It is a single-threaded
+//! application that captures packets from a specific receive queue and
+//! counts the number of packets captured every 10 ms." (§2.2)
+//!
+//! Profiling all queues of a workload reproduces Fig. 3: the per-queue
+//! 10 ms time series that exhibits both short-term bursts and long-term
+//! skew under per-flow RSS steering.
+
+use nicsim::rss::Rss;
+use sim::{SimTime, TimeSeries};
+use traffic::TrafficSource;
+
+/// Per-queue 10 ms-binned packet counts for one workload.
+#[derive(Debug)]
+pub struct QueueProfiler {
+    series: Vec<TimeSeries>,
+}
+
+impl QueueProfiler {
+    /// Profiles `source` steered by RSS across `queues` receive queues
+    /// (the paper runs this with a lossless engine, so the profile equals
+    /// the offered load).
+    pub fn profile(source: &mut dyn TrafficSource, queues: usize) -> Self {
+        let rss = Rss::new(queues);
+        let steering: Vec<usize> = source.flows().iter().map(|f| rss.steer(f)).collect();
+        let mut series: Vec<TimeSeries> =
+            (0..queues).map(|_| TimeSeries::profiler_default()).collect();
+        while let Some(a) = source.next_arrival() {
+            series[steering[a.flow as usize]].record(SimTime(a.ts_ns));
+        }
+        QueueProfiler { series }
+    }
+
+    /// The 10 ms series for one queue.
+    pub fn queue(&self, q: usize) -> &TimeSeries {
+        &self.series[q]
+    }
+
+    /// Number of queues profiled.
+    pub fn queues(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total packets each queue received.
+    pub fn totals(&self) -> Vec<u64> {
+        self.series.iter().map(TimeSeries::total).collect()
+    }
+
+    /// Long-term imbalance ratio: busiest queue over quietest (by total
+    /// packets; quietest clamped to ≥ 1 packet).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let totals = self.totals();
+        let max = totals.iter().copied().max().unwrap_or(0);
+        let min = totals.iter().copied().min().unwrap_or(0).max(1);
+        max as f64 / min as f64
+    }
+
+    /// The busiest and quietest queue indices (the paper reports queues
+    /// 0 and 3 of its six).
+    pub fn extremes(&self) -> (usize, usize) {
+        let totals = self.totals();
+        let busiest = (0..totals.len()).max_by_key(|&q| totals[q]).unwrap_or(0);
+        let quietest = (0..totals.len()).min_by_key(|&q| totals[q]).unwrap_or(0);
+        (busiest, quietest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::{generate_border_trace, BorderTraceConfig, TraceCursor};
+
+    #[test]
+    fn profile_reproduces_fig3_phenomena() {
+        let trace = generate_border_trace(&BorderTraceConfig::small());
+        let mut cursor = TraceCursor::new(&trace);
+        let prof = QueueProfiler::profile(&mut cursor, 6);
+        assert_eq!(prof.queues(), 6);
+        assert_eq!(prof.totals().iter().sum::<u64>(), trace.len() as u64);
+
+        // Long-term imbalance: some queue carries several times another's
+        // load (the paper's queue 0 vs queue 3).
+        assert!(
+            prof.imbalance_ratio() > 2.0,
+            "imbalance = {}",
+            prof.imbalance_ratio()
+        );
+
+        // Short-term bursts: the busiest queue's peak 10 ms bin is far
+        // above its mean.
+        let (busiest, quietest) = prof.extremes();
+        assert_ne!(busiest, quietest);
+        assert!(prof.queue(busiest).burstiness() > 3.0);
+    }
+
+    #[test]
+    fn single_queue_gets_everything() {
+        let trace = generate_border_trace(&BorderTraceConfig {
+            packets: 2_000,
+            flows: 50,
+            ..BorderTraceConfig::small()
+        });
+        let mut cursor = TraceCursor::new(&trace);
+        let prof = QueueProfiler::profile(&mut cursor, 1);
+        assert_eq!(prof.totals(), vec![2_000]);
+        assert_eq!(prof.imbalance_ratio(), 1.0);
+    }
+}

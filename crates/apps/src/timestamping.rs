@@ -1,0 +1,208 @@
+//! Timestamp-accuracy study (§5c).
+//!
+//! "Applying \[batch processing\] may entail side effects, such as latency
+//! increases and inaccurate time-stamping. … The OS jiffy resolution is
+//! on the order of milliseconds, which cannot provide accurate timestamp
+//! support in high-speed networks. CPU time stamp counter (TSC) can
+//! provide finer resolution. However, the overheads will be too high if
+//! TSC is accessed on a per-packet basis … almost all software-based
+//! packet capture engines suffer the timestamp accuracy problem and the
+//! uniqueness of timestamp problem."
+//!
+//! This module turns that discussion into a measurement: given a true
+//! arrival timeline, each [`TimestampSource`] model produces the stamps
+//! an engine would actually assign, and [`evaluate`] reports the error
+//! and uniqueness statistics plus the stamping CPU cost — the
+//! accuracy/overhead tradeoff the paper describes, quantified.
+
+use serde::Serialize;
+use sim::CpuModel;
+
+/// How the capture path timestamps packets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimestampSource {
+    /// The OS software clock: stamps quantized to the jiffy. "The OS
+    /// jiffy resolution is on the order of milliseconds."
+    OsJiffy {
+        /// Jiffy length in nanoseconds (4 ms at HZ=250, 1 ms at HZ=1000).
+        resolution_ns: u64,
+    },
+    /// One TSC read per packet: exact stamps, maximal overhead.
+    PerPacketTsc {
+        /// Cycles per TSC read + conversion (~25 cycles for `rdtsc`
+        /// itself plus serialization and scaling).
+        cost_cycles: f64,
+    },
+    /// One TSC read per delivered batch (chunk): every packet in the
+    /// batch shares the stamp taken when the batch reaches user space —
+    /// WireCAP-style chunk delivery, and what batching engines actually
+    /// do.
+    BatchTsc {
+        /// Packets per batch (WireCAP's M).
+        batch: usize,
+        /// Cycles per TSC read.
+        cost_cycles: f64,
+    },
+}
+
+impl TimestampSource {
+    /// Display name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            TimestampSource::OsJiffy { resolution_ns } => {
+                format!("OS jiffy ({} ms)", *resolution_ns as f64 / 1e6)
+            }
+            TimestampSource::PerPacketTsc { .. } => "per-packet TSC".into(),
+            TimestampSource::BatchTsc { batch, .. } => format!("TSC per batch of {batch}"),
+        }
+    }
+
+    /// Stamps a true arrival timeline; returns the assigned stamps.
+    pub fn stamp(&self, arrivals_ns: &[u64]) -> Vec<u64> {
+        match *self {
+            TimestampSource::OsJiffy { resolution_ns } => arrivals_ns
+                .iter()
+                .map(|&t| (t / resolution_ns) * resolution_ns)
+                .collect(),
+            TimestampSource::PerPacketTsc { .. } => arrivals_ns.to_vec(),
+            TimestampSource::BatchTsc { batch, .. } => {
+                let mut out = Vec::with_capacity(arrivals_ns.len());
+                for chunk in arrivals_ns.chunks(batch.max(1)) {
+                    // The batch is stamped when it is delivered: at the
+                    // arrival of its last packet.
+                    let stamp = *chunk.last().expect("chunks are non-empty");
+                    out.extend(std::iter::repeat_n(stamp, chunk.len()));
+                }
+                out
+            }
+        }
+    }
+
+    /// CPU cycles the stamping itself costs, per packet.
+    pub fn cycles_per_packet(&self) -> f64 {
+        match *self {
+            TimestampSource::OsJiffy { .. } => 2.0, // a cached variable read
+            TimestampSource::PerPacketTsc { cost_cycles } => cost_cycles,
+            TimestampSource::BatchTsc { batch, cost_cycles } => {
+                cost_cycles / batch.max(1) as f64
+            }
+        }
+    }
+}
+
+/// Results of evaluating one timestamp source over a timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct StampReport {
+    /// Source display name.
+    pub source: String,
+    /// Mean absolute stamp error in nanoseconds.
+    pub mean_error_ns: f64,
+    /// Maximum absolute stamp error in nanoseconds.
+    pub max_error_ns: u64,
+    /// Fraction of packets sharing a stamp with the *previous* packet —
+    /// the paper's "uniqueness of timestamp problem".
+    pub duplicate_fraction: f64,
+    /// Fraction of adjacent packet pairs whose stamped order disagrees
+    /// with (is coarser than) their true inter-arrival ordering.
+    pub order_loss_fraction: f64,
+    /// Stamping overhead as a fraction of one 2.4 GHz core at the
+    /// observed packet rate.
+    pub cpu_share_at_rate: f64,
+}
+
+/// Evaluates a timestamp source against a true arrival timeline.
+pub fn evaluate(source: TimestampSource, arrivals_ns: &[u64]) -> StampReport {
+    assert!(!arrivals_ns.is_empty());
+    let stamps = source.stamp(arrivals_ns);
+    let mut sum_err = 0u128;
+    let mut max_err = 0u64;
+    let mut dups = 0u64;
+    let mut order_loss = 0u64;
+    for i in 0..arrivals_ns.len() {
+        let err = stamps[i].abs_diff(arrivals_ns[i]);
+        sum_err += u128::from(err);
+        max_err = max_err.max(err);
+        if i > 0 {
+            if stamps[i] == stamps[i - 1] {
+                dups += 1;
+            }
+            // True strictly-increasing arrivals whose stamps tie or invert.
+            if arrivals_ns[i] > arrivals_ns[i - 1] && stamps[i] <= stamps[i - 1] {
+                order_loss += 1;
+            }
+        }
+    }
+    let n = arrivals_ns.len() as f64;
+    let pairs = (arrivals_ns.len() as u64 - 1).max(1) as f64;
+    let duration_s =
+        (arrivals_ns.last().unwrap() - arrivals_ns.first().unwrap()).max(1) as f64 / 1e9;
+    let rate_pps = n / duration_s;
+    let cpu = CpuModel::default();
+    StampReport {
+        source: source.name(),
+        mean_error_ns: sum_err as f64 / n,
+        max_error_ns: max_err,
+        duplicate_fraction: dups as f64 / pairs,
+        order_loss_fraction: order_loss as f64 / pairs,
+        cpu_share_at_rate: rate_pps * source.cycles_per_packet() / (cpu.freq_ghz * 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire_rate_timeline(n: u64) -> Vec<u64> {
+        (0..n).map(|i| i * 67).collect() // ~14.9 Mp/s
+    }
+
+    #[test]
+    fn per_packet_tsc_is_exact_but_costly() {
+        let t = wire_rate_timeline(10_000);
+        let r = evaluate(TimestampSource::PerPacketTsc { cost_cycles: 60.0 }, &t);
+        assert_eq!(r.mean_error_ns, 0.0);
+        assert_eq!(r.max_error_ns, 0);
+        assert_eq!(r.duplicate_fraction, 0.0);
+        // 14.9 Mp/s × 60 cycles ≈ 37 % of a 2.4 GHz core — the paper's
+        // "overheads will be too high … on a per-packet basis".
+        assert!(r.cpu_share_at_rate > 0.3, "{}", r.cpu_share_at_rate);
+    }
+
+    #[test]
+    fn jiffy_clock_is_cheap_but_useless_at_wire_rate() {
+        let t = wire_rate_timeline(10_000);
+        let r = evaluate(TimestampSource::OsJiffy { resolution_ns: 1_000_000 }, &t);
+        assert!(r.cpu_share_at_rate < 0.02); // ~2 cycles/pkt
+        // Nearly every stamp collides within a 1 ms jiffy at 14.9 Mp/s.
+        assert!(r.duplicate_fraction > 0.99, "{}", r.duplicate_fraction);
+        assert!(r.max_error_ns < 1_000_000);
+    }
+
+    #[test]
+    fn batch_tsc_trades_error_for_overhead() {
+        let t = wire_rate_timeline(10_000);
+        let small = evaluate(TimestampSource::BatchTsc { batch: 64, cost_cycles: 60.0 }, &t);
+        let big = evaluate(TimestampSource::BatchTsc { batch: 256, cost_cycles: 60.0 }, &t);
+        // Bigger batches: cheaper but less accurate and less unique.
+        assert!(big.cpu_share_at_rate < small.cpu_share_at_rate);
+        assert!(big.mean_error_ns > small.mean_error_ns);
+        assert!(big.duplicate_fraction > small.duplicate_fraction);
+        // Error is bounded by the batch fill time.
+        assert!(small.max_error_ns <= 64 * 67);
+        assert!(big.max_error_ns <= 256 * 67);
+    }
+
+    #[test]
+    fn stamps_never_reorder_but_can_tie() {
+        let t = wire_rate_timeline(1_000);
+        for src in [
+            TimestampSource::OsJiffy { resolution_ns: 4_000_000 },
+            TimestampSource::BatchTsc { batch: 128, cost_cycles: 60.0 },
+        ] {
+            let stamps = src.stamp(&t);
+            assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{src:?}");
+            let r = evaluate(src, &t);
+            assert_eq!(r.duplicate_fraction, r.order_loss_fraction);
+        }
+    }
+}

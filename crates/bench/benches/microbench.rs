@@ -1,0 +1,162 @@
+//! Criterion microbenchmarks for the hot paths of the reproduction.
+//!
+//! These measure the real (non-simulated) costs: BPF compilation and
+//! per-packet filtering (the `pkt_handler` workload), Toeplitz hashing
+//! (RSS steering), ring-buffer-pool operations (the WireCAP data path),
+//! packet building/parsing, and pcap savefile I/O.
+//!
+//! Run with `cargo bench -p bench`.
+
+use bpf::Filter;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netproto::{FlowKey, PacketBuilder};
+use nicsim::rss::RssHasher;
+use std::net::Ipv4Addr;
+use wirecap::pool::RingBufferPool;
+use wirecap::WireCapConfig;
+
+fn sample_flow(i: u16) -> FlowKey {
+    FlowKey::udp(
+        Ipv4Addr::new(131, 225, 2, (i % 250) as u8 + 1),
+        9_000 + i,
+        Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+        443,
+    )
+}
+
+fn bench_bpf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpf");
+    g.bench_function("compile_paper_filter", |b| {
+        b.iter(|| Filter::compile(black_box("131.225.2 and UDP")).unwrap())
+    });
+
+    let filter = Filter::compile("131.225.2 and UDP").unwrap();
+    let pkt = PacketBuilder::new().build(&sample_flow(1), 64).unwrap();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("match_64b_packet", |b| {
+        b.iter(|| filter.matches(black_box(&pkt)))
+    });
+
+    // The paper's pkt_handler inner loop: the filter applied 300 times.
+    g.throughput(Throughput::Elements(300));
+    g.bench_function("pkt_handler_x300", |b| {
+        b.iter(|| {
+            let mut v = false;
+            for _ in 0..300 {
+                v = filter.matches(black_box(&pkt));
+            }
+            v
+        })
+    });
+    g.finish();
+}
+
+fn bench_rss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rss");
+    let hasher = RssHasher::default();
+    let flow = sample_flow(7);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("toeplitz_hash_flow", |b| {
+        b.iter(|| hasher.hash_flow(black_box(&flow)))
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_buffer_pool");
+    // One full WireCAP cycle: M DMA landings, capture, recycle. This is
+    // the per-chunk cost the capture thread pays.
+    let cfg = WireCapConfig::basic(256, 100, 0);
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("dma_capture_recycle_chunk_m256", |b| {
+        let mut pool = RingBufferPool::open(0, 0, &cfg);
+        b.iter(|| {
+            for t in 0..256u64 {
+                assert!(pool.on_dma(t));
+            }
+            let (metas, _) = pool.capture_full();
+            for meta in &metas {
+                pool.recycle(meta).unwrap();
+            }
+            pool.replenish();
+        })
+    });
+    g.finish();
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netproto");
+    let mut builder = PacketBuilder::new();
+    let flow = sample_flow(3);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("build_64b_frame", |b| {
+        b.iter(|| builder.build(black_box(&flow), 64).unwrap())
+    });
+    let frame = PacketBuilder::new().build(&flow, 1500).unwrap();
+    g.bench_function("parse_frame", |b| {
+        b.iter(|| netproto::parse_frame(black_box(&frame)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_savefile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcap_savefile");
+    let packets: Vec<netproto::Packet> = {
+        let mut b = PacketBuilder::new();
+        (0..1_000u16)
+            .map(|i| b.build_packet(u64::from(i) * 1_000, &sample_flow(i), 300).unwrap())
+            .collect()
+    };
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("write_1k_packets", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(400_000);
+            pcap::savefile::write_file(
+                &mut buf,
+                black_box(&packets),
+                pcap::Precision::Nanos,
+                65_535,
+            )
+            .unwrap();
+            buf
+        })
+    });
+    let mut file = Vec::new();
+    pcap::savefile::write_file(&mut file, &packets, pcap::Precision::Nanos, 65_535).unwrap();
+    g.bench_function("read_1k_packets", |b| {
+        b.iter(|| pcap::savefile::read_file(black_box(&file[..])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    // End-to-end simulation throughput: how many simulated wire-rate
+    // packets per second of wall-clock the WireCAP model sustains.
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("wirecap_100k_wire_rate_packets", |b| {
+        b.iter(|| {
+            let cfg = engines::EngineConfig::paper(300);
+            let mut gen = traffic::WireRateGen::paper_burst(100_000);
+            apps::harness::run(
+                apps::harness::EngineKind::WireCap(WireCapConfig::basic(256, 500, 300)),
+                1,
+                cfg,
+                &mut gen,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bpf,
+    bench_rss,
+    bench_pool,
+    bench_packets,
+    bench_savefile,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Ablations of WireCAP's design choices.
+//!
+//! Three questions DESIGN.md calls out:
+//! 1. Does the **timeout partial-capture** path matter? (Disable it and
+//!    see what happens to delivery completeness and latency.)
+//! 2. Does the **offload target policy** matter, or only the act of
+//!    offloading? (Shortest-queue vs round-robin vs static neighbor.)
+//! 3. How much does the **offload penalty** (core-affinity loss) erode
+//!    the offloading win?
+
+use apps::harness::run_experiment;
+use bench::{experiments, pct, write_json, write_table, Opts};
+use serde::Serialize;
+use traffic::TraceCursor;
+use wirecap::buddy::{BuddyGroup, BuddyGroups, PlacementPolicy};
+use wirecap::{WireCapConfig, WireCapEngine};
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    drop_rate: f64,
+    delivered: u64,
+    mean_latency_us: f64,
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let trace = experiments::border_trace(&opts.trace_config());
+    let queues = 6;
+    let mut rows_data: Vec<Row> = Vec::new();
+
+    let mut run_variant = |label: String, engine: &mut WireCapEngine| {
+        let mut cursor = TraceCursor::new(&trace);
+        let res = run_experiment(engine, &mut cursor);
+        rows_data.push(Row {
+            variant: label,
+            drop_rate: res.drop_rate(),
+            delivered: res.total.delivered,
+            mean_latency_us: res.latency.mean_ns() / 1e3,
+        });
+    };
+
+    // 1. Timeout ablation (basic mode, the timeout's home turf).
+    for (label, timeout_ns) in [
+        ("timeout 10 ms (default)", 10_000_000u64),
+        ("timeout 100 ms", 100_000_000),
+        ("timeout disabled (1 h)", 3_600_000_000_000),
+    ] {
+        let mut cfg = WireCapConfig::advanced(256, 100, 0.6, 300);
+        cfg.capture_timeout_ns = timeout_ns;
+        let mut e = WireCapEngine::new(queues, cfg);
+        run_variant(format!("A-(256,100,60%) {label}"), &mut e);
+    }
+
+    // 2. Placement-policy ablation.
+    for policy in [
+        PlacementPolicy::ShortestQueue,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::NextNeighbor,
+    ] {
+        let cfg = WireCapConfig::advanced(256, 100, 0.6, 300);
+        let groups = BuddyGroups::new(
+            queues,
+            vec![BuddyGroup::all(queues).with_policy(policy)],
+        );
+        let mut e = WireCapEngine::with_groups(queues, cfg, groups);
+        run_variant(format!("A-(256,100,60%) placement {policy:?}"), &mut e);
+    }
+
+    // 3. Offload-penalty ablation.
+    for penalty in [1.0, 0.97, 0.8, 0.6] {
+        let mut cfg = WireCapConfig::advanced(256, 100, 0.6, 300);
+        cfg.offload_penalty = penalty;
+        let mut e = WireCapEngine::new(queues, cfg);
+        run_variant(format!("A-(256,100,60%) affinity penalty {penalty}"), &mut e);
+    }
+
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                pct(r.drop_rate),
+                r.delivered.to_string(),
+                format!("{:.0}", r.mean_latency_us),
+            ]
+        })
+        .collect();
+    write_table(
+        &opts.out,
+        "ablations",
+        "Ablations — WireCAP design choices on the border trace (6 queues, x = 300)",
+        &["variant", "drop rate", "delivered", "mean latency µs"],
+        &rows,
+    );
+    write_json(&opts.out, "ablations", &rows_data);
+}

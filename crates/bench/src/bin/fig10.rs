@@ -1,0 +1,27 @@
+//! Reproduces Fig. 10: buffering depends on R·M, not on R or M alone.
+
+use apps::harness::EngineKind;
+use bench::{experiments, pct, write_json, write_table, Opts};
+use wirecap::WireCapConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    let engines = vec![
+        EngineKind::WireCap(WireCapConfig::basic(64, 400, 300)),
+        EngineKind::WireCap(WireCapConfig::basic(128, 200, 300)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+    ];
+    let points = experiments::burst_sweep(&engines, 300, opts.scale(10_000_000));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.engine.clone(), p.p.to_string(), pct(p.drop_rate)])
+        .collect();
+    write_table(
+        &opts.out,
+        "fig10",
+        "Figure 10 — R and M varied with R·M fixed (x = 300)",
+        &["engine", "P (packets)", "drop rate"],
+        &rows,
+    );
+    write_json(&opts.out, "fig10", &points);
+}

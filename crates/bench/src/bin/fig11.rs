@@ -1,0 +1,22 @@
+//! Reproduces Fig. 11: advanced mode vs. every baseline on the trace.
+
+use bench::{experiments, pct, write_json, write_table, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let trace = experiments::border_trace(&opts.trace_config());
+    let points =
+        experiments::trace_experiment(&trace, &experiments::fig11_engines(), &[4, 5, 6], false);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.engine.clone(), format!("{} queues", p.queues), pct(p.drop_rate)])
+        .collect();
+    write_table(
+        &opts.out,
+        "fig11",
+        "Figure 11 — advanced-mode capture on the border trace (x = 300)",
+        &["engine", "queues", "drop rate"],
+        &rows,
+    );
+    write_json(&opts.out, "fig11", &points);
+}

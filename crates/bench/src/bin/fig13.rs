@@ -1,0 +1,22 @@
+//! Reproduces Fig. 13: packet forwarding (middlebox) drop rates.
+
+use bench::{experiments, pct, write_json, write_table, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let trace = experiments::border_trace(&opts.trace_config());
+    let points =
+        experiments::trace_experiment(&trace, &experiments::fig13_engines(), &[4, 5, 6], true);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.engine.clone(), format!("{} queues", p.queues), pct(p.drop_rate)])
+        .collect();
+    write_table(
+        &opts.out,
+        "fig13",
+        "Figure 13 — packet forwarding on the border trace (x = 300, NETMAP excluded)",
+        &["engine", "queues", "drop rate"],
+        &rows,
+    );
+    write_json(&opts.out, "fig13", &points);
+}

@@ -1,0 +1,26 @@
+//! Reproduces Fig. 14: two-NIC scalability under bus saturation.
+
+use bench::{experiments, pct, write_json, write_table, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let points = experiments::fig14();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}@{}B", p.engine, p.frame_len),
+                p.queues_per_nic.to_string(),
+                pct(p.drop_rate),
+            ]
+        })
+        .collect();
+    write_table(
+        &opts.out,
+        "fig14",
+        "Figure 14 — scalability: 2 NICs, RX + forward at wire rate (x = 0)",
+        &["engine@frame", "queues/NIC", "drop rate"],
+        &rows,
+    );
+    write_json(&opts.out, "fig14", &points);
+}

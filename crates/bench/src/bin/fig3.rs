@@ -1,0 +1,48 @@
+//! Reproduces Fig. 3: per-queue load time series under RSS steering.
+
+use bench::{experiments, sparkline, write_json, write_table, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let trace = experiments::border_trace(&opts.trace_config());
+    let result = experiments::fig3(&trace, 6);
+
+    let rows: Vec<Vec<String>> = (0..result.queues)
+        .map(|q| {
+            let marker = if q == result.hot {
+                " (hot)"
+            } else if q == result.cold {
+                " (cold)"
+            } else {
+                ""
+            };
+            vec![
+                format!("queue {q}{marker}"),
+                result.totals[q].to_string(),
+                format!("{:.1}", result.totals[q] as f64 / trace.duration_ns() as f64 * 1e9),
+            ]
+        })
+        .collect();
+    write_table(
+        &opts.out,
+        "fig3",
+        "Figure 3 — load imbalance: per-queue totals over the border trace",
+        &["queue", "packets", "mean p/s"],
+        &rows,
+    );
+    println!(
+        "hot  queue {} [10ms bins]: {}",
+        result.hot,
+        sparkline(&result.hot_series, 64)
+    );
+    println!(
+        "cold queue {} [10ms bins]: {}",
+        result.cold,
+        sparkline(&result.cold_series, 64)
+    );
+    println!(
+        "long-term imbalance ratio {:.2}, hot-queue burstiness {:.1}",
+        result.imbalance_ratio, result.hot_burstiness
+    );
+    write_json(&opts.out, "fig3", &result);
+}

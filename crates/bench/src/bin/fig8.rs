@@ -1,0 +1,31 @@
+//! Reproduces Fig. 8: basic-mode capture at wire rate with x = 0.
+
+use apps::harness::EngineKind;
+use bench::{experiments, pct, write_json, write_table, Opts};
+use wirecap::WireCapConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    let engines = vec![
+        EngineKind::Dna,
+        EngineKind::PfRing,
+        EngineKind::Netmap,
+        EngineKind::WireCap(WireCapConfig::basic(64, 100, 0)),
+        EngineKind::WireCap(WireCapConfig::basic(128, 100, 0)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 0)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 500, 0)),
+    ];
+    let points = experiments::burst_sweep(&engines, 0, opts.scale(10_000_000));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.engine.clone(), p.p.to_string(), pct(p.drop_rate)])
+        .collect();
+    write_table(
+        &opts.out,
+        "fig8",
+        "Figure 8 — basic-mode capture, no processing load (x = 0)",
+        &["engine", "P (packets)", "drop rate"],
+        &rows,
+    );
+    write_json(&opts.out, "fig8", &points);
+}

@@ -1,0 +1,29 @@
+//! Reproduces Fig. 9: basic-mode capture under heavy load (x = 300).
+
+use apps::harness::EngineKind;
+use bench::{experiments, pct, write_json, write_table, Opts};
+use wirecap::WireCapConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    let engines = vec![
+        EngineKind::Dna,
+        EngineKind::PfRing,
+        EngineKind::Netmap,
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 500, 300)),
+    ];
+    let points = experiments::burst_sweep(&engines, 300, opts.scale(10_000_000));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.engine.clone(), p.p.to_string(), pct(p.drop_rate)])
+        .collect();
+    write_table(
+        &opts.out,
+        "fig9",
+        "Figure 9 — basic-mode capture, heavy processing load (x = 300)",
+        &["engine", "P (packets)", "drop rate"],
+        &rows,
+    );
+    write_json(&opts.out, "fig9", &points);
+}

@@ -1,0 +1,92 @@
+//! Runs every figure/table reproduction and writes `results/`.
+
+use apps::harness::EngineKind;
+use bench::{experiments, write_json, Opts};
+use wirecap::WireCapConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    let t0 = std::time::Instant::now();
+    let trace = experiments::border_trace(&opts.trace_config());
+    eprintln!(
+        "[{:6.1?}] border trace ready: {} packets / {} flows / {:.1}s",
+        t0.elapsed(),
+        trace.len(),
+        trace.flow_count(),
+        trace.duration_ns() as f64 / 1e9
+    );
+
+    write_json(&opts.out, "fig3", &experiments::fig3(&trace, 6));
+    eprintln!("[{:6.1?}] fig3 done", t0.elapsed());
+
+    write_json(&opts.out, "tab1", &experiments::tab1(&trace, 6));
+    eprintln!("[{:6.1?}] tab1 done", t0.elapsed());
+
+    let fig8_engines = vec![
+        EngineKind::Dna,
+        EngineKind::PfRing,
+        EngineKind::Netmap,
+        EngineKind::WireCap(WireCapConfig::basic(64, 100, 0)),
+        EngineKind::WireCap(WireCapConfig::basic(128, 100, 0)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 0)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 500, 0)),
+    ];
+    let max_p = opts.scale(10_000_000);
+    write_json(
+        &opts.out,
+        "fig8",
+        &experiments::burst_sweep(&fig8_engines, 0, max_p),
+    );
+    eprintln!("[{:6.1?}] fig8 done", t0.elapsed());
+
+    let fig9_engines = vec![
+        EngineKind::Dna,
+        EngineKind::PfRing,
+        EngineKind::Netmap,
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 500, 300)),
+    ];
+    write_json(
+        &opts.out,
+        "fig9",
+        &experiments::burst_sweep(&fig9_engines, 300, max_p),
+    );
+    eprintln!("[{:6.1?}] fig9 done", t0.elapsed());
+
+    let fig10_engines = vec![
+        EngineKind::WireCap(WireCapConfig::basic(64, 400, 300)),
+        EngineKind::WireCap(WireCapConfig::basic(128, 200, 300)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+    ];
+    write_json(
+        &opts.out,
+        "fig10",
+        &experiments::burst_sweep(&fig10_engines, 300, max_p),
+    );
+    eprintln!("[{:6.1?}] fig10 done", t0.elapsed());
+
+    write_json(
+        &opts.out,
+        "fig11",
+        &experiments::trace_experiment(&trace, &experiments::fig11_engines(), &[4, 5, 6], false),
+    );
+    eprintln!("[{:6.1?}] fig11 done", t0.elapsed());
+
+    write_json(
+        &opts.out,
+        "fig12",
+        &experiments::trace_experiment(&trace, &experiments::fig12_engines(), &[4, 5, 6], false),
+    );
+    eprintln!("[{:6.1?}] fig12 done", t0.elapsed());
+
+    write_json(
+        &opts.out,
+        "fig13",
+        &experiments::trace_experiment(&trace, &experiments::fig13_engines(), &[4, 5, 6], true),
+    );
+    eprintln!("[{:6.1?}] fig13 done", t0.elapsed());
+
+    write_json(&opts.out, "fig14", &experiments::fig14());
+    write_json(&opts.out, "tab2", &engines::capabilities::table2());
+    eprintln!("[{:6.1?}] all experiments written to {}", t0.elapsed(), opts.out.display());
+}

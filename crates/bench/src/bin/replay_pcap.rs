@@ -1,0 +1,124 @@
+//! Replay a pcap capture of your own through any capture engine.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin replay_pcap -- capture.pcap \
+//!     [--engine dna|netmap|pf_ring|pf_packet|psioe|dpdk|wirecap-b|wirecap-a] \
+//!     [--queues N] [--x N] [--speed F]
+//! ```
+//!
+//! The capture is imported as a trace (flows interned from the 5-tuples),
+//! steered across `--queues` receive queues with the real Toeplitz hash,
+//! and replayed "at the speed exactly as recorded" (scaled by `--speed`)
+//! into the chosen engine. Prints the paper's metrics: per-queue offered
+//! load, capture/delivery drops, copies, and delivery latency.
+
+use apps::harness::{run, EngineKind};
+use engines::{AppModel, EngineConfig};
+use sim::CpuModel;
+use traffic::TraceCursor;
+use wirecap::WireCapConfig;
+
+fn main() {
+    let mut file: Option<String> = None;
+    let mut engine = "wirecap-a".to_string();
+    let mut queues = 6usize;
+    let mut x = 300u32;
+    let mut speed = 1.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => engine = args.next().expect("--engine needs a value"),
+            "--queues" => queues = args.next().expect("--queues needs a value").parse().unwrap(),
+            "--x" => x = args.next().expect("--x needs a value").parse().unwrap(),
+            "--speed" => speed = args.next().expect("--speed needs a value").parse().unwrap(),
+            "--help" | "-h" => {
+                eprintln!("usage: replay_pcap FILE [--engine E] [--queues N] [--x N] [--speed F]");
+                std::process::exit(0);
+            }
+            other => file = Some(other.to_string()),
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: replay_pcap FILE [--engine E] [--queues N] [--x N] [--speed F]");
+        std::process::exit(2);
+    };
+
+    let kind = match engine.as_str() {
+        "dna" => EngineKind::Dna,
+        "netmap" => EngineKind::Netmap,
+        "pf_ring" => EngineKind::PfRing,
+        "pf_packet" => EngineKind::PfPacket,
+        "psioe" => EngineKind::Psioe,
+        "dpdk" => EngineKind::Dpdk,
+        "dpdk-offload" => EngineKind::DpdkAppOffload(0.6),
+        "wirecap-b" => EngineKind::WireCap(WireCapConfig::basic(256, 100, x)),
+        "wirecap-a" => EngineKind::WireCap(WireCapConfig::advanced(256, 100, 0.6, x)),
+        other => {
+            eprintln!("unknown engine {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let data = std::fs::read(&file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    let (trace, report) = traffic::import_savefile(&data).unwrap_or_else(|e| {
+        eprintln!("cannot parse {file}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{file}: {} packets imported, {} skipped, {} flows, {:.2}s span, mean {:.0} p/s",
+        report.imported,
+        report.skipped,
+        trace.flow_count(),
+        trace.duration_ns() as f64 / 1e9,
+        trace.mean_rate_pps()
+    );
+
+    let cfg = EngineConfig {
+        app: AppModel {
+            cpu: CpuModel::default(),
+            x,
+            forward: false,
+        },
+        ring_size: 1024,
+    };
+    let mut cursor = TraceCursor::new(&trace).with_speed(speed);
+    let res = run(kind, queues, cfg, &mut cursor);
+
+    println!(
+        "\n{} on {queues} queues (x = {x}, {speed}x replay):",
+        res.engine
+    );
+    for (q, s) in res.per_queue.iter().enumerate() {
+        println!(
+            "  queue {q}: offered {:>9}  capture drops {:>8} ({})  delivery drops {:>8} ({})",
+            s.offered,
+            s.capture_drops,
+            bench::pct(s.capture_drop_rate()),
+            s.delivery_drops,
+            bench::pct(s.delivery_drop_rate()),
+        );
+    }
+    println!(
+        "  total: {} offered, {} delivered, overall drop rate {}",
+        res.total.offered,
+        res.total.delivered,
+        bench::pct(res.drop_rate())
+    );
+    if !res.copies.is_zero_copy() {
+        println!(
+            "  copies: {} packets / {} bytes",
+            res.copies.packets, res.copies.bytes
+        );
+    }
+    if res.latency.count() > 0 {
+        println!(
+            "  delivery latency: mean {:.1} µs, p99 {:.1} µs",
+            res.latency.mean_ns() / 1e3,
+            res.latency.quantile_ns(0.99) as f64 / 1e3
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! 40 GbE projection — the paper's §7 near-term future work.
+//!
+//! "Although our current work has been with 10 GE technology, our
+//! objective is to support 40 GE and, eventually, 100 GE technologies."
+//!
+//! The simulation substrate is rate-parametric, so the projection is a
+//! sweep: 64-byte wire rate at 10/40/100 GbE into one queue, x = 0
+//! (can the engine keep up at all?) and the burst-absorption question at
+//! x = 300 (how much pool does a 40 GbE burst need?).
+
+use apps::harness::{run, EngineKind};
+use bench::{pct, write_json, write_table, Opts};
+use engines::EngineConfig;
+use serde::Serialize;
+use sim::time::wire_rate_pps;
+use traffic::WireRateGen;
+use wirecap::WireCapConfig;
+
+#[derive(Serialize)]
+struct Row {
+    link_gbps: f64,
+    engine: String,
+    p: u64,
+    drop_rate: f64,
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let mut rows_data = Vec::new();
+    // Pool sizes scaled with line rate: the §3.2.2a bound says the
+    // lossless burst is ∝ R·M, so 4× the rate needs ≈ 4× the pool for
+    // the same burst duration.
+    for (gbps, r) in [(10.0f64, 100usize), (40.0, 400), (100.0, 1000)] {
+        let pps = wire_rate_pps(64, gbps);
+        let p = opts.scale(100_000).max(10_000) * (gbps as u64 / 10);
+        for (label, kind) in [
+            ("DNA".to_string(), EngineKind::Dna),
+            (
+                format!("WireCAP-B-(256,{r})"),
+                EngineKind::WireCap(WireCapConfig::basic(256, r, 300)),
+            ),
+            (
+                "WireCAP-B-(256,100)".to_string(),
+                EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+            ),
+        ] {
+            let mut gen = WireRateGen::new(p, 64, pps, 16);
+            let res = run(kind, 1, EngineConfig::paper(300), &mut gen);
+            rows_data.push(Row {
+                link_gbps: gbps,
+                engine: label,
+                p,
+                drop_rate: res.drop_rate(),
+            });
+        }
+    }
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0} GbE", r.link_gbps),
+                r.engine.clone(),
+                r.p.to_string(),
+                pct(r.drop_rate),
+            ]
+        })
+        .collect();
+    write_table(
+        &opts.out,
+        "study_40gbe",
+        "Study — 40/100 GbE projection: same-duration 64-byte burst, x = 300",
+        &["link", "engine", "P (packets)", "drop rate"],
+        &rows,
+    );
+    write_json(&opts.out, "study_40gbe", &rows_data);
+}

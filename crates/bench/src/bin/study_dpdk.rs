@@ -1,0 +1,37 @@
+//! WireCAP vs. DPDK — the paper's §6 comparison and §7 future work.
+//!
+//! "DPDK does not provide an offloading mechanism as WireCAP. To avoid
+//! packet drops, a DPDK-based application must implement an offloading
+//! mechanism in the application layer." (§6) "Comparing WireCAP with
+//! DPDK (with offloading) will be our future research areas." (§7)
+//!
+//! Matched buffering (DPDK mempools sized to WireCAP-B-(256,100)'s R·M),
+//! the border trace, x = 300, 4–6 queues.
+
+use apps::harness::EngineKind;
+use bench::{experiments, pct, write_json, write_table, Opts};
+use wirecap::WireCapConfig;
+
+fn main() {
+    let opts = Opts::parse();
+    let trace = experiments::border_trace(&opts.trace_config());
+    let engines = vec![
+        EngineKind::Dpdk,
+        EngineKind::DpdkAppOffload(0.6),
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+        EngineKind::WireCap(WireCapConfig::advanced(256, 100, 0.6, 300)),
+    ];
+    let points = experiments::trace_experiment(&trace, &engines, &[4, 5, 6], false);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.engine.clone(), format!("{} queues", p.queues), pct(p.drop_rate)])
+        .collect();
+    write_table(
+        &opts.out,
+        "study_dpdk",
+        "Study — WireCAP vs DPDK (matched 25.6k-packet buffering, x = 300)",
+        &["engine", "queues", "drop rate"],
+        &rows,
+    );
+    write_json(&opts.out, "study_dpdk", &points);
+}

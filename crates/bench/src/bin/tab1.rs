@@ -1,0 +1,36 @@
+//! Reproduces Table 1: packet drop rates under load imbalance (x = 300).
+
+use bench::{experiments, pct, write_json, write_table, Opts};
+
+fn main() {
+    let opts = Opts::parse();
+    let trace = experiments::border_trace(&opts.trace_config());
+    let rows_data = experiments::tab1(&trace, 6);
+
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                pct(r.hot_capture),
+                pct(r.hot_delivery),
+                pct(r.cold_capture),
+                pct(r.cold_delivery),
+            ]
+        })
+        .collect();
+    write_table(
+        &opts.out,
+        "tab1",
+        "Table 1 — drop rates at the hot and cold queues (x = 300)",
+        &[
+            "engine",
+            "hot capture",
+            "hot delivery",
+            "cold capture",
+            "cold delivery",
+        ],
+        &rows,
+    );
+    write_json(&opts.out, "tab1", &rows_data);
+}

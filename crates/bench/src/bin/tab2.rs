@@ -1,0 +1,27 @@
+//! Reproduces Table 2: the qualitative engine comparison.
+
+use bench::{write_json, write_table, Opts};
+use engines::capabilities::table2;
+
+fn main() {
+    let opts = Opts::parse();
+    let caps = table2();
+    let rows: Vec<Vec<String>> = caps
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("Goal: {}.", c.goal),
+                format!("Deficiency: {}.", c.deficiency),
+            ]
+        })
+        .collect();
+    write_table(
+        &opts.out,
+        "tab2",
+        "Table 2 — WireCAP vs. existing packet-capture engines",
+        &["engine", "goal", "deficiency"],
+        &rows,
+    );
+    write_json(&opts.out, "tab2", &caps);
+}

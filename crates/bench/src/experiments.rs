@@ -1,0 +1,285 @@
+//! The experiment implementations behind each figure binary.
+//!
+//! Figure binaries (`src/bin/fig*.rs`) are thin wrappers over these
+//! functions so that `fig_all` and the integration tests can run the same
+//! code paths.
+
+use crate::fig14_model::{self, Fig14Engine, OperatingPoint};
+use apps::harness::{run, EngineKind, ExperimentResult};
+use apps::QueueProfiler;
+use engines::EngineConfig;
+use serde::Serialize;
+use traffic::{generate_border_trace, BorderTraceConfig, Trace, TraceCursor, WireRateGen};
+use wirecap::WireCapConfig;
+
+/// Fig. 3 output: per-queue 10 ms-binned load series.
+#[derive(Debug, Serialize)]
+pub struct Fig3Result {
+    /// Number of queues profiled.
+    pub queues: usize,
+    /// Total packets per queue.
+    pub totals: Vec<u64>,
+    /// Busiest queue index (the paper's "queue 0").
+    pub hot: usize,
+    /// Quietest queue index (the paper's "queue 3").
+    pub cold: usize,
+    /// 10 ms-binned counts of the hot queue.
+    pub hot_series: Vec<u64>,
+    /// 10 ms-binned counts of the cold queue.
+    pub cold_series: Vec<u64>,
+    /// Busiest-over-quietest total ratio.
+    pub imbalance_ratio: f64,
+    /// Peak-over-mean of the hot queue (short-term burstiness).
+    pub hot_burstiness: f64,
+}
+
+/// Fig. 3: replay the border trace across six RSS-steered queues and
+/// profile per-queue load in 10 ms bins.
+pub fn fig3(trace: &Trace, queues: usize) -> Fig3Result {
+    let mut cursor = TraceCursor::new(trace);
+    let prof = QueueProfiler::profile(&mut cursor, queues);
+    let (hot, cold) = prof.extremes();
+    Fig3Result {
+        queues,
+        totals: prof.totals(),
+        hot,
+        cold,
+        hot_series: prof.queue(hot).counts().to_vec(),
+        cold_series: prof.queue(cold).counts().to_vec(),
+        imbalance_ratio: prof.imbalance_ratio(),
+        hot_burstiness: prof.queue(hot).burstiness(),
+    }
+}
+
+/// One engine's Table 1 row.
+#[derive(Debug, Serialize)]
+pub struct Tab1Row {
+    /// Engine name.
+    pub engine: String,
+    /// Capture-drop rate at the hot queue.
+    pub hot_capture: f64,
+    /// Delivery-drop rate at the hot queue.
+    pub hot_delivery: f64,
+    /// Capture-drop rate at the cold queue.
+    pub cold_capture: f64,
+    /// Delivery-drop rate at the cold queue.
+    pub cold_delivery: f64,
+    /// Full per-queue accounting.
+    pub result: ExperimentResult,
+}
+
+/// Table 1: drop rates under load imbalance for the Type-II engines and
+/// PF_RING, x = 300, six queues.
+pub fn tab1(trace: &Trace, queues: usize) -> Vec<Tab1Row> {
+    let profile = fig3(trace, queues);
+    let cfg = EngineConfig::paper(300);
+    [EngineKind::Netmap, EngineKind::Dna, EngineKind::PfRing]
+        .iter()
+        .map(|&kind| {
+            let mut cursor = TraceCursor::new(trace);
+            let result = run(kind, queues, cfg, &mut cursor);
+            Tab1Row {
+                engine: result.engine.clone(),
+                hot_capture: result.per_queue[profile.hot].capture_drop_rate(),
+                hot_delivery: result.per_queue[profile.hot].delivery_drop_rate(),
+                cold_capture: result.per_queue[profile.cold].capture_drop_rate(),
+                cold_delivery: result.per_queue[profile.cold].delivery_drop_rate(),
+                result,
+            }
+        })
+        .collect()
+}
+
+/// One point of a Fig. 8/9/10 burst sweep.
+#[derive(Debug, Serialize)]
+pub struct SweepPoint {
+    /// Engine name.
+    pub engine: String,
+    /// Burst size P in packets.
+    pub p: u64,
+    /// Overall drop rate.
+    pub drop_rate: f64,
+}
+
+/// The P values swept in Figs. 8–10 (log-spaced 10³…10⁷ as in the paper).
+pub fn sweep_points(max_p: u64) -> Vec<u64> {
+    let mut ps = Vec::new();
+    let mut base = 1_000u64;
+    while base <= max_p {
+        for m in [1, 2, 5] {
+            let p = base * m;
+            if p <= max_p {
+                ps.push(p);
+            }
+        }
+        base *= 10;
+    }
+    ps
+}
+
+/// Figs. 8–10: P 64-byte packets at wire rate into one queue; sweep P
+/// and engines.
+pub fn burst_sweep(engines: &[EngineKind], x: u32, max_p: u64) -> Vec<SweepPoint> {
+    let cfg = EngineConfig::paper(x);
+    let mut out = Vec::new();
+    for &kind in engines {
+        for &p in &sweep_points(max_p) {
+            let mut gen = WireRateGen::paper_burst(p);
+            let result = run(kind, 1, cfg, &mut gen);
+            out.push(SweepPoint {
+                engine: result.engine.clone(),
+                p,
+                drop_rate: result.drop_rate(),
+            });
+        }
+    }
+    out
+}
+
+/// One point of a trace-driven multi-queue experiment (Figs. 11–13).
+#[derive(Debug, Serialize)]
+pub struct TracePoint {
+    /// Engine name.
+    pub engine: String,
+    /// Number of receive queues.
+    pub queues: usize,
+    /// Overall drop rate.
+    pub drop_rate: f64,
+    /// Full accounting.
+    pub result: ExperimentResult,
+}
+
+/// Figs. 11–13: replay the border trace across n ∈ `queue_counts`
+/// RSS-steered queues for each engine; x = 300.
+pub fn trace_experiment(
+    trace: &Trace,
+    engines: &[EngineKind],
+    queue_counts: &[usize],
+    forward: bool,
+) -> Vec<TracePoint> {
+    let cfg = if forward {
+        EngineConfig::paper_forwarding(300)
+    } else {
+        EngineConfig::paper(300)
+    };
+    let mut out = Vec::new();
+    for &kind in engines {
+        for &queues in queue_counts {
+            let mut cursor = TraceCursor::new(trace);
+            let result = run(kind, queues, cfg, &mut cursor);
+            out.push(TracePoint {
+                engine: result.engine.clone(),
+                queues,
+                drop_rate: result.drop_rate(),
+                result,
+            });
+        }
+    }
+    out
+}
+
+/// The engine list of Fig. 11.
+pub fn fig11_engines() -> Vec<EngineKind> {
+    vec![
+        EngineKind::PfRing,
+        EngineKind::Dna,
+        EngineKind::Netmap,
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 500, 300)),
+        EngineKind::WireCap(WireCapConfig::advanced(256, 100, 0.6, 300)),
+        EngineKind::WireCap(WireCapConfig::advanced(256, 500, 0.6, 300)),
+    ]
+}
+
+/// The engine list of Fig. 12 (threshold sweep).
+pub fn fig12_engines() -> Vec<EngineKind> {
+    [0.6, 0.7, 0.8, 0.9]
+        .iter()
+        .map(|&t| EngineKind::WireCap(WireCapConfig::advanced(256, 100, t, 300)))
+        .collect()
+}
+
+/// The engine list of Fig. 13 (forwarding; NETMAP excluded as in the
+/// paper — its per-queue sync cannot drive the forwarding path).
+pub fn fig13_engines() -> Vec<EngineKind> {
+    vec![
+        EngineKind::PfRing,
+        EngineKind::Dna,
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+        EngineKind::WireCap(WireCapConfig::basic(256, 500, 300)),
+        EngineKind::WireCap(WireCapConfig::advanced(256, 100, 0.6, 300)),
+        EngineKind::WireCap(WireCapConfig::advanced(256, 500, 0.6, 300)),
+    ]
+}
+
+/// One Fig. 14 model point.
+#[derive(Debug, Serialize)]
+pub struct Fig14Point {
+    /// Engine name.
+    pub engine: String,
+    /// Frame length (bytes, FCS included).
+    pub frame_len: u16,
+    /// Queues per NIC.
+    pub queues_per_nic: usize,
+    /// Predicted overall drop rate.
+    pub drop_rate: f64,
+}
+
+/// Fig. 14: the two-NIC scalability sweep.
+pub fn fig14() -> Vec<Fig14Point> {
+    let engines = [
+        Fig14Engine::Dna,
+        Fig14Engine::WireCapA(WireCapConfig::advanced(256, 100, 0.6, 0)),
+        Fig14Engine::WireCapA(WireCapConfig::advanced(256, 500, 0.6, 0)),
+    ];
+    let mut out = Vec::new();
+    for &engine in &engines {
+        for &frame_len in &[64u16, 100] {
+            for queues_per_nic in 1..=6 {
+                out.push(Fig14Point {
+                    engine: engine.name(),
+                    frame_len,
+                    queues_per_nic,
+                    drop_rate: fig14_model::drop_rate(
+                        engine,
+                        OperatingPoint {
+                            frame_len,
+                            queues_per_nic,
+                        },
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Builds (or rebuilds) the border trace for a scale.
+pub fn border_trace(cfg: &BorderTraceConfig) -> Trace {
+    generate_border_trace(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_are_log_spaced() {
+        let ps = sweep_points(10_000_000);
+        assert_eq!(ps.first(), Some(&1_000));
+        assert_eq!(ps.last(), Some(&10_000_000));
+        assert_eq!(ps.len(), 13);
+        assert!(ps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fig14_covers_the_grid() {
+        let pts = fig14();
+        assert_eq!(pts.len(), 3 * 2 * 6);
+        // 100-byte points are all lossless.
+        assert!(pts
+            .iter()
+            .filter(|p| p.frame_len == 100)
+            .all(|p| p.drop_rate < 1e-9));
+    }
+}

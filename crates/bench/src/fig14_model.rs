@@ -1,0 +1,235 @@
+//! The Fig. 14 scalability model.
+//!
+//! Fig. 14 runs two NICs at wire rate, each packet received *and*
+//! forwarded, with x = 0 — there is no per-packet application work, so
+//! the binding resources are (1) the shared system bus and (2) raw
+//! per-core packet touch rate. A per-packet discrete simulation of
+//! 2 × 10⁹ arrivals would add nothing over rate arithmetic here, so this
+//! experiment uses a calibrated fluid model (see DESIGN.md §4.1's
+//! substitution table):
+//!
+//! * **Bus stage** — usable capacity [`BUS_CAPACITY_BPS`]; every packet
+//!   costs its payload twice (DMA in + DMA out) plus a per-engine
+//!   transaction overhead (descriptor fetch/write-back, doorbells).
+//!   WireCAP additionally pays chunk-control traffic, and — only when the
+//!   bus is already contended — page-walk traffic proportional to its
+//!   pool footprint (the §5a "big-memory" cost: WireCAP-A-(256,500) on
+//!   6 queues/NIC maps ~1.5 GiB of pool).
+//! * **CPU stage** — each core forwards at most [`AppModel::rate_pps`]
+//!   (x = 0, forward): ≈ 12 Mp/s. Queue loads use the real Toeplitz
+//!   shares of the wire-rate generator's flow population. DNA cores
+//!   saturate independently; WireCAP pools surplus across the buddy
+//!   group at the offload penalty.
+
+use engines::AppModel;
+use nicsim::rss::Rss;
+use sim::time::wire_rate_pps;
+use sim::CpuModel;
+use traffic::{TrafficSource, WireRateGen};
+use wirecap::WireCapConfig;
+
+/// Usable system-bus capacity in bytes/s (PCIe Gen-3 x8 pair on one NUMA
+/// node, after transaction-layer efficiency).
+pub const BUS_CAPACITY_BPS: f64 = 7.0e9;
+
+/// Per-packet bus transaction overhead for DNA (descriptor fetch +
+/// write-back + amortized doorbell), in bytes, covering RX and TX.
+pub const DNA_PKT_OVERHEAD: f64 = 128.0;
+
+/// WireCAP's per-packet overhead: DNA's plus chunk-control traffic
+/// (capture/recycle metadata and segment re-arm writes, amortized over M
+/// packets per chunk).
+pub const WIRECAP_PKT_OVERHEAD: f64 = 134.0;
+
+/// Page-walk bus bytes per packet per GiB of mapped pool, charged only
+/// when the bus is contended (§5a: "a 'big-memory' application typically
+/// pays a high cost for page-based virtual memory").
+pub const PAGEWALK_BYTES_PER_GB: f64 = 24.0;
+
+/// Extra per-packet application cycles under WireCAP: the user-mode
+/// library iterates chunk cells through the work-queue abstraction,
+/// slightly costlier than DNA's raw ring walk. Only visible when a
+/// single core must sustain full wire rate (queues/NIC = 1).
+pub const WIRECAP_APP_EXTRA_CYCLES: f64 = 20.0;
+
+/// Engine choices Fig. 14 compares.
+#[derive(Debug, Clone, Copy)]
+pub enum Fig14Engine {
+    /// DNA baseline.
+    Dna,
+    /// WireCAP advanced mode with the given (M, R, T).
+    WireCapA(WireCapConfig),
+}
+
+impl Fig14Engine {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Fig14Engine::Dna => "DNA".into(),
+            Fig14Engine::WireCapA(cfg) => cfg.name(),
+        }
+    }
+}
+
+/// One Fig. 14 operating point.
+#[derive(Debug, Clone, Copy)]
+pub struct OperatingPoint {
+    /// Frame length in bytes, FCS included (the paper uses 64 and 100).
+    pub frame_len: u16,
+    /// Receive queues per NIC (1..=6).
+    pub queues_per_nic: usize,
+}
+
+/// Predicted overall drop rate for an engine at an operating point.
+pub fn drop_rate(engine: Fig14Engine, pt: OperatingPoint) -> f64 {
+    let lambda_nic = wire_rate_pps(usize::from(pt.frame_len), 10.0);
+    let lambda_total = 2.0 * lambda_nic;
+    let l = f64::from(pt.frame_len);
+
+    // --- Bus stage -------------------------------------------------
+    let (ovh, pool_gb) = match engine {
+        Fig14Engine::Dna => (DNA_PKT_OVERHEAD, 0.0),
+        Fig14Engine::WireCapA(cfg) => (
+            WIRECAP_PKT_OVERHEAD,
+            // Pools on both NICs.
+            2.0 * pt.queues_per_nic as f64 * cfg.pool_bytes() as f64 / 1e9,
+        ),
+    };
+    let base_demand = lambda_total * (2.0 * l + ovh);
+    let bus_served = if base_demand <= BUS_CAPACITY_BPS {
+        1.0
+    } else {
+        // Contended: page-walk traffic now competes too.
+        let demand = lambda_total * (2.0 * l + ovh + PAGEWALK_BYTES_PER_GB * pool_gb);
+        BUS_CAPACITY_BPS / demand
+    };
+
+    // --- CPU stage (per NIC; both NICs are symmetric) ---------------
+    let base_mu = AppModel {
+        cpu: CpuModel::default(),
+        x: 0,
+        forward: true,
+    }
+    .rate_pps();
+    let mu = match engine {
+        Fig14Engine::Dna => base_mu,
+        Fig14Engine::WireCapA(_) => {
+            let cpu = CpuModel::default();
+            1e9 / (1e9 / base_mu + WIRECAP_APP_EXTRA_CYCLES / cpu.freq_ghz)
+        }
+    };
+    let shares = rss_shares(pt.queues_per_nic);
+    let loads: Vec<f64> = shares
+        .iter()
+        .map(|s| lambda_nic * s * bus_served)
+        .collect();
+    let processed: f64 = match engine {
+        Fig14Engine::Dna => loads.iter().map(|&l| l.min(mu)).sum(),
+        Fig14Engine::WireCapA(cfg) => {
+            // Buddy-group pooling: home cores first, then spare capacity
+            // absorbs surplus at the offload penalty.
+            let home: f64 = loads.iter().map(|&l| l.min(mu)).sum();
+            let surplus: f64 = loads.iter().map(|&l| (l - mu).max(0.0)).sum();
+            let spare: f64 = loads
+                .iter()
+                .map(|&l| (mu - l).max(0.0) * cfg.offload_penalty)
+                .sum();
+            home + surplus.min(spare)
+        }
+    };
+    let offered_per_nic = lambda_nic;
+    let delivered_per_nic = processed.min(offered_per_nic * bus_served);
+    (1.0 - delivered_per_nic / offered_per_nic).max(0.0)
+}
+
+/// Per-queue traffic shares of the wire-rate generator's flow population
+/// under real Toeplitz RSS.
+pub fn rss_shares(queues: usize) -> Vec<f64> {
+    let gen = WireRateGen::at_wire_rate(1, 64, 64);
+    let rss = Rss::new(queues);
+    let mut counts = vec![0usize; queues];
+    for f in gen.flows() {
+        counts[rss.steer(f)] += 1;
+    }
+    let total: usize = counts.iter().sum();
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(len: u16, q: usize) -> OperatingPoint {
+        OperatingPoint {
+            frame_len: len,
+            queues_per_nic: q,
+        }
+    }
+
+    fn wc(r: usize) -> Fig14Engine {
+        Fig14Engine::WireCapA(WireCapConfig::advanced(256, r, 0.6, 0))
+    }
+
+    /// Paper: "When the generators transmit 100-Byte packets … We did not
+    /// observe any packet loss for WireCAP and DNA."
+    #[test]
+    fn hundred_byte_packets_are_lossless() {
+        for q in 1..=6 {
+            assert!(drop_rate(Fig14Engine::Dna, pt(100, q)) < 1e-9, "DNA q={q}");
+            assert!(drop_rate(wc(100), pt(100, q)) < 1e-9, "WC-100 q={q}");
+            assert!(drop_rate(wc(500), pt(100, q)) < 1e-9, "WC-500 q={q}");
+        }
+    }
+
+    /// Paper: at 64 bytes "the experiment system bus becomes saturated,
+    /// causing both DNA and WireCAP to suffer significant packet drops".
+    #[test]
+    fn sixty_four_byte_packets_drop_everywhere() {
+        for q in 1..=6 {
+            assert!(drop_rate(Fig14Engine::Dna, pt(64, q)) > 0.05, "DNA q={q}");
+            assert!(drop_rate(wc(100), pt(64, q)) > 0.05, "WC q={q}");
+        }
+    }
+
+    /// Paper: "WireCAP suffers a higher packet drop rate than DNA @
+    /// queues/NIC=1", and the gap narrows as queues are added.
+    #[test]
+    fn wirecap_worse_at_one_queue_then_narrows() {
+        let gap_1 = drop_rate(wc(100), pt(64, 1)) - drop_rate(Fig14Engine::Dna, pt(64, 1));
+        let gap_6 = drop_rate(wc(100), pt(64, 6)) - drop_rate(Fig14Engine::Dna, pt(64, 6));
+        assert!(gap_1 > 0.0, "gap@1 = {gap_1}");
+        assert!(gap_6 <= gap_1 + 1e-9, "gap@6 = {gap_6} vs gap@1 = {gap_1}");
+    }
+
+    /// Paper: "WireCAP-A-(256,500,60%) performs poorly @ queues/NIC=5 or
+    /// 6 … requires larger memory use."
+    #[test]
+    fn big_pool_degrades_at_many_queues() {
+        let small_pool = drop_rate(wc(100), pt(64, 6));
+        let big_pool = drop_rate(wc(500), pt(64, 6));
+        assert!(
+            big_pool > small_pool + 0.05,
+            "big {big_pool} vs small {small_pool}"
+        );
+        // At one queue per NIC the two pools behave similarly.
+        let d1 = (drop_rate(wc(500), pt(64, 1)) - drop_rate(wc(100), pt(64, 1))).abs();
+        assert!(d1 < 0.05, "diff@1 = {d1}");
+    }
+
+    /// Drops decline from the 1-queue CPU bottleneck as queues are added.
+    #[test]
+    fn one_queue_is_cpu_bound() {
+        let d1 = drop_rate(Fig14Engine::Dna, pt(64, 1));
+        let d2 = drop_rate(Fig14Engine::Dna, pt(64, 2));
+        assert!(d1 > d2, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for q in 1..=6 {
+            let s = rss_shares(q);
+            assert_eq!(s.len(), q);
+            assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Filter expression AST and the reference evaluator.
+//!
+//! The evaluator mirrors, branch for branch, the code the compiler emits —
+//! including classic BPF's "out-of-bounds load rejects the packet"
+//! semantics, which makes `not host X` on a truncated packet *reject*
+//! rather than accept. Evaluation is therefore three-valued:
+//! `Some(true)` accept, `Some(false)` primitive failed, `None` packet
+//! rejected outright (a load fell off the end). The differential property
+//! test in `tests/differential.rs` checks compiled-VM agreement against
+//! this evaluator on random expressions and packets.
+
+use std::net::Ipv4Addr;
+
+/// Direction qualifier on an address/port primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Match the source field only.
+    Src,
+    /// Match the destination field only.
+    Dst,
+    /// Match either field (tcpdump's default).
+    Either,
+}
+
+/// A primitive test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prim {
+    /// `host A.B.C.D` — IPv4 address equality.
+    Host(Dir, Ipv4Addr),
+    /// `net ...` — IPv4 prefix match; `addr` and `mask` are host-order
+    /// 32-bit values (`addr` is pre-masked).
+    Net(Dir, u32, u32),
+    /// `port N` — TCP/UDP port match (IPv4, unfragmented packets only,
+    /// as in tcpdump's generated code).
+    Port(Dir, u16),
+    /// EtherType equality: `ip`, `ip6`, `arp`.
+    EtherProto(u16),
+    /// IP protocol equality (checks IPv4 and IPv6 carriage): `tcp`,
+    /// `udp`, `icmp`, …
+    IpProto(u8),
+    /// `less N` — frame length ≤ N.
+    LenLess(u32),
+    /// `greater N` — frame length ≥ N.
+    LenGreater(u32),
+}
+
+/// A boolean combination of primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Conjunction (short-circuit, left to right).
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction (short-circuit, left to right).
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// A primitive test.
+    Prim(Prim),
+}
+
+/// EtherType for IPv4.
+pub const ETH_IP: u16 = 0x0800;
+/// EtherType for ARP.
+pub const ETH_ARP: u16 = 0x0806;
+/// EtherType for IPv6.
+pub const ETH_IP6: u16 = 0x86dd;
+
+impl Expr {
+    /// Convenience constructor: `a and b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a or b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `not a`.
+    #[allow(clippy::should_implement_trait)] // DSL constructor, not ops::Not
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(Box::new(a))
+    }
+
+    /// Reference evaluation with BPF semantics; `true` iff the compiled
+    /// program would accept the packet.
+    pub fn matches(&self, pkt: &[u8]) -> bool {
+        self.eval(pkt) == Some(true)
+    }
+
+    /// Three-valued evaluation: `None` means "an out-of-bounds load
+    /// rejected the packet" (absorbing, even under `not`).
+    pub fn eval(&self, pkt: &[u8]) -> Option<bool> {
+        match self {
+            Expr::And(a, b) => match a.eval(pkt)? {
+                false => Some(false),
+                true => b.eval(pkt),
+            },
+            Expr::Or(a, b) => match a.eval(pkt)? {
+                true => Some(true),
+                false => b.eval(pkt),
+            },
+            Expr::Not(a) => a.eval(pkt).map(|v| !v),
+            Expr::Prim(p) => p.eval(pkt),
+        }
+    }
+}
+
+impl Prim {
+    /// Three-valued primitive evaluation (see [`Expr::eval`]).
+    pub fn eval(&self, pkt: &[u8]) -> Option<bool> {
+        match *self {
+            Prim::EtherProto(v) => Some(ldh(pkt, 12)? == u32::from(v)),
+            Prim::IpProto(p) => {
+                let ety = ldh(pkt, 12)?;
+                if ety == u32::from(ETH_IP6) {
+                    Some(ldb(pkt, 20)? == u32::from(p))
+                } else if ety == u32::from(ETH_IP) {
+                    Some(ldb(pkt, 23)? == u32::from(p))
+                } else {
+                    Some(false)
+                }
+            }
+            Prim::Host(dir, ip) => {
+                if ldh(pkt, 12)? != u32::from(ETH_IP) {
+                    return Some(false);
+                }
+                let want = u32::from(ip);
+                match dir {
+                    Dir::Src => Some(ld(pkt, 26)? == want),
+                    Dir::Dst => Some(ld(pkt, 30)? == want),
+                    Dir::Either => {
+                        if ld(pkt, 26)? == want {
+                            Some(true)
+                        } else {
+                            Some(ld(pkt, 30)? == want)
+                        }
+                    }
+                }
+            }
+            Prim::Net(dir, addr, mask) => {
+                if ldh(pkt, 12)? != u32::from(ETH_IP) {
+                    return Some(false);
+                }
+                match dir {
+                    Dir::Src => Some(ld(pkt, 26)? & mask == addr),
+                    Dir::Dst => Some(ld(pkt, 30)? & mask == addr),
+                    Dir::Either => {
+                        if ld(pkt, 26)? & mask == addr {
+                            Some(true)
+                        } else {
+                            Some(ld(pkt, 30)? & mask == addr)
+                        }
+                    }
+                }
+            }
+            Prim::Port(dir, port) => {
+                if ldh(pkt, 12)? != u32::from(ETH_IP) {
+                    return Some(false);
+                }
+                let proto = ldb(pkt, 23)?;
+                if proto != 6 && proto != 17 {
+                    return Some(false);
+                }
+                // Fragmented packets (offset != 0) have no transport header.
+                if ldh(pkt, 20)? & 0x1fff != 0 {
+                    return Some(false);
+                }
+                let ihl = 4 * (ldb(pkt, 14)? & 0x0f) as usize;
+                let want = u32::from(port);
+                match dir {
+                    Dir::Src => Some(ldh(pkt, ihl + 14)? == want),
+                    Dir::Dst => Some(ldh(pkt, ihl + 16)? == want),
+                    Dir::Either => {
+                        if ldh(pkt, ihl + 14)? == want {
+                            Some(true)
+                        } else {
+                            Some(ldh(pkt, ihl + 16)? == want)
+                        }
+                    }
+                }
+            }
+            Prim::LenLess(n) => Some(pkt.len() as u32 <= n),
+            Prim::LenGreater(n) => Some(pkt.len() as u32 >= n),
+        }
+    }
+}
+
+fn ldb(pkt: &[u8], off: usize) -> Option<u32> {
+    pkt.get(off).map(|&b| u32::from(b))
+}
+
+fn ldh(pkt: &[u8], off: usize) -> Option<u32> {
+    if off + 2 > pkt.len() {
+        None
+    } else {
+        Some(u32::from(u16::from_be_bytes([pkt[off], pkt[off + 1]])))
+    }
+}
+
+fn ld(pkt: &[u8], off: usize) -> Option<u32> {
+    if off + 4 > pkt.len() {
+        None
+    } else {
+        Some(u32::from_be_bytes([
+            pkt[off],
+            pkt[off + 1],
+            pkt[off + 2],
+            pkt[off + 3],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netproto::{FlowKey, PacketBuilder};
+
+    fn udp_pkt(src: &str, dst: &str, sport: u16, dport: u16) -> Vec<u8> {
+        PacketBuilder::new()
+            .build(
+                &FlowKey::udp(src.parse().unwrap(), sport, dst.parse().unwrap(), dport),
+                80,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn host_matches_either_direction() {
+        let p = Prim::Host(Dir::Either, "10.0.0.9".parse().unwrap());
+        assert!(Expr::Prim(p).matches(&udp_pkt("10.0.0.9", "10.0.0.2", 1, 2)));
+        assert!(Expr::Prim(p).matches(&udp_pkt("10.0.0.2", "10.0.0.9", 1, 2)));
+        assert!(!Expr::Prim(p).matches(&udp_pkt("10.0.0.2", "10.0.0.3", 1, 2)));
+    }
+
+    #[test]
+    fn src_dst_are_directional() {
+        let src = Expr::Prim(Prim::Host(Dir::Src, "10.0.0.9".parse().unwrap()));
+        let dst = Expr::Prim(Prim::Host(Dir::Dst, "10.0.0.9".parse().unwrap()));
+        let pkt = udp_pkt("10.0.0.9", "10.0.0.2", 1, 2);
+        assert!(src.matches(&pkt));
+        assert!(!dst.matches(&pkt));
+    }
+
+    #[test]
+    fn net_prefix_matches() {
+        // 131.225.2.0/24, the paper's filter prefix
+        let p = Prim::Net(Dir::Either, 0x83e1_0200, 0xffff_ff00);
+        assert!(Expr::Prim(p).matches(&udp_pkt("131.225.2.77", "8.8.8.8", 1, 2)));
+        assert!(!Expr::Prim(p).matches(&udp_pkt("131.225.3.77", "8.8.8.8", 1, 2)));
+    }
+
+    #[test]
+    fn port_matching_requires_udp_or_tcp() {
+        let p = Expr::Prim(Prim::Port(Dir::Either, 53));
+        assert!(p.matches(&udp_pkt("1.1.1.1", "2.2.2.2", 53, 9)));
+        assert!(p.matches(&udp_pkt("1.1.1.1", "2.2.2.2", 9, 53)));
+        assert!(!p.matches(&udp_pkt("1.1.1.1", "2.2.2.2", 9, 9)));
+    }
+
+    #[test]
+    fn fragmented_packet_fails_port_match() {
+        let mut pkt = udp_pkt("1.1.1.1", "2.2.2.2", 53, 53);
+        pkt[20] = 0x00;
+        pkt[21] = 0x10; // fragment offset 16
+        assert!(!Expr::Prim(Prim::Port(Dir::Either, 53)).matches(&pkt));
+    }
+
+    #[test]
+    fn not_of_oob_still_rejects() {
+        let e = Expr::not(Expr::Prim(Prim::Host(
+            Dir::Either,
+            "10.0.0.1".parse().unwrap(),
+        )));
+        // 14-byte packet: ethertype is readable but the address load falls
+        // off the end => packet rejected even under `not`.
+        let mut tiny = vec![0u8; 14];
+        tiny[12] = 0x08;
+        tiny[13] = 0x00;
+        assert_eq!(e.eval(&tiny), None);
+        assert!(!e.matches(&tiny));
+    }
+
+    #[test]
+    fn and_or_short_circuit() {
+        let t = Expr::Prim(Prim::LenGreater(0));
+        let f = Expr::Prim(Prim::LenLess(0));
+        let pkt = [0u8; 10];
+        assert!(Expr::or(f.clone(), t.clone()).matches(&pkt));
+        assert!(!Expr::and(t.clone(), f.clone()).matches(&pkt));
+        assert!(Expr::and(t.clone(), t.clone()).matches(&pkt));
+        assert!(!Expr::or(f.clone(), f).matches(&pkt));
+    }
+
+    #[test]
+    fn len_primitives() {
+        let pkt = [0u8; 100];
+        assert!(Expr::Prim(Prim::LenLess(100)).matches(&pkt));
+        assert!(!Expr::Prim(Prim::LenLess(99)).matches(&pkt));
+        assert!(Expr::Prim(Prim::LenGreater(100)).matches(&pkt));
+        assert!(!Expr::Prim(Prim::LenGreater(101)).matches(&pkt));
+    }
+}

@@ -1,0 +1,222 @@
+//! AST → classic-BPF code generation.
+//!
+//! Generation follows the textbook scheme: each sub-expression is compiled
+//! against a pair of symbolic labels (true-exit, false-exit); conjunction
+//! chains the true edge, disjunction chains the false edge, negation swaps
+//! them. A final resolve pass converts labels into the forward `jt`/`jf`
+//! byte offsets of the classic encoding.
+
+use crate::ast::{Dir, Expr, Prim, ETH_IP};
+use crate::insn::{Insn, JmpOp, Program, Src, Width};
+
+/// The accept length returned for matching packets (tcpdump's default
+/// snapshot length as emitted by `tcpdump -d`).
+pub const ACCEPT_LEN: u32 = 262_144;
+
+/// Compiles an expression into a verified-shape program.
+///
+/// # Panics
+/// Panics if a jump offset would exceed classic BPF's 255-instruction
+/// reach — practically unreachable for the expression sizes this grammar
+/// produces (each primitive emits at most ~10 instructions).
+pub fn compile(expr: &Expr) -> Program {
+    let mut g = Gen::default();
+    let lt = g.fresh();
+    let lf = g.fresh();
+    g.expr(expr, lt, lf);
+    g.bind(lt);
+    g.emit(Insn::RetK(ACCEPT_LEN));
+    g.bind(lf);
+    g.emit(Insn::RetK(0));
+    g.resolve()
+}
+
+/// Symbolic jump target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Label(usize);
+
+#[derive(Debug)]
+enum Item {
+    Concrete(Insn),
+    /// Conditional jump with symbolic targets.
+    Branch(JmpOp, Src, Label, Label),
+}
+
+#[derive(Default)]
+struct Gen {
+    items: Vec<Item>,
+    /// label id -> item index it is bound to
+    bindings: Vec<Option<usize>>,
+}
+
+impl Gen {
+    fn fresh(&mut self) -> Label {
+        self.bindings.push(None);
+        Label(self.bindings.len() - 1)
+    }
+
+    fn bind(&mut self, l: Label) {
+        assert!(self.bindings[l.0].is_none(), "label bound twice");
+        self.bindings[l.0] = Some(self.items.len());
+    }
+
+    fn emit(&mut self, i: Insn) {
+        self.items.push(Item::Concrete(i));
+    }
+
+    fn branch(&mut self, op: JmpOp, src: Src, jt: Label, jf: Label) {
+        self.items.push(Item::Branch(op, src, jt, jf));
+    }
+
+    fn expr(&mut self, e: &Expr, lt: Label, lf: Label) {
+        match e {
+            Expr::And(a, b) => {
+                let mid = self.fresh();
+                self.expr(a, mid, lf);
+                self.bind(mid);
+                self.expr(b, lt, lf);
+            }
+            Expr::Or(a, b) => {
+                let mid = self.fresh();
+                self.expr(a, lt, mid);
+                self.bind(mid);
+                self.expr(b, lt, lf);
+            }
+            Expr::Not(a) => self.expr(a, lf, lt),
+            Expr::Prim(p) => self.prim(*p, lt, lf),
+        }
+    }
+
+    fn prim(&mut self, p: Prim, lt: Label, lf: Label) {
+        match p {
+            Prim::EtherProto(v) => {
+                self.emit(Insn::LdAbs(Width::Half, 12));
+                self.branch(JmpOp::Eq, Src::K(u32::from(v)), lt, lf);
+            }
+            Prim::IpProto(proto) => {
+                // Mirrors tcpdump's canonical `udp` program: check IPv6
+                // carriage first, then IPv4. On the try-v4 path A still
+                // holds the ethertype (the v6 block is skipped).
+                self.emit(Insn::LdAbs(Width::Half, 12));
+                let v6 = self.fresh();
+                let try_v4 = self.fresh();
+                self.branch(JmpOp::Eq, Src::K(0x86dd), v6, try_v4);
+                self.bind(v6);
+                self.emit(Insn::LdAbs(Width::Byte, 20));
+                self.branch(JmpOp::Eq, Src::K(u32::from(proto)), lt, lf);
+                self.bind(try_v4);
+                let is_v4 = self.fresh();
+                self.branch(JmpOp::Eq, Src::K(u32::from(ETH_IP)), is_v4, lf);
+                self.bind(is_v4);
+                self.emit(Insn::LdAbs(Width::Byte, 23));
+                self.branch(JmpOp::Eq, Src::K(u32::from(proto)), lt, lf);
+            }
+            Prim::Host(dir, ip) => {
+                let addr = u32::from(ip);
+                self.addr_match(dir, addr, u32::MAX, lt, lf);
+            }
+            Prim::Net(dir, addr, mask) => {
+                self.addr_match(dir, addr, mask, lt, lf);
+            }
+            Prim::Port(dir, port) => {
+                self.port_match(dir, port, lt, lf);
+            }
+            Prim::LenLess(n) => {
+                self.emit(Insn::LdLen);
+                // less N: len <= N  <=>  !(len > N)
+                self.branch(JmpOp::Gt, Src::K(n), lf, lt);
+            }
+            Prim::LenGreater(n) => {
+                self.emit(Insn::LdLen);
+                self.branch(JmpOp::Ge, Src::K(n), lt, lf);
+            }
+        }
+    }
+
+    fn addr_match(&mut self, dir: Dir, addr: u32, mask: u32, lt: Label, lf: Label) {
+        // Require IPv4 first.
+        self.emit(Insn::LdAbs(Width::Half, 12));
+        let is_ip = self.fresh();
+        self.branch(JmpOp::Eq, Src::K(u32::from(ETH_IP)), is_ip, lf);
+        self.bind(is_ip);
+        let test = |g: &mut Gen, off: u32, jt: Label, jf: Label| {
+            g.emit(Insn::LdAbs(Width::Word, off));
+            if mask != u32::MAX {
+                g.emit(Insn::Alu(crate::insn::AluOp::And, Src::K(mask)));
+            }
+            g.branch(JmpOp::Eq, Src::K(addr), jt, jf);
+        };
+        match dir {
+            Dir::Src => test(self, 26, lt, lf),
+            Dir::Dst => test(self, 30, lt, lf),
+            Dir::Either => {
+                let try_dst = self.fresh();
+                test(self, 26, lt, try_dst);
+                self.bind(try_dst);
+                test(self, 30, lt, lf);
+            }
+        }
+    }
+
+    fn port_match(&mut self, dir: Dir, port: u16, lt: Label, lf: Label) {
+        // IPv4 only, TCP or UDP, not a fragment.
+        self.emit(Insn::LdAbs(Width::Half, 12));
+        let is_ip = self.fresh();
+        self.branch(JmpOp::Eq, Src::K(u32::from(ETH_IP)), is_ip, lf);
+        self.bind(is_ip);
+        self.emit(Insn::LdAbs(Width::Byte, 23));
+        let proto_ok = self.fresh();
+        let try_udp = self.fresh();
+        self.branch(JmpOp::Eq, Src::K(6), proto_ok, try_udp);
+        self.bind(try_udp);
+        self.branch(JmpOp::Eq, Src::K(17), proto_ok, lf);
+        self.bind(proto_ok);
+        self.emit(Insn::LdAbs(Width::Half, 20));
+        let not_frag = self.fresh();
+        self.branch(JmpOp::Set, Src::K(0x1fff), lf, not_frag);
+        self.bind(not_frag);
+        self.emit(Insn::LdxMsh(14));
+        let want = u32::from(port);
+        match dir {
+            Dir::Src => {
+                self.emit(Insn::LdInd(Width::Half, 14));
+                self.branch(JmpOp::Eq, Src::K(want), lt, lf);
+            }
+            Dir::Dst => {
+                self.emit(Insn::LdInd(Width::Half, 16));
+                self.branch(JmpOp::Eq, Src::K(want), lt, lf);
+            }
+            Dir::Either => {
+                let try_dst = self.fresh();
+                self.emit(Insn::LdInd(Width::Half, 14));
+                self.branch(JmpOp::Eq, Src::K(want), lt, try_dst);
+                self.bind(try_dst);
+                self.emit(Insn::LdInd(Width::Half, 16));
+                self.branch(JmpOp::Eq, Src::K(want), lt, lf);
+            }
+        }
+    }
+
+    fn resolve(self) -> Program {
+        let Gen { items, bindings } = self;
+        // Labels bind to item indices, which are also instruction indices
+        // because every item lowers to exactly one instruction.
+        let target = |l: Label| -> usize { bindings[l.0].expect("unbound label") };
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(idx, item)| match item {
+                Item::Concrete(i) => i,
+                Item::Branch(op, src, jt, jf) => {
+                    let to = |l: Label| -> u8 {
+                        let t = target(l);
+                        assert!(t > idx, "backward jump generated");
+                        let off = t - idx - 1;
+                        u8::try_from(off).expect("jump offset exceeds classic BPF reach")
+                    };
+                    Insn::Jmp(op, src, to(jt), to(jf))
+                }
+            })
+            .collect()
+    }
+}

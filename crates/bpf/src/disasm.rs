@@ -1,0 +1,120 @@
+//! Classic BPF disassembly in the `tcpdump -d` style.
+
+use crate::insn::{AluOp, Insn, JmpOp, Program, Src, Width};
+
+fn width_suffix(w: Width) -> &'static str {
+    match w {
+        Width::Word => "",
+        Width::Half => "h",
+        Width::Byte => "b",
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+        AluOp::Lsh => "lsh",
+        AluOp::Rsh => "rsh",
+        AluOp::Mod => "mod",
+        AluOp::Xor => "xor",
+    }
+}
+
+fn jmp_name(op: JmpOp) -> &'static str {
+    match op {
+        JmpOp::Eq => "jeq",
+        JmpOp::Gt => "jgt",
+        JmpOp::Ge => "jge",
+        JmpOp::Set => "jset",
+    }
+}
+
+fn src_operand(s: Src) -> String {
+    match s {
+        Src::K(k) => format!("#{k:#x}"),
+        Src::X => "x".into(),
+    }
+}
+
+/// Renders one instruction (without its index) as tcpdump would.
+pub fn mnemonic(insn: &Insn, pc: usize) -> String {
+    match *insn {
+        Insn::LdAbs(w, k) => format!("ld{}       [{k}]", width_suffix(w)),
+        Insn::LdInd(w, k) => format!("ld{}       [x + {k}]", width_suffix(w)),
+        Insn::LdLen => "ld        len".into(),
+        Insn::LdImm(k) => format!("ld        #{k:#x}"),
+        Insn::LdMem(k) => format!("ld        M[{k}]"),
+        Insn::LdxImm(k) => format!("ldx       #{k:#x}"),
+        Insn::LdxLen => "ldx       len".into(),
+        Insn::LdxMem(k) => format!("ldx       M[{k}]"),
+        Insn::LdxMsh(k) => format!("ldxb      4*([{k}]&0xf)"),
+        Insn::St(k) => format!("st        M[{k}]"),
+        Insn::Stx(k) => format!("stx       M[{k}]"),
+        Insn::Alu(op, s) => format!("{:<9} {}", alu_name(op), src_operand(s)),
+        Insn::Neg => "neg".into(),
+        Insn::Ja(k) => format!("ja        {}", pc + 1 + k as usize),
+        Insn::Jmp(op, s, jt, jf) => format!(
+            "{:<9} {:<15} jt {}\tjf {}",
+            jmp_name(op),
+            src_operand(s),
+            pc + 1 + jt as usize,
+            pc + 1 + jf as usize
+        ),
+        Insn::RetK(k) => format!("ret       #{k}"),
+        Insn::RetA => "ret       a".into(),
+        Insn::Tax => "tax".into(),
+        Insn::Txa => "txa".into(),
+    }
+}
+
+/// Disassembles a whole program, one `(index) mnemonic` line per
+/// instruction — the `tcpdump -d` format.
+pub fn disassemble(prog: &Program) -> String {
+    prog.iter()
+        .enumerate()
+        .map(|(pc, insn)| format!("({pc:03}) {}\n", mnemonic(insn, pc)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Filter;
+
+    #[test]
+    fn paper_filter_disassembles() {
+        let f = Filter::compile("131.225.2 and udp").unwrap();
+        let text = disassemble(f.program());
+        assert!(text.contains("(000) ldh       [12]"), "{text}");
+        assert!(text.contains("jeq       #0x800"), "{text}");
+        assert!(text.contains("and       #0xffffff00"), "{text}");
+        assert!(text.contains("ret       #262144"), "{text}");
+        assert!(text.contains("ret       #0"), "{text}");
+        // One line per instruction.
+        assert_eq!(text.lines().count(), f.program().len());
+    }
+
+    #[test]
+    fn jump_targets_are_absolute() {
+        let f = Filter::compile("udp").unwrap();
+        let text = disassemble(f.program());
+        // A conditional jump must print absolute instruction indices.
+        assert!(
+            text.lines().any(|l| l.contains("jt ") && l.contains("jf ")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn port_filter_shows_msh_idiom() {
+        let f = Filter::compile("port 53").unwrap();
+        let text = disassemble(f.program());
+        assert!(text.contains("ldxb      4*([14]&0xf)"), "{text}");
+        assert!(text.contains("[x + 14]"), "{text}");
+    }
+}

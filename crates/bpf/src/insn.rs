@@ -1,0 +1,482 @@
+//! The classic BPF instruction set.
+//!
+//! Instructions are represented twice: as the typed enum [`Insn`] (what the
+//! compiler emits and the VM executes) and as the raw 8-byte
+//! `sock_filter`-compatible encoding [`RawInsn`] (what `tcpdump -ddd`
+//! prints and what a kernel would accept). Conversions between the two are
+//! lossless for every valid instruction, and tested as such.
+
+/// Number of scratch memory slots (`BPF_MEMWORDS`).
+pub const MEMWORDS: usize = 16;
+
+/// Operand source for ALU and jump instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Immediate constant `k`.
+    K(u32),
+    /// The index register X.
+    X,
+}
+
+/// ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// A + src
+    Add,
+    /// A - src
+    Sub,
+    /// A * src
+    Mul,
+    /// A / src (division by zero rejects the packet)
+    Div,
+    /// A | src
+    Or,
+    /// A & src
+    And,
+    /// A << src
+    Lsh,
+    /// A >> src
+    Rsh,
+    /// A % src (modulo by zero rejects the packet)
+    Mod,
+    /// A ^ src
+    Xor,
+}
+
+/// Jump comparisons (all compare A against the source operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JmpOp {
+    /// A == src
+    Eq,
+    /// A > src (unsigned)
+    Gt,
+    /// A >= src (unsigned)
+    Ge,
+    /// A & src != 0
+    Set,
+}
+
+/// Load width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// 8-bit load.
+    Byte,
+    /// 16-bit big-endian load.
+    Half,
+    /// 32-bit big-endian load.
+    Word,
+}
+
+impl Width {
+    /// Size of the load in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+        }
+    }
+}
+
+/// A classic BPF instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// A ← packet\[k .. k+w\] (absolute load, big-endian).
+    LdAbs(Width, u32),
+    /// A ← packet\[X+k .. X+k+w\] (indirect load).
+    LdInd(Width, u32),
+    /// A ← packet length.
+    LdLen,
+    /// A ← k.
+    LdImm(u32),
+    /// A ← M\[k\].
+    LdMem(u32),
+    /// X ← k.
+    LdxImm(u32),
+    /// X ← packet length.
+    LdxLen,
+    /// X ← M\[k\].
+    LdxMem(u32),
+    /// X ← 4 × (packet\[k\] & 0x0f) — the IPv4 header-length idiom.
+    LdxMsh(u32),
+    /// M\[k\] ← A.
+    St(u32),
+    /// M\[k\] ← X.
+    Stx(u32),
+    /// ALU operation on A.
+    Alu(AluOp, Src),
+    /// A ← −A (two's complement).
+    Neg,
+    /// Unconditional jump forward by k instructions.
+    Ja(u32),
+    /// Conditional jump: if `op(A, src)` jump forward `jt`, else `jf`.
+    Jmp(JmpOp, Src, u8, u8),
+    /// Return k (accept length; 0 rejects).
+    RetK(u32),
+    /// Return A.
+    RetA,
+    /// X ← A.
+    Tax,
+    /// A ← X.
+    Txa,
+}
+
+/// A BPF program: a sequence of instructions executed from index 0.
+pub type Program = Vec<Insn>;
+
+/// The raw `sock_filter` wire encoding: `{ code, jt, jf, k }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawInsn {
+    /// Opcode (class | size | mode | op | src).
+    pub code: u16,
+    /// Jump-if-true offset.
+    pub jt: u8,
+    /// Jump-if-false offset.
+    pub jf: u8,
+    /// Generic constant field.
+    pub k: u32,
+}
+
+// Opcode class constants (from <linux/bpf_common.h>).
+const BPF_LD: u16 = 0x00;
+const BPF_LDX: u16 = 0x01;
+const BPF_ST: u16 = 0x02;
+const BPF_STX: u16 = 0x03;
+const BPF_ALU: u16 = 0x04;
+const BPF_JMP: u16 = 0x05;
+const BPF_RET: u16 = 0x06;
+const BPF_MISC: u16 = 0x07;
+
+const BPF_W: u16 = 0x00;
+const BPF_H: u16 = 0x08;
+const BPF_B: u16 = 0x10;
+
+const BPF_IMM: u16 = 0x00;
+const BPF_ABS: u16 = 0x20;
+const BPF_IND: u16 = 0x40;
+const BPF_MEM: u16 = 0x60;
+const BPF_LEN: u16 = 0x80;
+const BPF_MSH: u16 = 0xa0;
+
+const BPF_ADD: u16 = 0x00;
+const BPF_SUB: u16 = 0x10;
+const BPF_MUL: u16 = 0x20;
+const BPF_DIV: u16 = 0x30;
+const BPF_OR: u16 = 0x40;
+const BPF_AND: u16 = 0x50;
+const BPF_LSH: u16 = 0x60;
+const BPF_RSH: u16 = 0x70;
+const BPF_NEG: u16 = 0x80;
+const BPF_MOD: u16 = 0x90;
+const BPF_XOR: u16 = 0xa0;
+
+const BPF_JA: u16 = 0x00;
+const BPF_JEQ: u16 = 0x10;
+const BPF_JGT: u16 = 0x20;
+const BPF_JGE: u16 = 0x30;
+const BPF_JSET: u16 = 0x40;
+
+const BPF_K: u16 = 0x00;
+const BPF_X: u16 = 0x08;
+
+const BPF_A: u16 = 0x10;
+
+const BPF_TAX: u16 = 0x00;
+const BPF_TXA: u16 = 0x80;
+
+fn width_bits(w: Width) -> u16 {
+    match w {
+        Width::Word => BPF_W,
+        Width::Half => BPF_H,
+        Width::Byte => BPF_B,
+    }
+}
+
+fn alu_bits(op: AluOp) -> u16 {
+    match op {
+        AluOp::Add => BPF_ADD,
+        AluOp::Sub => BPF_SUB,
+        AluOp::Mul => BPF_MUL,
+        AluOp::Div => BPF_DIV,
+        AluOp::Or => BPF_OR,
+        AluOp::And => BPF_AND,
+        AluOp::Lsh => BPF_LSH,
+        AluOp::Rsh => BPF_RSH,
+        AluOp::Mod => BPF_MOD,
+        AluOp::Xor => BPF_XOR,
+    }
+}
+
+fn jmp_bits(op: JmpOp) -> u16 {
+    match op {
+        JmpOp::Eq => BPF_JEQ,
+        JmpOp::Gt => BPF_JGT,
+        JmpOp::Ge => BPF_JGE,
+        JmpOp::Set => BPF_JSET,
+    }
+}
+
+fn src_bits(s: Src) -> (u16, u32) {
+    match s {
+        Src::K(k) => (BPF_K, k),
+        Src::X => (BPF_X, 0),
+    }
+}
+
+impl Insn {
+    /// Encodes to the raw `sock_filter` form.
+    pub fn encode(&self) -> RawInsn {
+        let (code, jt, jf, k) = match *self {
+            Insn::LdAbs(w, k) => (BPF_LD | width_bits(w) | BPF_ABS, 0, 0, k),
+            Insn::LdInd(w, k) => (BPF_LD | width_bits(w) | BPF_IND, 0, 0, k),
+            Insn::LdLen => (BPF_LD | BPF_W | BPF_LEN, 0, 0, 0),
+            Insn::LdImm(k) => (BPF_LD | BPF_W | BPF_IMM, 0, 0, k),
+            Insn::LdMem(k) => (BPF_LD | BPF_W | BPF_MEM, 0, 0, k),
+            Insn::LdxImm(k) => (BPF_LDX | BPF_W | BPF_IMM, 0, 0, k),
+            Insn::LdxLen => (BPF_LDX | BPF_W | BPF_LEN, 0, 0, 0),
+            Insn::LdxMem(k) => (BPF_LDX | BPF_W | BPF_MEM, 0, 0, k),
+            Insn::LdxMsh(k) => (BPF_LDX | BPF_B | BPF_MSH, 0, 0, k),
+            Insn::St(k) => (BPF_ST, 0, 0, k),
+            Insn::Stx(k) => (BPF_STX, 0, 0, k),
+            Insn::Alu(op, s) => {
+                let (sb, k) = src_bits(s);
+                (BPF_ALU | alu_bits(op) | sb, 0, 0, k)
+            }
+            Insn::Neg => (BPF_ALU | BPF_NEG, 0, 0, 0),
+            Insn::Ja(k) => (BPF_JMP | BPF_JA, 0, 0, k),
+            Insn::Jmp(op, s, jt, jf) => {
+                let (sb, k) = src_bits(s);
+                (BPF_JMP | jmp_bits(op) | sb, jt, jf, k)
+            }
+            Insn::RetK(k) => (BPF_RET | BPF_K, 0, 0, k),
+            Insn::RetA => (BPF_RET | BPF_A, 0, 0, 0),
+            Insn::Tax => (BPF_MISC | BPF_TAX, 0, 0, 0),
+            Insn::Txa => (BPF_MISC | BPF_TXA, 0, 0, 0),
+        };
+        RawInsn { code, jt, jf, k }
+    }
+
+    /// Decodes from the raw form; `None` for invalid opcodes.
+    pub fn decode(raw: RawInsn) -> Option<Insn> {
+        let class = raw.code & 0x07;
+        let k = raw.k;
+        Some(match class {
+            BPF_LD => {
+                let mode = raw.code & 0xe0;
+                let width = match raw.code & 0x18 {
+                    BPF_W => Width::Word,
+                    BPF_H => Width::Half,
+                    BPF_B => Width::Byte,
+                    _ => return None,
+                };
+                match mode {
+                    BPF_ABS => Insn::LdAbs(width, k),
+                    BPF_IND => Insn::LdInd(width, k),
+                    BPF_IMM if width == Width::Word => Insn::LdImm(k),
+                    BPF_MEM if width == Width::Word => Insn::LdMem(k),
+                    BPF_LEN if width == Width::Word => Insn::LdLen,
+                    _ => return None,
+                }
+            }
+            BPF_LDX => match (raw.code & 0xe0, raw.code & 0x18) {
+                (BPF_IMM, BPF_W) => Insn::LdxImm(k),
+                (BPF_MEM, BPF_W) => Insn::LdxMem(k),
+                (BPF_LEN, BPF_W) => Insn::LdxLen,
+                (BPF_MSH, BPF_B) => Insn::LdxMsh(k),
+                _ => return None,
+            },
+            BPF_ST => Insn::St(k),
+            BPF_STX => Insn::Stx(k),
+            BPF_ALU => {
+                let op = raw.code & 0xf0;
+                if op == BPF_NEG {
+                    return Some(Insn::Neg);
+                }
+                let src = if raw.code & BPF_X != 0 { Src::X } else { Src::K(k) };
+                let op = match op {
+                    BPF_ADD => AluOp::Add,
+                    BPF_SUB => AluOp::Sub,
+                    BPF_MUL => AluOp::Mul,
+                    BPF_DIV => AluOp::Div,
+                    BPF_OR => AluOp::Or,
+                    BPF_AND => AluOp::And,
+                    BPF_LSH => AluOp::Lsh,
+                    BPF_RSH => AluOp::Rsh,
+                    BPF_MOD => AluOp::Mod,
+                    BPF_XOR => AluOp::Xor,
+                    _ => return None,
+                };
+                Insn::Alu(op, src)
+            }
+            BPF_JMP => {
+                let op = raw.code & 0xf0;
+                if op == BPF_JA {
+                    return Some(Insn::Ja(k));
+                }
+                let src = if raw.code & BPF_X != 0 { Src::X } else { Src::K(k) };
+                let op = match op {
+                    BPF_JEQ => JmpOp::Eq,
+                    BPF_JGT => JmpOp::Gt,
+                    BPF_JGE => JmpOp::Ge,
+                    BPF_JSET => JmpOp::Set,
+                    _ => return None,
+                };
+                Insn::Jmp(op, src, raw.jt, raw.jf)
+            }
+            BPF_RET => match raw.code & 0x18 {
+                BPF_A => Insn::RetA,
+                BPF_K => Insn::RetK(k),
+                _ => return None,
+            },
+            BPF_MISC => match raw.code & 0xf8 {
+                BPF_TAX => Insn::Tax,
+                BPF_TXA => Insn::Txa,
+                _ => return None,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Encodes a whole program to raw form.
+pub fn encode_program(prog: &[Insn]) -> Vec<RawInsn> {
+    prog.iter().map(Insn::encode).collect()
+}
+
+/// Decodes a raw program; `None` if any instruction is invalid.
+pub fn decode_program(raw: &[RawInsn]) -> Option<Program> {
+    raw.iter().map(|&r| Insn::decode(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_insns() -> Vec<Insn> {
+        use AluOp::*;
+        use Insn::*;
+        use JmpOp::*;
+        let mut v = vec![
+            LdAbs(Width::Word, 26),
+            LdAbs(Width::Half, 12),
+            LdAbs(Width::Byte, 23),
+            LdInd(Width::Word, 4),
+            LdInd(Width::Half, 14),
+            LdInd(Width::Byte, 0),
+            LdLen,
+            LdImm(0xdead_beef),
+            LdMem(3),
+            LdxImm(7),
+            LdxLen,
+            LdxMem(15),
+            LdxMsh(14),
+            St(0),
+            Stx(15),
+            Neg,
+            Ja(9),
+            RetK(65535),
+            RetA,
+            Tax,
+            Txa,
+        ];
+        for op in [Add, Sub, Mul, Div, Or, And, Lsh, Rsh, Mod, Xor] {
+            v.push(Alu(op, Src::K(3)));
+            v.push(Alu(op, Src::X));
+        }
+        for op in [Eq, Gt, Ge, Set] {
+            v.push(Jmp(op, Src::K(0x0800), 1, 2));
+            v.push(Jmp(op, Src::X, 0, 5));
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all() {
+        for insn in all_sample_insns() {
+            let raw = insn.encode();
+            assert_eq!(Insn::decode(raw), Some(insn), "raw={raw:?}");
+        }
+    }
+
+    #[test]
+    fn known_tcpdump_encoding() {
+        // `tcpdump -dd udp` canonical first instruction:
+        // { 0x28, 0, 0, 0x0000000c } = ldh [12]
+        assert_eq!(
+            Insn::LdAbs(Width::Half, 12).encode(),
+            RawInsn {
+                code: 0x28,
+                jt: 0,
+                jf: 0,
+                k: 12
+            }
+        );
+        // { 0x15, 0, 5, 0x00000800 } = jeq #0x800 jt 0 jf 5 shape
+        assert_eq!(
+            Insn::Jmp(JmpOp::Eq, Src::K(0x800), 0, 5).encode(),
+            RawInsn {
+                code: 0x15,
+                jt: 0,
+                jf: 5,
+                k: 0x800
+            }
+        );
+        // { 0x30, 0, 0, 0x00000017 } = ldb [23]
+        assert_eq!(
+            Insn::LdAbs(Width::Byte, 23).encode(),
+            RawInsn {
+                code: 0x30,
+                jt: 0,
+                jf: 0,
+                k: 23
+            }
+        );
+        // { 0xb1, 0, 0, 0x0000000e } = ldxb 4*([14]&0xf)
+        assert_eq!(
+            Insn::LdxMsh(14).encode(),
+            RawInsn {
+                code: 0xb1,
+                jt: 0,
+                jf: 0,
+                k: 14
+            }
+        );
+        // { 0x6, 0, 0, 0x00040000 } = ret #262144
+        assert_eq!(
+            Insn::RetK(0x40000).encode(),
+            RawInsn {
+                code: 0x06,
+                jt: 0,
+                jf: 0,
+                k: 0x40000
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_raw_decodes_to_none() {
+        assert_eq!(
+            Insn::decode(RawInsn {
+                code: 0xffff,
+                jt: 0,
+                jf: 0,
+                k: 0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let prog = all_sample_insns();
+        let raw = encode_program(&prog);
+        assert_eq!(decode_program(&raw), Some(prog));
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::Byte.bytes(), 1);
+        assert_eq!(Width::Half.bytes(), 2);
+        assert_eq!(Width::Word.bytes(), 4);
+    }
+}

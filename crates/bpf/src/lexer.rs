@@ -1,0 +1,217 @@
+//! Tokenizer for the filter expression grammar.
+
+use crate::Error;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A keyword or identifier (`host`, `udp`, …) — lowercased, because
+    /// the paper itself writes `"131.225.2 and UDP"`.
+    Word(String),
+    /// A decimal number.
+    Num(u32),
+    /// A dotted value like `131.225.2` or `10.0.0.1`; octet values with
+    /// their count (1–4 octets).
+    Dotted(Vec<u8>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `/` (CIDR length separator)
+    Slash,
+    /// `&&`
+    AndOp,
+    /// `||`
+    OrOp,
+    /// `!`
+    NotOp,
+}
+
+/// Tokenizes an expression.
+pub fn lex(input: &str) -> Result<Vec<Token>, Error> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '!' => {
+                out.push(Token::NotOp);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Token::AndOp);
+                    i += 2;
+                } else {
+                    return Err(Error::Lex {
+                        at: i,
+                        msg: "expected '&&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Token::OrOp);
+                    i += 2;
+                } else {
+                    return Err(Error::Lex {
+                        at: i,
+                        msg: "expected '||'".into(),
+                    });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                out.push(parse_numeric(text, start)?);
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(input[start..i].to_ascii_lowercase()));
+            }
+            _ => {
+                return Err(Error::Lex {
+                    at: i,
+                    msg: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_numeric(text: &str, at: usize) -> Result<Token, Error> {
+    if text.contains('.') {
+        if text.ends_with('.') || text.contains("..") {
+            return Err(Error::Lex {
+                at,
+                msg: format!("malformed dotted value {text:?}"),
+            });
+        }
+        let octets: Result<Vec<u8>, _> = text.split('.').map(str::parse::<u8>).collect();
+        match octets {
+            Ok(o) if (1..=4).contains(&o.len()) => Ok(Token::Dotted(o)),
+            _ => Err(Error::Lex {
+                at,
+                msg: format!("malformed dotted value {text:?}"),
+            }),
+        }
+    } else {
+        text.parse::<u32>()
+            .map(Token::Num)
+            .map_err(|_| Error::Lex {
+                at,
+                msg: format!("number out of range {text:?}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_paper_filter() {
+        // The exact filter from §2.2 of the paper.
+        let toks = lex("131.225.2 and UDP").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Dotted(vec![131, 225, 2]),
+                Token::Word("and".into()),
+                Token::Word("udp".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_full_ip_and_ports() {
+        let toks = lex("src host 10.0.0.1 && dst port 53").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("src".into()),
+                Token::Word("host".into()),
+                Token::Dotted(vec![10, 0, 0, 1]),
+                Token::AndOp,
+                Token::Word("dst".into()),
+                Token::Word("port".into()),
+                Token::Num(53),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_cidr() {
+        let toks = lex("net 192.168.0.0/16").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("net".into()),
+                Token::Dotted(vec![192, 168, 0, 0]),
+                Token::Slash,
+                Token::Num(16),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_parens_and_not() {
+        let toks = lex("!(tcp or udp)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::NotOp,
+                Token::LParen,
+                Token::Word("tcp".into()),
+                Token::Word("or".into()),
+                Token::Word("udp".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(matches!(lex("tcp @ udp"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("tcp & udp"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("1.2.3.4.5"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("1..2"), Err(Error::Lex { .. })));
+        assert!(matches!(lex("300.1.1.1"), Err(Error::Lex { .. })));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("TCP Or UdP").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("tcp".into()),
+                Token::Word("or".into()),
+                Token::Word("udp".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Peephole optimization of classic BPF programs.
+//!
+//! The label-based code generator occasionally produces jump chains
+//! (a branch whose target is an unconditional jump) and, after other
+//! rewrites, `ja 0` no-ops and unreachable instructions. [`optimize`]
+//! performs three semantics-preserving passes:
+//!
+//! 1. **jump threading** — retarget any jump whose destination is a
+//!    `ja k` to that jump's own destination (iterated to a fixed point);
+//! 2. **dead-code elimination** — drop instructions unreachable from
+//!    instruction 0;
+//! 3. **`ja 0` removal** — delete jumps to the next instruction.
+//!
+//! Passes 2–3 renumber instructions, so every surviving jump offset is
+//! rebuilt from an index map. Classic BPF conditional offsets are `u8`;
+//! if a rebuilt offset would overflow (impossible for programs our
+//! compiler emits, possible for adversarial input), the original program
+//! is returned unchanged — optimization is best-effort, never wrong.
+//!
+//! Equivalence with the unoptimized program is property-tested in
+//! `tests/differential.rs`.
+
+use crate::insn::{Insn, Program};
+
+/// Optimizes a verified program. The result is behaviourally equivalent.
+pub fn optimize(prog: &Program) -> Program {
+    let threaded = thread_jumps(prog);
+    match compact(&threaded) {
+        Some(p) => p,
+        None => threaded,
+    }
+}
+
+/// Follows chains of unconditional jumps to their final destination.
+fn resolve(prog: &Program, mut target: usize) -> usize {
+    let mut fuel = prog.len();
+    while fuel > 0 {
+        match prog.get(target) {
+            Some(Insn::Ja(k)) => target = target + 1 + *k as usize,
+            _ => break,
+        }
+        fuel -= 1;
+    }
+    target
+}
+
+fn thread_jumps(prog: &Program) -> Program {
+    prog.iter()
+        .enumerate()
+        .map(|(pc, insn)| match *insn {
+            Insn::Ja(k) => {
+                let dest = resolve(prog, pc + 1 + k as usize);
+                Insn::Ja((dest - pc - 1) as u32)
+            }
+            Insn::Jmp(op, src, jt, jf) => {
+                let t = resolve(prog, pc + 1 + jt as usize);
+                let f = resolve(prog, pc + 1 + jf as usize);
+                let (jt, jf) = match (
+                    u8::try_from(t - pc - 1),
+                    u8::try_from(f - pc - 1),
+                ) {
+                    (Ok(t8), Ok(f8)) => (t8, f8),
+                    _ => (jt, jf), // out of reach: keep the chain
+                };
+                Insn::Jmp(op, src, jt, jf)
+            }
+            other => other,
+        })
+        .collect()
+}
+
+/// Removes unreachable instructions and `ja 0` no-ops, rebuilding jump
+/// offsets. Returns `None` if any rebuilt offset would overflow.
+fn compact(prog: &Program) -> Option<Program> {
+    // Reachability from instruction 0.
+    let mut reachable = vec![false; prog.len()];
+    let mut stack = vec![0usize];
+    while let Some(pc) = stack.pop() {
+        if pc >= prog.len() || reachable[pc] {
+            continue;
+        }
+        reachable[pc] = true;
+        match prog[pc] {
+            Insn::Ja(k) => stack.push(pc + 1 + k as usize),
+            Insn::Jmp(_, _, jt, jf) => {
+                stack.push(pc + 1 + jt as usize);
+                stack.push(pc + 1 + jf as usize);
+            }
+            Insn::RetA | Insn::RetK(_) => {}
+            _ => stack.push(pc + 1),
+        }
+    }
+
+    // Keep reachable instructions that are not `ja 0`.
+    let keep: Vec<bool> = prog
+        .iter()
+        .enumerate()
+        .map(|(pc, insn)| reachable[pc] && !matches!(insn, Insn::Ja(0)))
+        .collect();
+
+    // Map old index -> new index (for dropped instructions, the next
+    // kept one — exactly what a fall-through or `ja 0` target needs).
+    let mut new_index = vec![0usize; prog.len() + 1];
+    let mut n = 0usize;
+    for (pc, &k) in keep.iter().enumerate() {
+        new_index[pc] = n;
+        if k {
+            n += 1;
+        }
+    }
+    new_index[prog.len()] = n;
+    let map = |old: usize| -> usize { new_index[old.min(prog.len())] };
+
+    let mut out = Vec::with_capacity(n);
+    for (pc, insn) in prog.iter().enumerate() {
+        if !keep[pc] {
+            continue;
+        }
+        let here = map(pc);
+        let rebuilt = match *insn {
+            Insn::Ja(k) => {
+                let dest = map(pc + 1 + k as usize);
+                Insn::Ja((dest - here - 1) as u32)
+            }
+            Insn::Jmp(op, src, jt, jf) => {
+                let t = map(pc + 1 + jt as usize);
+                let f = map(pc + 1 + jf as usize);
+                let t8 = u8::try_from(t.checked_sub(here + 1)?).ok()?;
+                let f8 = u8::try_from(f.checked_sub(here + 1)?).ok()?;
+                Insn::Jmp(op, src, t8, f8)
+            }
+            other => other,
+        };
+        out.push(rebuilt);
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Insn::*;
+    use crate::insn::{JmpOp, Src, Width};
+    use crate::{verifier, Vm};
+
+    #[test]
+    fn threads_through_ja_chains() {
+        // jmp -> ja -> ja -> ret
+        let prog = vec![
+            Jmp(JmpOp::Eq, Src::K(1), 0, 1), // jt -> 1 (ja), jf -> 2 (ja)
+            Ja(1),                            // -> 3
+            Ja(1),                            // -> 4
+            RetK(7),
+            RetK(0),
+        ];
+        let opt = optimize(&prog);
+        verifier::verify(&opt).unwrap();
+        // Both ja chains collapse; the dead jas are removed.
+        assert!(opt.iter().all(|i| !matches!(i, Ja(_))), "{opt:?}");
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn removes_unreachable_code() {
+        let prog = vec![
+            RetK(1),
+            LdImm(99), // unreachable
+            RetK(0),   // unreachable
+        ];
+        let opt = optimize(&prog);
+        assert_eq!(opt, vec![RetK(1)]);
+    }
+
+    #[test]
+    fn removes_ja_zero() {
+        let prog = vec![LdAbs(Width::Half, 12), Ja(0), RetA];
+        let opt = optimize(&prog);
+        assert_eq!(opt, vec![LdAbs(Width::Half, 12), RetA]);
+    }
+
+    #[test]
+    fn semantics_preserved_on_compiler_output() {
+        let exprs = [
+            "131.225.2 and udp",
+            "(tcp or udp) and not port 53",
+            "src net 10.0.0.0/8 or dst host 8.8.8.8",
+            "greater 100 and less 1000",
+        ];
+        let mut builder = netproto::PacketBuilder::new();
+        let pkts: Vec<Vec<u8>> = (0..32u16)
+            .map(|i| {
+                let flow = netproto::FlowKey::udp(
+                    std::net::Ipv4Addr::new(131, 225, 2, (i % 8) as u8 + 1),
+                    1000 + i,
+                    std::net::Ipv4Addr::new(8, 8, 8, 8),
+                    if i % 2 == 0 { 53 } else { 80 },
+                );
+                builder.build(&flow, 64 + usize::from(i) * 16).unwrap()
+            })
+            .collect();
+        for expr in exprs {
+            let prog = crate::compiler::compile(&crate::parser::parse(expr).unwrap());
+            let opt = optimize(&prog);
+            verifier::verify(&opt).unwrap();
+            assert!(opt.len() <= prog.len());
+            for pkt in &pkts {
+                assert_eq!(
+                    Vm::new(&prog).run(pkt) > 0,
+                    Vm::new(&opt).run(pkt) > 0,
+                    "{expr} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn already_optimal_program_unchanged() {
+        let prog = vec![
+            LdAbs(Width::Half, 12),
+            Jmp(JmpOp::Eq, Src::K(0x800), 0, 1),
+            RetK(1),
+            RetK(0),
+        ];
+        assert_eq!(optimize(&prog), prog);
+    }
+}

@@ -1,0 +1,433 @@
+//! Recursive-descent parser for the tcpdump-subset grammar.
+//!
+//! ```text
+//! expr      := term (("or" | "||") term)*
+//! term      := factor (("and" | "&&") factor)*
+//! factor    := ("not" | "!") factor | "(" expr ")" | primitive
+//! primitive := [dir] "host" dotted
+//!            | [dir] "net" dotted ["/" num]
+//!            | [dir] "port" num
+//!            | [dir] dotted            -- bare address: host or net
+//!            | "ip" | "ip6" | "arp" | "icmp"
+//!            | ("tcp" | "udp") [[dir] "port" num]
+//!            | "proto" num
+//!            | "less" num | "greater" num
+//! dir       := "src" | "dst"
+//! ```
+//!
+//! A bare dotted value follows tcpdump's convention: four octets mean
+//! `host`, fewer mean a `net` prefix (one octet /8, two /16, three /24) —
+//! this is what makes the paper's own filter string `131.225.2 and UDP`
+//! parse as "net 131.225.2.0/24 and udp".
+
+use crate::ast::{Dir, Expr, Prim, ETH_ARP, ETH_IP, ETH_IP6};
+use crate::lexer::{lex, Token};
+use crate::Error;
+use std::net::Ipv4Addr;
+
+/// Parses an expression string into an AST.
+pub fn parse(input: &str) -> Result<Expr, Error> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(Error::Parse(format!(
+            "trailing tokens starting at {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Word(s)) if s == w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.term()?;
+        loop {
+            let is_or = match self.peek() {
+                Some(Token::Word(w)) if w == "or" => true,
+                Some(Token::OrOp) => true,
+                _ => false,
+            };
+            if !is_or {
+                return Ok(lhs);
+            }
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::or(lhs, rhs);
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.factor()?;
+        loop {
+            let is_and = match self.peek() {
+                Some(Token::Word(w)) if w == "and" => true,
+                Some(Token::AndOp) => true,
+                _ => false,
+            };
+            if !is_and {
+                return Ok(lhs);
+            }
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::and(lhs, rhs);
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, Error> {
+        match self.peek() {
+            Some(Token::NotOp) => {
+                self.pos += 1;
+                Ok(Expr::not(self.factor()?))
+            }
+            Some(Token::Word(w)) if w == "not" => {
+                self.pos += 1;
+                Ok(Expr::not(self.factor()?))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(e),
+                    other => Err(Error::Parse(format!("expected ')', found {other:?}"))),
+                }
+            }
+            _ => self.primitive(),
+        }
+    }
+
+    fn primitive(&mut self) -> Result<Expr, Error> {
+        let dir = if self.eat_word("src") {
+            Dir::Src
+        } else if self.eat_word("dst") {
+            Dir::Dst
+        } else {
+            Dir::Either
+        };
+        let explicit_dir = dir != Dir::Either;
+
+        match self.next() {
+            Some(Token::Word(w)) => match w.as_str() {
+                "host" => {
+                    let octets = self.dotted()?;
+                    self.host_or_net(dir, octets, false)
+                }
+                "net" => {
+                    let octets = self.dotted()?;
+                    self.host_or_net(dir, octets, true)
+                }
+                "port" => match self.next() {
+                    Some(Token::Num(n)) if n <= 65535 => {
+                        Ok(Expr::Prim(Prim::Port(dir, n as u16)))
+                    }
+                    other => Err(Error::Parse(format!("expected port number, found {other:?}"))),
+                },
+                "ip" if !explicit_dir => Ok(Expr::Prim(Prim::EtherProto(ETH_IP))),
+                "ip6" if !explicit_dir => Ok(Expr::Prim(Prim::EtherProto(ETH_IP6))),
+                "arp" if !explicit_dir => Ok(Expr::Prim(Prim::EtherProto(ETH_ARP))),
+                // `tcp`/`udp` optionally qualify a following port
+                // primitive: `tcp port 80` ≡ `tcp and port 80`, as in
+                // tcpdump.
+                "tcp" if !explicit_dir => Ok(self.proto_qualified(6)?),
+                "udp" if !explicit_dir => Ok(self.proto_qualified(17)?),
+                "icmp" if !explicit_dir => Ok(Expr::Prim(Prim::IpProto(1))),
+                "proto" if !explicit_dir => match self.next() {
+                    Some(Token::Num(n)) if n <= 255 => Ok(Expr::Prim(Prim::IpProto(n as u8))),
+                    other => Err(Error::Parse(format!(
+                        "expected protocol number, found {other:?}"
+                    ))),
+                },
+                "less" if !explicit_dir => match self.next() {
+                    Some(Token::Num(n)) => Ok(Expr::Prim(Prim::LenLess(n))),
+                    other => Err(Error::Parse(format!("expected length, found {other:?}"))),
+                },
+                "greater" if !explicit_dir => match self.next() {
+                    Some(Token::Num(n)) => Ok(Expr::Prim(Prim::LenGreater(n))),
+                    other => Err(Error::Parse(format!("expected length, found {other:?}"))),
+                },
+                other => Err(Error::Parse(format!("unknown primitive {other:?}"))),
+            },
+            // Bare dotted value: host (4 octets) or net prefix (1–3).
+            Some(Token::Dotted(octets)) => {
+                let as_net = octets_net(&octets);
+                self.host_or_net(dir, octets, as_net)
+            }
+            other => Err(Error::Parse(format!("expected primitive, found {other:?}"))),
+        }
+    }
+
+    /// Parses the optional `[src|dst] port N` suffix after a protocol
+    /// keyword, desugaring `tcp port 80` to `tcp and port 80`.
+    fn proto_qualified(&mut self, proto: u8) -> Result<Expr, Error> {
+        let base = Expr::Prim(Prim::IpProto(proto));
+        let dir = if matches!(self.peek(), Some(Token::Word(w)) if w == "src")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Word(w)) if w == "port")
+        {
+            self.pos += 1;
+            Some(Dir::Src)
+        } else if matches!(self.peek(), Some(Token::Word(w)) if w == "dst")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Word(w)) if w == "port")
+        {
+            self.pos += 1;
+            Some(Dir::Dst)
+        } else if matches!(self.peek(), Some(Token::Word(w)) if w == "port") {
+            Some(Dir::Either)
+        } else {
+            None
+        };
+        let Some(dir) = dir else {
+            return Ok(base);
+        };
+        self.pos += 1; // consume "port"
+        match self.next() {
+            Some(Token::Num(n)) if n <= 65535 => Ok(Expr::and(
+                base,
+                Expr::Prim(Prim::Port(dir, n as u16)),
+            )),
+            other => Err(Error::Parse(format!("expected port number, found {other:?}"))),
+        }
+    }
+
+    fn dotted(&mut self) -> Result<Vec<u8>, Error> {
+        match self.next() {
+            Some(Token::Dotted(o)) => Ok(o),
+            other => Err(Error::Parse(format!("expected address, found {other:?}"))),
+        }
+    }
+
+    /// Builds a Host or Net primitive from octets, honoring an optional
+    /// `/len` suffix.
+    fn host_or_net(&mut self, dir: Dir, octets: Vec<u8>, as_net: bool) -> Result<Expr, Error> {
+        let mut full = [0u8; 4];
+        full[..octets.len()].copy_from_slice(&octets);
+        let addr = u32::from_be_bytes(full);
+
+        // Optional /len
+        let prefix_len = if matches!(self.peek(), Some(Token::Slash)) {
+            self.pos += 1;
+            match self.next() {
+                Some(Token::Num(n)) if n <= 32 => Some(n),
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected prefix length 0..=32, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+
+        match prefix_len {
+            Some(len) => {
+                let mask = prefix_mask(len);
+                Ok(Expr::Prim(Prim::Net(dir, addr & mask, mask)))
+            }
+            None if as_net || octets.len() < 4 => {
+                let mask = prefix_mask(8 * octets.len() as u32);
+                Ok(Expr::Prim(Prim::Net(dir, addr & mask, mask)))
+            }
+            None => Ok(Expr::Prim(Prim::Host(dir, Ipv4Addr::from(addr)))),
+        }
+    }
+}
+
+fn octets_net(octets: &[u8]) -> bool {
+    octets.len() < 4
+}
+
+fn prefix_mask(len: u32) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_filter() {
+        // `131.225.2 and UDP` => net 131.225.2.0/24 and ip proto udp
+        let e = parse("131.225.2 and UDP").unwrap();
+        assert_eq!(
+            e,
+            Expr::and(
+                Expr::Prim(Prim::Net(Dir::Either, 0x83e1_0200, 0xffff_ff00)),
+                Expr::Prim(Prim::IpProto(17)),
+            )
+        );
+    }
+
+    #[test]
+    fn bare_full_ip_is_host() {
+        let e = parse("10.1.2.3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Prim(Prim::Host(Dir::Either, "10.1.2.3".parse().unwrap()))
+        );
+    }
+
+    #[test]
+    fn cidr_net() {
+        let e = parse("net 192.168.0.0/16").unwrap();
+        assert_eq!(
+            e,
+            Expr::Prim(Prim::Net(Dir::Either, 0xc0a8_0000, 0xffff_0000))
+        );
+    }
+
+    #[test]
+    fn net_addr_is_pre_masked() {
+        let e = parse("net 192.168.55.55/16").unwrap();
+        assert_eq!(
+            e,
+            Expr::Prim(Prim::Net(Dir::Either, 0xc0a8_0000, 0xffff_0000))
+        );
+    }
+
+    #[test]
+    fn direction_qualifiers() {
+        assert_eq!(
+            parse("src host 1.2.3.4").unwrap(),
+            Expr::Prim(Prim::Host(Dir::Src, "1.2.3.4".parse().unwrap()))
+        );
+        assert_eq!(
+            parse("dst port 80").unwrap(),
+            Expr::Prim(Prim::Port(Dir::Dst, 80))
+        );
+        // bare address with direction
+        assert_eq!(
+            parse("src 1.2.3.4").unwrap(),
+            Expr::Prim(Prim::Host(Dir::Src, "1.2.3.4".parse().unwrap()))
+        );
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let e = parse("tcp or udp and port 53").unwrap();
+        assert_eq!(
+            e,
+            Expr::or(
+                Expr::Prim(Prim::IpProto(6)),
+                Expr::and(
+                    Expr::Prim(Prim::IpProto(17)),
+                    Expr::Prim(Prim::Port(Dir::Either, 53))
+                ),
+            )
+        );
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = parse("(tcp or udp) and port 53").unwrap();
+        assert_eq!(
+            e,
+            Expr::and(
+                Expr::or(Expr::Prim(Prim::IpProto(6)), Expr::Prim(Prim::IpProto(17))),
+                Expr::Prim(Prim::Port(Dir::Either, 53)),
+            )
+        );
+    }
+
+    #[test]
+    fn not_and_symbolic_operators() {
+        let e = parse("!(tcp) && udp || arp").unwrap();
+        assert_eq!(
+            e,
+            Expr::or(
+                Expr::and(
+                    Expr::not(Expr::Prim(Prim::IpProto(6))),
+                    Expr::Prim(Prim::IpProto(17))
+                ),
+                Expr::Prim(Prim::EtherProto(ETH_ARP)),
+            )
+        );
+    }
+
+    #[test]
+    fn length_primitives() {
+        assert_eq!(parse("less 128").unwrap(), Expr::Prim(Prim::LenLess(128)));
+        assert_eq!(
+            parse("greater 1000").unwrap(),
+            Expr::Prim(Prim::LenGreater(1000))
+        );
+    }
+
+    #[test]
+    fn proto_number() {
+        assert_eq!(parse("proto 47").unwrap(), Expr::Prim(Prim::IpProto(47)));
+    }
+
+    #[test]
+    fn proto_qualified_ports() {
+        assert_eq!(
+            parse("tcp port 80").unwrap(),
+            Expr::and(
+                Expr::Prim(Prim::IpProto(6)),
+                Expr::Prim(Prim::Port(Dir::Either, 80))
+            )
+        );
+        assert_eq!(
+            parse("udp dst port 53").unwrap(),
+            Expr::and(
+                Expr::Prim(Prim::IpProto(17)),
+                Expr::Prim(Prim::Port(Dir::Dst, 53))
+            )
+        );
+        assert_eq!(
+            parse("tcp src port 22 and 131.225.2").unwrap(),
+            Expr::and(
+                Expr::and(
+                    Expr::Prim(Prim::IpProto(6)),
+                    Expr::Prim(Prim::Port(Dir::Src, 22))
+                ),
+                Expr::Prim(Prim::Net(Dir::Either, 0x83e1_0200, 0xffff_ff00)),
+            )
+        );
+        // Bare `tcp` still parses, including before `and`.
+        assert_eq!(
+            parse("tcp and port 80").unwrap(),
+            parse("tcp port 80").unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("host").is_err());
+        assert!(parse("port 99999").is_err());
+        assert!(parse("tcp udp").is_err());
+        assert!(parse("(tcp").is_err());
+        assert!(parse("net 1.2.3.4/33").is_err());
+        assert!(parse("src tcp").is_err());
+        assert!(parse("frobnicate 5").is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Static checking of BPF programs, in the style of the kernel's
+//! `bpf_check_classic`.
+//!
+//! Accepted programs are guaranteed to terminate (jumps only move forward)
+//! and to keep scratch-memory accesses in bounds. The capture engines run
+//! application-supplied filters, so the same trust boundary the kernel
+//! enforces applies here.
+
+use crate::insn::{Insn, Program, Src, MEMWORDS};
+
+/// Maximum program length (`BPF_MAXINSNS`).
+pub const MAXINSNS: usize = 4096;
+
+/// Verifies a program; returns a human-readable reason on rejection.
+pub fn verify(prog: &Program) -> Result<(), String> {
+    if prog.is_empty() {
+        return Err("empty program".into());
+    }
+    if prog.len() > MAXINSNS {
+        return Err(format!("program too long: {} > {MAXINSNS}", prog.len()));
+    }
+    for (pc, insn) in prog.iter().enumerate() {
+        match *insn {
+            Insn::Ja(k) => {
+                check_target(prog.len(), pc, k as usize)
+                    .map_err(|e| format!("insn {pc}: {e}"))?;
+            }
+            Insn::Jmp(_, _, jt, jf) => {
+                check_target(prog.len(), pc, jt as usize)
+                    .map_err(|e| format!("insn {pc} (jt): {e}"))?;
+                check_target(prog.len(), pc, jf as usize)
+                    .map_err(|e| format!("insn {pc} (jf): {e}"))?;
+            }
+            Insn::LdMem(k) | Insn::LdxMem(k) | Insn::St(k) | Insn::Stx(k)
+                if k as usize >= MEMWORDS =>
+            {
+                return Err(format!("insn {pc}: scratch slot {k} out of range"));
+            }
+            Insn::Alu(crate::insn::AluOp::Div, Src::K(0))
+            | Insn::Alu(crate::insn::AluOp::Mod, Src::K(0)) => {
+                return Err(format!("insn {pc}: constant division by zero"));
+            }
+            _ => {}
+        }
+    }
+    // The last reachable instruction chain must end in a return; the
+    // simplest sufficient condition (the kernel's) is that the final
+    // instruction is a RET.
+    match prog.last() {
+        Some(Insn::RetA) | Some(Insn::RetK(_)) => Ok(()),
+        _ => Err("program does not end with a return".into()),
+    }
+}
+
+fn check_target(len: usize, pc: usize, off: usize) -> Result<(), String> {
+    // Target is pc + 1 + off; it must land on a real instruction.
+    let target = pc + 1 + off;
+    if target >= len {
+        Err(format!("jump target {target} beyond program end {len}"))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Insn::*;
+    use crate::insn::{AluOp, JmpOp, Src, Width};
+
+    #[test]
+    fn accepts_valid_program() {
+        let prog = vec![
+            LdAbs(Width::Half, 12),
+            Jmp(JmpOp::Eq, Src::K(0x800), 0, 1),
+            RetK(100),
+            RetK(0),
+        ];
+        verify(&prog).unwrap();
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(verify(&vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_jump_past_end() {
+        let prog = vec![Jmp(JmpOp::Eq, Src::K(1), 5, 0), RetK(0)];
+        let err = verify(&prog).unwrap_err();
+        assert!(err.contains("jump target"), "{err}");
+    }
+
+    #[test]
+    fn rejects_ja_past_end() {
+        let prog = vec![Ja(100), RetK(0)];
+        assert!(verify(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let prog = vec![LdImm(1)];
+        let err = verify(&prog).unwrap_err();
+        assert!(err.contains("return"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_scratch_slot() {
+        let prog = vec![St(16), RetK(0)];
+        assert!(verify(&prog).is_err());
+        let prog = vec![LdMem(99), RetK(0)];
+        assert!(verify(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_constant_div_by_zero() {
+        let prog = vec![LdImm(1), Alu(AluOp::Div, Src::K(0)), RetA];
+        assert!(verify(&prog).is_err());
+        // Division by X is allowed statically (checked at runtime).
+        let prog = vec![LdImm(1), Alu(AluOp::Div, Src::X), RetA];
+        verify(&prog).unwrap();
+    }
+
+    #[test]
+    fn rejects_too_long() {
+        let mut prog = vec![LdImm(0); MAXINSNS + 1];
+        prog.push(RetK(0));
+        assert!(verify(&prog).is_err());
+    }
+
+    #[test]
+    fn jump_to_last_insn_is_ok() {
+        let prog = vec![Jmp(JmpOp::Eq, Src::K(0), 0, 0), RetK(1)];
+        verify(&prog).unwrap();
+    }
+}

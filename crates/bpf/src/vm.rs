@@ -1,0 +1,269 @@
+//! The classic BPF interpreter.
+
+use crate::insn::{AluOp, Insn, JmpOp, Program, Src, Width, MEMWORDS};
+
+/// An interpreter instance bound to a program.
+///
+/// Semantics follow the kernel's classic-BPF interpreter:
+/// * loads beyond the packet reject the packet (return 0);
+/// * division or modulo by zero rejects the packet;
+/// * falling off the end of the program rejects the packet (the verifier
+///   normally prevents this);
+/// * all arithmetic is 32-bit wrapping, comparisons unsigned.
+#[derive(Debug, Clone)]
+pub struct Vm<'p> {
+    program: &'p Program,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM over a program.
+    pub fn new(program: &'p Program) -> Self {
+        Vm { program }
+    }
+
+    /// Runs the filter over a packet; returns the accept length (0 rejects).
+    pub fn run(&self, pkt: &[u8]) -> u32 {
+        let mut a: u32 = 0;
+        let mut x: u32 = 0;
+        let mut mem = [0u32; MEMWORDS];
+        let mut pc: usize = 0;
+        // The verifier guarantees termination (forward jumps only); the
+        // explicit bound makes the interpreter safe on unverified programs.
+        let mut fuel = self.program.len().saturating_mul(2) + 64;
+
+        while pc < self.program.len() {
+            if fuel == 0 {
+                return 0;
+            }
+            fuel -= 1;
+            let insn = self.program[pc];
+            pc += 1;
+            match insn {
+                Insn::LdAbs(w, k) => match load(pkt, k as usize, w) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Insn::LdInd(w, k) => match load(pkt, x as usize + k as usize, w) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Insn::LdLen => a = pkt.len() as u32,
+                Insn::LdImm(k) => a = k,
+                Insn::LdMem(k) => a = mem[k as usize % MEMWORDS],
+                Insn::LdxImm(k) => x = k,
+                Insn::LdxLen => x = pkt.len() as u32,
+                Insn::LdxMem(k) => x = mem[k as usize % MEMWORDS],
+                Insn::LdxMsh(k) => match pkt.get(k as usize) {
+                    Some(&b) => x = 4 * u32::from(b & 0x0f),
+                    None => return 0,
+                },
+                Insn::St(k) => mem[k as usize % MEMWORDS] = a,
+                Insn::Stx(k) => mem[k as usize % MEMWORDS] = x,
+                Insn::Alu(op, src) => {
+                    let s = match src {
+                        Src::K(k) => k,
+                        Src::X => x,
+                    };
+                    a = match op {
+                        AluOp::Add => a.wrapping_add(s),
+                        AluOp::Sub => a.wrapping_sub(s),
+                        AluOp::Mul => a.wrapping_mul(s),
+                        AluOp::Div => {
+                            if s == 0 {
+                                return 0;
+                            }
+                            a / s
+                        }
+                        AluOp::Mod => {
+                            if s == 0 {
+                                return 0;
+                            }
+                            a % s
+                        }
+                        AluOp::Or => a | s,
+                        AluOp::And => a & s,
+                        AluOp::Xor => a ^ s,
+                        AluOp::Lsh => a.wrapping_shl(s),
+                        AluOp::Rsh => a.wrapping_shr(s),
+                    };
+                }
+                Insn::Neg => a = a.wrapping_neg(),
+                Insn::Ja(k) => pc += k as usize,
+                Insn::Jmp(op, src, jt, jf) => {
+                    let s = match src {
+                        Src::K(k) => k,
+                        Src::X => x,
+                    };
+                    let taken = match op {
+                        JmpOp::Eq => a == s,
+                        JmpOp::Gt => a > s,
+                        JmpOp::Ge => a >= s,
+                        JmpOp::Set => a & s != 0,
+                    };
+                    pc += if taken { jt as usize } else { jf as usize };
+                }
+                Insn::RetK(k) => return k,
+                Insn::RetA => return a,
+                Insn::Tax => x = a,
+                Insn::Txa => a = x,
+            }
+        }
+        0
+    }
+}
+
+fn load(pkt: &[u8], off: usize, w: Width) -> Option<u32> {
+    let end = off.checked_add(w.bytes())?;
+    if end > pkt.len() {
+        return None;
+    }
+    Some(match w {
+        Width::Byte => u32::from(pkt[off]),
+        Width::Half => u32::from(u16::from_be_bytes([pkt[off], pkt[off + 1]])),
+        Width::Word => u32::from_be_bytes([pkt[off], pkt[off + 1], pkt[off + 2], pkt[off + 3]]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Insn::*;
+    use crate::insn::{JmpOp, Src, Width};
+
+    /// The canonical `tcpdump -d udp` program for an Ethernet link:
+    /// accept IPv4 (or IPv6) packets whose protocol is UDP.
+    fn udp_program() -> Program {
+        vec![
+            LdAbs(Width::Half, 12),                     // ethertype
+            Jmp(JmpOp::Eq, Src::K(0x86dd), 0, 2),       // ip6?
+            LdAbs(Width::Byte, 20),                     // ip6 next header
+            Jmp(JmpOp::Eq, Src::K(17), 3, 4),           // udp?
+            Jmp(JmpOp::Eq, Src::K(0x0800), 0, 3),       // ip?
+            LdAbs(Width::Byte, 23),                     // ip protocol
+            Jmp(JmpOp::Eq, Src::K(17), 0, 1),           // udp?
+            RetK(262144),
+            RetK(0),
+        ]
+    }
+
+    fn udp_packet() -> Vec<u8> {
+        let mut b = netproto::PacketBuilder::new();
+        b.build(
+            &netproto::FlowKey::udp(
+                "131.225.2.9".parse().unwrap(),
+                53,
+                "10.0.0.1".parse().unwrap(),
+                53,
+            ),
+            64,
+        )
+        .unwrap()
+    }
+
+    fn tcp_packet() -> Vec<u8> {
+        let mut b = netproto::PacketBuilder::new();
+        b.build(
+            &netproto::FlowKey::tcp(
+                "131.225.2.9".parse().unwrap(),
+                53,
+                "10.0.0.1".parse().unwrap(),
+                53,
+            ),
+            64,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn udp_program_accepts_udp() {
+        let prog = udp_program();
+        assert_eq!(Vm::new(&prog).run(&udp_packet()), 262144);
+    }
+
+    #[test]
+    fn udp_program_rejects_tcp() {
+        let prog = udp_program();
+        assert_eq!(Vm::new(&prog).run(&tcp_packet()), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_load_rejects() {
+        let prog = vec![LdAbs(Width::Word, 1000), RetK(1)];
+        assert_eq!(Vm::new(&prog).run(&[0u8; 64]), 0);
+    }
+
+    #[test]
+    fn indirect_load_uses_x() {
+        let prog = vec![
+            LdxImm(2),
+            LdInd(Width::Byte, 1), // pkt[2 + 1]
+            RetA,
+        ];
+        assert_eq!(Vm::new(&prog).run(&[10, 11, 12, 13, 14]), 13);
+    }
+
+    #[test]
+    fn ldx_msh_computes_ihl() {
+        // byte 14 = 0x45 => X = 4 * 5 = 20
+        let mut pkt = vec![0u8; 20];
+        pkt[14] = 0x45;
+        let prog = vec![LdxMsh(14), Txa, RetA];
+        assert_eq!(Vm::new(&prog).run(&pkt), 20);
+    }
+
+    #[test]
+    fn div_by_zero_rejects() {
+        let prog = vec![
+            LdImm(8),
+            Alu(crate::insn::AluOp::Div, Src::K(0)),
+            RetK(1),
+        ];
+        assert_eq!(Vm::new(&prog).run(&[]), 0);
+    }
+
+    #[test]
+    fn scratch_memory_works() {
+        let prog = vec![
+            LdImm(99),
+            St(5),
+            LdImm(0),
+            LdMem(5),
+            RetA,
+        ];
+        assert_eq!(Vm::new(&prog).run(&[]), 99);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let prog = vec![
+            LdImm(u32::MAX),
+            Alu(crate::insn::AluOp::Add, Src::K(2)),
+            RetA,
+        ];
+        assert_eq!(Vm::new(&prog).run(&[]), 1);
+    }
+
+    #[test]
+    fn jset_tests_bits() {
+        let prog = vec![
+            LdAbs(Width::Byte, 0),
+            Jmp(JmpOp::Set, Src::K(0x80), 0, 1),
+            RetK(7),
+            RetK(0),
+        ];
+        assert_eq!(Vm::new(&prog).run(&[0x81]), 7);
+        assert_eq!(Vm::new(&prog).run(&[0x01]), 0);
+    }
+
+    #[test]
+    fn empty_program_rejects() {
+        let prog: Program = vec![];
+        assert_eq!(Vm::new(&prog).run(&[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn ret_len_idiom() {
+        let prog = vec![LdLen, RetA];
+        assert_eq!(Vm::new(&prog).run(&[0u8; 77]), 77);
+    }
+}

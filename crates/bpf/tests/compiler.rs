@@ -1,0 +1,135 @@
+//! End-to-end compiler tests: expression string → program → VM verdict.
+
+use bpf::Filter;
+use netproto::{FlowKey, PacketBuilder, Protocol};
+use std::net::Ipv4Addr;
+
+fn pkt(flow: &FlowKey, len: usize) -> Vec<u8> {
+    PacketBuilder::new().build(flow, len).unwrap()
+}
+
+fn udp(src: &str, sport: u16, dst: &str, dport: u16) -> FlowKey {
+    FlowKey::udp(src.parse().unwrap(), sport, dst.parse().unwrap(), dport)
+}
+
+fn tcp(src: &str, sport: u16, dst: &str, dport: u16) -> FlowKey {
+    FlowKey::tcp(src.parse().unwrap(), sport, dst.parse().unwrap(), dport)
+}
+
+#[test]
+fn paper_filter_matches_fermilab_udp() {
+    // The filter used by the paper's pkt_handler: "131.225.2 and UDP".
+    let f = Filter::compile("131.225.2 and UDP").unwrap();
+    assert!(f.matches(&pkt(&udp("131.225.2.45", 9000, "8.8.8.8", 53), 64)));
+    assert!(f.matches(&pkt(&udp("8.8.8.8", 53, "131.225.2.45", 9000), 64)));
+    assert!(!f.matches(&pkt(&tcp("131.225.2.45", 9000, "8.8.8.8", 53), 64)));
+    assert!(!f.matches(&pkt(&udp("131.225.3.45", 9000, "8.8.8.8", 53), 64)));
+}
+
+#[test]
+fn host_filter() {
+    let f = Filter::compile("host 10.0.0.1").unwrap();
+    assert!(f.matches(&pkt(&udp("10.0.0.1", 1, "10.0.0.2", 2), 64)));
+    assert!(f.matches(&pkt(&udp("10.0.0.3", 1, "10.0.0.1", 2), 64)));
+    assert!(!f.matches(&pkt(&udp("10.0.0.3", 1, "10.0.0.2", 2), 64)));
+}
+
+#[test]
+fn src_dst_port_filters() {
+    let f = Filter::compile("src port 53").unwrap();
+    assert!(f.matches(&pkt(&udp("1.1.1.1", 53, "2.2.2.2", 9999), 64)));
+    assert!(!f.matches(&pkt(&udp("1.1.1.1", 9999, "2.2.2.2", 53), 64)));
+
+    let f = Filter::compile("dst port 53").unwrap();
+    assert!(!f.matches(&pkt(&udp("1.1.1.1", 53, "2.2.2.2", 9999), 64)));
+    assert!(f.matches(&pkt(&udp("1.1.1.1", 9999, "2.2.2.2", 53), 64)));
+}
+
+#[test]
+fn port_matches_tcp_and_udp() {
+    let f = Filter::compile("port 80").unwrap();
+    assert!(f.matches(&pkt(&tcp("1.1.1.1", 80, "2.2.2.2", 9), 64)));
+    assert!(f.matches(&pkt(&udp("1.1.1.1", 9, "2.2.2.2", 80), 64)));
+}
+
+#[test]
+fn proto_primitives() {
+    let t = pkt(&tcp("1.1.1.1", 1, "2.2.2.2", 2), 64);
+    let u = pkt(&udp("1.1.1.1", 1, "2.2.2.2", 2), 64);
+    assert!(Filter::compile("tcp").unwrap().matches(&t));
+    assert!(!Filter::compile("tcp").unwrap().matches(&u));
+    assert!(Filter::compile("udp").unwrap().matches(&u));
+    assert!(Filter::compile("ip").unwrap().matches(&t));
+    assert!(!Filter::compile("arp").unwrap().matches(&t));
+    assert!(!Filter::compile("ip6").unwrap().matches(&t));
+}
+
+#[test]
+fn boolean_combinations() {
+    let u = pkt(&udp("131.225.2.1", 53, "9.9.9.9", 53), 64);
+    let t = pkt(&tcp("131.225.2.1", 80, "9.9.9.9", 80), 64);
+    assert!(Filter::compile("udp or tcp").unwrap().matches(&u));
+    assert!(Filter::compile("udp or tcp").unwrap().matches(&t));
+    assert!(!Filter::compile("udp and tcp").unwrap().matches(&t));
+    assert!(Filter::compile("not udp").unwrap().matches(&t));
+    assert!(!Filter::compile("not udp").unwrap().matches(&u));
+    assert!(Filter::compile("(udp or tcp) and 131.225.2")
+        .unwrap()
+        .matches(&u));
+    assert!(!Filter::compile("(udp or tcp) and 131.225.3")
+        .unwrap()
+        .matches(&u));
+}
+
+#[test]
+fn length_filters() {
+    let small = pkt(&udp("1.1.1.1", 1, "2.2.2.2", 2), 64);
+    let big = pkt(&udp("1.1.1.1", 1, "2.2.2.2", 2), 1500);
+    let less = Filter::compile("less 100").unwrap();
+    let greater = Filter::compile("greater 100").unwrap();
+    assert!(less.matches(&small));
+    assert!(!less.matches(&big));
+    assert!(greater.matches(&big));
+    assert!(!greater.matches(&small));
+}
+
+#[test]
+fn icmp_and_proto_number() {
+    let other = FlowKey {
+        src_ip: Ipv4Addr::new(1, 2, 3, 4),
+        dst_ip: Ipv4Addr::new(5, 6, 7, 8),
+        src_port: 0,
+        dst_port: 0,
+        proto: Protocol::Other(1),
+    };
+    let p = pkt(&other, 64);
+    assert!(Filter::compile("icmp").unwrap().matches(&p));
+    assert!(Filter::compile("proto 1").unwrap().matches(&p));
+    assert!(!Filter::compile("proto 47").unwrap().matches(&p));
+}
+
+#[test]
+fn compiled_program_is_verifier_clean_and_compact() {
+    let f = Filter::compile("(src net 131.225.0.0/16 and udp) or (dst port 443 and tcp)").unwrap();
+    // Round-trips through the raw encoding too.
+    let raw = bpf::insn::encode_program(f.program());
+    let back = bpf::insn::decode_program(&raw).unwrap();
+    assert_eq!(&back, f.program());
+    assert!(f.program().len() < 64, "program unexpectedly large");
+}
+
+#[test]
+fn accept_len_is_tcpdump_compatible() {
+    let f = Filter::compile("ip").unwrap();
+    let p = pkt(&udp("1.1.1.1", 1, "2.2.2.2", 2), 64);
+    assert_eq!(f.run(&p), 262_144);
+}
+
+#[test]
+fn truncated_packets_reject_under_not() {
+    // Classic-BPF semantics: a load past the end rejects even under `not`.
+    let f = Filter::compile("not host 10.0.0.1").unwrap();
+    let mut tiny = vec![0u8; 14];
+    tiny[12] = 0x08; // IPv4 ethertype, but no IP header present
+    assert!(!f.matches(&tiny));
+}

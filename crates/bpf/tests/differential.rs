@@ -1,0 +1,131 @@
+//! Differential property tests: for random expressions and random packets,
+//! the compiled program run on the VM must agree with the reference AST
+//! evaluator — including the out-of-bounds-rejects semantics.
+
+use bpf::ast::{Dir, Expr, Prim};
+use bpf::{compiler, verifier, Vm};
+use netproto::{FlowKey, PacketBuilder, Protocol};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_dir() -> impl Strategy<Value = Dir> {
+    prop_oneof![Just(Dir::Src), Just(Dir::Dst), Just(Dir::Either)]
+}
+
+fn arb_prim() -> impl Strategy<Value = Prim> {
+    prop_oneof![
+        (arb_dir(), any::<u32>()).prop_map(|(d, ip)| Prim::Host(d, Ipv4Addr::from(ip))),
+        (arb_dir(), any::<u32>(), 0u32..=32).prop_map(|(d, ip, len)| {
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+            Prim::Net(d, ip & mask, mask)
+        }),
+        (arb_dir(), any::<u16>()).prop_map(|(d, p)| Prim::Port(d, p)),
+        prop_oneof![Just(0x0800u16), Just(0x0806), Just(0x86dd), Just(0x1234)]
+            .prop_map(Prim::EtherProto),
+        any::<u8>().prop_map(Prim::IpProto),
+        (0u32..2000).prop_map(Prim::LenLess),
+        (0u32..2000).prop_map(Prim::LenGreater),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = arb_prim().prop_map(Expr::Prim);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            inner.prop_map(Expr::not),
+        ]
+    })
+}
+
+/// Packets biased toward the interesting subspace: addresses drawn from a
+/// few prefixes (including the paper's 131.225/16), common ports, both
+/// protocols, plus occasional raw-garbage and truncated buffers.
+fn arb_packet() -> impl Strategy<Value = Vec<u8>> {
+    let structured = (
+        prop_oneof![
+            Just([131u8, 225, 2]),
+            Just([131, 225, 9]),
+            Just([10, 0, 0]),
+            Just([192, 168, 1])
+        ],
+        any::<u8>(),
+        prop_oneof![
+            Just([131u8, 225, 2]),
+            Just([8, 8, 8]),
+            Just([10, 0, 0])
+        ],
+        any::<u8>(),
+        prop_oneof![Just(53u16), Just(80), Just(443), any::<u16>()],
+        prop_oneof![Just(53u16), Just(80), Just(443), any::<u16>()],
+        prop_oneof![
+            Just(Protocol::Udp),
+            Just(Protocol::Tcp),
+            Just(Protocol::Other(1))
+        ],
+        64usize..600,
+    )
+        .prop_map(|(sp, s4, dp, d4, sport, dport, proto, len)| {
+            let flow = FlowKey {
+                src_ip: Ipv4Addr::new(sp[0], sp[1], sp[2], s4),
+                dst_ip: Ipv4Addr::new(dp[0], dp[1], dp[2], d4),
+                src_port: sport,
+                dst_port: dport,
+                proto,
+            };
+            PacketBuilder::new().build(&flow, len).unwrap()
+        });
+    let garbage = proptest::collection::vec(any::<u8>(), 0..128);
+    let truncated = structured
+        .clone()
+        .prop_flat_map(|p| (0..=p.len(), Just(p)).prop_map(|(n, p)| p[..n].to_vec()));
+    prop_oneof![
+        4 => structured,
+        1 => garbage,
+        1 => truncated,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn compiled_vm_agrees_with_reference(expr in arb_expr(), pkt in arb_packet()) {
+        let prog = compiler::compile(&expr);
+        prop_assert!(verifier::verify(&prog).is_ok(), "verifier rejected: {prog:?}");
+        let vm_accepts = Vm::new(&prog).run(&pkt) > 0;
+        let ref_accepts = expr.matches(&pkt);
+        prop_assert_eq!(vm_accepts, ref_accepts,
+            "disagreement on expr {:?} (program {:?})", expr, prog);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(expr in arb_expr()) {
+        let prog = compiler::compile(&expr);
+        let raw = bpf::insn::encode_program(&prog);
+        prop_assert_eq!(bpf::insn::decode_program(&raw), Some(prog));
+    }
+
+    #[test]
+    fn optimizer_preserves_semantics(expr in arb_expr(), pkt in arb_packet()) {
+        let prog = compiler::compile(&expr);
+        let opt = bpf::opt::optimize(&prog);
+        prop_assert!(verifier::verify(&opt).is_ok(), "verifier rejected optimized: {opt:?}");
+        prop_assert!(opt.len() <= prog.len());
+        prop_assert_eq!(
+            Vm::new(&prog).run(&pkt),
+            Vm::new(&opt).run(&pkt),
+            "optimizer changed behaviour for {:?}", expr
+        );
+    }
+
+    #[test]
+    fn double_negation_is_identity(expr in arb_expr(), pkt in arb_packet()) {
+        let once = compiler::compile(&expr);
+        let twice = compiler::compile(&Expr::not(Expr::not(expr)));
+        let a = Vm::new(&once).run(&pkt) > 0;
+        let b = Vm::new(&twice).run(&pkt) > 0;
+        prop_assert_eq!(a, b);
+    }
+}

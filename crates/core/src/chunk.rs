@@ -1,0 +1,158 @@
+//! Packet-buffer chunks and their metadata.
+//!
+//! "A packet buffer chunk consists of M fixed-size cells, with each cell
+//! corresponding to a ring buffer. … Within a pool, a packet buffer chunk
+//! is identified by a unique chunk_id. Globally, a packet buffer chunk is
+//! uniquely identified by a {nic_id, ring_id, chunk_id} tuple. … a packet
+//! buffer chunk has three addresses, DMA_address, kernel_address, and
+//! process_address." (§3.2.1)
+
+use crate::config::CELL_BYTES;
+
+/// Global chunk identity: `{nic_id, ring_id, chunk_id}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId {
+    /// The NIC the chunk's pool belongs to.
+    pub nic_id: u16,
+    /// The receive ring (queue) the pool serves.
+    pub ring_id: u16,
+    /// Index of the chunk within its pool.
+    pub chunk_id: u32,
+}
+
+/// Lifecycle state of a chunk (§3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkState {
+    /// Held in the kernel, available for (re)use.
+    Free,
+    /// Attached to a descriptor segment, receiving packets.
+    Attached,
+    /// Filled and handed to user space.
+    Captured,
+}
+
+/// The metadata passed between kernel and user space on capture/recycle:
+/// "{{nic_id, ring_id, chunk_id}, process_address, pkt_count} … The chunk
+/// itself is not copied." (§3.2.1)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Global chunk identity.
+    pub id: ChunkId,
+    /// The chunk's address in the application's process space.
+    pub process_address: u64,
+    /// Number of packets the chunk carries.
+    pub pkt_count: u32,
+    /// Whether this chunk was placed on a non-home capture queue by the
+    /// offloading mechanism (consumers lose core affinity on it).
+    pub offloaded: bool,
+    /// Arrival time of the chunk's first packet (drives latency
+    /// accounting: every packet in the chunk waited at least
+    /// `delivery − first_fill` minus its own position in the fill).
+    pub first_fill_ns: u64,
+}
+
+/// A chunk as the kernel tracks it.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Global identity.
+    pub id: ChunkId,
+    /// Lifecycle state.
+    pub state: ChunkState,
+    /// Cells filled with received packets (0..=M).
+    pub fill: u32,
+    /// The three address views (§3.2.1), synthesized deterministically:
+    /// the NIC uses `dma`, the kernel `kernel`, applications `process`.
+    pub dma_address: u64,
+    /// Kernel-space address of the chunk.
+    pub kernel_address: u64,
+    /// Process-space address of the chunk (populated at `open`).
+    pub process_address: u64,
+    /// Simulation timestamp at which the first packet of the current
+    /// fill entered the chunk (drives the capture timeout).
+    pub first_fill_ns: u64,
+}
+
+impl Chunk {
+    /// Creates a free chunk with synthesized address views. Address
+    /// synthesis mirrors a real mapping: one contiguous kernel region per
+    /// pool, offset by chunk index, with fixed translation constants for
+    /// the DMA/process views.
+    pub fn new(id: ChunkId, m: usize) -> Self {
+        let span = (m * CELL_BYTES) as u64;
+        let base = 0x1000_0000_0000u64
+            + u64::from(id.nic_id) * 0x100_0000_0000
+            + u64::from(id.ring_id) * 0x10_0000_0000;
+        let kernel = base + u64::from(id.chunk_id) * span;
+        Chunk {
+            id,
+            state: ChunkState::Free,
+            fill: 0,
+            dma_address: kernel - 0x1000_0000_0000 + 0x8_0000_0000,
+            kernel_address: kernel,
+            process_address: kernel + 0x7000_0000_0000,
+            first_fill_ns: 0,
+        }
+    }
+
+    /// The metadata view handed to user space at capture.
+    pub fn meta(&self, offloaded: bool) -> ChunkMeta {
+        ChunkMeta {
+            id: self.id,
+            process_address: self.process_address,
+            pkt_count: self.fill,
+            offloaded,
+            first_fill_ns: self.first_fill_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(c: u32) -> ChunkId {
+        ChunkId {
+            nic_id: 1,
+            ring_id: 2,
+            chunk_id: c,
+        }
+    }
+
+    #[test]
+    fn new_chunk_is_free_and_empty() {
+        let c = Chunk::new(id(0), 256);
+        assert_eq!(c.state, ChunkState::Free);
+        assert_eq!(c.fill, 0);
+    }
+
+    #[test]
+    fn three_addresses_are_distinct_and_consistent() {
+        let a = Chunk::new(id(0), 256);
+        let b = Chunk::new(id(1), 256);
+        assert_ne!(a.dma_address, a.kernel_address);
+        assert_ne!(a.kernel_address, a.process_address);
+        // Adjacent chunks are one chunk span apart in every view.
+        let span = (256 * CELL_BYTES) as u64;
+        assert_eq!(b.kernel_address - a.kernel_address, span);
+        assert_eq!(b.dma_address - a.dma_address, span);
+        assert_eq!(b.process_address - a.process_address, span);
+    }
+
+    #[test]
+    fn chunks_of_different_rings_do_not_overlap() {
+        let a = Chunk::new(ChunkId { nic_id: 0, ring_id: 0, chunk_id: 499 }, 256);
+        let b = Chunk::new(ChunkId { nic_id: 0, ring_id: 1, chunk_id: 0 }, 256);
+        assert!(a.kernel_address + (256 * CELL_BYTES) as u64 <= b.kernel_address);
+    }
+
+    #[test]
+    fn meta_reflects_fill() {
+        let mut c = Chunk::new(id(3), 64);
+        c.fill = 17;
+        let m = c.meta(true);
+        assert_eq!(m.id, id(3));
+        assert_eq!(m.pkt_count, 17);
+        assert!(m.offloaded);
+        assert_eq!(m.process_address, c.process_address);
+    }
+}

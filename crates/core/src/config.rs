@@ -1,0 +1,192 @@
+//! WireCAP configuration.
+
+use engines::AppModel;
+use sim::CpuModel;
+
+/// Bytes per cell in the current implementation: "a cell is two Kbytes"
+/// (§5a). One cell holds one packet.
+pub const CELL_BYTES: usize = 2048;
+
+/// Configuration of a WireCAP engine instance.
+///
+/// The paper's naming convention: `WireCAP-B-(M, R)` is the basic mode
+/// with descriptor-segment size `M` and pool size `R` chunks;
+/// `WireCAP-A-(M, R, T)` adds the buddy-group offloading threshold `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct WireCapConfig {
+    /// Descriptor-segment size M: cells per chunk (a divisor of the ring
+    /// size; the paper evaluates 64–256).
+    pub m: usize,
+    /// Pool size R: chunks per receive queue (the paper evaluates
+    /// 100–500). Must exceed `ring_size / m` so spare chunks exist.
+    pub r: usize,
+    /// Offloading threshold T as a fraction of the capture-queue
+    /// capacity; `None` = basic mode (no offloading).
+    pub threshold: Option<f64>,
+    /// Receive-ring size N in descriptors.
+    pub ring_size: usize,
+    /// The capture operation's blocking timeout (§3.2.1): when it expires
+    /// with a partially filled chunk, the filled cells are *copied* to a
+    /// free chunk and delivered, so packets never linger in the ring.
+    pub capture_timeout_ns: u64,
+    /// CPU-efficiency factor applied to packets processed on a non-home
+    /// core after offloading ("a degraded CPU efficiency caused by a loss
+    /// of the core affinity", §5b). 1.0 = no penalty.
+    pub offload_penalty: f64,
+    /// The application model (one `pkt_handler` thread per queue).
+    pub app: AppModel,
+}
+
+impl WireCapConfig {
+    /// `WireCAP-B-(M, R)` with the paper's standard environment
+    /// (2.4 GHz cores, ring size 1024).
+    pub fn basic(m: usize, r: usize, x: u32) -> Self {
+        WireCapConfig {
+            m,
+            r,
+            threshold: None,
+            ring_size: 1024,
+            // 10 ms: long enough that queues receiving above M/timeout
+            // ≈ 25 k p/s fill whole chunks (zero-copy path), short enough
+            // that packets never linger in the ring at quiet queues.
+            capture_timeout_ns: 10_000_000,
+            offload_penalty: 0.97,
+            app: AppModel {
+                cpu: CpuModel::default(),
+                x,
+                forward: false,
+            },
+        }
+    }
+
+    /// `WireCAP-A-(M, R, T)` — advanced mode.
+    pub fn advanced(m: usize, r: usize, t: f64, x: u32) -> Self {
+        assert!((0.0..=1.0).contains(&t));
+        WireCapConfig {
+            threshold: Some(t),
+            ..Self::basic(m, r, x)
+        }
+    }
+
+    /// Enables packet forwarding in the application model.
+    pub fn forwarding(mut self) -> Self {
+        self.app.forward = true;
+        self
+    }
+
+    /// Validates the structural constraints of §3.2.1.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.m == 0 || !self.ring_size.is_multiple_of(self.m) {
+            return Err(format!(
+                "M = {} must be a non-zero divisor of the ring size {}",
+                self.m, self.ring_size
+            ));
+        }
+        let segments = self.ring_size / self.m;
+        if self.r <= segments {
+            return Err(format!(
+                "R = {} must exceed N/M = {} so the pool has spare chunks",
+                self.r, segments
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.offload_penalty) || self.offload_penalty == 0.0 {
+            return Err("offload penalty must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// Number of descriptor segments (chunks attached at any instant).
+    pub fn segments(&self) -> usize {
+        self.ring_size / self.m
+    }
+
+    /// Capture-queue capacity in chunks: the pool minus the chunks pinned
+    /// to descriptor segments — the most that can ever be outstanding in
+    /// user space. The offloading threshold T is a fraction of this
+    /// reachable capacity (a threshold above `R - N/M` chunks could never
+    /// fire).
+    pub fn capture_queue_capacity(&self) -> usize {
+        self.r - self.segments()
+    }
+
+    /// Pool buffering capacity in packets: R × M (§3.2.2a).
+    pub fn pool_packets(&self) -> u64 {
+        (self.r * self.m) as u64
+    }
+
+    /// Kernel memory one pool consumes: R × M × 2 KiB (§5a).
+    pub fn pool_bytes(&self) -> u64 {
+        self.pool_packets() * CELL_BYTES as u64
+    }
+
+    /// The paper's basic-mode loss bound: the largest burst (at `pin`
+    /// packets/s against processing rate `pp`) absorbed without loss,
+    /// `Pin · (R·M) / (Pin − Pp)` (§3.2.2a).
+    pub fn max_lossless_burst(&self, pin_pps: f64, pp_pps: f64) -> f64 {
+        if pin_pps <= pp_pps {
+            return f64::INFINITY;
+        }
+        pin_pps * self.pool_packets() as f64 / (pin_pps - pp_pps)
+    }
+
+    /// Display name in the paper's convention.
+    pub fn name(&self) -> String {
+        match self.threshold {
+            Some(t) => format!("WireCAP-A-({}, {}, {:.0}%)", self.m, self.r, t * 100.0),
+            None => format!("WireCAP-B-({}, {})", self.m, self.r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        for (m, r) in [(64, 100), (128, 100), (256, 100), (256, 500), (64, 400), (128, 200)] {
+            WireCapConfig::basic(m, r, 300).validate().unwrap();
+        }
+        WireCapConfig::advanced(256, 100, 0.6, 300).validate().unwrap();
+    }
+
+    #[test]
+    fn m_must_divide_ring() {
+        assert!(WireCapConfig::basic(100, 200, 0).validate().is_err());
+        assert!(WireCapConfig::basic(0, 200, 0).validate().is_err());
+    }
+
+    #[test]
+    fn r_must_exceed_segments() {
+        // N/M = 1024/256 = 4; R = 4 leaves no spare chunks.
+        assert!(WireCapConfig::basic(256, 4, 0).validate().is_err());
+        assert!(WireCapConfig::basic(256, 5, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn capacity_arithmetic() {
+        let cfg = WireCapConfig::basic(256, 100, 300);
+        assert_eq!(cfg.segments(), 4);
+        assert_eq!(cfg.pool_packets(), 25_600);
+        assert_eq!(cfg.pool_bytes(), 25_600 * 2048);
+    }
+
+    #[test]
+    fn loss_bound_formula() {
+        let cfg = WireCapConfig::basic(256, 100, 300);
+        // Pin = 14.88 Mp/s, Pp = 38 844 p/s: bound ≈ R·M (Pp negligible).
+        let b = cfg.max_lossless_burst(14_880_952.0, 38_844.0);
+        assert!((b - 25_667.0).abs() < 10.0, "bound = {b}");
+        // Pin ≤ Pp: never drops.
+        assert!(cfg.max_lossless_burst(10_000.0, 38_844.0).is_infinite());
+    }
+
+    #[test]
+    fn naming_convention() {
+        assert_eq!(WireCapConfig::basic(256, 100, 300).name(), "WireCAP-B-(256, 100)");
+        assert_eq!(
+            WireCapConfig::advanced(256, 500, 0.6, 300).name(),
+            "WireCAP-A-(256, 500, 60%)"
+        );
+    }
+}

@@ -1,0 +1,548 @@
+//! The WireCAP engine under simulation.
+//!
+//! Implements [`engines::CaptureEngine`] so the experiment harness can
+//! compare WireCAP against the baselines uniformly. Per receive queue the
+//! engine runs the full §3.2.2 machinery:
+//!
+//! * DMA lands packets in the attached chunks of the queue's
+//!   [`RingBufferPool`]; a packet with no armed cell is a *capture drop*
+//!   (the only drop WireCAP suffers, §4);
+//! * the **capture thread** (dedicated core, woken by traffic) moves full
+//!   chunks to a capture queue as metadata, fires the timeout
+//!   partial-chunk copy, recycles consumed chunks, and — in advanced
+//!   mode — applies the buddy-group offloading policy;
+//! * the **application thread** consumes chunks from its capture queue at
+//!   the `pkt_handler` rate, with a configurable CPU-affinity penalty on
+//!   offloaded chunks (§5b), and optionally forwards processed packets
+//!   zero-copy through [`crate::tx::ForwardPath`].
+
+use crate::buddy::BuddyGroups;
+use crate::chunk::ChunkMeta;
+use crate::config::WireCapConfig;
+use crate::pool::RingBufferPool;
+use crate::tx::ForwardPath;
+use crate::workqueue::WorkQueuePair;
+use engines::CaptureEngine;
+use nicsim::tx::TxRing;
+use sim::stats::CopyMeter;
+use sim::{DropStats, SimTime};
+
+#[derive(Debug)]
+struct QueueState {
+    pool: RingBufferPool,
+    wq: WorkQueuePair,
+    /// Chunk the application is currently processing: (meta, packets left).
+    current: Option<(ChunkMeta, u32)>,
+    app_carry: f64,
+    last_app: SimTime,
+    offered: u64,
+    captured: u64,
+    capture_drops: u64,
+    delivered: u64,
+    bytes_seen: u64,
+    fwd: Option<ForwardPath>,
+    latency: sim::stats::LatencyStats,
+}
+
+/// The WireCAP capture engine (simulation model).
+#[derive(Debug)]
+pub struct WireCapEngine {
+    cfg: WireCapConfig,
+    groups: BuddyGroups,
+    queues: Vec<QueueState>,
+    app_rate: f64,
+    /// Monotone offload-decision counter (rotation-policy cursor).
+    place_seq: u64,
+}
+
+impl WireCapEngine {
+    /// Creates an engine over `queues` receive queues of NIC 0.
+    ///
+    /// Basic mode isolates every queue; advanced mode forms one buddy
+    /// group over all queues (the paper's `multi_pkt_handler` setup; use
+    /// [`WireCapEngine::with_groups`] for multi-application partitions).
+    pub fn new(queues: usize, cfg: WireCapConfig) -> Self {
+        let groups = if cfg.threshold.is_some() {
+            BuddyGroups::single(queues)
+        } else {
+            BuddyGroups::isolated(queues)
+        };
+        Self::with_groups(queues, cfg, groups)
+    }
+
+    /// Creates an engine with an explicit buddy-group partition.
+    pub fn with_groups(queues: usize, cfg: WireCapConfig, groups: BuddyGroups) -> Self {
+        cfg.validate().expect("invalid WireCAP configuration");
+        WireCapEngine {
+            app_rate: cfg.app.rate_pps(),
+            place_seq: 0,
+            groups,
+            queues: (0..queues)
+                .map(|q| QueueState {
+                    pool: RingBufferPool::open(0, q as u16, &cfg),
+                    wq: WorkQueuePair::new(cfg.r),
+                    current: None,
+                    app_carry: 0.0,
+                    last_app: SimTime::ZERO,
+                    offered: 0,
+                    captured: 0,
+                    capture_drops: 0,
+                    delivered: 0,
+                    bytes_seen: 0,
+                    fwd: cfg.app.forward.then(|| {
+                        ForwardPath::new(TxRing::new(4096, 10.0))
+                    }),
+                    latency: sim::stats::LatencyStats::new(),
+                })
+                .collect(),
+            cfg,
+        }
+    }
+
+    /// Packets forwarded by queue `q`'s application thread.
+    pub fn forwarded(&self, q: usize) -> u64 {
+        self.queues[q].fwd.as_ref().map_or(0, ForwardPath::forwarded)
+    }
+
+    /// Frames actually transmitted for queue `q` (Fig. 13 counts these at
+    /// the traffic receiver).
+    pub fn transmitted(&self, q: usize) -> u64 {
+        self.queues[q].fwd.as_ref().map_or(0, ForwardPath::transmitted)
+    }
+
+    /// Chunks that arrived on `q`'s capture queue via offloading.
+    pub fn offloaded_in(&self, q: usize) -> u64 {
+        self.queues[q].wq.offloaded_in
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &WireCapConfig {
+        &self.cfg
+    }
+
+    /// Capture-queue length of queue `q` (observability/diagnostics).
+    pub fn capture_queue_len(&self, q: usize) -> usize {
+        self.queues[q].wq.capture_len()
+    }
+
+    /// Free chunks remaining in queue `q`'s pool (observability).
+    pub fn free_chunks(&self, q: usize) -> usize {
+        self.queues[q].pool.free_chunks()
+    }
+
+    /// Application-thread step: consume packets from the capture queue.
+    fn run_app(&mut self, q: usize, now: SimTime) {
+        let qs = &mut self.queues[q];
+        let dt = now.since(qs.last_app) as f64 / 1e9;
+        qs.last_app = SimTime(qs.last_app.0.max(now.0));
+        // Budget in units of home-affinity packets.
+        let max_cost = 1.0 / self.cfg.offload_penalty;
+        let mut budget = (self.app_rate * dt + qs.app_carry).min(
+            // Never bank more than the queue could possibly consume —
+            // keeps the server work-conserving across idle gaps.
+            (qs.wq.capture_len() as u64 * self.cfg.m as u64
+                + u64::from(qs.current.as_ref().map_or(0, |c| c.1))) as f64
+                * max_cost
+                + max_cost,
+        );
+        // Delivered packets are credited to the chunk's *home* queue
+        // (the queue whose traffic they are), not the consuming queue —
+        // otherwise offloading makes per-queue accounting incoherent
+        // (a buddy would show more deliveries than captures).
+        let mut delivered_by_home = vec![0u64; self.queues.len()];
+        let qs = &mut self.queues[q];
+        loop {
+            if qs.current.is_none() {
+                qs.current = qs.wq.pop_captured().map(|m| (m, m.pkt_count));
+            }
+            let Some((meta, remaining)) = &mut qs.current else {
+                break;
+            };
+            let cost = if meta.offloaded { max_cost } else { 1.0 };
+            let can = (budget / cost).floor() as u32;
+            if can == 0 {
+                break;
+            }
+            let take = can.min(*remaining);
+            budget -= f64::from(take) * cost;
+            *remaining -= take;
+            delivered_by_home[meta.id.ring_id as usize] += u64::from(take);
+            if *remaining == 0 {
+                let done = *meta;
+                // Capture-to-delivery latency for the whole chunk: the
+                // batching cost §5c warns about, metered per packet
+                // against the chunk's first arrival.
+                qs.latency
+                    .record_n(now.as_nanos().saturating_sub(done.first_fill_ns), u64::from(done.pkt_count));
+                qs.current = None;
+                match &mut qs.fwd {
+                    Some(fwd) => {
+                        // Zero-copy forward: the chunk pins until the NIC
+                        // transmits its packets, then recycles.
+                        let mean_len = mean_frame_len(qs.bytes_seen, qs.captured);
+                        fwd.forward_chunk(now.as_nanos(), done, mean_len);
+                    }
+                    None => qs.wq.push_recycle(done),
+                }
+            }
+        }
+        qs.app_carry = budget.min(max_cost);
+        // Reap transmit completions; released chunks go to recycling.
+        if let Some(fwd) = &mut qs.fwd {
+            fwd.reap(now.as_nanos());
+            for meta in fwd.take_released() {
+                qs.wq.push_recycle(meta);
+            }
+        }
+        for (home, n) in delivered_by_home.into_iter().enumerate() {
+            self.queues[home].delivered += n;
+        }
+    }
+
+    /// Capture-thread step for queue `q`: recycle, capture, offload.
+    fn run_capture_thread(&mut self, q: usize, now: SimTime) {
+        // 1. Recycle consumed chunks (they may belong to other queues'
+        // pools when offloading moved them here).
+        while let Some(meta) = self.queues[q].wq.pop_recycle() {
+            let home = meta.id.ring_id as usize;
+            self.queues[home]
+                .pool
+                .recycle(&meta)
+                .expect("engine-internal recycle metadata is always valid");
+            self.queues[home].pool.replenish();
+        }
+
+        // 2. Capture full chunks and the timeout partial.
+        let (mut metas, _) = self.queues[q].pool.capture_full();
+        if let Some((meta, _)) =
+            self.queues[q].pool.capture_partial(now.as_nanos(), self.cfg.capture_timeout_ns)
+        {
+            metas.push(meta);
+        }
+        if metas.is_empty() {
+            return;
+        }
+
+        // 3. Placement: home queue in basic mode; buddy-group policy in
+        // advanced mode.
+        let lens: Vec<usize> = self.queues.iter().map(|s| s.wq.capture_len()).collect();
+        for mut meta in metas {
+            self.place_seq += 1;
+            let seq = self.place_seq;
+            let target = match self.cfg.threshold {
+                Some(t) => self.groups.group_of(q).map_or(q, |g| {
+                    g.place_seq(q, &lens, self.cfg.capture_queue_capacity(), t, seq)
+                }),
+                None => q,
+            };
+            meta.offloaded = target != q;
+            self.queues[target].wq.push_captured(meta);
+        }
+    }
+
+    fn advance_queue(&mut self, q: usize, now: SimTime) {
+        self.run_app(q, now);
+        self.run_capture_thread(q, now);
+    }
+
+    fn any_backlog(&self) -> bool {
+        self.queues.iter().any(|qs| {
+            qs.wq.capture_len() > 0
+                || qs.wq.recycle_len() > 0
+                || qs.current.is_some()
+                || qs.pool.armed_cells()
+                    < qs.pool.attached_chunks() * self.cfg.m
+                || qs.fwd.as_ref().is_some_and(|f| f.pinned_chunks() > 0)
+        })
+    }
+}
+
+fn mean_frame_len(bytes_seen: u64, captured: u64) -> u16 {
+    bytes_seen
+        .checked_div(captured)
+        .map_or(64, |mean| mean.clamp(60, 1518) as u16)
+}
+
+impl CaptureEngine for WireCapEngine {
+    fn name(&self) -> String {
+        self.cfg.name()
+    }
+
+    fn queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn on_arrival(&mut self, now: SimTime, queue: usize, len: u16) {
+        // Advanced mode couples queues through offloading, so idle
+        // buddies must make progress too.
+        if self.cfg.threshold.is_some() {
+            for q in 0..self.queues.len() {
+                self.advance_queue(q, now);
+            }
+        } else {
+            self.advance_queue(queue, now);
+        }
+        let qs = &mut self.queues[queue];
+        qs.offered += 1;
+        if qs.pool.on_dma(now.as_nanos()) {
+            qs.captured += 1;
+            qs.bytes_seen += u64::from(len);
+        } else {
+            qs.capture_drops += 1;
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        for q in 0..self.queues.len() {
+            self.advance_queue(q, now);
+        }
+    }
+
+    fn finish(&mut self, after: SimTime) -> SimTime {
+        let mut t = after;
+        for _ in 0..100_000 {
+            if !self.any_backlog() {
+                return t;
+            }
+            t = SimTime(t.as_nanos() + self.cfg.capture_timeout_ns.max(1_000_000));
+            self.advance(t);
+        }
+        t
+    }
+
+    fn queue_stats(&self, queue: usize) -> DropStats {
+        let qs = &self.queues[queue];
+        DropStats {
+            offered: qs.offered,
+            captured: qs.captured,
+            delivered: qs.delivered,
+            capture_drops: qs.capture_drops,
+            // WireCAP's design makes delivery drops structurally
+            // impossible: the capture queue is bounded by the chunk
+            // population, and back-pressure surfaces as capture drops.
+            delivery_drops: 0,
+        }
+    }
+
+    fn copies(&self) -> CopyMeter {
+        let mut m = CopyMeter::default();
+        for qs in &self.queues {
+            let pkts = qs.pool.partial_copy_packets();
+            let mean = u64::from(mean_frame_len(qs.bytes_seen, qs.captured));
+            m.record(pkts, pkts * mean);
+        }
+        m
+    }
+
+    fn latency(&self) -> sim::stats::LatencyStats {
+        let mut l = sim::stats::LatencyStats::new();
+        for qs in &self.queues {
+            l.merge(&qs.latency);
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::time::SECOND;
+
+    fn burst(e: &mut WireCapEngine, q: usize, n: u64, start: u64, gap: u64) {
+        for i in 0..n {
+            e.on_arrival(SimTime(start + i * gap), q, 64);
+        }
+    }
+
+    /// Fig. 8: wire rate, no processing load — lossless for every tested
+    /// (M, R).
+    #[test]
+    fn wire_rate_x0_lossless_all_configs() {
+        for (m, r) in [(64, 100), (128, 100), (256, 100), (256, 500)] {
+            let mut e = WireCapEngine::new(1, WireCapConfig::basic(m, r, 0));
+            burst(&mut e, 0, 100_000, 0, 67);
+            e.finish(SimTime(SECOND));
+            let s = e.queue_stats(0);
+            assert_eq!(s.capture_drops, 0, "WireCAP-B-({m},{r})");
+            assert_eq!(s.delivered, 100_000, "WireCAP-B-({m},{r})");
+            assert!(s.is_consistent());
+        }
+    }
+
+    /// Fig. 9's headline: with x = 300, WireCAP-B-(256,500) absorbs a
+    /// 100 000-packet wire-rate burst losslessly where DNA drops at 6 000.
+    #[test]
+    fn big_pool_absorbs_100k_burst() {
+        let mut e = WireCapEngine::new(1, WireCapConfig::basic(256, 500, 300));
+        burst(&mut e, 0, 100_000, 0, 67);
+        e.finish(SimTime(10 * SECOND));
+        let s = e.queue_stats(0);
+        assert_eq!(s.capture_drops, 0);
+        assert_eq!(s.delivered, 100_000);
+    }
+
+    /// …and the smaller pool WireCAP-B-(256,100) drops most of the same
+    /// burst (the paper measures 71 % at P = 100 000).
+    #[test]
+    fn small_pool_drops_beyond_capacity() {
+        let mut e = WireCapEngine::new(1, WireCapConfig::basic(256, 100, 300));
+        burst(&mut e, 0, 100_000, 0, 67);
+        e.finish(SimTime(10 * SECOND));
+        let rate = e.queue_stats(0).capture_drop_rate();
+        assert!((0.6..0.8).contains(&rate), "drop rate = {rate}");
+    }
+
+    /// The loss bound of §3.2.2a: bursts up to Pin·(R·M)/(Pin−Pp) are
+    /// absorbed; beyond it drops begin.
+    #[test]
+    fn loss_bound_is_tight() {
+        let cfg = WireCapConfig::basic(256, 100, 300);
+        let bound = cfg.max_lossless_burst(14_880_952.0, 38_844.0) as u64;
+        let mut under = WireCapEngine::new(1, cfg);
+        burst(&mut under, 0, bound - 200, 0, 67);
+        under.finish(SimTime(10 * SECOND));
+        assert_eq!(under.queue_stats(0).capture_drops, 0);
+
+        let mut over = WireCapEngine::new(1, cfg);
+        burst(&mut over, 0, bound + 500, 0, 67);
+        over.finish(SimTime(10 * SECOND));
+        assert!(over.queue_stats(0).capture_drops > 0);
+    }
+
+    /// R·M invariance (Fig. 10): equal pool capacity, equal behaviour.
+    #[test]
+    fn buffering_depends_on_rm_product() {
+        let mut drops = Vec::new();
+        for (m, r) in [(64, 400), (128, 200), (256, 100)] {
+            let mut e = WireCapEngine::new(1, WireCapConfig::basic(m, r, 300));
+            burst(&mut e, 0, 40_000, 0, 67);
+            e.finish(SimTime(10 * SECOND));
+            drops.push(e.queue_stats(0).capture_drop_rate());
+        }
+        for w in drops.windows(2) {
+            assert!((w[0] - w[1]).abs() < 0.02, "{drops:?}");
+        }
+    }
+
+    /// Advanced mode: a single overloaded queue offloads to idle buddies
+    /// and the group absorbs what basic mode cannot.
+    #[test]
+    fn offloading_rescues_overloaded_queue() {
+        let n = 200_000u64;
+        // 80 k/s sustained onto queue 0 of 4 — double one core's rate.
+        let mut basic = WireCapEngine::new(4, WireCapConfig::basic(256, 100, 300));
+        burst(&mut basic, 0, n, 0, 12_500);
+        basic.finish(SimTime(30 * SECOND));
+        let b = basic.total_stats();
+
+        let mut adv = WireCapEngine::new(4, WireCapConfig::advanced(256, 100, 0.6, 300));
+        burst(&mut adv, 0, n, 0, 12_500);
+        adv.finish(SimTime(30 * SECOND));
+        let a = adv.total_stats();
+
+        assert!(
+            b.overall_drop_rate() > 0.3,
+            "basic should drop heavily: {}",
+            b.overall_drop_rate()
+        );
+        assert_eq!(a.capture_drops, 0, "advanced mode should be lossless");
+        assert_eq!(a.delivered, n);
+        // Work actually moved: buddies processed offloaded chunks.
+        let moved: u64 = (1..4).map(|q| adv.offloaded_in(q)).sum();
+        assert!(moved > 0);
+    }
+
+    /// Offloading respects buddy-group boundaries (§3.2.2c).
+    #[test]
+    fn offloading_stays_in_group() {
+        use crate::buddy::{BuddyGroup, BuddyGroups};
+        let groups = BuddyGroups::new(
+            4,
+            vec![BuddyGroup::new(vec![0, 1]), BuddyGroup::new(vec![2, 3])],
+        );
+        let mut e = WireCapEngine::with_groups(
+            4,
+            WireCapConfig::advanced(256, 100, 0.6, 300),
+            groups,
+        );
+        burst(&mut e, 0, 100_000, 0, 12_500);
+        e.finish(SimTime(30 * SECOND));
+        assert_eq!(e.offloaded_in(2), 0);
+        assert_eq!(e.offloaded_in(3), 0);
+        assert!(e.offloaded_in(1) > 0);
+    }
+
+    /// The timeout partial-capture path delivers stragglers, and those
+    /// are the only copies WireCAP ever makes.
+    #[test]
+    fn partial_timeout_delivers_stragglers() {
+        let mut e = WireCapEngine::new(1, WireCapConfig::basic(256, 100, 0));
+        burst(&mut e, 0, 100, 0, 67); // 100 pkts: less than half a chunk
+        e.finish(SimTime(SECOND));
+        let s = e.queue_stats(0);
+        assert_eq!(s.delivered, 100);
+        let copies = e.copies();
+        assert_eq!(copies.packets, 100);
+        assert!(copies.bytes > 0);
+    }
+
+    /// Full chunks move zero-copy: a multiple of M packets never touches
+    /// the copy path.
+    #[test]
+    fn full_chunks_are_zero_copy() {
+        let mut e = WireCapEngine::new(1, WireCapConfig::basic(256, 100, 0));
+        burst(&mut e, 0, 256 * 10, 0, 67);
+        e.finish(SimTime(SECOND));
+        assert_eq!(e.queue_stats(0).delivered, 2560);
+        assert!(e.copies().is_zero_copy());
+    }
+
+    /// Forwarding: every delivered packet is transmitted, zero-copy, and
+    /// chunks recycle after their packets leave the wire.
+    #[test]
+    fn forwarding_transmits_everything() {
+        let mut e =
+            WireCapEngine::new(1, WireCapConfig::basic(256, 100, 300).forwarding());
+        burst(&mut e, 0, 20_000, 0, 67);
+        e.finish(SimTime(10 * SECOND));
+        let s = e.queue_stats(0);
+        assert_eq!(s.capture_drops, 0);
+        assert_eq!(e.forwarded(0), 20_000);
+        assert_eq!(e.transmitted(0), 20_000);
+        assert!(s.is_consistent());
+    }
+
+    /// Offload penalty (§5b): offloaded work costs more CPU, so under
+    /// sustained overload a heavily penalized group drops where an
+    /// unpenalized one keeps up. 80 k/s onto one queue of two: combined
+    /// capacity is 38.8 k + 38.8 k·penalty.
+    #[test]
+    fn offload_penalty_costs_capacity() {
+        let run = |penalty: f64| {
+            let mut cfg = WireCapConfig::advanced(256, 100, 0.0, 300);
+            cfg.offload_penalty = penalty;
+            let mut e = WireCapEngine::new(2, cfg);
+            burst(&mut e, 0, 400_000, 0, 12_500); // 80 k/s for 5 s
+            e.finish(SimTime(30 * SECOND));
+            e.total_stats().overall_drop_rate()
+        };
+        let penalized = run(0.5); // capacity ≈ 58 k/s < 80 k/s: must drop
+        let full = run(1.0); // capacity ≈ 77.7 k/s: pools absorb the rest
+        assert!(penalized > 0.05, "penalized drop rate = {penalized}");
+        assert!(full < penalized / 2.0, "full-speed drop rate = {full}");
+    }
+
+    #[test]
+    fn stats_are_consistent_under_stress() {
+        let mut e = WireCapEngine::new(2, WireCapConfig::advanced(64, 20, 0.5, 300));
+        for i in 0..50_000u64 {
+            e.on_arrival(SimTime(i * 500), (i % 2) as usize, 64);
+        }
+        e.finish(SimTime(30 * SECOND));
+        for q in 0..2 {
+            assert!(e.queue_stats(q).is_consistent());
+        }
+        let t = e.total_stats();
+        assert_eq!(t.captured, t.delivered + t.in_flight());
+    }
+}

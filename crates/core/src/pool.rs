@@ -1,0 +1,504 @@
+//! The ring-buffer-pool mechanism (§3.2.1).
+//!
+//! Each receive queue owns a pool of R chunks of M cells. The receive
+//! ring is divided into N/M descriptor segments; each segment is attached
+//! to one chunk, cell-to-descriptor. DMA fills cells in ring order; a
+//! full chunk is *captured* to user space as pure metadata and its
+//! segment re-armed with a free chunk. Consumed chunks are *recycled*
+//! back to the free list after strict validation — the safety boundary of
+//! §3.2.2c.
+
+use crate::chunk::{Chunk, ChunkId, ChunkMeta, ChunkState};
+use crate::config::WireCapConfig;
+use std::collections::VecDeque;
+
+/// Why a `close` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseError {
+    /// Chunks are still captured into user space; closing now would pull
+    /// mapped memory out from under the application. Carries the count.
+    ChunksOutstanding(usize),
+}
+
+impl core::fmt::Display for CloseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CloseError::ChunksOutstanding(n) => {
+                write!(f, "{n} captured chunks still outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CloseError {}
+
+/// Why the kernel rejected a recycle request (§3.2.2c: metadata from user
+/// space is "strictly validated and verified").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecycleError {
+    /// The metadata names a different NIC or ring than this pool.
+    WrongPool,
+    /// chunk_id is out of range for this pool.
+    BadChunkId,
+    /// The chunk is not in the captured state (double recycle, or an
+    /// attempt to free an attached chunk out from under the NIC).
+    NotCaptured,
+    /// The process address does not match the kernel's mapping record (a
+    /// forged metadata block).
+    BadAddress,
+}
+
+impl core::fmt::Display for RecycleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecycleError::WrongPool => write!(f, "metadata names a different pool"),
+            RecycleError::BadChunkId => write!(f, "chunk id out of range"),
+            RecycleError::NotCaptured => write!(f, "chunk is not in the captured state"),
+            RecycleError::BadAddress => write!(f, "process address mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RecycleError {}
+
+/// A receive queue's ring buffer pool.
+#[derive(Debug)]
+pub struct RingBufferPool {
+    nic_id: u16,
+    ring_id: u16,
+    m: usize,
+    segments: usize,
+    chunks: Vec<Chunk>,
+    /// Free chunk ids, FIFO.
+    free: VecDeque<u32>,
+    /// Attached chunk ids in ring order; DMA fills from the front-most
+    /// unfilled chunk, captures pop full chunks from the front.
+    attached: VecDeque<u32>,
+    /// Packets copied by timeout partial captures.
+    partial_copy_packets: u64,
+}
+
+impl RingBufferPool {
+    /// Builds and opens a pool: R chunks allocated, the first N/M
+    /// attached to the ring's descriptor segments.
+    pub fn open(nic_id: u16, ring_id: u16, cfg: &WireCapConfig) -> Self {
+        cfg.validate().expect("invalid WireCAP configuration");
+        let chunks: Vec<Chunk> = (0..cfg.r as u32)
+            .map(|chunk_id| {
+                Chunk::new(
+                    ChunkId {
+                        nic_id,
+                        ring_id,
+                        chunk_id,
+                    },
+                    cfg.m,
+                )
+            })
+            .collect();
+        let mut pool = RingBufferPool {
+            nic_id,
+            ring_id,
+            m: cfg.m,
+            segments: cfg.segments(),
+            chunks,
+            free: (0..cfg.r as u32).collect(),
+            attached: VecDeque::new(),
+            partial_copy_packets: 0,
+        };
+        for _ in 0..pool.segments {
+            let armed = pool.attach_one();
+            debug_assert_eq!(armed, cfg.m);
+        }
+        pool
+    }
+
+    /// Attaches one free chunk to an empty descriptor segment; returns
+    /// the number of cells (descriptors) armed — 0 if no free chunk.
+    fn attach_one(&mut self) -> usize {
+        match self.free.pop_front() {
+            Some(id) => {
+                let c = &mut self.chunks[id as usize];
+                debug_assert_eq!(c.state, ChunkState::Free);
+                c.state = ChunkState::Attached;
+                c.fill = 0;
+                self.attached.push_back(id);
+                self.m
+            }
+            None => 0,
+        }
+    }
+
+    /// Cells armed for DMA across attached chunks.
+    pub fn armed_cells(&self) -> usize {
+        self.attached
+            .iter()
+            .map(|&id| self.m - self.chunks[id as usize].fill as usize)
+            .sum()
+    }
+
+    /// One packet DMA'd into the ring at `now_ns`: fills the front-most
+    /// unfilled attached cell. Returns `false` if no cell was armed (the
+    /// caller counts the capture drop).
+    pub fn on_dma(&mut self, now_ns: u64) -> bool {
+        for &id in &self.attached {
+            let c = &mut self.chunks[id as usize];
+            if (c.fill as usize) < self.m {
+                if c.fill == 0 {
+                    c.first_fill_ns = now_ns;
+                }
+                c.fill += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The capture operation, full-chunk path: pops every leading full
+    /// chunk, re-arms its segment with a free chunk when one exists.
+    /// Returns `(metas, cells_rearmed)`.
+    pub fn capture_full(&mut self) -> (Vec<ChunkMeta>, usize) {
+        let mut metas = Vec::new();
+        let mut rearmed = 0;
+        while let Some(&front) = self.attached.front() {
+            if (self.chunks[front as usize].fill as usize) < self.m {
+                break;
+            }
+            self.attached.pop_front();
+            let c = &mut self.chunks[front as usize];
+            c.state = ChunkState::Captured;
+            metas.push(c.meta(false));
+            rearmed += self.attach_one();
+        }
+        (metas, rearmed)
+    }
+
+    /// The capture operation, timeout path (§3.2.1 step 3): if the
+    /// front-most chunk is partially filled and older than `timeout_ns`,
+    /// copy its packets into a free chunk, deliver that copy, and re-arm
+    /// the drained cells. Returns `(meta, cells_rearmed)` when it fired.
+    ///
+    /// "This mechanism avoids holding packets in the receive ring for too
+    /// long."
+    pub fn capture_partial(&mut self, now_ns: u64, timeout_ns: u64) -> Option<(ChunkMeta, usize)> {
+        let &front = self.attached.front()?;
+        let fill = self.chunks[front as usize].fill;
+        if fill == 0 || (fill as usize) == self.m {
+            return None;
+        }
+        if now_ns.saturating_sub(self.chunks[front as usize].first_fill_ns) < timeout_ns {
+            return None;
+        }
+        // Needs a free chunk to copy into.
+        let first_fill_ns = self.chunks[front as usize].first_fill_ns;
+        let copy_id = self.free.pop_front()?;
+        let copy = &mut self.chunks[copy_id as usize];
+        copy.state = ChunkState::Captured;
+        copy.fill = fill;
+        copy.first_fill_ns = first_fill_ns;
+        let meta = copy.meta(false);
+        self.partial_copy_packets += u64::from(fill);
+        // The drained cells of the attached chunk re-arm in place.
+        let c = &mut self.chunks[front as usize];
+        c.fill = 0;
+        Some((meta, fill as usize))
+    }
+
+    /// The recycle operation: strict validation, then `captured → free`.
+    pub fn recycle(&mut self, meta: &ChunkMeta) -> Result<(), RecycleError> {
+        if meta.id.nic_id != self.nic_id || meta.id.ring_id != self.ring_id {
+            return Err(RecycleError::WrongPool);
+        }
+        let idx = meta.id.chunk_id as usize;
+        if idx >= self.chunks.len() {
+            return Err(RecycleError::BadChunkId);
+        }
+        let c = &mut self.chunks[idx];
+        if c.state != ChunkState::Captured {
+            return Err(RecycleError::NotCaptured);
+        }
+        if meta.process_address != c.process_address {
+            return Err(RecycleError::BadAddress);
+        }
+        c.state = ChunkState::Free;
+        c.fill = 0;
+        self.free.push_back(meta.id.chunk_id);
+        Ok(())
+    }
+
+    /// Re-arms any descriptor segment left empty by free-chunk
+    /// starvation, now that chunks may have been recycled. Returns cells
+    /// armed.
+    pub fn replenish(&mut self) -> usize {
+        let mut armed = 0;
+        while self.attached.len() < self.segments {
+            let got = self.attach_one();
+            if got == 0 {
+                break;
+            }
+            armed += got;
+        }
+        armed
+    }
+
+    /// Free chunks available.
+    pub fn free_chunks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Chunks currently captured into user space.
+    pub fn captured_chunks(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| c.state == ChunkState::Captured)
+            .count()
+    }
+
+    /// Chunks attached to the ring.
+    pub fn attached_chunks(&self) -> usize {
+        self.attached.len()
+    }
+
+    /// Cells per chunk (M).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Packets copied by the timeout partial-capture path — the only
+    /// packet-byte copies WireCAP ever performs.
+    pub fn partial_copy_packets(&self) -> u64 {
+        self.partial_copy_packets
+    }
+
+    /// The close operation (§3.2.1): "Closes a specific receive queue for
+    /// packet capture and performs the necessary cleaning tasks."
+    ///
+    /// Consumes the pool. Refuses while captured chunks are outstanding —
+    /// user space must recycle everything first, or the mapped pool
+    /// memory would vanish under the application. Attached chunks (and
+    /// any packets still in them) are torn down with the ring, as the
+    /// real driver does on queue shutdown; the number of such packets is
+    /// returned so callers can account for them.
+    // The Err variant intentionally hands the (large) pool back: a
+    // refused close must not destroy the queue.
+    #[allow(clippy::result_large_err)]
+    pub fn close(self) -> Result<u64, (Self, CloseError)> {
+        let outstanding = self.captured_chunks();
+        if outstanding > 0 {
+            return Err((self, CloseError::ChunksOutstanding(outstanding)));
+        }
+        let discarded = self
+            .attached
+            .iter()
+            .map(|&id| u64::from(self.chunks[id as usize].fill))
+            .sum();
+        Ok(discarded)
+    }
+
+    /// Chunk-conservation invariant: every chunk is in exactly one state
+    /// and the counts sum to R.
+    pub fn is_consistent(&self) -> bool {
+        let free = self
+            .chunks
+            .iter()
+            .filter(|c| c.state == ChunkState::Free)
+            .count();
+        let attached = self
+            .chunks
+            .iter()
+            .filter(|c| c.state == ChunkState::Attached)
+            .count();
+        free == self.free.len()
+            && attached == self.attached.len()
+            && free + attached + self.captured_chunks() == self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WireCapConfig {
+        WireCapConfig::basic(256, 8, 0) // 4 segments, 4 spare chunks
+    }
+
+    fn pool() -> RingBufferPool {
+        RingBufferPool::open(0, 0, &cfg())
+    }
+
+    #[test]
+    fn open_attaches_all_segments() {
+        let p = pool();
+        assert_eq!(p.attached_chunks(), 4);
+        assert_eq!(p.free_chunks(), 4);
+        assert_eq!(p.armed_cells(), 1024);
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn dma_fills_in_ring_order() {
+        let mut p = pool();
+        for _ in 0..256 {
+            assert!(p.on_dma(0));
+        }
+        // First chunk full, still attached until captured.
+        assert_eq!(p.armed_cells(), 768);
+        let (metas, rearmed) = p.capture_full();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].pkt_count, 256);
+        assert_eq!(rearmed, 256);
+        assert_eq!(p.armed_cells(), 1024);
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn capture_pops_multiple_full_chunks() {
+        let mut p = pool();
+        for _ in 0..700 {
+            p.on_dma(0);
+        }
+        let (metas, rearmed) = p.capture_full();
+        assert_eq!(metas.len(), 2); // 700 = 2 × 256 + 188
+        assert_eq!(rearmed, 512);
+        // The partial third chunk stays attached.
+        assert_eq!(p.armed_cells(), 1024 - 188);
+    }
+
+    #[test]
+    fn starvation_exhausts_armed_cells() {
+        let mut p = pool();
+        // Fill and capture chunks without ever recycling: after the 4
+        // spares are used, captures stop re-arming.
+        let mut landed = 0u64;
+        let mut metas = Vec::new();
+        loop {
+            if !p.on_dma(0) {
+                break;
+            }
+            landed += 1;
+            let (m, _) = p.capture_full();
+            metas.extend(m);
+        }
+        // 8 chunks × 256 cells = 2048 packets, then starvation.
+        assert_eq!(landed, 2048);
+        assert_eq!(p.free_chunks(), 0);
+        assert_eq!(p.armed_cells(), 0);
+        assert_eq!(metas.len(), 8);
+        assert!(p.is_consistent());
+
+        // Recycling brings capacity back.
+        for m in &metas {
+            p.recycle(m).unwrap();
+        }
+        let armed = p.replenish();
+        assert_eq!(armed, 1024);
+        assert!(p.on_dma(0));
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn partial_capture_copies_and_rearms() {
+        let mut p = pool();
+        for _ in 0..10 {
+            p.on_dma(1_000);
+        }
+        // Too young: no partial capture yet.
+        assert!(p.capture_partial(500_000, 1_000_000).is_none());
+        // Old enough: fires.
+        let (meta, rearmed) = p.capture_partial(1_200_000, 1_000_000).unwrap();
+        assert_eq!(meta.pkt_count, 10);
+        assert_eq!(rearmed, 10);
+        assert_eq!(p.partial_copy_packets(), 10);
+        assert_eq!(p.armed_cells(), 1024);
+        // The delivered chunk is a *different* chunk (a copy).
+        assert_eq!(p.free_chunks(), 3);
+        assert!(p.is_consistent());
+        p.recycle(&meta).unwrap();
+        assert_eq!(p.free_chunks(), 4);
+    }
+
+    #[test]
+    fn partial_capture_requires_a_free_chunk() {
+        let mut p = RingBufferPool::open(0, 0, &WireCapConfig::basic(256, 5, 0));
+        // Use up the single spare chunk.
+        for _ in 0..256 {
+            p.on_dma(0);
+        }
+        let (metas, _) = p.capture_full();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(p.free_chunks(), 0);
+        p.on_dma(10);
+        assert!(p.capture_partial(10_000_000, 1_000_000).is_none());
+    }
+
+    #[test]
+    fn full_or_empty_chunks_never_partial_capture() {
+        let mut p = pool();
+        assert!(p.capture_partial(u64::MAX, 0).is_none()); // empty
+        for _ in 0..256 {
+            p.on_dma(0);
+        }
+        assert!(p.capture_partial(u64::MAX, 0).is_none()); // full
+    }
+
+    #[test]
+    fn close_requires_all_chunks_recycled() {
+        let mut p = pool();
+        for _ in 0..256 {
+            p.on_dma(0);
+        }
+        let (metas, _) = p.capture_full();
+        // Outstanding captured chunk: close refused, pool returned intact.
+        let (mut p, err) = p.close().unwrap_err();
+        assert_eq!(err, CloseError::ChunksOutstanding(1));
+        assert!(p.is_consistent());
+        // After recycling, close succeeds.
+        p.recycle(&metas[0]).unwrap();
+        assert_eq!(p.close().unwrap(), 0);
+    }
+
+    #[test]
+    fn close_reports_packets_discarded_with_the_ring() {
+        let mut p = pool();
+        for _ in 0..10 {
+            p.on_dma(0);
+        }
+        // 10 packets sit in an attached chunk; closing tears them down.
+        assert_eq!(p.close().unwrap(), 10);
+    }
+
+    #[test]
+    fn recycle_validation_rejects_garbage() {
+        let mut p = pool();
+        for _ in 0..256 {
+            p.on_dma(0);
+        }
+        let (metas, _) = p.capture_full();
+        let good = metas[0];
+
+        // Wrong pool.
+        let mut bad = good;
+        bad.id.ring_id = 9;
+        assert_eq!(p.recycle(&bad), Err(RecycleError::WrongPool));
+
+        // Out-of-range chunk id.
+        let mut bad = good;
+        bad.id.chunk_id = 999;
+        assert_eq!(p.recycle(&bad), Err(RecycleError::BadChunkId));
+
+        // Forged address.
+        let mut bad = good;
+        bad.process_address ^= 0xdead;
+        assert_eq!(p.recycle(&bad), Err(RecycleError::BadAddress));
+
+        // Recycling an attached chunk (never captured).
+        let mut bad = good;
+        bad.id.chunk_id = *p.attached.front().unwrap();
+        bad.process_address = p.chunks[bad.id.chunk_id as usize].process_address;
+        assert_eq!(p.recycle(&bad), Err(RecycleError::NotCaptured));
+
+        // The genuine one succeeds exactly once.
+        assert_eq!(p.recycle(&good), Ok(()));
+        assert_eq!(p.recycle(&good), Err(RecycleError::NotCaptured));
+        assert!(p.is_consistent());
+    }
+}

@@ -1,0 +1,246 @@
+//! Zero-copy packet forwarding (§3.2.2b).
+//!
+//! "An application can forward a captured packet by simply attaching it
+//! to a specific transmit queue … Attaching a packet to a transmit queue
+//! only involves metadata operations. The packet itself is not copied."
+//!
+//! Two structural consequences, both enforced here:
+//!
+//! * a forwarded packet's *cell* stays pinned until the NIC transmits it —
+//!   its chunk cannot recycle while any of its packets sit in a transmit
+//!   ring;
+//! * a full transmit ring back-pressures the application (the attach
+//!   blocks until a descriptor frees), it does not drop — so chunks whose
+//!   packets cannot be attached yet wait, still pinned.
+
+use crate::chunk::ChunkMeta;
+use nicsim::tx::TxRing;
+use std::collections::VecDeque;
+
+#[derive(Debug)]
+struct Entry {
+    meta: ChunkMeta,
+    /// Packets not yet attached to a transmit descriptor.
+    to_attach: u32,
+    /// Packets not yet transmitted (≥ `to_attach`).
+    to_complete: u32,
+}
+
+/// The forwarding path of one application thread: a transmit ring plus
+/// chunk-pinning and back-pressure bookkeeping.
+#[derive(Debug)]
+pub struct ForwardPath {
+    ring: TxRing,
+    /// Chunks in flight, FIFO: attaches and completions both proceed
+    /// front-first, so one queue carries both phases.
+    entries: VecDeque<Entry>,
+    /// Chunks fully transmitted, ready for the caller to recycle.
+    released: Vec<ChunkMeta>,
+    frame_len: u16,
+    forwarded: u64,
+    /// Ring completions already credited. The ring also advances inside
+    /// `attach`, so crediting works from the cumulative counter.
+    reaped: u64,
+}
+
+impl ForwardPath {
+    /// Creates a forwarding path over a transmit ring.
+    pub fn new(ring: TxRing) -> Self {
+        ForwardPath {
+            ring,
+            entries: VecDeque::new(),
+            released: Vec::new(),
+            frame_len: 64,
+            forwarded: 0,
+            reaped: 0,
+        }
+    }
+
+    /// Hands a processed chunk to the forwarding path. Every packet is
+    /// forwarded by metadata attach; packets that do not fit the ring yet
+    /// wait under back-pressure. `frame_len` is the mean wire frame
+    /// length of the chunk's packets.
+    pub fn forward_chunk(&mut self, now_ns: u64, meta: ChunkMeta, frame_len: u16) {
+        self.frame_len = frame_len;
+        self.entries.push_back(Entry {
+            meta,
+            to_attach: meta.pkt_count,
+            to_complete: meta.pkt_count,
+        });
+        self.reap(now_ns);
+    }
+
+    /// Processes transmit completions up to `now`, attaches waiting
+    /// packets into freed descriptors, and unpins finished chunks.
+    pub fn reap(&mut self, now_ns: u64) {
+        self.ring.advance(now_ns);
+        self.credit_completions();
+        // Attach waiting packets, FIFO, until the ring is full.
+        'outer: for e in &mut self.entries {
+            while e.to_attach > 0 {
+                if !self.ring.attach(now_ns, self.frame_len) {
+                    break 'outer;
+                }
+                e.to_attach -= 1;
+                self.forwarded += 1;
+            }
+        }
+        self.credit_completions();
+        // Release fully transmitted chunks (always a prefix).
+        while matches!(self.entries.front(), Some(e) if e.to_complete == 0) {
+            let e = self.entries.pop_front().unwrap();
+            self.released.push(e.meta);
+        }
+    }
+
+    fn credit_completions(&mut self) {
+        let total = self.ring.completed();
+        let mut done = (total - self.reaped) as u32;
+        self.reaped = total;
+        for e in &mut self.entries {
+            if done == 0 {
+                break;
+            }
+            let attached_outstanding = e.to_complete - e.to_attach;
+            let take = done.min(attached_outstanding);
+            e.to_complete -= take;
+            done -= take;
+        }
+        debug_assert_eq!(done, 0, "completions exceeded attached packets");
+    }
+
+    /// Takes the chunks whose packets have all been transmitted; the
+    /// caller recycles them.
+    pub fn take_released(&mut self) -> Vec<ChunkMeta> {
+        std::mem::take(&mut self.released)
+    }
+
+    /// Chunks still pinned (waiting, attached, or partially transmitted).
+    pub fn pinned_chunks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Packets attached to transmit descriptors so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets waiting under back-pressure for a transmit descriptor.
+    pub fn waiting(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.to_attach)).sum()
+    }
+
+    /// Frames fully transmitted on the wire.
+    pub fn transmitted(&self) -> u64 {
+        self.ring.completed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkId;
+
+    fn meta(c: u32, pkts: u32) -> ChunkMeta {
+        ChunkMeta {
+            id: ChunkId {
+                nic_id: 0,
+                ring_id: 0,
+                chunk_id: c,
+            },
+            process_address: 0,
+            pkt_count: pkts,
+            offloaded: false,
+            first_fill_ns: 0,
+        }
+    }
+
+    fn path() -> ForwardPath {
+        ForwardPath::new(TxRing::new(1024, 10.0))
+    }
+
+    #[test]
+    fn chunk_pins_until_all_packets_transmit() {
+        let mut p = path();
+        p.forward_chunk(0, meta(1, 100), 64);
+        assert_eq!(p.pinned_chunks(), 1);
+        assert!(p.take_released().is_empty());
+        // 100 × 67.2 ns = 6.72 µs on the wire.
+        p.reap(6_800);
+        let released = p.take_released();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].id.chunk_id, 1);
+        assert_eq!(p.pinned_chunks(), 0);
+        assert_eq!(p.transmitted(), 100);
+    }
+
+    #[test]
+    fn chunks_release_in_fifo_order() {
+        let mut p = path();
+        p.forward_chunk(0, meta(1, 10), 64);
+        p.forward_chunk(0, meta(2, 10), 64);
+        // Enough time for the first chunk only (10 × 67.2 = 672 ns).
+        p.reap(700);
+        let r = p.take_released();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id.chunk_id, 1);
+        p.reap(2_000);
+        assert_eq!(p.take_released()[0].id.chunk_id, 2);
+    }
+
+    #[test]
+    fn full_ring_backpressures_instead_of_dropping() {
+        let mut p = ForwardPath::new(TxRing::new(64, 10.0));
+        p.forward_chunk(0, meta(1, 100), 64);
+        assert_eq!(p.forwarded(), 64);
+        assert_eq!(p.waiting(), 36);
+        // Once the ring drains, the waiting packets attach and transmit.
+        p.reap(64 * 68);
+        p.reap(200 * 68);
+        assert_eq!(p.waiting(), 0);
+        assert_eq!(p.transmitted(), 100);
+        assert_eq!(p.take_released().len(), 1);
+    }
+
+    #[test]
+    fn burst_of_chunks_at_one_instant_all_transmit_eventually() {
+        // The overload scenario: the app hands 78 chunks at the same
+        // simulated instant (a coarse advance step). Nothing is lost.
+        let mut p = ForwardPath::new(TxRing::new(4096, 10.0));
+        for c in 0..78u32 {
+            p.forward_chunk(0, meta(c, 256), 64);
+        }
+        assert!(p.waiting() > 0, "ring should backpressure");
+        // 19 968 packets × 67.2 ns ≈ 1.34 ms of line time; waiting
+        // packets attach in ring-sized waves as descriptors free.
+        for t in 1..=10u64 {
+            p.reap(t * 2_000_000);
+        }
+        assert_eq!(p.transmitted(), 78 * 256);
+        assert_eq!(p.waiting(), 0);
+        assert_eq!(p.take_released().len(), 78);
+    }
+
+    #[test]
+    fn empty_chunk_releases_immediately() {
+        let mut p = ForwardPath::new(TxRing::new(1, 10.0));
+        p.forward_chunk(0, meta(1, 0), 64);
+        assert_eq!(p.take_released().len(), 1);
+    }
+
+    #[test]
+    fn forwarding_keeps_pace_with_app_rates() {
+        // The paper's x=300 consumer produces 38 844 p/s; the 10 GbE
+        // transmitter at 14.88 Mp/s never becomes the bottleneck.
+        let mut p = path();
+        let mut now = 0u64;
+        for c in 0..50u32 {
+            now += 6_590_000; // one 256-packet chunk every ~6.6 ms
+            p.forward_chunk(now, meta(c, 256), 64);
+        }
+        p.reap(now + 1_000_000);
+        assert_eq!(p.waiting(), 0);
+        assert_eq!(p.transmitted(), 50 * 256);
+        assert_eq!(p.pinned_chunks(), 0);
+    }
+}

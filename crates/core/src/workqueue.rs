@@ -1,0 +1,150 @@
+//! Work-queue pairs (§3.2.2).
+//!
+//! "A work-queue pair consists of a capture queue and a recycle queue. A
+//! capture queue keeps the metadata of captured packet buffer chunks, and
+//! a recycle queue keeps the metadata of packet buffer chunks that are
+//! waiting to be recycled."
+//!
+//! The capture queue's *length relative to its capacity* is WireCAP's
+//! load signal: the advanced mode offloads when it exceeds the threshold
+//! T, and chooses offload targets by shortest capture queue.
+
+use crate::chunk::ChunkMeta;
+use std::collections::VecDeque;
+
+/// The user-space work-queue pair of one receive queue.
+#[derive(Debug, Default)]
+pub struct WorkQueuePair {
+    capture: VecDeque<ChunkMeta>,
+    recycle: VecDeque<ChunkMeta>,
+    capacity: usize,
+    /// Chunks ever placed on this capture queue.
+    pub enqueued: u64,
+    /// Chunks placed here by a *buddy's* capture thread (offloaded in).
+    pub offloaded_in: u64,
+}
+
+impl WorkQueuePair {
+    /// Creates a pair whose capture queue holds up to `capacity` chunks
+    /// (the pool size R — there are only R chunks in existence).
+    pub fn new(capacity: usize) -> Self {
+        WorkQueuePair {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Capture-queue occupancy as a fraction of capacity.
+    pub fn occupancy(&self) -> f64 {
+        self.capture.len() as f64 / self.capacity as f64
+    }
+
+    /// Chunks waiting on the capture queue.
+    pub fn capture_len(&self) -> usize {
+        self.capture.len()
+    }
+
+    /// Chunks waiting on the recycle queue.
+    pub fn recycle_len(&self) -> usize {
+        self.recycle.len()
+    }
+
+    /// Capture-queue capacity in chunks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Places a captured chunk's metadata on the capture queue.
+    pub fn push_captured(&mut self, meta: ChunkMeta) {
+        debug_assert!(
+            self.capture.len() < self.capacity,
+            "capture queue can never exceed the chunk population"
+        );
+        self.enqueued += 1;
+        if meta.offloaded {
+            self.offloaded_in += 1;
+        }
+        self.capture.push_back(meta);
+    }
+
+    /// The application takes the next chunk to process.
+    pub fn pop_captured(&mut self) -> Option<ChunkMeta> {
+        self.capture.pop_front()
+    }
+
+    /// Peeks at the chunk the application would take next.
+    pub fn peek_captured(&self) -> Option<&ChunkMeta> {
+        self.capture.front()
+    }
+
+    /// The application returns a fully processed chunk for recycling.
+    pub fn push_recycle(&mut self, meta: ChunkMeta) {
+        self.recycle.push_back(meta);
+    }
+
+    /// The capture thread drains one chunk to recycle.
+    pub fn pop_recycle(&mut self) -> Option<ChunkMeta> {
+        self.recycle.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkId;
+
+    fn meta(c: u32, offloaded: bool) -> ChunkMeta {
+        ChunkMeta {
+            id: ChunkId {
+                nic_id: 0,
+                ring_id: 0,
+                chunk_id: c,
+            },
+            process_address: 0x7000 + u64::from(c),
+            pkt_count: 256,
+            offloaded,
+            first_fill_ns: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_capture_order() {
+        let mut wq = WorkQueuePair::new(10);
+        wq.push_captured(meta(1, false));
+        wq.push_captured(meta(2, false));
+        assert_eq!(wq.pop_captured().unwrap().id.chunk_id, 1);
+        assert_eq!(wq.pop_captured().unwrap().id.chunk_id, 2);
+        assert!(wq.pop_captured().is_none());
+    }
+
+    #[test]
+    fn occupancy_tracks_length() {
+        let mut wq = WorkQueuePair::new(4);
+        assert_eq!(wq.occupancy(), 0.0);
+        wq.push_captured(meta(1, false));
+        wq.push_captured(meta(2, false));
+        assert_eq!(wq.occupancy(), 0.5);
+        wq.pop_captured();
+        assert_eq!(wq.occupancy(), 0.25);
+    }
+
+    #[test]
+    fn recycle_queue_is_independent() {
+        let mut wq = WorkQueuePair::new(4);
+        wq.push_captured(meta(1, false));
+        let m = wq.pop_captured().unwrap();
+        wq.push_recycle(m);
+        assert_eq!(wq.capture_len(), 0);
+        assert_eq!(wq.recycle_len(), 1);
+        assert_eq!(wq.pop_recycle().unwrap().id.chunk_id, 1);
+    }
+
+    #[test]
+    fn offloaded_chunks_counted() {
+        let mut wq = WorkQueuePair::new(4);
+        wq.push_captured(meta(1, true));
+        wq.push_captured(meta(2, false));
+        assert_eq!(wq.offloaded_in, 1);
+        assert_eq!(wq.enqueued, 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Qualitative engine comparison — the paper's Table 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Qualitative capabilities of a capture engine (Table 2 of the paper,
+/// plus the mechanical properties behind it).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Capabilities {
+    /// Engine name.
+    pub name: String,
+    /// The engine's stated design goal (Table 2 wording).
+    pub goal: String,
+    /// Deficiency noted by the paper (Table 2 wording).
+    pub deficiency: String,
+    /// Packet-byte copies on the capture path, per packet.
+    pub copies_per_packet: u32,
+    /// Buffering available per queue, in packets (order of magnitude),
+    /// for the paper's standard configuration.
+    pub buffering_packets: u64,
+    /// Whether the engine can offload traffic between queues.
+    pub has_offloading: bool,
+    /// Whether captured packets can be forwarded zero-copy.
+    pub zero_copy_forwarding: bool,
+    /// Whether it suffers receive livelock.
+    pub receive_livelock: bool,
+}
+
+/// The full Table 2 plus the engines' mechanical properties, for
+/// WireCAP-B-(M=256, R=100) as the WireCAP reference configuration.
+pub fn table2() -> Vec<Capabilities> {
+    vec![
+        Capabilities {
+            name: "WireCAP".into(),
+            goal: "avoiding packet drops".into(),
+            deficiency: "requiring additional resources".into(),
+            copies_per_packet: 0,
+            buffering_packets: 256 * 100,
+            has_offloading: true,
+            zero_copy_forwarding: true,
+            receive_livelock: false,
+        },
+        Capabilities {
+            name: "DNA".into(),
+            goal: "minimizing packet capture costs".into(),
+            deficiency: "limited buffering capability, no offloading mechanism".into(),
+            copies_per_packet: 0,
+            buffering_packets: 1024,
+            has_offloading: false,
+            zero_copy_forwarding: true,
+            receive_livelock: false,
+        },
+        Capabilities {
+            name: "NETMAP".into(),
+            goal: "minimizing packet capture costs".into(),
+            deficiency: "limited buffering capability, no offloading mechanism".into(),
+            copies_per_packet: 0,
+            buffering_packets: 1024,
+            has_offloading: false,
+            zero_copy_forwarding: true,
+            receive_livelock: false,
+        },
+        Capabilities {
+            name: "PSIOE".into(),
+            goal: "maximizing system throughput".into(),
+            deficiency: "limited buffering capability; copying in packet capture".into(),
+            copies_per_packet: 1,
+            buffering_packets: 1024 + crate::psioe::USER_BUFFER_SLOTS,
+            has_offloading: false,
+            zero_copy_forwarding: false,
+            receive_livelock: false,
+        },
+        Capabilities {
+            name: "PF_RING".into(),
+            goal: "minimizing packet capture costs".into(),
+            deficiency:
+                "copying in packet capture; receive livelock problem; no offloading mechanism"
+                    .into(),
+            copies_per_packet: 1,
+            buffering_packets: 1024 + crate::pf_ring::DEFAULT_PF_RING_SLOTS,
+            has_offloading: false,
+            zero_copy_forwarding: false,
+            receive_livelock: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_engines() {
+        let t = table2();
+        let names: Vec<&str> = t.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["WireCAP", "DNA", "NETMAP", "PSIOE", "PF_RING"]);
+    }
+
+    #[test]
+    fn only_wirecap_offloads() {
+        for c in table2() {
+            assert_eq!(c.has_offloading, c.name == "WireCAP", "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn zero_copy_engines_have_no_copies() {
+        for c in table2() {
+            match c.name.as_str() {
+                "WireCAP" | "DNA" | "NETMAP" => assert_eq!(c.copies_per_packet, 0),
+                _ => assert!(c.copies_per_packet >= 1),
+            }
+        }
+    }
+
+    #[test]
+    fn wirecap_buffering_dwarfs_type2() {
+        let t = table2();
+        let wirecap = t.iter().find(|c| c.name == "WireCAP").unwrap();
+        let dna = t.iter().find(|c| c.name == "DNA").unwrap();
+        assert!(wirecap.buffering_packets >= 25 * dna.buffering_packets);
+    }
+
+    #[test]
+    fn only_pf_ring_livelocks() {
+        for c in table2() {
+            assert_eq!(c.receive_livelock, c.name == "PF_RING", "{}", c.name);
+        }
+    }
+}

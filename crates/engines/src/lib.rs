@@ -1,0 +1,44 @@
+//! # engines — baseline packet-capture engine models
+//!
+//! The paper compares WireCAP against the contemporary engines (§2.1):
+//!
+//! * **Type-I** — [`pf_ring::PfRingEngine`]: the kernel (NAPI) copies each
+//!   packet from the NIC ring into an intermediate `pf_ring` buffer that
+//!   is memory-mapped into the application. Costs: one copy per packet,
+//!   receive livelock (softirq work starves the application sharing the
+//!   core), and a bounded intermediate buffer whose overflow is a
+//!   *delivery* drop.
+//! * **Type-II** — [`type2::Type2Engine`] (DNA and NETMAP): ring buffers
+//!   double as the data-capture buffer; zero-copy, but a received packet
+//!   pins its descriptor until consumed, so buffering is limited to the
+//!   ring and bursts beyond it become *capture* drops. NETMAP additionally
+//!   reclaims descriptors only at sync boundaries, shrinking its effective
+//!   buffering under bursts.
+//! * [`pf_packet::PfPacketEngine`]: the stock kernel raw-socket path,
+//!   modeled for completeness (the paper excludes it as "too poor").
+//! * [`psioe::PsioeEngine`]: the PacketShader I/O engine — user-space
+//!   batched copy, small buffer (§6).
+//!
+//! All engines implement [`engine::CaptureEngine`]; the WireCAP engine in
+//! the `wirecap` crate implements the same trait, so the experiment
+//! harness treats every engine uniformly. [`capabilities`] carries the
+//! qualitative comparison of the paper's Table 2.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capabilities;
+pub mod dpdk;
+pub mod engine;
+pub mod pf_packet;
+pub mod pf_ring;
+pub mod psioe;
+pub mod type2;
+
+pub use capabilities::Capabilities;
+pub use dpdk::DpdkEngine;
+pub use engine::{AppModel, CaptureEngine, EngineConfig};
+pub use pf_packet::PfPacketEngine;
+pub use pf_ring::PfRingEngine;
+pub use psioe::PsioeEngine;
+pub use type2::{Type2Engine, Type2Kind};

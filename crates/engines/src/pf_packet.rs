@@ -1,0 +1,124 @@
+//! PF_PACKET: the stock kernel raw-socket capture path.
+//!
+//! "The protocol stack of a general purpose OS can provide standard
+//! packet capture services through raw sockets (e.g., PF_PACKET). …
+//! research \[9\] shows that the performance is inadequate for packet
+//! capture in high-speed networks. … because PF_PACKET's performance is
+//! too poor compared with these packet capture engines, we do not include
+//! PF_PACKET in our experiments." (§2.1, §6)
+//!
+//! Modeled for completeness (and to let the examples show *why* the paper
+//! excludes it): same two-stage shape as PF_RING but with the full
+//! sk_buff allocation + protocol-stack traversal + copy-to-user cost per
+//! packet, and a small socket receive buffer.
+
+use crate::engine::{CaptureEngine, EngineConfig};
+use crate::pf_ring::PfRingEngine;
+use sim::stats::CopyMeter;
+use sim::{DropStats, SimTime};
+
+/// Effective socket receive-buffer capacity in packets (212992-byte
+/// default rmem over ~750-byte truesize for small frames).
+pub const SOCKET_BUFFER_SLOTS: u64 = 284;
+
+/// A PF_PACKET (raw socket) capture model.
+///
+/// Internally reuses the Type-I two-stage machinery with the stack's much
+/// higher per-packet kernel cost — expressed by scaling the modeled CPU
+/// down for the copy stage — and the small socket buffer.
+#[derive(Debug)]
+pub struct PfPacketEngine {
+    inner: PfRingEngine,
+}
+
+/// Ratio of the raw-socket kernel path cost to PF_RING's NAPI copy cost
+/// (sk_buff alloc, stack traversal, syscall wakeups ≈ 1800 vs 450 cycles).
+const STACK_COST_RATIO: f64 = 4.0;
+
+impl PfPacketEngine {
+    /// Creates a PF_PACKET model with `queues` receive queues.
+    pub fn new(queues: usize, cfg: EngineConfig) -> Self {
+        // Scale the modeled CPU down by the stack-cost ratio. This slows
+        // both stages, which is faithful: the kernel stage pays the full
+        // stack traversal, and the application reads through recvfrom()
+        // syscalls instead of a memory-mapped ring.
+        let mut slow = cfg;
+        slow.app.cpu = sim::CpuModel::new(cfg.app.cpu.freq_ghz / STACK_COST_RATIO);
+        PfPacketEngine {
+            inner: PfRingEngine::with_pf_slots(queues, slow, SOCKET_BUFFER_SLOTS),
+        }
+    }
+}
+
+impl CaptureEngine for PfPacketEngine {
+    fn name(&self) -> String {
+        "PF_PACKET".into()
+    }
+
+    fn queues(&self) -> usize {
+        self.inner.queues()
+    }
+
+    fn on_arrival(&mut self, now: SimTime, queue: usize, len: u16) {
+        self.inner.on_arrival(now, queue, len);
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        self.inner.advance(now);
+    }
+
+    fn finish(&mut self, after: SimTime) -> SimTime {
+        self.inner.finish(after)
+    }
+
+    fn queue_stats(&self, queue: usize) -> DropStats {
+        self.inner.queue_stats(queue)
+    }
+
+    fn copies(&self) -> CopyMeter {
+        self.inner.copies()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pf_ring::PfRingEngine;
+    use sim::time::SECOND;
+
+    fn drive(e: &mut dyn CaptureEngine, n: u64, gap_ns: u64) {
+        for i in 0..n {
+            e.on_arrival(SimTime(i * gap_ns), 0, 64);
+        }
+        e.finish(SimTime(n * gap_ns + SECOND));
+    }
+
+    #[test]
+    fn much_worse_than_pf_ring_at_high_rate() {
+        let mut pfp = PfPacketEngine::new(1, EngineConfig::paper(0));
+        let mut pfr = PfRingEngine::new(1, EngineConfig::paper(0));
+        drive(&mut pfp, 100_000, 200); // 5 Mp/s
+        drive(&mut pfr, 100_000, 200);
+        let p = pfp.total_stats().overall_drop_rate();
+        let r = pfr.total_stats().overall_drop_rate();
+        assert!(p > r + 0.2, "pf_packet {p} vs pf_ring {r}");
+    }
+
+    #[test]
+    fn keeps_up_at_low_rate() {
+        // The stack-slowed pkt_handler sustains ~9.7 k/s at x = 300; at
+        // 5 k/s PF_PACKET is lossless.
+        let mut pfp = PfPacketEngine::new(1, EngineConfig::paper(300));
+        drive(&mut pfp, 25_000, 200_000); // 5 k/s
+        let s = pfp.total_stats();
+        assert_eq!(s.overall_drop_rate(), 0.0);
+        assert_eq!(s.delivered, 25_000);
+    }
+
+    #[test]
+    fn copies_every_delivered_packet() {
+        let mut pfp = PfPacketEngine::new(1, EngineConfig::paper(300));
+        drive(&mut pfp, 10_000, 100_000);
+        assert!(pfp.copies().packets >= 10_000);
+    }
+}

@@ -1,0 +1,184 @@
+//! ARP (IPv4-over-Ethernet) message view and emitter.
+//!
+//! A promiscuous capture port sees ARP chatter alongside IP traffic; the
+//! BPF compiler supports an `arp` primitive and the parser classifies
+//! ARP frames, so the protocol layer carries a real implementation.
+
+use crate::ethernet::MacAddr;
+use crate::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4-over-Ethernet ARP message.
+pub const MESSAGE_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Who-has (1).
+    Request,
+    /// Is-at (2).
+    Reply,
+    /// Any other opcode, preserved.
+    Other(u16),
+}
+
+impl Operation {
+    /// The wire opcode.
+    pub fn value(self) -> u16 {
+        match self {
+            Operation::Request => 1,
+            Operation::Reply => 2,
+            Operation::Other(v) => v,
+        }
+    }
+
+    /// Classifies a wire opcode.
+    pub fn from_value(v: u16) -> Self {
+        match v {
+            1 => Operation::Request,
+            2 => Operation::Reply,
+            other => Operation::Other(other),
+        }
+    }
+}
+
+/// Immutable view of an IPv4-over-Ethernet ARP message.
+#[derive(Debug, Clone, Copy)]
+pub struct ArpMessage<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ArpMessage<'a> {
+    /// Parses an ARP message, validating the hardware/protocol types for
+    /// the Ethernet/IPv4 combination.
+    pub fn parse(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < MESSAGE_LEN {
+            return Err(Error::Truncated);
+        }
+        let htype = u16::from_be_bytes([buf[0], buf[1]]);
+        let ptype = u16::from_be_bytes([buf[2], buf[3]]);
+        if htype != 1 || ptype != 0x0800 || buf[4] != 6 || buf[5] != 4 {
+            return Err(Error::Unsupported);
+        }
+        Ok(ArpMessage { buf })
+    }
+
+    /// Operation (request/reply).
+    pub fn operation(&self) -> Operation {
+        Operation::from_value(u16::from_be_bytes([self.buf[6], self.buf[7]]))
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[8..14]);
+        MacAddr(m)
+    }
+
+    /// Sender protocol address.
+    pub fn sender_ip(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.buf[14], self.buf[15], self.buf[16], self.buf[17])
+    }
+
+    /// Target hardware address (zero in requests).
+    pub fn target_mac(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[18..24]);
+        MacAddr(m)
+    }
+
+    /// Target protocol address.
+    pub fn target_ip(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.buf[24], self.buf[25], self.buf[26], self.buf[27])
+    }
+}
+
+/// Field values for emitting an ARP message.
+#[derive(Debug, Clone, Copy)]
+pub struct ArpFields {
+    /// Operation.
+    pub operation: Operation,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero for requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+/// Emits a 28-byte IPv4-over-Ethernet ARP message at the front of `buf`.
+pub fn emit(buf: &mut [u8], f: &ArpFields) -> Result<()> {
+    if buf.len() < MESSAGE_LEN {
+        return Err(Error::Truncated);
+    }
+    buf[0..2].copy_from_slice(&1u16.to_be_bytes()); // Ethernet
+    buf[2..4].copy_from_slice(&0x0800u16.to_be_bytes()); // IPv4
+    buf[4] = 6;
+    buf[5] = 4;
+    buf[6..8].copy_from_slice(&f.operation.value().to_be_bytes());
+    buf[8..14].copy_from_slice(&f.sender_mac.0);
+    buf[14..18].copy_from_slice(&f.sender_ip.octets());
+    buf[18..24].copy_from_slice(&f.target_mac.0);
+    buf[24..28].copy_from_slice(&f.target_ip.octets());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields() -> ArpFields {
+        ArpFields {
+            operation: Operation::Request,
+            sender_mac: MacAddr([2, 0, 0, 0, 0, 1]),
+            sender_ip: Ipv4Addr::new(131, 225, 2, 1),
+            target_mac: MacAddr([0; 6]),
+            target_ip: Ipv4Addr::new(131, 225, 2, 254),
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut buf = [0u8; 28];
+        emit(&mut buf, &fields()).unwrap();
+        let a = ArpMessage::parse(&buf).unwrap();
+        assert_eq!(a.operation(), Operation::Request);
+        assert_eq!(a.sender_mac(), MacAddr([2, 0, 0, 0, 0, 1]));
+        assert_eq!(a.sender_ip(), Ipv4Addr::new(131, 225, 2, 1));
+        assert_eq!(a.target_ip(), Ipv4Addr::new(131, 225, 2, 254));
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let mut buf = [0u8; 28];
+        let mut f = fields();
+        f.operation = Operation::Reply;
+        f.target_mac = MacAddr([2, 0, 0, 0, 0, 2]);
+        emit(&mut buf, &f).unwrap();
+        let a = ArpMessage::parse(&buf).unwrap();
+        assert_eq!(a.operation(), Operation::Reply);
+        assert_eq!(a.target_mac(), MacAddr([2, 0, 0, 0, 0, 2]));
+    }
+
+    #[test]
+    fn rejects_non_ethernet_ipv4() {
+        let mut buf = [0u8; 28];
+        emit(&mut buf, &fields()).unwrap();
+        buf[1] = 6; // token ring
+        assert_eq!(ArpMessage::parse(&buf).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(ArpMessage::parse(&[0u8; 27]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn opcode_roundtrip() {
+        for v in [1u16, 2, 3, 9] {
+            assert_eq!(Operation::from_value(v).value(), v);
+        }
+    }
+}

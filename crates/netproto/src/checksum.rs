@@ -1,0 +1,133 @@
+//! Internet checksum (RFC 1071) helpers shared by IPv4, TCP and UDP.
+
+/// Incrementally computes the 16-bit ones'-complement Internet checksum.
+///
+/// The accumulator keeps the running 32-bit sum; call [`Checksum::finish`]
+/// to fold and complement it. Data fed in multiple calls behaves exactly
+/// like one contiguous buffer, provided each call except the last passes an
+/// even number of bytes (header fields are naturally even-sized).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a byte slice into the checksum.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Feeds a big-endian 16-bit word.
+    pub fn add_u16(&mut self, v: u16) {
+        self.sum += u32::from(v);
+    }
+
+    /// Feeds a big-endian 32-bit word (as two 16-bit words).
+    pub fn add_u32(&mut self, v: u32) {
+        self.add_u16((v >> 16) as u16);
+        self.add_u16(v as u16);
+    }
+
+    /// Folds the carries and returns the ones'-complement checksum.
+    pub fn finish(mut self) -> u16 {
+        while self.sum >> 16 != 0 {
+            self.sum = (self.sum & 0xffff) + (self.sum >> 16);
+        }
+        !(self.sum as u16)
+    }
+}
+
+/// Computes the checksum of a single buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verifies a buffer whose checksum field is included in `data`.
+///
+/// A valid buffer sums (with the stored checksum) to `0xffff`, i.e. the
+/// computed complement is zero.
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+/// Computes the TCP/UDP pseudo-header checksum seed for IPv4.
+pub fn pseudo_header_v4(src: [u8; 4], dst: [u8; 4], proto: u8, len: u16) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_bytes(&src);
+    c.add_bytes(&dst);
+    c.add_u16(u16::from(proto));
+    c.add_u16(len);
+    c
+}
+
+/// Computes the TCP/UDP pseudo-header checksum seed for IPv6.
+pub fn pseudo_header_v6(src: [u8; 16], dst: [u8; 16], proto: u8, len: u32) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_bytes(&src);
+    c.add_bytes(&dst);
+    c.add_u32(len);
+    c.add_u16(u16::from(proto));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 1071 worked example: the sum of these words is 0xddf2 before
+    // complement.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // [0x01, 0x02, 0x03] == words 0x0102, 0x0300
+        let data = [0x01u8, 0x02, 0x03];
+        assert_eq!(checksum(&data), !(0x0102u16 + 0x0300));
+    }
+
+    #[test]
+    fn verify_accepts_valid_header() {
+        // A real IPv4 header example (from RFC 1071 discussions), checksum
+        // field already filled in correctly.
+        let mut hdr = [
+            0x45u8, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0x00, 0x00, 0xac, 0x10,
+            0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c,
+        ];
+        let csum = checksum(&hdr);
+        hdr[10] = (csum >> 8) as u8;
+        hdr[11] = csum as u8;
+        assert!(verify(&hdr));
+    }
+
+    #[test]
+    fn incremental_equals_contiguous() {
+        let data: Vec<u8> = (0u8..200).collect();
+        let whole = checksum(&data);
+        let mut c = Checksum::new();
+        c.add_bytes(&data[..100]);
+        c.add_bytes(&data[100..]);
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn all_zeros_checksums_to_ffff() {
+        assert_eq!(checksum(&[0u8; 20]), 0xffff);
+    }
+}

@@ -1,0 +1,171 @@
+//! Ethernet II frame view.
+
+use crate::{Error, Result};
+
+/// Length of an Ethernet II header (dst MAC, src MAC, EtherType).
+pub const HEADER_LEN: usize = 14;
+
+/// Minimum Ethernet frame length on the wire, excluding the FCS.
+pub const MIN_FRAME_LEN: usize = 60;
+
+/// Well-known EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// IPv6 (0x86DD).
+    Ipv6,
+    /// Anything else.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The raw 16-bit EtherType value.
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86DD,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Classifies a raw EtherType value.
+    pub fn from_value(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86DD => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A MAC (EUI-48) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Whether the group (multicast) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// Immutable view of an Ethernet II frame.
+#[derive(Debug, Clone, Copy)]
+pub struct EthernetFrame<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> EthernetFrame<'a> {
+    /// Wraps a byte slice, checking it holds at least a full header.
+    pub fn parse(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(EthernetFrame { buf })
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[0..6]);
+        MacAddr(m)
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[6..12]);
+        MacAddr(m)
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType::from_value(u16::from_be_bytes([self.buf[12], self.buf[13]]))
+    }
+
+    /// The frame payload (everything after the header).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[HEADER_LEN..]
+    }
+}
+
+/// Writes an Ethernet header into `buf` and returns the payload remainder.
+pub fn emit(buf: &mut [u8], dst: MacAddr, src: MacAddr, ethertype: EtherType) -> Result<()> {
+    if buf.len() < HEADER_LEN {
+        return Err(Error::Truncated);
+    }
+    buf[0..6].copy_from_slice(&dst.0);
+    buf[6..12].copy_from_slice(&src.0);
+    buf[12..14].copy_from_slice(&ethertype.value().to_be_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_short_buffer() {
+        assert_eq!(EthernetFrame::parse(&[0u8; 13]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut buf = [0u8; 20];
+        let dst = MacAddr([1, 2, 3, 4, 5, 6]);
+        let src = MacAddr([7, 8, 9, 10, 11, 12]);
+        emit(&mut buf, dst, src, EtherType::Ipv4).unwrap();
+        let f = EthernetFrame::parse(&buf).unwrap();
+        assert_eq!(f.dst(), dst);
+        assert_eq!(f.src(), src);
+        assert_eq!(f.ethertype(), EtherType::Ipv4);
+        assert_eq!(f.payload().len(), 6);
+    }
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x86DD, 0x1234] {
+            assert_eq!(EtherType::from_value(v).value(), v);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_multicast_bits() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!MacAddr([0x02, 0, 0, 0, 0, 1]).is_multicast());
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(
+            MacAddr([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+}

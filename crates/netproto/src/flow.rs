@@ -1,0 +1,160 @@
+//! Flow identification: the IP 5-tuple and transport protocol.
+//!
+//! The paper's NIC steering, buddy-group offloading and application-logic
+//! preservation are all phrased in terms of *flows* defined by "one or more
+//! fields of the IP 5-tuple" (§1). [`FlowKey`] is that 5-tuple.
+
+use std::net::Ipv4Addr;
+
+/// Transport protocol of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// Transmission Control Protocol (IP protocol 6).
+    Tcp,
+    /// User Datagram Protocol (IP protocol 17).
+    Udp,
+    /// Any other IP protocol, carried by number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// The IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+
+    /// Classifies an IP protocol number.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+/// An IPv4 5-tuple identifying a flow.
+///
+/// All experiments in the paper use IPv4 traffic (the BPF filter is
+/// `131.225.2 and udp`), so the flow key is IPv4-only; IPv6 headers are
+/// still parseable via [`crate::ipv6`] for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FlowKey {
+    /// Creates a TCP flow key.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Tcp,
+        }
+    }
+
+    /// Creates a UDP flow key.
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Udp,
+        }
+    }
+
+    /// The reverse-direction key (src and dst swapped).
+    pub fn reversed(&self) -> Self {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A direction-insensitive canonical form: the lexicographically smaller
+    /// of `self` and `self.reversed()`. Both directions of a connection map
+    /// to the same canonical key.
+    pub fn canonical(&self) -> Self {
+        let rev = self.reversed();
+        if (self.src_ip, self.src_port) <= (rev.src_ip, rev.src_port) {
+            *self
+        } else {
+            rev
+        }
+    }
+}
+
+impl core::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let p = match self.proto {
+            Protocol::Tcp => "tcp",
+            Protocol::Udp => "udp",
+            Protocol::Other(_) => "ip",
+        };
+        write!(
+            f,
+            "{} {}:{} > {}:{}",
+            p, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(131, 225, 2, 10),
+            50000,
+            Ipv4Addr::new(10, 0, 0, 1),
+            443,
+        )
+    }
+
+    #[test]
+    fn protocol_numbers_roundtrip() {
+        for n in 0u8..=255 {
+            assert_eq!(Protocol::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let k = key();
+        assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn canonical_is_direction_insensitive() {
+        let k = key();
+        assert_eq!(k.canonical(), k.reversed().canonical());
+    }
+
+    #[test]
+    fn display_formats_tuple() {
+        let s = key().to_string();
+        assert!(s.contains("131.225.2.10:50000"));
+        assert!(s.contains("10.0.0.1:443"));
+        assert!(s.starts_with("tcp"));
+    }
+}

@@ -1,0 +1,223 @@
+//! ICMP (v4) message views and emitters.
+//!
+//! The middlebox application uses ICMP Time Exceeded generation (what a
+//! real router does when it decrements a TTL to zero) and Echo for
+//! diagnostics; both are covered here with full checksum handling.
+
+use crate::checksum;
+use crate::ipv4::{self, Ipv4Fields, Ipv4Header};
+use crate::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// ICMP message types this module understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3), with code.
+    DestinationUnreachable(u8),
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11), code 0 = TTL exceeded in transit.
+    TimeExceeded(u8),
+    /// Anything else: (type, code).
+    Other(u8, u8),
+}
+
+impl IcmpType {
+    /// The (type, code) wire pair.
+    pub fn wire(self) -> (u8, u8) {
+        match self {
+            IcmpType::EchoReply => (0, 0),
+            IcmpType::DestinationUnreachable(c) => (3, c),
+            IcmpType::EchoRequest => (8, 0),
+            IcmpType::TimeExceeded(c) => (11, c),
+            IcmpType::Other(t, c) => (t, c),
+        }
+    }
+
+    /// Classifies a (type, code) wire pair.
+    pub fn from_wire(t: u8, c: u8) -> Self {
+        match (t, c) {
+            (0, 0) => IcmpType::EchoReply,
+            (3, c) => IcmpType::DestinationUnreachable(c),
+            (8, 0) => IcmpType::EchoRequest,
+            (11, c) => IcmpType::TimeExceeded(c),
+            (t, c) => IcmpType::Other(t, c),
+        }
+    }
+}
+
+/// Immutable view of an ICMP message (an IPv4 payload).
+#[derive(Debug, Clone, Copy)]
+pub struct IcmpMessage<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> IcmpMessage<'a> {
+    /// Parses an ICMP message (at least the 8-byte header).
+    pub fn parse(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < 8 {
+            return Err(Error::Truncated);
+        }
+        Ok(IcmpMessage { buf })
+    }
+
+    /// Message type.
+    pub fn icmp_type(&self) -> IcmpType {
+        IcmpType::from_wire(self.buf[0], self.buf[1])
+    }
+
+    /// Whether the stored checksum is valid over the whole message.
+    pub fn checksum_ok(&self) -> bool {
+        checksum::verify(self.buf)
+    }
+
+    /// The rest-of-header field (identifier/sequence for echo, unused for
+    /// time-exceeded).
+    pub fn rest_of_header(&self) -> u32 {
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// Message body (after the 8-byte header): for error messages, the
+    /// original IP header + first 8 payload bytes.
+    pub fn body(&self) -> &'a [u8] {
+        &self.buf[8..]
+    }
+}
+
+/// Builds a complete Ethernet/IPv4/ICMP **Time Exceeded** frame in
+/// response to `original_frame` (the frame whose TTL expired), as RFC 792
+/// specifies: the error body quotes the original IP header plus the first
+/// 8 payload bytes.
+///
+/// `router_ip` is the address the error is sent from (the middlebox's own
+/// interface). The frame is addressed back to the original sender at the
+/// link layer by swapping MACs.
+pub fn build_time_exceeded(original_frame: &[u8], router_ip: Ipv4Addr) -> Result<Vec<u8>> {
+    let eth = crate::ethernet::EthernetFrame::parse(original_frame)?;
+    if eth.ethertype() != crate::ethernet::EtherType::Ipv4 {
+        return Err(Error::Unsupported);
+    }
+    let ip = Ipv4Header::parse(eth.payload())?;
+
+    // Quote: original IP header + first 8 payload bytes.
+    let quote_len = ip.header_len() + ip.payload().len().min(8);
+    let quote = &eth.payload()[..quote_len];
+
+    let icmp_len = 8 + quote.len();
+    let total_len = crate::ethernet::HEADER_LEN + ipv4::MIN_HEADER_LEN + icmp_len;
+    let mut out = vec![0u8; total_len];
+
+    // Ethernet: back toward the original sender.
+    crate::ethernet::emit(
+        &mut out,
+        eth.src(),
+        eth.dst(),
+        crate::ethernet::EtherType::Ipv4,
+    )?;
+    // IPv4 from the router to the original source, protocol 1 (ICMP).
+    ipv4::emit(
+        &mut out[crate::ethernet::HEADER_LEN..],
+        &Ipv4Fields {
+            src: router_ip,
+            dst: ip.src(),
+            protocol: 1,
+            payload_len: icmp_len as u16,
+            ttl: 64,
+            ident: 0,
+        },
+    )?;
+    // ICMP header + quote, then checksum over the whole message.
+    let icmp = &mut out[crate::ethernet::HEADER_LEN + ipv4::MIN_HEADER_LEN..];
+    let (t, c) = IcmpType::TimeExceeded(0).wire();
+    icmp[0] = t;
+    icmp[1] = c;
+    icmp[8..8 + quote.len()].copy_from_slice(quote);
+    let csum = checksum::checksum(icmp);
+    icmp[2..4].copy_from_slice(&csum.to_be_bytes());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowKey, PacketBuilder};
+
+    fn original() -> Vec<u8> {
+        PacketBuilder::new()
+            .build(
+                &FlowKey::udp(
+                    "10.9.8.7".parse().unwrap(),
+                    3333,
+                    "131.225.2.44".parse().unwrap(),
+                    53,
+                ),
+                200,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn time_exceeded_is_well_formed() {
+        let frame = build_time_exceeded(&original(), "192.0.2.1".parse().unwrap()).unwrap();
+        crate::builder::validate_frame(&frame).unwrap();
+        let ip = Ipv4Header::parse(&frame[14..]).unwrap();
+        assert_eq!(ip.protocol(), 1);
+        assert_eq!(ip.src(), "192.0.2.1".parse::<Ipv4Addr>().unwrap());
+        // Addressed back to the offending packet's source.
+        assert_eq!(ip.dst(), "10.9.8.7".parse::<Ipv4Addr>().unwrap());
+        let icmp = IcmpMessage::parse(ip.payload()).unwrap();
+        assert_eq!(icmp.icmp_type(), IcmpType::TimeExceeded(0));
+        assert!(icmp.checksum_ok());
+    }
+
+    #[test]
+    fn error_body_quotes_original_header_plus_8() {
+        let orig = original();
+        let frame = build_time_exceeded(&orig, "192.0.2.1".parse().unwrap()).unwrap();
+        let ip = Ipv4Header::parse(&frame[14..]).unwrap();
+        let icmp = IcmpMessage::parse(ip.payload()).unwrap();
+        // Quote = 20-byte original header + 8 bytes = 28 bytes.
+        assert_eq!(icmp.body().len(), 28);
+        assert_eq!(icmp.body(), &orig[14..14 + 28]);
+        // The quoted header still parses as the original datagram.
+        let quoted = Ipv4Header::parse(icmp.body()).unwrap();
+        assert_eq!(quoted.dst(), "131.225.2.44".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn non_ip_originals_are_rejected() {
+        let mut arp = vec![0u8; 60];
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert_eq!(
+            build_time_exceeded(&arp, "192.0.2.1".parse().unwrap()).unwrap_err(),
+            Error::Unsupported
+        );
+    }
+
+    #[test]
+    fn icmp_type_wire_roundtrip() {
+        for t in [
+            IcmpType::EchoReply,
+            IcmpType::EchoRequest,
+            IcmpType::DestinationUnreachable(3),
+            IcmpType::TimeExceeded(1),
+            IcmpType::Other(42, 7),
+        ] {
+            let (ty, code) = t.wire();
+            assert_eq!(IcmpType::from_wire(ty, code), t);
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut frame = build_time_exceeded(&original(), "192.0.2.1".parse().unwrap()).unwrap();
+        let n = frame.len();
+        frame[n - 1] ^= 0xff;
+        let ip = Ipv4Header::parse(&frame[14..]).unwrap();
+        let icmp = IcmpMessage::parse(ip.payload()).unwrap();
+        assert!(!icmp.checksum_ok());
+    }
+}

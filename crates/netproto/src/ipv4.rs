@@ -1,0 +1,211 @@
+//! IPv4 header view and emitter.
+
+use crate::checksum;
+use crate::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// Minimum (and, without options, the only) IPv4 header length.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// Immutable view of an IPv4 header plus payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4Header<'a> {
+    buf: &'a [u8],
+    header_len: usize,
+}
+
+impl<'a> Ipv4Header<'a> {
+    /// Parses an IPv4 packet, validating version, IHL and total length.
+    pub fn parse(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if buf[0] >> 4 != 4 {
+            return Err(Error::Malformed);
+        }
+        let header_len = usize::from(buf[0] & 0x0f) * 4;
+        if header_len < MIN_HEADER_LEN || buf.len() < header_len {
+            return Err(Error::Malformed);
+        }
+        let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if total_len < header_len {
+            return Err(Error::Malformed);
+        }
+        Ok(Ipv4Header { buf, header_len })
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        self.header_len
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_len(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buf[6] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buf[6] & 0x20 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn frag_offset(&self) -> u16 {
+        u16::from_be_bytes([self.buf[6] & 0x1f, self.buf[7]])
+    }
+
+    /// Time-to-live field.
+    pub fn ttl(&self) -> u8 {
+        self.buf[8]
+    }
+
+    /// Protocol number of the payload.
+    pub fn protocol(&self) -> u8 {
+        self.buf[9]
+    }
+
+    /// Stored header checksum.
+    pub fn stored_checksum(&self) -> u16 {
+        u16::from_be_bytes([self.buf[10], self.buf[11]])
+    }
+
+    /// Whether the stored checksum is valid.
+    pub fn checksum_ok(&self) -> bool {
+        checksum::verify(&self.buf[..self.header_len])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.buf[12], self.buf[13], self.buf[14], self.buf[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.buf[16], self.buf[17], self.buf[18], self.buf[19])
+    }
+
+    /// Payload slice, bounded by the total-length field (Ethernet padding
+    /// after the IP datagram is excluded).
+    pub fn payload(&self) -> &'a [u8] {
+        let end = usize::from(self.total_len()).min(self.buf.len());
+        &self.buf[self.header_len..end]
+    }
+}
+
+/// Field values for emitting an IPv4 header (no options).
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4Fields {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Payload length in bytes (total length = 20 + payload).
+    pub payload_len: u16,
+    /// Time-to-live; 64 is a conventional default.
+    pub ttl: u8,
+    /// Identification field.
+    pub ident: u16,
+}
+
+/// Emits a 20-byte IPv4 header (checksum filled in) at the front of `buf`.
+pub fn emit(buf: &mut [u8], f: &Ipv4Fields) -> Result<()> {
+    if buf.len() < MIN_HEADER_LEN {
+        return Err(Error::Truncated);
+    }
+    let total = MIN_HEADER_LEN as u16 + f.payload_len;
+    buf[0] = 0x45; // version 4, IHL 5
+    buf[1] = 0; // DSCP/ECN
+    buf[2..4].copy_from_slice(&total.to_be_bytes());
+    buf[4..6].copy_from_slice(&f.ident.to_be_bytes());
+    buf[6] = 0x40; // DF set, no fragmentation in our traffic
+    buf[7] = 0;
+    buf[8] = f.ttl;
+    buf[9] = f.protocol;
+    buf[10] = 0;
+    buf[11] = 0;
+    buf[12..16].copy_from_slice(&f.src.octets());
+    buf[16..20].copy_from_slice(&f.dst.octets());
+    let csum = checksum::checksum(&buf[..MIN_HEADER_LEN]);
+    buf[10..12].copy_from_slice(&csum.to_be_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields() -> Ipv4Fields {
+        Ipv4Fields {
+            src: Ipv4Addr::new(131, 225, 2, 1),
+            dst: Ipv4Addr::new(192, 168, 0, 7),
+            protocol: 17,
+            payload_len: 8,
+            ttl: 64,
+            ident: 0xbeef,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut buf = [0u8; 28];
+        emit(&mut buf, &fields()).unwrap();
+        let h = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(h.src(), fields().src);
+        assert_eq!(h.dst(), fields().dst);
+        assert_eq!(h.protocol(), 17);
+        assert_eq!(h.total_len(), 28);
+        assert_eq!(h.ttl(), 64);
+        assert_eq!(h.ident(), 0xbeef);
+        assert!(h.dont_frag());
+        assert!(!h.more_frags());
+        assert_eq!(h.frag_offset(), 0);
+        assert!(h.checksum_ok());
+        assert_eq!(h.payload().len(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_bad_version() {
+        let mut buf = [0u8; 28];
+        emit(&mut buf, &fields()).unwrap();
+        buf[0] = 0x65; // version 6
+        assert_eq!(Ipv4Header::parse(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn parse_rejects_short_ihl() {
+        let mut buf = [0u8; 28];
+        emit(&mut buf, &fields()).unwrap();
+        buf[0] = 0x44; // IHL 4 => 16 bytes, below minimum
+        assert_eq!(Ipv4Header::parse(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = [0u8; 28];
+        emit(&mut buf, &fields()).unwrap();
+        buf[15] ^= 0xff;
+        let h = Ipv4Header::parse(&buf).unwrap();
+        assert!(!h.checksum_ok());
+    }
+
+    #[test]
+    fn payload_excludes_ethernet_padding() {
+        // 8-byte payload but buffer carries 12 extra pad bytes.
+        let mut buf = vec![0u8; 40];
+        emit(&mut buf, &fields()).unwrap();
+        let h = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(h.payload().len(), 8);
+    }
+}

@@ -1,0 +1,132 @@
+//! IPv6 fixed-header view and emitter.
+//!
+//! Present for protocol completeness (the BPF compiler understands `ip6`);
+//! the paper's experiments are IPv4-only.
+
+use crate::{Error, Result};
+use std::net::Ipv6Addr;
+
+/// Fixed IPv6 header length.
+pub const HEADER_LEN: usize = 40;
+
+/// Immutable view of an IPv6 fixed header plus payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv6Header<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Ipv6Header<'a> {
+    /// Parses an IPv6 packet, validating the version nibble.
+    pub fn parse(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if buf[0] >> 4 != 6 {
+            return Err(Error::Malformed);
+        }
+        Ok(Ipv6Header { buf })
+    }
+
+    /// Payload length field.
+    pub fn payload_len(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Next-header (payload protocol) field.
+    pub fn next_header(&self) -> u8 {
+        self.buf[6]
+    }
+
+    /// Hop-limit field.
+    pub fn hop_limit(&self) -> u8 {
+        self.buf[7]
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv6Addr {
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&self.buf[8..24]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv6Addr {
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&self.buf[24..40]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Payload slice, bounded by the payload-length field.
+    pub fn payload(&self) -> &'a [u8] {
+        let end = (HEADER_LEN + usize::from(self.payload_len())).min(self.buf.len());
+        &self.buf[HEADER_LEN..end]
+    }
+}
+
+/// Field values for emitting an IPv6 fixed header.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv6Fields {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Next-header protocol number.
+    pub next_header: u8,
+    /// Payload length in bytes.
+    pub payload_len: u16,
+    /// Hop limit; 64 is a conventional default.
+    pub hop_limit: u8,
+}
+
+/// Emits a 40-byte IPv6 header at the front of `buf`.
+pub fn emit(buf: &mut [u8], f: &Ipv6Fields) -> Result<()> {
+    if buf.len() < HEADER_LEN {
+        return Err(Error::Truncated);
+    }
+    buf[0] = 0x60;
+    buf[1] = 0;
+    buf[2] = 0;
+    buf[3] = 0;
+    buf[4..6].copy_from_slice(&f.payload_len.to_be_bytes());
+    buf[6] = f.next_header;
+    buf[7] = f.hop_limit;
+    buf[8..24].copy_from_slice(&f.src.octets());
+    buf[24..40].copy_from_slice(&f.dst.octets());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut buf = [0u8; 48];
+        let f = Ipv6Fields {
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8::2".parse().unwrap(),
+            next_header: 17,
+            payload_len: 8,
+            hop_limit: 64,
+        };
+        emit(&mut buf, &f).unwrap();
+        let h = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(h.src(), f.src);
+        assert_eq!(h.dst(), f.dst);
+        assert_eq!(h.next_header(), 17);
+        assert_eq!(h.payload_len(), 8);
+        assert_eq!(h.hop_limit(), 64);
+        assert_eq!(h.payload().len(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_v4() {
+        let buf = [0x45u8; 40];
+        assert_eq!(Ipv6Header::parse(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn parse_rejects_truncated() {
+        assert_eq!(Ipv6Header::parse(&[0x60; 39]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,66 @@
+//! # netproto — packet representation and protocol headers
+//!
+//! This crate is the lowest-level substrate of the WireCAP reproduction. It
+//! provides:
+//!
+//! * [`Packet`] — an owned network packet (cheap to clone via [`bytes::Bytes`])
+//!   with capture metadata (timestamp, wire length, snap length);
+//! * zero-copy header *views* for Ethernet, IPv4, IPv6, TCP and UDP
+//!   ([`ethernet::EthernetFrame`], [`ipv4::Ipv4Header`], …);
+//! * a packet [`builder`] that renders a [`flow::FlowKey`] plus payload into
+//!   wire-format bytes (used by the traffic generator and the examples);
+//! * a [`parse`] module that classifies a raw frame into a
+//!   [`parse::ParsedPacket`] summary;
+//! * Internet [`checksum`] helpers shared by IPv4/TCP/UDP.
+//!
+//! The design follows the smoltcp idiom: header types are thin wrappers over
+//! byte slices with getter/setter accessors, no allocation on the parse path,
+//! and explicit error types instead of panics.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arp;
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod flow;
+pub mod icmp;
+pub mod ipv4;
+pub mod ipv6;
+pub mod packet;
+pub mod parse;
+pub mod tcp;
+pub mod udp;
+pub mod vlan;
+
+pub use builder::PacketBuilder;
+pub use flow::{FlowKey, Protocol};
+pub use packet::Packet;
+pub use parse::{parse_frame, ParsedPacket};
+
+/// Errors produced while parsing protocol headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the fixed part of the header.
+    Truncated,
+    /// A length/version/IHL field is inconsistent with the buffer.
+    Malformed,
+    /// The payload protocol is not one this crate understands.
+    Unsupported,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer truncated"),
+            Error::Malformed => write!(f, "malformed header"),
+            Error::Unsupported => write!(f, "unsupported protocol"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = core::result::Result<T, Error>;

@@ -1,0 +1,105 @@
+//! Owned packet type with capture metadata.
+
+use bytes::Bytes;
+
+/// An owned network packet together with its capture metadata.
+///
+/// `Packet` is the unit handed to applications by every capture engine in
+/// this workspace. The payload lives in a [`Bytes`] buffer, so cloning a
+/// `Packet` is a reference-count bump — this mirrors the zero-copy delivery
+/// model of the paper, where only chunk *metadata* moves between kernel and
+/// user space while the bytes stay put.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Capture timestamp in nanoseconds since the start of the capture.
+    pub ts_ns: u64,
+    /// Original length of the packet on the wire, in bytes.
+    pub wire_len: u32,
+    /// Captured bytes (may be shorter than `wire_len` if a snap length
+    /// truncated the capture).
+    pub data: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet whose captured bytes cover the full wire length.
+    pub fn new(ts_ns: u64, data: impl Into<Bytes>) -> Self {
+        let data = data.into();
+        Packet {
+            ts_ns,
+            wire_len: data.len() as u32,
+            data,
+        }
+    }
+
+    /// Creates a packet that was truncated at capture time (`snaplen`).
+    ///
+    /// If `snaplen` is larger than the data, the packet is unchanged.
+    pub fn with_snaplen(ts_ns: u64, data: impl Into<Bytes>, snaplen: usize) -> Self {
+        let data: Bytes = data.into();
+        let wire_len = data.len() as u32;
+        let data = if data.len() > snaplen {
+            data.slice(..snaplen)
+        } else {
+            data
+        };
+        Packet {
+            ts_ns,
+            wire_len,
+            data,
+        }
+    }
+
+    /// Number of bytes actually captured.
+    pub fn captured_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the capture truncated the packet.
+    pub fn is_truncated(&self) -> bool {
+        (self.data.len() as u32) < self.wire_len
+    }
+
+    /// Borrow the captured bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_packet_roundtrip() {
+        let p = Packet::new(42, vec![1u8, 2, 3, 4]);
+        assert_eq!(p.ts_ns, 42);
+        assert_eq!(p.wire_len, 4);
+        assert_eq!(p.captured_len(), 4);
+        assert!(!p.is_truncated());
+        assert_eq!(p.bytes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn snaplen_truncates() {
+        let p = Packet::with_snaplen(0, vec![0u8; 128], 64);
+        assert_eq!(p.wire_len, 128);
+        assert_eq!(p.captured_len(), 64);
+        assert!(p.is_truncated());
+    }
+
+    #[test]
+    fn snaplen_larger_than_packet_is_noop() {
+        let p = Packet::with_snaplen(0, vec![0u8; 60], 65535);
+        assert_eq!(p.wire_len, 60);
+        assert_eq!(p.captured_len(), 60);
+        assert!(!p.is_truncated());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let p = Packet::new(1, vec![9u8; 1500]);
+        let q = p.clone();
+        // Bytes clones share the same backing storage.
+        assert_eq!(p.data.as_ptr(), q.data.as_ptr());
+    }
+}

@@ -1,0 +1,156 @@
+//! One-shot frame classification.
+
+use crate::ethernet::{EtherType, EthernetFrame, MacAddr};
+use crate::flow::{FlowKey, Protocol};
+use crate::ipv4::Ipv4Header;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::Result;
+
+/// Network-layer classification of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkLayer {
+    /// IPv4 datagram.
+    Ipv4,
+    /// IPv6 datagram.
+    Ipv6,
+    /// ARP message.
+    Arp,
+    /// Unrecognized EtherType.
+    Other(u16),
+}
+
+/// Summary of a parsed frame: link/network/transport classification plus
+/// the extracted flow key, if the frame is IPv4 TCP/UDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// Source MAC address.
+    pub src_mac: MacAddr,
+    /// Destination MAC address.
+    pub dst_mac: MacAddr,
+    /// Network-layer protocol.
+    pub network: NetworkLayer,
+    /// IPv4 5-tuple, when the frame is IPv4 with a TCP/UDP payload
+    /// (ports are zero for other IPv4 protocols).
+    pub flow: Option<FlowKey>,
+    /// Transport payload length in bytes, when known.
+    pub payload_len: Option<usize>,
+}
+
+/// Parses an Ethernet frame into a [`ParsedPacket`] summary.
+///
+/// Parsing stops gracefully at the first unsupported layer: an IPv6 or ARP
+/// frame still yields a summary, just without a flow key.
+pub fn parse_frame(buf: &[u8]) -> Result<ParsedPacket> {
+    let eth = EthernetFrame::parse(buf)?;
+    let mut out = ParsedPacket {
+        src_mac: eth.src(),
+        dst_mac: eth.dst(),
+        network: match eth.ethertype() {
+            EtherType::Ipv4 => NetworkLayer::Ipv4,
+            EtherType::Ipv6 => NetworkLayer::Ipv6,
+            EtherType::Arp => NetworkLayer::Arp,
+            EtherType::Other(v) => NetworkLayer::Other(v),
+        },
+        flow: None,
+        payload_len: None,
+    };
+    if out.network != NetworkLayer::Ipv4 {
+        return Ok(out);
+    }
+    let ip = Ipv4Header::parse(eth.payload())?;
+    let proto = Protocol::from_number(ip.protocol());
+    match proto {
+        Protocol::Tcp => {
+            let t = TcpHeader::parse(ip.payload())?;
+            out.flow = Some(FlowKey {
+                src_ip: ip.src(),
+                dst_ip: ip.dst(),
+                src_port: t.src_port(),
+                dst_port: t.dst_port(),
+                proto,
+            });
+            out.payload_len = Some(t.payload().len());
+        }
+        Protocol::Udp => {
+            let u = UdpHeader::parse(ip.payload())?;
+            out.flow = Some(FlowKey {
+                src_ip: ip.src(),
+                dst_ip: ip.dst(),
+                src_port: u.src_port(),
+                dst_port: u.dst_port(),
+                proto,
+            });
+            out.payload_len = Some(u.payload().len());
+        }
+        Protocol::Other(_) => {
+            out.flow = Some(FlowKey {
+                src_ip: ip.src(),
+                dst_ip: ip.dst(),
+                src_port: 0,
+                dst_port: 0,
+                proto,
+            });
+            out.payload_len = Some(ip.payload().len());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn parses_udp_flow() {
+        let flow = FlowKey::udp(
+            Ipv4Addr::new(131, 225, 2, 3),
+            7000,
+            Ipv4Addr::new(10, 1, 2, 3),
+            8000,
+        );
+        let mut b = PacketBuilder::new();
+        let f = b.build(&flow, 128).unwrap();
+        let p = parse_frame(&f).unwrap();
+        assert_eq!(p.network, NetworkLayer::Ipv4);
+        assert_eq!(p.flow, Some(flow));
+        // 128 - 14 (eth) - 20 (ip) - 8 (udp)
+        assert_eq!(p.payload_len, Some(86));
+    }
+
+    #[test]
+    fn parses_tcp_flow() {
+        let flow = FlowKey::tcp(
+            Ipv4Addr::new(172, 16, 0, 1),
+            1,
+            Ipv4Addr::new(172, 16, 0, 2),
+            2,
+        );
+        let mut b = PacketBuilder::new();
+        let f = b.build(&flow, 64).unwrap();
+        let p = parse_frame(&f).unwrap();
+        assert_eq!(p.flow, Some(flow));
+    }
+
+    #[test]
+    fn non_ipv4_yields_no_flow() {
+        let mut buf = [0u8; 60];
+        crate::ethernet::emit(
+            &mut buf,
+            MacAddr([0; 6]),
+            MacAddr([1; 6]),
+            EtherType::Arp,
+        )
+        .unwrap();
+        let p = parse_frame(&buf).unwrap();
+        assert_eq!(p.network, NetworkLayer::Arp);
+        assert_eq!(p.flow, None);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        assert!(parse_frame(&[0u8; 5]).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! TCP header view and emitter.
+
+use crate::checksum::{self, Checksum};
+use crate::{Error, Result};
+
+/// Minimum TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP control flags (low 6 bits of byte 13).
+///
+/// Hand-rolled rather than pulled from a bitflags crate to stay inside the
+/// approved dependency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG flag.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Whether every flag in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+}
+
+impl core::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+/// Immutable view of a TCP segment.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpHeader<'a> {
+    buf: &'a [u8],
+    header_len: usize,
+}
+
+impl<'a> TcpHeader<'a> {
+    /// Parses a TCP segment, validating the data-offset field.
+    pub fn parse(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let header_len = usize::from(buf[12] >> 4) * 4;
+        if header_len < MIN_HEADER_LEN || header_len > buf.len() {
+            return Err(Error::Malformed);
+        }
+        Ok(TcpHeader { buf, header_len })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        self.header_len
+    }
+
+    /// Control flags.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buf[13] & 0x3f)
+    }
+
+    /// Advertised receive window.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.buf[14], self.buf[15]])
+    }
+
+    /// Stored checksum.
+    pub fn stored_checksum(&self) -> u16 {
+        u16::from_be_bytes([self.buf[16], self.buf[17]])
+    }
+
+    /// Payload slice (after header and options).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.header_len..]
+    }
+}
+
+/// Field values for emitting a TCP header (no options).
+#[derive(Debug, Clone, Copy)]
+pub struct TcpFields {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised window.
+    pub window: u16,
+}
+
+/// Emits a 20-byte TCP header at the front of `buf`; the payload must
+/// already be in place at `buf[20..20+payload_len]`. The checksum covers the
+/// IPv4 pseudo-header.
+pub fn emit(
+    buf: &mut [u8],
+    src: [u8; 4],
+    dst: [u8; 4],
+    f: &TcpFields,
+    payload_len: u16,
+) -> Result<()> {
+    let seg_len = MIN_HEADER_LEN as u16 + payload_len;
+    if buf.len() < usize::from(seg_len) {
+        return Err(Error::Truncated);
+    }
+    buf[0..2].copy_from_slice(&f.src_port.to_be_bytes());
+    buf[2..4].copy_from_slice(&f.dst_port.to_be_bytes());
+    buf[4..8].copy_from_slice(&f.seq.to_be_bytes());
+    buf[8..12].copy_from_slice(&f.ack.to_be_bytes());
+    buf[12] = 5 << 4; // data offset 5 words
+    buf[13] = f.flags.0;
+    buf[14..16].copy_from_slice(&f.window.to_be_bytes());
+    buf[16] = 0;
+    buf[17] = 0;
+    buf[18] = 0; // urgent pointer
+    buf[19] = 0;
+    let mut c: Checksum = checksum::pseudo_header_v4(src, dst, 6, seg_len);
+    c.add_bytes(&buf[..usize::from(seg_len)]);
+    let csum = c.finish();
+    buf[16..18].copy_from_slice(&csum.to_be_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields() -> TcpFields {
+        TcpFields {
+            src_port: 50000,
+            dst_port: 443,
+            seq: 0x01020304,
+            ack: 0x0a0b0c0d,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 65535,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut buf = [0u8; 24];
+        buf[20..24].copy_from_slice(b"data");
+        emit(&mut buf, [1, 2, 3, 4], [5, 6, 7, 8], &fields(), 4).unwrap();
+        let t = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(t.src_port(), 50000);
+        assert_eq!(t.dst_port(), 443);
+        assert_eq!(t.seq(), 0x01020304);
+        assert_eq!(t.ack(), 0x0a0b0c0d);
+        assert!(t.flags().contains(TcpFlags::ACK));
+        assert!(t.flags().contains(TcpFlags::PSH));
+        assert!(!t.flags().contains(TcpFlags::SYN));
+        assert_eq!(t.window(), 65535);
+        assert_eq!(t.payload(), b"data");
+    }
+
+    #[test]
+    fn checksum_validates_against_pseudo_header() {
+        let mut buf = [0u8; 24];
+        buf[20..24].copy_from_slice(b"data");
+        emit(&mut buf, [1, 2, 3, 4], [5, 6, 7, 8], &fields(), 4).unwrap();
+        let mut c = checksum::pseudo_header_v4([1, 2, 3, 4], [5, 6, 7, 8], 6, 24);
+        c.add_bytes(&buf);
+        assert_eq!(c.finish(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_bad_data_offset() {
+        let mut buf = [0u8; 20];
+        emit(&mut buf, [1, 1, 1, 1], [2, 2, 2, 2], &fields(), 0).unwrap();
+        buf[12] = 0xf0; // offset 15 words = 60 bytes > buffer
+        assert_eq!(TcpHeader::parse(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn flags_bitor_and_contains() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+    }
+}

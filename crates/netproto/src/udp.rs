@@ -1,0 +1,130 @@
+//! UDP header view and emitter.
+
+use crate::checksum::{self, Checksum};
+use crate::{Error, Result};
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// Immutable view of a UDP datagram.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpHeader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> UdpHeader<'a> {
+    /// Parses a UDP datagram, validating the length field.
+    pub fn parse(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < HEADER_LEN || len > buf.len() {
+            return Err(Error::Malformed);
+        }
+        Ok(UdpHeader { buf })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Whether the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == HEADER_LEN as u16
+    }
+
+    /// Stored checksum (0 means "not computed" in IPv4).
+    pub fn stored_checksum(&self) -> u16 {
+        u16::from_be_bytes([self.buf[6], self.buf[7]])
+    }
+
+    /// Payload slice.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[HEADER_LEN..usize::from(self.len())]
+    }
+}
+
+/// Emits a UDP header at the front of `buf`; the payload must already be in
+/// place at `buf[8..8+payload_len]`. The checksum is computed over the IPv4
+/// pseudo-header.
+pub fn emit(
+    buf: &mut [u8],
+    src: [u8; 4],
+    dst: [u8; 4],
+    src_port: u16,
+    dst_port: u16,
+    payload_len: u16,
+) -> Result<()> {
+    let len = HEADER_LEN as u16 + payload_len;
+    if buf.len() < usize::from(len) {
+        return Err(Error::Truncated);
+    }
+    buf[0..2].copy_from_slice(&src_port.to_be_bytes());
+    buf[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    buf[4..6].copy_from_slice(&len.to_be_bytes());
+    buf[6] = 0;
+    buf[7] = 0;
+    let mut c: Checksum = checksum::pseudo_header_v4(src, dst, 17, len);
+    c.add_bytes(&buf[..usize::from(len)]);
+    let mut csum = c.finish();
+    // Per RFC 768 a computed zero checksum is transmitted as all ones.
+    if csum == 0 {
+        csum = 0xffff;
+    }
+    buf[6..8].copy_from_slice(&csum.to_be_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut buf = [0u8; 12];
+        buf[8..12].copy_from_slice(b"ping");
+        emit(&mut buf, [10, 0, 0, 1], [10, 0, 0, 2], 1234, 5353, 4).unwrap();
+        let u = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(u.src_port(), 1234);
+        assert_eq!(u.dst_port(), 5353);
+        assert_eq!(u.len(), 12);
+        assert!(!u.is_empty());
+        assert_eq!(u.payload(), b"ping");
+        assert_ne!(u.stored_checksum(), 0);
+    }
+
+    #[test]
+    fn checksum_validates_against_pseudo_header() {
+        let mut buf = [0u8; 12];
+        buf[8..12].copy_from_slice(b"ping");
+        emit(&mut buf, [10, 0, 0, 1], [10, 0, 0, 2], 1234, 5353, 4).unwrap();
+        let mut c = checksum::pseudo_header_v4([10, 0, 0, 1], [10, 0, 0, 2], 17, 12);
+        c.add_bytes(&buf);
+        assert_eq!(c.finish(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_bad_length_field() {
+        let mut buf = [0u8; 12];
+        emit(&mut buf, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, 4).unwrap();
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(UdpHeader::parse(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn parse_rejects_truncated() {
+        assert_eq!(UdpHeader::parse(&[0u8; 7]).unwrap_err(), Error::Truncated);
+    }
+}

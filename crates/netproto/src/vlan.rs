@@ -1,0 +1,152 @@
+//! IEEE 802.1Q VLAN tag view and emitter.
+//!
+//! Border-router capture ports commonly sit on trunk links, so tagged
+//! frames show up in real captures. The tag sits between the Ethernet
+//! source MAC and the (inner) EtherType.
+
+use crate::ethernet::EtherType;
+use crate::{Error, Result};
+
+/// Length of one 802.1Q tag (TPID + TCI).
+pub const TAG_LEN: usize = 4;
+
+/// The 802.1Q Tag Protocol Identifier.
+pub const TPID: u16 = 0x8100;
+
+/// A parsed 802.1Q tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlanTag {
+    /// Priority code point (0–7).
+    pub pcp: u8,
+    /// Drop-eligible indicator.
+    pub dei: bool,
+    /// VLAN identifier (0–4095; 0 = priority tag, 4095 reserved).
+    pub vid: u16,
+    /// The EtherType of the encapsulated payload.
+    pub inner_ethertype: EtherType,
+}
+
+impl VlanTag {
+    /// Parses the 4 tag bytes that follow the outer TPID position (i.e.
+    /// `buf` starts at the TPID).
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        if buf.len() < TAG_LEN + 2 {
+            return Err(Error::Truncated);
+        }
+        let tpid = u16::from_be_bytes([buf[0], buf[1]]);
+        if tpid != TPID {
+            return Err(Error::Unsupported);
+        }
+        let tci = u16::from_be_bytes([buf[2], buf[3]]);
+        Ok(VlanTag {
+            pcp: (tci >> 13) as u8,
+            dei: tci & 0x1000 != 0,
+            vid: tci & 0x0fff,
+            inner_ethertype: EtherType::from_value(u16::from_be_bytes([buf[4], buf[5]])),
+        })
+    }
+
+    /// The 16-bit tag control information field.
+    pub fn tci(&self) -> u16 {
+        (u16::from(self.pcp) << 13) | (u16::from(self.dei) << 12) | self.vid
+    }
+}
+
+/// Inserts an 802.1Q tag into an untagged Ethernet frame, returning the
+/// tagged frame (4 bytes longer).
+pub fn tag_frame(frame: &[u8], pcp: u8, dei: bool, vid: u16) -> Result<Vec<u8>> {
+    if frame.len() < 14 {
+        return Err(Error::Truncated);
+    }
+    if pcp > 7 || vid > 4095 {
+        return Err(Error::Malformed);
+    }
+    let mut out = Vec::with_capacity(frame.len() + TAG_LEN);
+    out.extend_from_slice(&frame[..12]);
+    out.extend_from_slice(&TPID.to_be_bytes());
+    let tci = (u16::from(pcp) << 13) | (u16::from(dei) << 12) | vid;
+    out.extend_from_slice(&tci.to_be_bytes());
+    out.extend_from_slice(&frame[12..]);
+    Ok(out)
+}
+
+/// Strips the outer 802.1Q tag from a tagged frame, returning the
+/// untagged frame and the removed tag.
+pub fn untag_frame(frame: &[u8]) -> Result<(Vec<u8>, VlanTag)> {
+    if frame.len() < 14 + TAG_LEN {
+        return Err(Error::Truncated);
+    }
+    let tag = VlanTag::parse(&frame[12..])?;
+    let mut out = Vec::with_capacity(frame.len() - TAG_LEN);
+    out.extend_from_slice(&frame[..12]);
+    out.extend_from_slice(&frame[12 + TAG_LEN..]);
+    Ok((out, tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowKey, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn frame() -> Vec<u8> {
+        PacketBuilder::new()
+            .build(
+                &FlowKey::udp(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    1,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    2,
+                ),
+                100,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn tag_untag_roundtrip() {
+        let original = frame();
+        let tagged = tag_frame(&original, 5, true, 131).unwrap();
+        assert_eq!(tagged.len(), original.len() + 4);
+        // The tagged frame's outer ethertype is the TPID.
+        assert_eq!(u16::from_be_bytes([tagged[12], tagged[13]]), TPID);
+        let (untagged, tag) = untag_frame(&tagged).unwrap();
+        assert_eq!(untagged, original);
+        assert_eq!(tag.pcp, 5);
+        assert!(tag.dei);
+        assert_eq!(tag.vid, 131);
+        assert_eq!(tag.inner_ethertype, EtherType::Ipv4);
+    }
+
+    #[test]
+    fn tci_packing() {
+        let tag = VlanTag {
+            pcp: 7,
+            dei: false,
+            vid: 4095,
+            inner_ethertype: EtherType::Ipv4,
+        };
+        assert_eq!(tag.tci(), 0xEFFF);
+    }
+
+    #[test]
+    fn rejects_invalid_fields() {
+        let f = frame();
+        assert!(tag_frame(&f, 8, false, 1).is_err());
+        assert!(tag_frame(&f, 0, false, 4096).is_err());
+        assert!(tag_frame(&[0u8; 10], 0, false, 1).is_err());
+    }
+
+    #[test]
+    fn untag_rejects_untagged() {
+        assert_eq!(untag_frame(&frame()).unwrap_err(), Error::Unsupported);
+    }
+
+    #[test]
+    fn inner_payload_still_parses_after_untag() {
+        let tagged = tag_frame(&frame(), 0, false, 42).unwrap();
+        let (untagged, _) = untag_frame(&tagged).unwrap();
+        let parsed = crate::parse_frame(&untagged).unwrap();
+        assert!(parsed.flow.is_some());
+    }
+}

@@ -1,0 +1,166 @@
+//! Intel Flow Director: flow-table-based steering.
+//!
+//! "Flow Director maintains a flow table in the NIC to assign packets
+//! across queues. … The flow table is established and updated by traffic
+//! in both the forward and reverse directions. Flow Director is typically
+//! not used in a packet capture environment because the traffic is
+//! unidirectional." (§6)
+//!
+//! Implemented for completeness of the NIC model: perfect-match filters
+//! with a bounded table, ATR-style automatic learning from transmitted
+//! traffic, and RSS fallback for misses.
+
+use netproto::FlowKey;
+use std::collections::HashMap;
+
+/// The 82599's perfect-match filter capacity (8k entries mode).
+pub const DEFAULT_TABLE_CAPACITY: usize = 8192;
+
+/// A Flow Director table.
+#[derive(Debug, Clone)]
+pub struct FlowDirector {
+    table: HashMap<FlowKey, usize>,
+    capacity: usize,
+    /// Lookups that found a filter.
+    pub hits: u64,
+    /// Lookups that fell back to RSS.
+    pub misses: u64,
+}
+
+impl FlowDirector {
+    /// Creates an empty table with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TABLE_CAPACITY)
+    }
+
+    /// Creates an empty table with a custom capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        FlowDirector {
+            table: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Installs a perfect-match filter; returns `false` when the table is
+    /// full (hardware signals this via a filter-add failure).
+    pub fn add_filter(&mut self, flow: FlowKey, queue: usize) -> bool {
+        if self.table.len() >= self.capacity && !self.table.contains_key(&flow) {
+            return false;
+        }
+        self.table.insert(flow, queue);
+        true
+    }
+
+    /// Removes a filter; returns whether it existed.
+    pub fn remove_filter(&mut self, flow: &FlowKey) -> bool {
+        self.table.remove(flow).is_some()
+    }
+
+    /// ATR (application-targeted routing): learn from a *transmitted*
+    /// packet — route the reverse direction of the flow to the queue the
+    /// transmitting core uses.
+    pub fn learn_from_tx(&mut self, transmitted: &FlowKey, tx_queue: usize) -> bool {
+        self.add_filter(transmitted.reversed(), tx_queue)
+    }
+
+    /// Looks up the steering decision for a received packet; `None` falls
+    /// back to RSS.
+    pub fn steer(&mut self, flow: &FlowKey) -> Option<usize> {
+        match self.table.get(flow) {
+            Some(&q) => {
+                self.hits += 1;
+                Some(q)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of installed filters.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+impl Default for FlowDirector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn flow(last: u8) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, last),
+            40000,
+            Ipv4Addr::new(131, 225, 2, 1),
+            443,
+        )
+    }
+
+    #[test]
+    fn perfect_filter_steers() {
+        let mut fd = FlowDirector::new();
+        assert!(fd.add_filter(flow(1), 3));
+        assert_eq!(fd.steer(&flow(1)), Some(3));
+        assert_eq!(fd.steer(&flow(2)), None);
+        assert_eq!(fd.hits, 1);
+        assert_eq!(fd.misses, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_table() {
+        let mut fd = FlowDirector::with_capacity(2);
+        assert!(fd.add_filter(flow(1), 0));
+        assert!(fd.add_filter(flow(2), 1));
+        assert!(!fd.add_filter(flow(3), 2));
+        // Updating an existing entry still works at capacity.
+        assert!(fd.add_filter(flow(1), 5));
+        assert_eq!(fd.steer(&flow(1)), Some(5));
+        assert_eq!(fd.len(), 2);
+    }
+
+    #[test]
+    fn remove_filter_restores_rss_fallback() {
+        let mut fd = FlowDirector::new();
+        fd.add_filter(flow(1), 3);
+        assert!(fd.remove_filter(&flow(1)));
+        assert!(!fd.remove_filter(&flow(1)));
+        assert_eq!(fd.steer(&flow(1)), None);
+    }
+
+    #[test]
+    fn atr_learns_reverse_direction() {
+        // The paper's point: FD learns from *both* directions; capture-only
+        // traffic never transmits, so the table stays empty.
+        let mut fd = FlowDirector::new();
+        let outbound = flow(9);
+        fd.learn_from_tx(&outbound, 4);
+        assert_eq!(fd.steer(&outbound.reversed()), Some(4));
+        assert_eq!(fd.steer(&outbound), None);
+    }
+
+    #[test]
+    fn unidirectional_capture_never_populates() {
+        let mut fd = FlowDirector::new();
+        for i in 0..100 {
+            assert_eq!(fd.steer(&flow(i)), None);
+        }
+        assert!(fd.is_empty());
+        assert_eq!(fd.misses, 100);
+    }
+}

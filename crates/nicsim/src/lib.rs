@@ -1,0 +1,40 @@
+//! # nicsim — a simulated multi-queue commodity NIC
+//!
+//! The paper's platform is an Intel 82599 10 GbE NIC: up to 8192 receive
+//! descriptors partitioned across queues, RSS steering, optional Flow
+//! Director, DMA into pre-armed ring buffers, and per-queue transmit
+//! rings (§2.1, §3.3). This crate models that device faithfully enough
+//! that every drop mechanism the paper discusses arises from the same
+//! cause it has in hardware:
+//!
+//! > "incoming packets will be dropped if the receive descriptors in the
+//! > ready state aren't available" (§2.1)
+//!
+//! * [`rss`] — the real Toeplitz hash (verified against the Microsoft
+//!   test vectors) plus a 128-entry indirection table;
+//! * [`ring`] — receive descriptor rings with ready/used descriptor
+//!   states and explicit re-arming, the heart of the drop model;
+//! * [`flow_director`] — the 82599's flow-table steering (implemented for
+//!   completeness; the paper notes it is "typically not used in a packet
+//!   capture environment because the traffic is unidirectional");
+//! * [`nic`] — the assembled device: steering → per-queue DMA → rings,
+//!   with per-queue offered/dropped accounting and bus-byte metering;
+//! * [`tx`] — transmit rings with line-rate draining (for the forwarding
+//!   experiments);
+//! * [`livenic`] — a thread-backed in-memory NIC carrying real packets,
+//!   used by the live (non-simulated) capture mode and the examples.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flow_director;
+pub mod livenic;
+pub mod nic;
+pub mod ring;
+pub mod rss;
+pub mod tx;
+
+pub use nic::{Nic, NicConfig};
+pub use ring::{RxRing, DEFAULT_RING_SIZE};
+pub use rss::RssHasher;
+pub use tx::TxRing;

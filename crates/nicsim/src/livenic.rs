@@ -1,0 +1,194 @@
+//! A thread-backed in-memory NIC for the live capture mode.
+//!
+//! The simulated [`crate::nic::Nic`] runs on virtual time and is what the
+//! figures use. `LiveNic` is its wall-clock sibling: real packets, real
+//! threads, bounded lock-free per-queue rings, RSS steering with the same
+//! Toeplitz hash. The examples and the live WireCAP engine run against
+//! it, demonstrating that the engine objects are a working concurrent
+//! artifact and not only a model.
+
+use crate::rss::Rss;
+use crossbeam::queue::ArrayQueue;
+use netproto::{parse_frame, Packet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One receive queue of a live NIC.
+#[derive(Debug)]
+pub struct LiveQueue {
+    ring: ArrayQueue<Packet>,
+    received: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl LiveQueue {
+    fn new(depth: usize) -> Self {
+        LiveQueue {
+            ring: ArrayQueue::new(depth),
+            received: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Pops the next received packet, if any.
+    pub fn pop(&self) -> Option<Packet> {
+        self.ring.pop()
+    }
+
+    /// Packets successfully enqueued.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Packets dropped because the ring was full — the live analogue of
+    /// "no receive descriptor in the ready state".
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Packets currently waiting in the ring.
+    pub fn depth(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+/// A live, multi-queue, promiscuous in-memory NIC.
+#[derive(Debug)]
+pub struct LiveNic {
+    queues: Vec<Arc<LiveQueue>>,
+    rss: Rss,
+    stopped: AtomicBool,
+}
+
+impl LiveNic {
+    /// Creates a live NIC with `queues` receive queues of `depth` slots.
+    pub fn new(queues: usize, depth: usize) -> Arc<Self> {
+        assert!(queues >= 1 && depth >= 1);
+        Arc::new(LiveNic {
+            queues: (0..queues).map(|_| Arc::new(LiveQueue::new(depth))).collect(),
+            rss: Rss::new(queues),
+            stopped: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of receive queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Handle to receive queue `q`.
+    pub fn queue(&self, q: usize) -> Arc<LiveQueue> {
+        Arc::clone(&self.queues[q])
+    }
+
+    /// Injects a packet from "the wire": parses its 5-tuple, steers by
+    /// RSS, enqueues or drops. Returns the queue it was steered to, or
+    /// `None` if the packet was dropped (queue full or unparseable).
+    pub fn inject(&self, pkt: Packet) -> Option<usize> {
+        let q = match parse_frame(&pkt.data).ok().and_then(|p| p.flow) {
+            Some(flow) => self.rss.steer(&flow),
+            // Non-IP traffic lands on queue 0, as hardware RSS does.
+            None => 0,
+        };
+        let queue = &self.queues[q];
+        match queue.ring.push(pkt) {
+            Ok(()) => {
+                queue.received.fetch_add(1, Ordering::Relaxed);
+                Some(q)
+            }
+            Err(_) => {
+                queue.dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Marks the NIC stopped; consumers treat this as end-of-stream once
+    /// the rings drain.
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the NIC has been stopped.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netproto::{FlowKey, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn packet(i: u16) -> Packet {
+        let flow = FlowKey::udp(
+            Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+            1000 + i,
+            Ipv4Addr::new(131, 225, 2, 1),
+            443,
+        );
+        PacketBuilder::new().build_packet(u64::from(i), &flow, 100).unwrap()
+    }
+
+    #[test]
+    fn steering_is_flow_stable() {
+        let nic = LiveNic::new(4, 64);
+        let q1 = nic.inject(packet(5)).unwrap();
+        let q2 = nic.inject(packet(5)).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn full_queue_drops() {
+        let nic = LiveNic::new(1, 2);
+        assert!(nic.inject(packet(1)).is_some());
+        assert!(nic.inject(packet(2)).is_some());
+        assert!(nic.inject(packet(3)).is_none());
+        assert_eq!(nic.queue(0).received(), 2);
+        assert_eq!(nic.queue(0).dropped(), 1);
+    }
+
+    #[test]
+    fn consumers_drain_across_threads() {
+        let nic = LiveNic::new(2, 1024);
+        let total = 500u16;
+        let producer = {
+            let nic = Arc::clone(&nic);
+            std::thread::spawn(move || {
+                for i in 0..total {
+                    while nic.inject(packet(i)).is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+                nic.stop();
+            })
+        };
+        let consumers: Vec<_> = (0..2)
+            .map(|q| {
+                let queue = nic.queue(q);
+                let nic = Arc::clone(&nic);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    loop {
+                        match queue.pop() {
+                            Some(_) => n += 1,
+                            None if nic.is_stopped() && queue.depth() == 0 => return n,
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(consumed, u64::from(total));
+    }
+
+    #[test]
+    fn non_ip_lands_on_queue_zero() {
+        let nic = LiveNic::new(4, 16);
+        let raw = Packet::new(0, vec![0u8; 60]); // ethertype 0x0000
+        assert_eq!(nic.inject(raw), Some(0));
+    }
+}

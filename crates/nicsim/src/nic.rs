@@ -1,0 +1,249 @@
+//! The assembled multi-queue NIC.
+
+use crate::flow_director::FlowDirector;
+use crate::ring::RxRing;
+use crate::rss::Rss;
+use crate::tx::TxRing;
+use netproto::FlowKey;
+
+/// Static configuration of a simulated NIC.
+#[derive(Debug, Clone)]
+pub struct NicConfig {
+    /// Identifier used in chunk metadata ({nic_id, ring_id, chunk_id}).
+    pub nic_id: u16,
+    /// Number of receive queues (the paper uses 1–6).
+    pub rx_queues: usize,
+    /// Number of transmit queues.
+    pub tx_queues: usize,
+    /// Receive ring size in descriptors (the paper evaluates with 1024).
+    pub ring_size: usize,
+    /// Transmit ring size in descriptors.
+    pub tx_ring_size: usize,
+    /// Link speed in Gbit/s.
+    pub link_gbps: f64,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            nic_id: 0,
+            rx_queues: 1,
+            tx_queues: 1,
+            ring_size: crate::ring::DEFAULT_RING_SIZE,
+            tx_ring_size: crate::ring::DEFAULT_RING_SIZE,
+            link_gbps: 10.0,
+        }
+    }
+}
+
+impl NicConfig {
+    /// The paper's experiment NIC: an Intel 82599 10 GbE port with
+    /// `queues` receive queues of 1024 descriptors each.
+    pub fn paper(nic_id: u16, queues: usize) -> Self {
+        NicConfig {
+            nic_id,
+            rx_queues: queues,
+            tx_queues: queues.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// A simulated multi-queue NIC in promiscuous capture mode.
+#[derive(Debug)]
+pub struct Nic {
+    cfg: NicConfig,
+    rss: Rss,
+    fdir: Option<FlowDirector>,
+    rx: Vec<RxRing>,
+    tx: Vec<TxRing>,
+    /// Per-queue packets offered by the wire (pre-drop).
+    offered: Vec<u64>,
+    /// Per-queue bytes successfully DMA'd to host memory.
+    dma_bytes: Vec<u64>,
+}
+
+impl Nic {
+    /// Brings up a NIC: rings armed, RSS programmed round-robin.
+    pub fn new(cfg: NicConfig) -> Self {
+        assert!(cfg.rx_queues >= 1 && cfg.tx_queues >= 1);
+        assert!(
+            cfg.ring_size * cfg.rx_queues <= crate::ring::MAX_DESCRIPTORS,
+            "82599 provides at most 8192 descriptors per port"
+        );
+        Nic {
+            rss: Rss::new(cfg.rx_queues),
+            fdir: None,
+            rx: (0..cfg.rx_queues).map(|_| RxRing::new(cfg.ring_size)).collect(),
+            tx: (0..cfg.tx_queues)
+                .map(|_| TxRing::new(cfg.tx_ring_size, cfg.link_gbps))
+                .collect(),
+            offered: vec![0; cfg.rx_queues],
+            dma_bytes: vec![0; cfg.rx_queues],
+            cfg,
+        }
+    }
+
+    /// The NIC's configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// Enables Flow Director steering in front of RSS.
+    pub fn enable_flow_director(&mut self) {
+        self.fdir = Some(FlowDirector::new());
+    }
+
+    /// The Flow Director table, if enabled.
+    pub fn flow_director_mut(&mut self) -> Option<&mut FlowDirector> {
+        self.fdir.as_mut()
+    }
+
+    /// The steering decision for a flow (Flow Director first, RSS
+    /// fallback), without touching the rings.
+    pub fn steer(&mut self, flow: &FlowKey) -> usize {
+        if let Some(fd) = &mut self.fdir {
+            if let Some(q) = fd.steer(flow) {
+                return q;
+            }
+        }
+        self.rss.steer(flow)
+    }
+
+    /// Steers with a precomputed RSS hash (per-flow hash caching — the
+    /// hot path of the experiment harness).
+    pub fn steer_hash(&self, hash: u32) -> usize {
+        self.rss.steer_hash(hash)
+    }
+
+    /// The RSS stage (for hash precomputation).
+    pub fn rss(&self) -> &Rss {
+        &self.rss
+    }
+
+    /// Offers one packet of `len` bytes to queue `q`: one DMA attempt.
+    /// Returns `true` if it landed in a ring buffer.
+    pub fn offer(&mut self, q: usize, len: u16) -> bool {
+        self.offered[q] += 1;
+        let landed = self.rx[q].dma();
+        if landed {
+            // The captured frame is the wire frame minus FCS.
+            self.dma_bytes[q] += u64::from(len.saturating_sub(4));
+        }
+        landed
+    }
+
+    /// The receive ring of queue `q`.
+    pub fn rx_ring(&self, q: usize) -> &RxRing {
+        &self.rx[q]
+    }
+
+    /// Mutable receive ring of queue `q` (engines re-arm through this).
+    pub fn rx_ring_mut(&mut self, q: usize) -> &mut RxRing {
+        &mut self.rx[q]
+    }
+
+    /// The transmit ring of queue `q`.
+    pub fn tx_ring(&self, q: usize) -> &TxRing {
+        &self.tx[q]
+    }
+
+    /// Mutable transmit ring of queue `q`.
+    pub fn tx_ring_mut(&mut self, q: usize) -> &mut TxRing {
+        &mut self.tx[q]
+    }
+
+    /// Packets offered to queue `q` so far.
+    pub fn offered(&self, q: usize) -> u64 {
+        self.offered[q]
+    }
+
+    /// Bytes DMA'd into host memory for queue `q`.
+    pub fn dma_bytes(&self, q: usize) -> u64 {
+        self.dma_bytes[q]
+    }
+
+    /// Total capture drops across all queues (no ready descriptor).
+    pub fn total_rx_drops(&self) -> u64 {
+        self.rx.iter().map(RxRing::drops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn flow(i: u16) -> FlowKey {
+        FlowKey::udp(
+            Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+            1000 + i,
+            Ipv4Addr::new(131, 225, 2, 1),
+            443,
+        )
+    }
+
+    #[test]
+    fn paper_config_limits() {
+        let nic = Nic::new(NicConfig::paper(0, 6));
+        assert_eq!(nic.config().rx_queues, 6);
+        assert_eq!(nic.rx_ring(0).size(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "8192 descriptors")]
+    fn descriptor_budget_enforced() {
+        Nic::new(NicConfig {
+            rx_queues: 16,
+            ring_size: 1024,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn steering_is_stable_per_flow() {
+        let mut nic = Nic::new(NicConfig::paper(0, 6));
+        let f = flow(7);
+        let q = nic.steer(&f);
+        assert_eq!(nic.steer(&f), q);
+        let h = nic.rss().hasher().hash_flow(&f);
+        assert_eq!(nic.steer_hash(h), q);
+    }
+
+    #[test]
+    fn flow_director_overrides_rss() {
+        let mut nic = Nic::new(NicConfig::paper(0, 4));
+        let f = flow(3);
+        let rss_q = nic.steer(&f);
+        nic.enable_flow_director();
+        let target = (rss_q + 1) % 4;
+        nic.flow_director_mut().unwrap().add_filter(f, target);
+        assert_eq!(nic.steer(&f), target);
+    }
+
+    #[test]
+    fn offer_accounts_bytes_and_drops() {
+        let mut nic = Nic::new(NicConfig {
+            ring_size: 2,
+            ..NicConfig::paper(0, 1)
+        });
+        assert!(nic.offer(0, 64));
+        assert!(nic.offer(0, 64));
+        assert!(!nic.offer(0, 64)); // ring exhausted, nothing re-armed
+        assert_eq!(nic.offered(0), 3);
+        assert_eq!(nic.dma_bytes(0), 120); // 2 × (64 − 4)
+        assert_eq!(nic.total_rx_drops(), 1);
+    }
+
+    #[test]
+    fn rearm_through_ring_handle() {
+        let mut nic = Nic::new(NicConfig {
+            ring_size: 1,
+            ..NicConfig::paper(0, 1)
+        });
+        assert!(nic.offer(0, 64));
+        assert!(!nic.offer(0, 64));
+        nic.rx_ring_mut(0).rearm(1);
+        assert!(nic.offer(0, 64));
+    }
+}

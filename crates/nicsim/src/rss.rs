@@ -1,0 +1,231 @@
+//! Receive-side scaling: Toeplitz hashing and the indirection table.
+//!
+//! RSS is the traffic-steering mechanism the paper's paradigm builds on
+//! (§1, Fig. 1): the NIC hashes each packet's 5-tuple fields and uses the
+//! low bits of the hash to pick a receive queue via an indirection table,
+//! so "packets of the same flow \[go\] to the same core". The hash here is
+//! the real Toeplitz function with Microsoft's verification key, tested
+//! against the published test vectors — the skewed queue loads in Fig. 3
+//! come out of the same arithmetic real hardware uses.
+
+use netproto::FlowKey;
+
+/// Microsoft's 40-byte RSS verification key (the de-facto default).
+pub const MICROSOFT_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// Number of entries in the 82599's RSS indirection (RETA) table.
+pub const RETA_SIZE: usize = 128;
+
+/// Which tuple fields feed the hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashFields {
+    /// Source/destination addresses only (the 82599's non-TCP default).
+    Ipv4,
+    /// Addresses and ports (TCP/UDP 4-tuple hashing).
+    Ipv4Ports,
+}
+
+/// A Toeplitz hasher with a fixed key.
+#[derive(Debug, Clone)]
+pub struct RssHasher {
+    key: [u8; 40],
+    fields: HashFields,
+}
+
+impl Default for RssHasher {
+    fn default() -> Self {
+        RssHasher::new(MICROSOFT_KEY, HashFields::Ipv4Ports)
+    }
+}
+
+impl RssHasher {
+    /// Creates a hasher with an explicit key and field selection.
+    pub fn new(key: [u8; 40], fields: HashFields) -> Self {
+        RssHasher { key, fields }
+    }
+
+    /// Computes the Toeplitz hash over an input byte string.
+    ///
+    /// The key is conceptually an infinite bit string; each set input bit
+    /// (MSB first) XORs in the 32-bit key window starting at that bit
+    /// position.
+    pub fn hash_bytes(&self, input: &[u8]) -> u32 {
+        let mut result = 0u32;
+        for (i, &b) in input.iter().enumerate() {
+            for bit in 0..8 {
+                if b & (0x80 >> bit) != 0 {
+                    result ^= self.key_window(i * 8 + bit);
+                }
+            }
+        }
+        result
+    }
+
+    /// The 32-bit key window starting at bit offset `off`.
+    fn key_window(&self, off: usize) -> u32 {
+        let byte = off / 8;
+        let shift = off % 8;
+        let mut window = 0u64;
+        for i in 0..5 {
+            let k = self.key.get(byte + i).copied().unwrap_or(0);
+            window = (window << 8) | u64::from(k);
+        }
+        ((window >> (8 - shift)) & 0xffff_ffff) as u32
+    }
+
+    /// Hashes an IPv4 flow per the configured field selection.
+    pub fn hash_flow(&self, flow: &FlowKey) -> u32 {
+        let mut input = [0u8; 12];
+        input[0..4].copy_from_slice(&flow.src_ip.octets());
+        input[4..8].copy_from_slice(&flow.dst_ip.octets());
+        match self.fields {
+            HashFields::Ipv4 => self.hash_bytes(&input[..8]),
+            HashFields::Ipv4Ports => {
+                input[8..10].copy_from_slice(&flow.src_port.to_be_bytes());
+                input[10..12].copy_from_slice(&flow.dst_port.to_be_bytes());
+                self.hash_bytes(&input)
+            }
+        }
+    }
+}
+
+/// The RSS steering stage: hash → indirection table → queue.
+#[derive(Debug, Clone)]
+pub struct Rss {
+    hasher: RssHasher,
+    reta: [u8; RETA_SIZE],
+}
+
+impl Rss {
+    /// Creates RSS steering for `queues` receive queues with the default
+    /// round-robin-initialized indirection table (what the ixgbe driver
+    /// programs at start-up).
+    pub fn new(queues: usize) -> Self {
+        assert!((1..=255).contains(&queues));
+        let mut reta = [0u8; RETA_SIZE];
+        for (i, e) in reta.iter_mut().enumerate() {
+            *e = (i % queues) as u8;
+        }
+        Rss {
+            hasher: RssHasher::default(),
+            reta,
+        }
+    }
+
+    /// Replaces the indirection table (must reference valid queues).
+    pub fn set_reta(&mut self, reta: [u8; RETA_SIZE]) {
+        self.reta = reta;
+    }
+
+    /// Steers a flow to a queue index.
+    pub fn steer(&self, flow: &FlowKey) -> usize {
+        let h = self.hasher.hash_flow(flow);
+        usize::from(self.reta[(h as usize) & (RETA_SIZE - 1)])
+    }
+
+    /// Steers using a precomputed hash (per-flow caching).
+    pub fn steer_hash(&self, hash: u32) -> usize {
+        usize::from(self.reta[(hash as usize) & (RETA_SIZE - 1)])
+    }
+
+    /// Access to the hasher for precomputing flow hashes.
+    pub fn hasher(&self) -> &RssHasher {
+        &self.hasher
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn flow(
+        src: [u8; 4],
+        sport: u16,
+        dst: [u8; 4],
+        dport: u16,
+    ) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::from(src),
+            sport,
+            Ipv4Addr::from(dst),
+            dport,
+        )
+    }
+
+    /// The published Microsoft RSS verification suite (IPv4 with ports).
+    #[test]
+    fn microsoft_test_vectors_with_ports() {
+        let h = RssHasher::new(MICROSOFT_KEY, HashFields::Ipv4Ports);
+        let cases = [
+            (flow([66, 9, 149, 187], 2794, [161, 142, 100, 80], 1766), 0x51cc_c178u32),
+            (flow([199, 92, 111, 2], 14230, [65, 69, 140, 83], 4739), 0xc626_b0ea),
+            (flow([24, 19, 198, 95], 12898, [12, 22, 207, 184], 38024), 0x5c2b_394a),
+            (flow([38, 27, 205, 30], 48228, [209, 142, 163, 6], 2217), 0xafc7_327f),
+            (flow([153, 39, 163, 191], 44251, [202, 188, 127, 2], 1303), 0x10e8_28a2),
+        ];
+        for (f, expect) in cases {
+            assert_eq!(h.hash_flow(&f), expect, "flow {f}");
+        }
+    }
+
+    /// The published vectors for address-only hashing.
+    #[test]
+    fn microsoft_test_vectors_addresses_only() {
+        let h = RssHasher::new(MICROSOFT_KEY, HashFields::Ipv4);
+        let cases = [
+            (flow([66, 9, 149, 187], 0, [161, 142, 100, 80], 0), 0x323e_8fc2u32),
+            (flow([199, 92, 111, 2], 0, [65, 69, 140, 83], 0), 0xd718_262a),
+            (flow([24, 19, 198, 95], 0, [12, 22, 207, 184], 0), 0xd2d0_a5de),
+            (flow([38, 27, 205, 30], 0, [209, 142, 163, 6], 0), 0x8298_9176),
+            (flow([153, 39, 163, 191], 0, [202, 188, 127, 2], 0), 0x5d18_09c5),
+        ];
+        for (f, expect) in cases {
+            assert_eq!(h.hash_flow(&f), expect, "flow {f}");
+        }
+    }
+
+    #[test]
+    fn same_flow_same_queue() {
+        let rss = Rss::new(6);
+        let f = flow([131, 225, 2, 4], 5555, [8, 8, 8, 8], 443);
+        let q = rss.steer(&f);
+        for _ in 0..10 {
+            assert_eq!(rss.steer(&f), q);
+        }
+        assert!(q < 6);
+    }
+
+    #[test]
+    fn steer_hash_matches_steer() {
+        let rss = Rss::new(4);
+        let f = flow([10, 1, 2, 3], 1234, [10, 3, 2, 1], 80);
+        let h = rss.hasher().hash_flow(&f);
+        assert_eq!(rss.steer_hash(h), rss.steer(&f));
+    }
+
+    #[test]
+    fn queues_all_reachable() {
+        let rss = Rss::new(6);
+        let mut seen = [false; 6];
+        let mut b = 0u16;
+        while seen.iter().any(|s| !s) && b < 2000 {
+            let f = flow([10, 0, (b >> 8) as u8, b as u8], 1000 + b, [8, 8, 8, 8], 80);
+            seen[rss.steer(&f)] = true;
+            b += 1;
+        }
+        assert!(seen.iter().all(|&s| s), "some queue never selected");
+    }
+
+    #[test]
+    fn custom_reta_redirects() {
+        let mut rss = Rss::new(4);
+        rss.set_reta([3u8; RETA_SIZE]);
+        let f = flow([1, 2, 3, 4], 5, [6, 7, 8, 9], 10);
+        assert_eq!(rss.steer(&f), 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! The `pcap_dispatch` / `pcap_loop` programming model.
+//!
+//! [`Capture`] wraps any [`PacketSource`] and adds the libpcap surface a
+//! monitoring application expects: BPF filtering (`pcap_setfilter`),
+//! bounded dispatch (`pcap_dispatch`), drain-to-completion (`pcap_loop`)
+//! and `pcap_stats`-style counters. WireCAP's user-mode work queues, the
+//! simulated NIC, and offline savefiles all implement [`PacketSource`], so
+//! an application written against this module runs unchanged on any of
+//! them — the paper's compatibility claim.
+
+use bpf::Filter;
+use netproto::Packet;
+
+/// Anything packets can be read from, one at a time.
+///
+/// `None` means "no packet available right now"; sources distinguish a
+/// temporarily-empty live queue from end-of-stream via [`PacketSource::is_done`].
+pub trait PacketSource {
+    /// Takes the next available packet, if any.
+    fn next_packet(&mut self) -> Option<Packet>;
+
+    /// True when the source will never produce another packet.
+    fn is_done(&self) -> bool;
+}
+
+/// A finite, in-memory packet source (savefiles, test fixtures).
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    packets: std::collections::VecDeque<Packet>,
+}
+
+impl VecSource {
+    /// Creates a source over the given packets, delivered in order.
+    pub fn new(packets: impl IntoIterator<Item = Packet>) -> Self {
+        VecSource {
+            packets: packets.into_iter().collect(),
+        }
+    }
+
+    /// Loads a source from pcap savefile bytes.
+    pub fn from_savefile(data: &[u8]) -> Result<Self, crate::SavefileError> {
+        Ok(VecSource::new(crate::savefile::read_file(data)?.packets))
+    }
+}
+
+impl PacketSource for VecSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        self.packets.pop_front()
+    }
+
+    fn is_done(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+/// `pcap_stats` counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureStats {
+    /// Packets seen by the capture (pre-filter).
+    pub received: u64,
+    /// Packets rejected by the installed filter.
+    pub filtered_out: u64,
+    /// Packets handed to the application callback.
+    pub delivered: u64,
+}
+
+/// A libpcap-style capture handle over a packet source.
+#[derive(Debug)]
+pub struct Capture<S: PacketSource> {
+    source: S,
+    filter: Option<Filter>,
+    snaplen: usize,
+    stats: CaptureStats,
+}
+
+impl<S: PacketSource> Capture<S> {
+    /// Opens a capture over `source` with no filter and full snap length.
+    pub fn new(source: S) -> Self {
+        Capture {
+            source,
+            filter: None,
+            snaplen: 65_535,
+            stats: CaptureStats::default(),
+        }
+    }
+
+    /// Installs a compiled BPF filter (`pcap_setfilter`).
+    pub fn set_filter(&mut self, filter: Filter) {
+        self.filter = Some(filter);
+    }
+
+    /// Compiles and installs a filter expression in one step.
+    pub fn set_filter_expr(&mut self, expr: &str) -> Result<(), bpf::Error> {
+        self.filter = Some(Filter::compile(expr)?);
+        Ok(())
+    }
+
+    /// Removes the filter.
+    pub fn clear_filter(&mut self) {
+        self.filter = None;
+    }
+
+    /// Sets the snap length applied to delivered packets.
+    pub fn set_snaplen(&mut self, snaplen: usize) {
+        self.snaplen = snaplen.max(1);
+    }
+
+    /// Processes up to `count` packets (`pcap_dispatch`). Returns the
+    /// number of packets handed to the callback. Returns early when the
+    /// source has nothing available.
+    pub fn dispatch<F: FnMut(&Packet)>(&mut self, count: usize, mut handler: F) -> usize {
+        let mut delivered = 0;
+        while delivered < count {
+            let Some(pkt) = self.source.next_packet() else {
+                break;
+            };
+            self.stats.received += 1;
+            if let Some(f) = &self.filter {
+                if !f.matches(&pkt.data) {
+                    self.stats.filtered_out += 1;
+                    continue;
+                }
+            }
+            let pkt = if pkt.data.len() > self.snaplen {
+                Packet {
+                    ts_ns: pkt.ts_ns,
+                    wire_len: pkt.wire_len,
+                    data: pkt.data.slice(..self.snaplen),
+                }
+            } else {
+                pkt
+            };
+            self.stats.delivered += 1;
+            delivered += 1;
+            handler(&pkt);
+        }
+        delivered
+    }
+
+    /// Processes packets until the source is exhausted (`pcap_loop` with
+    /// `cnt = -1` on a finite source). Returns the number delivered.
+    pub fn loop_<F: FnMut(&Packet)>(&mut self, mut handler: F) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.dispatch(usize::MAX, &mut handler);
+            total += n;
+            if self.source.is_done() {
+                return total;
+            }
+            if n == 0 {
+                // Live source with nothing pending; a real pcap_loop would
+                // block. The simulation-facing sources never hit this arm
+                // without being done.
+                return total;
+            }
+        }
+    }
+
+    /// `pcap_stats`.
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+
+    /// Releases the handle, returning the underlying source.
+    pub fn into_source(self) -> S {
+        self.source
+    }
+
+    /// Borrows the underlying source.
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netproto::{FlowKey, PacketBuilder};
+
+    fn mixed_packets() -> Vec<Packet> {
+        let mut b = PacketBuilder::new();
+        let udp = FlowKey::udp(
+            "131.225.2.1".parse().unwrap(),
+            53,
+            "8.8.8.8".parse().unwrap(),
+            53,
+        );
+        let tcp = FlowKey::tcp(
+            "10.0.0.1".parse().unwrap(),
+            80,
+            "10.0.0.2".parse().unwrap(),
+            80,
+        );
+        (0..10)
+            .map(|i| {
+                let flow = if i % 2 == 0 { &udp } else { &tcp };
+                b.build_packet(i * 1000, flow, 100).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loop_delivers_everything_without_filter() {
+        let mut cap = Capture::new(VecSource::new(mixed_packets()));
+        let mut seen = Vec::new();
+        let n = cap.loop_(|p| seen.push(p.ts_ns));
+        assert_eq!(n, 10);
+        assert_eq!(seen.len(), 10);
+        assert_eq!(cap.stats().received, 10);
+        assert_eq!(cap.stats().delivered, 10);
+        assert_eq!(cap.stats().filtered_out, 0);
+    }
+
+    #[test]
+    fn dispatch_respects_count() {
+        let mut cap = Capture::new(VecSource::new(mixed_packets()));
+        assert_eq!(cap.dispatch(3, |_| {}), 3);
+        assert_eq!(cap.dispatch(100, |_| {}), 7);
+        assert_eq!(cap.dispatch(5, |_| {}), 0);
+    }
+
+    #[test]
+    fn filter_screens_packets() {
+        let mut cap = Capture::new(VecSource::new(mixed_packets()));
+        cap.set_filter_expr("udp").unwrap();
+        let n = cap.loop_(|p| {
+            let parsed = netproto::parse_frame(&p.data).unwrap();
+            assert_eq!(parsed.flow.unwrap().proto, netproto::Protocol::Udp);
+        });
+        assert_eq!(n, 5);
+        assert_eq!(cap.stats().filtered_out, 5);
+    }
+
+    #[test]
+    fn paper_filter_via_capture() {
+        let mut cap = Capture::new(VecSource::new(mixed_packets()));
+        cap.set_filter_expr("131.225.2 and udp").unwrap();
+        assert_eq!(cap.loop_(|_| {}), 5);
+    }
+
+    #[test]
+    fn snaplen_truncates_delivery() {
+        let mut cap = Capture::new(VecSource::new(mixed_packets()));
+        cap.set_snaplen(42);
+        cap.loop_(|p| {
+            assert_eq!(p.data.len(), 42);
+            assert_eq!(p.wire_len, 100);
+        });
+    }
+
+    #[test]
+    fn clear_filter_restores_everything() {
+        let mut cap = Capture::new(VecSource::new(mixed_packets()));
+        cap.set_filter_expr("udp").unwrap();
+        cap.clear_filter();
+        assert_eq!(cap.loop_(|_| {}), 10);
+    }
+
+    #[test]
+    fn savefile_source_roundtrip() {
+        let pkts = mixed_packets();
+        let mut buf = Vec::new();
+        crate::savefile::write_file(&mut buf, &pkts, crate::Precision::Nanos, 65535).unwrap();
+        let mut cap = Capture::new(VecSource::from_savefile(&buf).unwrap());
+        assert_eq!(cap.loop_(|_| {}), 10);
+    }
+}

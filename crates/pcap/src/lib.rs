@@ -1,0 +1,34 @@
+//! # pcap — Libpcap-compatible savefiles and capture API
+//!
+//! WireCAP's user-mode library exposes "a Libpcap-compatible interface for
+//! low-level network access … allowing existing network monitoring
+//! applications to use WireCAP without changes" (paper §1, §3.2.2e). This
+//! crate is that interface for the reproduction:
+//!
+//! * [`savefile`] reads and writes the classic pcap file format (both
+//!   endiannesses, microsecond and nanosecond timestamp precision,
+//!   snap-length truncation) with no external dependencies;
+//! * [`capture`] provides the `pcap_dispatch`/`pcap_loop` programming
+//!   model over any [`capture::PacketSource`] — offline savefiles, the
+//!   simulated NIC, or WireCAP work queues — plus BPF filtering via the
+//!   [`bpf`] crate and `pcap_stats`-style counters.
+//!
+//! ```
+//! use pcap::capture::{Capture, VecSource};
+//! use netproto::Packet;
+//!
+//! let pkts = vec![Packet::new(0, vec![0u8; 60]), Packet::new(1000, vec![1u8; 60])];
+//! let mut cap = Capture::new(VecSource::new(pkts));
+//! let mut n = 0;
+//! cap.loop_(|_pkt| n += 1);
+//! assert_eq!(n, 2);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capture;
+pub mod savefile;
+
+pub use capture::{Capture, CaptureStats, PacketSource, VecSource};
+pub use savefile::{read_file, write_file, Linktype, Precision, SavefileError};

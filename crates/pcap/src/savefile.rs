@@ -1,0 +1,440 @@
+//! The classic pcap savefile format.
+//!
+//! Implements the tcpdump/libpcap format exactly: a 24-byte global header
+//! (magic, version 2.4, snaplen, linktype) followed by per-packet records
+//! (seconds, fractional part, captured length, original length). Readers
+//! accept all four magic variants — little/big endian × micro/nanosecond
+//! timestamps; writers emit little-endian and either precision.
+
+use bytes::Bytes;
+use netproto::Packet;
+use std::io::{self, Read, Write};
+
+/// Magic for microsecond-precision files (native byte order).
+pub const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
+/// Magic for nanosecond-precision files (native byte order).
+pub const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
+
+/// Timestamp precision of a savefile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Microsecond fractional timestamps (`0xa1b2c3d4`).
+    Micros,
+    /// Nanosecond fractional timestamps (`0xa1b23c4d`).
+    Nanos,
+}
+
+/// Link-layer header type (we only capture Ethernet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linktype {
+    /// LINKTYPE_ETHERNET (1).
+    Ethernet,
+    /// Any other value, preserved verbatim.
+    Other(u32),
+}
+
+impl Linktype {
+    fn value(self) -> u32 {
+        match self {
+            Linktype::Ethernet => 1,
+            Linktype::Other(v) => v,
+        }
+    }
+
+    fn from_value(v: u32) -> Self {
+        if v == 1 {
+            Linktype::Ethernet
+        } else {
+            Linktype::Other(v)
+        }
+    }
+}
+
+/// Errors from reading a savefile.
+#[derive(Debug)]
+pub enum SavefileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic number is not a pcap magic.
+    BadMagic(u32),
+    /// A record header is inconsistent (e.g. captured length > snaplen
+    /// sanity bound).
+    Corrupt(String),
+}
+
+impl From<io::Error> for SavefileError {
+    fn from(e: io::Error) -> Self {
+        SavefileError::Io(e)
+    }
+}
+
+impl core::fmt::Display for SavefileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SavefileError::Io(e) => write!(f, "i/o error: {e}"),
+            SavefileError::BadMagic(m) => write!(f, "not a pcap file (magic {m:#010x})"),
+            SavefileError::Corrupt(m) => write!(f, "corrupt savefile: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SavefileError {}
+
+/// Contents of a parsed savefile.
+#[derive(Debug)]
+pub struct Savefile {
+    /// Timestamp precision the file was written with.
+    pub precision: Precision,
+    /// Snap length declared in the header.
+    pub snaplen: u32,
+    /// Link-layer type.
+    pub linktype: Linktype,
+    /// The packets, timestamps normalized to nanoseconds.
+    pub packets: Vec<Packet>,
+}
+
+/// Hard upper bound on record lengths, used to reject corrupt files
+/// before attempting a huge allocation.
+const MAX_RECORD_LEN: u32 = 256 * 1024 * 1024;
+
+/// Writes packets as a pcap savefile.
+pub fn write_file<W: Write>(
+    mut w: W,
+    packets: &[Packet],
+    precision: Precision,
+    snaplen: u32,
+) -> io::Result<()> {
+    let magic = match precision {
+        Precision::Micros => MAGIC_MICROS,
+        Precision::Nanos => MAGIC_NANOS,
+    };
+    w.write_all(&magic.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&snaplen.to_le_bytes())?;
+    w.write_all(&Linktype::Ethernet.value().to_le_bytes())?;
+    for p in packets {
+        let secs = (p.ts_ns / 1_000_000_000) as u32;
+        let frac_ns = p.ts_ns % 1_000_000_000;
+        let frac = match precision {
+            Precision::Micros => (frac_ns / 1_000) as u32,
+            Precision::Nanos => frac_ns as u32,
+        };
+        let incl = (p.data.len() as u32).min(snaplen);
+        w.write_all(&secs.to_le_bytes())?;
+        w.write_all(&frac.to_le_bytes())?;
+        w.write_all(&incl.to_le_bytes())?;
+        w.write_all(&p.wire_len.to_le_bytes())?;
+        w.write_all(&p.data[..incl as usize])?;
+    }
+    w.flush()
+}
+
+/// Reads a pcap savefile, accepting any of the four magic variants.
+pub fn read_file<R: Read>(mut r: R) -> Result<Savefile, SavefileError> {
+    let mut hdr = [0u8; 24];
+    r.read_exact(&mut hdr)?;
+    let raw_magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+    let (swapped, precision) = match raw_magic {
+        MAGIC_MICROS => (false, Precision::Micros),
+        MAGIC_NANOS => (false, Precision::Nanos),
+        m if m == MAGIC_MICROS.swap_bytes() => (true, Precision::Micros),
+        m if m == MAGIC_NANOS.swap_bytes() => (true, Precision::Nanos),
+        m => return Err(SavefileError::BadMagic(m)),
+    };
+    let u32_at = |b: &[u8], off: usize| -> u32 {
+        let v = u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]]);
+        if swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    };
+    let snaplen = u32_at(&hdr, 16);
+    let linktype = Linktype::from_value(u32_at(&hdr, 20));
+
+    let mut packets = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match r.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let secs = u32_at(&rec, 0);
+        let frac = u32_at(&rec, 4);
+        let incl = u32_at(&rec, 8);
+        let orig = u32_at(&rec, 12);
+        if incl > MAX_RECORD_LEN || incl > orig.max(incl) || orig > MAX_RECORD_LEN {
+            return Err(SavefileError::Corrupt(format!(
+                "record {}: incl {incl} orig {orig}",
+                packets.len()
+            )));
+        }
+        let frac_ns = match precision {
+            Precision::Micros => {
+                if frac >= 1_000_000 {
+                    return Err(SavefileError::Corrupt(format!(
+                        "record {}: microsecond field {frac}",
+                        packets.len()
+                    )));
+                }
+                u64::from(frac) * 1_000
+            }
+            Precision::Nanos => {
+                if frac >= 1_000_000_000 {
+                    return Err(SavefileError::Corrupt(format!(
+                        "record {}: nanosecond field {frac}",
+                        packets.len()
+                    )));
+                }
+                u64::from(frac)
+            }
+        };
+        let mut data = vec![0u8; incl as usize];
+        r.read_exact(&mut data)?;
+        packets.push(Packet {
+            ts_ns: u64::from(secs) * 1_000_000_000 + frac_ns,
+            wire_len: orig,
+            data: Bytes::from(data),
+        });
+    }
+    Ok(Savefile {
+        precision,
+        snaplen,
+        linktype,
+        packets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packets() -> Vec<Packet> {
+        vec![
+            Packet::new(0, vec![0xaa; 60]),
+            Packet::new(1_500_000_123, vec![0xbb; 1500]),
+            Packet::new(32_000_000_007, vec![0xcc; 64]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_nanos() {
+        let pkts = sample_packets();
+        let mut buf = Vec::new();
+        write_file(&mut buf, &pkts, Precision::Nanos, 65535).unwrap();
+        let sf = read_file(&buf[..]).unwrap();
+        assert_eq!(sf.precision, Precision::Nanos);
+        assert_eq!(sf.linktype, Linktype::Ethernet);
+        assert_eq!(sf.snaplen, 65535);
+        assert_eq!(sf.packets, pkts);
+    }
+
+    #[test]
+    fn roundtrip_micros_loses_sub_microsecond() {
+        let pkts = sample_packets();
+        let mut buf = Vec::new();
+        write_file(&mut buf, &pkts, Precision::Micros, 65535).unwrap();
+        let sf = read_file(&buf[..]).unwrap();
+        assert_eq!(sf.packets[0].ts_ns, 0);
+        assert_eq!(sf.packets[1].ts_ns, 1_500_000_000); // 123 ns dropped
+        assert_eq!(sf.packets[2].ts_ns, 32_000_000_000);
+        assert_eq!(sf.packets[1].data, pkts[1].data);
+    }
+
+    #[test]
+    fn snaplen_truncates_but_keeps_wire_len() {
+        let pkts = vec![Packet::new(7, vec![1u8; 1000])];
+        let mut buf = Vec::new();
+        write_file(&mut buf, &pkts, Precision::Nanos, 96).unwrap();
+        let sf = read_file(&buf[..]).unwrap();
+        assert_eq!(sf.packets[0].data.len(), 96);
+        assert_eq!(sf.packets[0].wire_len, 1000);
+        assert!(sf.packets[0].is_truncated());
+    }
+
+    #[test]
+    fn reads_big_endian_files() {
+        // Hand-build a big-endian microsecond file with one 4-byte packet.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_MICROS.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&3u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&250u32.to_be_bytes()); // usecs
+        buf.extend_from_slice(&4u32.to_be_bytes()); // incl
+        buf.extend_from_slice(&4u32.to_be_bytes()); // orig
+        buf.extend_from_slice(&[9, 8, 7, 6]);
+        let sf = read_file(&buf[..]).unwrap();
+        assert_eq!(sf.packets.len(), 1);
+        assert_eq!(sf.packets[0].ts_ns, 3_000_250_000);
+        assert_eq!(&sf.packets[0].data[..], &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = [0u8; 24];
+        assert!(matches!(
+            read_file(&buf[..]),
+            Err(SavefileError::BadMagic(0))
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupt_record() {
+        let mut buf = Vec::new();
+        write_file(&mut buf, &[], Precision::Nanos, 65535).unwrap();
+        // Append a record claiming a 1 GiB packet.
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        buf.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(matches!(
+            read_file(&buf[..]),
+            Err(SavefileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_fraction() {
+        let mut buf = Vec::new();
+        write_file(&mut buf, &[], Precision::Micros, 65535).unwrap();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&2_000_000u32.to_le_bytes()); // 2e6 "microseconds"
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_file(&buf[..]),
+            Err(SavefileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let pkts = vec![Packet::new(7, vec![1u8; 100])];
+        let mut buf = Vec::new();
+        write_file(&mut buf, &pkts, Precision::Nanos, 65535).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(read_file(&buf[..]), Err(SavefileError::Io(_))));
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let mut buf = Vec::new();
+        write_file(&mut buf, &[], Precision::Nanos, 65535).unwrap();
+        let sf = read_file(&buf[..]).unwrap();
+        assert!(sf.packets.is_empty());
+    }
+}
+
+/// A streaming savefile writer: header up front, one record per call —
+/// what a long-running capture tool needs (the batch [`write_file`]
+/// requires the full packet list in memory).
+#[derive(Debug)]
+pub struct SavefileWriter<W: Write> {
+    sink: W,
+    precision: Precision,
+    snaplen: u32,
+    written: u64,
+}
+
+impl<W: Write> SavefileWriter<W> {
+    /// Writes the global header and returns the writer.
+    pub fn new(mut sink: W, precision: Precision, snaplen: u32) -> io::Result<Self> {
+        let magic = match precision {
+            Precision::Micros => MAGIC_MICROS,
+            Precision::Nanos => MAGIC_NANOS,
+        };
+        sink.write_all(&magic.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?;
+        sink.write_all(&4u16.to_le_bytes())?;
+        sink.write_all(&0i32.to_le_bytes())?;
+        sink.write_all(&0u32.to_le_bytes())?;
+        sink.write_all(&snaplen.to_le_bytes())?;
+        sink.write_all(&Linktype::Ethernet.value().to_le_bytes())?;
+        Ok(SavefileWriter {
+            sink,
+            precision,
+            snaplen,
+            written: 0,
+        })
+    }
+
+    /// Appends one packet record.
+    pub fn write_packet(&mut self, p: &Packet) -> io::Result<()> {
+        let secs = (p.ts_ns / 1_000_000_000) as u32;
+        let frac_ns = p.ts_ns % 1_000_000_000;
+        let frac = match self.precision {
+            Precision::Micros => (frac_ns / 1_000) as u32,
+            Precision::Nanos => frac_ns as u32,
+        };
+        let incl = (p.data.len() as u32).min(self.snaplen);
+        self.sink.write_all(&secs.to_le_bytes())?;
+        self.sink.write_all(&frac.to_le_bytes())?;
+        self.sink.write_all(&incl.to_le_bytes())?;
+        self.sink.write_all(&p.wire_len.to_le_bytes())?;
+        self.sink.write_all(&p.data[..incl as usize])?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Packets written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+
+    #[test]
+    fn streaming_writer_matches_batch_writer() {
+        let pkts = vec![
+            Packet::new(5, vec![1u8; 60]),
+            Packet::new(1_000_000_777, vec![2u8; 1500]),
+        ];
+        let mut batch = Vec::new();
+        write_file(&mut batch, &pkts, Precision::Nanos, 65_535).unwrap();
+
+        let mut w = SavefileWriter::new(Vec::new(), Precision::Nanos, 65_535).unwrap();
+        for p in &pkts {
+            w.write_packet(p).unwrap();
+        }
+        assert_eq!(w.written(), 2);
+        let streamed = w.finish().unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn streaming_snaplen_truncates() {
+        let mut w = SavefileWriter::new(Vec::new(), Precision::Micros, 96).unwrap();
+        w.write_packet(&Packet::new(0, vec![9u8; 500])).unwrap();
+        let out = w.finish().unwrap();
+        let sf = read_file(&out[..]).unwrap();
+        assert_eq!(sf.packets[0].data.len(), 96);
+        assert_eq!(sf.packets[0].wire_len, 500);
+    }
+
+    #[test]
+    fn empty_stream_is_a_valid_savefile() {
+        let out = SavefileWriter::new(Vec::new(), Precision::Nanos, 65_535)
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert!(read_file(&out[..]).unwrap().packets.is_empty());
+    }
+}

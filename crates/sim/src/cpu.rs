@@ -1,0 +1,94 @@
+//! Calibrated CPU model for the paper's `pkt_handler` application.
+//!
+//! §2.2 of the paper: `pkt_handler` captures a packet and applies a BPF
+//! filter *x* times before discarding it. The paper reports that with
+//! x = 300 a single 2.4 GHz core processes **38 844 p/s**. We model the
+//! per-packet cost as `base + x·filter` CPU cycles and calibrate `filter`
+//! against that number. The base cost is chosen so that x = 0 processes
+//! well above 10 GbE wire rate (the paper observes no drops at x = 0 for
+//! the zero-copy engines, so the x = 0 path must not be the bottleneck).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-packet base cost in cycles (capture-side bookkeeping).
+pub const BASE_CYCLES: f64 = 100.0;
+
+/// Cycles consumed by one BPF filter application, calibrated so that
+/// x = 300 at 2.4 GHz yields the paper's 38 844 p/s.
+pub const FILTER_CYCLES: f64 = (2.4e9 / 38_844.0 - BASE_CYCLES) / 300.0;
+
+/// The paper's measured `pkt_handler` rate at x = 300 on a 2.4 GHz core.
+pub const PAPER_RATE_X300: f64 = 38_844.0;
+
+/// A CPU core model: frequency plus the `pkt_handler` cost calibration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Core frequency in GHz (the paper pins cores at 2.4 GHz).
+    pub freq_ghz: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel { freq_ghz: 2.4 }
+    }
+}
+
+impl CpuModel {
+    /// Creates a model at the given frequency.
+    pub fn new(freq_ghz: f64) -> Self {
+        assert!(freq_ghz > 0.0);
+        CpuModel { freq_ghz }
+    }
+
+    /// Packet-processing rate (packets/s) of `pkt_handler` with the given
+    /// BPF repetition count `x`.
+    pub fn pkt_handler_rate(&self, x: u32) -> f64 {
+        let cycles = BASE_CYCLES + f64::from(x) * FILTER_CYCLES;
+        self.freq_ghz * 1e9 / cycles
+    }
+
+    /// Per-packet processing time in nanoseconds for the given `x`.
+    pub fn pkt_handler_ns(&self, x: u32) -> f64 {
+        1e9 / self.pkt_handler_rate(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x300_matches_paper() {
+        let m = CpuModel::default();
+        let r = m.pkt_handler_rate(300);
+        assert!((r - PAPER_RATE_X300).abs() < 1.0, "rate = {r}");
+    }
+
+    #[test]
+    fn x0_exceeds_wire_rate() {
+        let m = CpuModel::default();
+        assert!(m.pkt_handler_rate(0) > crate::time::wire_rate_pps(64, 10.0));
+    }
+
+    #[test]
+    fn rate_scales_with_frequency() {
+        let slow = CpuModel::new(1.2);
+        let fast = CpuModel::new(2.4);
+        let ratio = fast.pkt_handler_rate(300) / slow.pkt_handler_rate(300);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_decreases_with_x() {
+        let m = CpuModel::default();
+        assert!(m.pkt_handler_rate(0) > m.pkt_handler_rate(100));
+        assert!(m.pkt_handler_rate(100) > m.pkt_handler_rate(300));
+    }
+
+    #[test]
+    fn ns_is_reciprocal_of_rate() {
+        let m = CpuModel::default();
+        let ns = m.pkt_handler_ns(300);
+        assert!((ns - 1e9 / PAPER_RATE_X300).abs() < 1.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Fluid-flow service processes.
+//!
+//! The paper reduces the packet-processing application to a deterministic
+//! service rate (38 844 p/s for `pkt_handler` with x = 300 on a 2.4 GHz
+//! core, §2.2). Between two events a deterministic-rate server's progress
+//! is exactly integrable, so we model every consumer (application threads,
+//! NAPI copy threads, capture threads) as a [`FluidServer`]: a
+//! work-conserving queue server whose backlog drains at `rate` items/s.
+//! This gives per-event exactness without a per-service-completion event,
+//! which is what lets the harness sweep 10⁷-packet workloads in seconds.
+
+use crate::time::SimTime;
+
+/// A work-conserving fluid queue server.
+///
+/// Items enter via [`FluidServer::enqueue`]; the server drains the backlog
+/// at its current rate. [`FluidServer::advance`] integrates progress up to
+/// `now` and reports how many *whole* items completed since the last call
+/// (fractional progress is carried internally).
+#[derive(Debug, Clone)]
+pub struct FluidServer {
+    rate_pps: f64,
+    last: SimTime,
+    /// Items ever enqueued (exact).
+    enqueued: u64,
+    /// Cumulative fluid work completed; never exceeds `enqueued`.
+    processed: f64,
+    /// Whole completions already reported.
+    reported: u64,
+}
+
+/// Tolerance for flushing floating-point residue: when the remaining
+/// backlog falls below this, the server is considered drained. Without
+/// it, accumulated rounding can leave a 0.999…-item residue whose final
+/// completion is never reported — a deadlock for batch-oriented callers.
+const DRAIN_EPS: f64 = 1e-6;
+
+impl FluidServer {
+    /// Creates a server with the given service rate (items per second).
+    pub fn new(rate_pps: f64) -> Self {
+        assert!(rate_pps >= 0.0);
+        FluidServer {
+            rate_pps,
+            last: SimTime::ZERO,
+            enqueued: 0,
+            processed: 0.0,
+            reported: 0,
+        }
+    }
+
+    /// Current service rate in items per second.
+    pub fn rate(&self) -> f64 {
+        self.rate_pps
+    }
+
+    /// Changes the service rate from `now` onward (progress up to `now` is
+    /// integrated at the old rate first).
+    pub fn set_rate(&mut self, now: SimTime, rate_pps: f64) -> u64 {
+        let done = self.advance(now);
+        self.rate_pps = rate_pps.max(0.0);
+        done
+    }
+
+    /// Integrates service up to `now`; returns whole items completed since
+    /// the previous call.
+    pub fn advance(&mut self, now: SimTime) -> u64 {
+        let dt = now.since(self.last) as f64 / 1e9;
+        self.last = SimTime(self.last.0.max(now.0));
+        if dt > 0.0 && self.rate_pps > 0.0 {
+            self.processed = (self.processed + self.rate_pps * dt).min(self.enqueued as f64);
+            if self.enqueued as f64 - self.processed < DRAIN_EPS {
+                self.processed = self.enqueued as f64;
+            }
+        }
+        self.report()
+    }
+
+    fn report(&mut self) -> u64 {
+        let whole = ((self.processed + DRAIN_EPS).floor() as u64).min(self.enqueued);
+        let delta = whole - self.reported;
+        self.reported = whole;
+        delta
+    }
+
+    /// Adds `n` items to the backlog (advance to `now` first).
+    pub fn enqueue(&mut self, now: SimTime, n: u64) -> u64 {
+        let done = self.advance(now);
+        self.enqueued += n;
+        done
+    }
+
+    /// Current backlog (fluid, includes the partially-served item).
+    pub fn backlog(&self) -> f64 {
+        (self.enqueued as f64 - self.processed).max(0.0)
+    }
+
+    /// Backlog rounded up to whole queued items.
+    pub fn backlog_items(&self) -> u64 {
+        self.backlog().ceil() as u64
+    }
+
+    /// Total whole completions reported so far.
+    pub fn total_completed(&self) -> u64 {
+        self.reported
+    }
+
+    /// Simulation time at which the current backlog would fully drain at
+    /// the current rate, or `None` if the server is idle or stopped.
+    pub fn drain_eta(&self) -> Option<SimTime> {
+        let backlog = self.backlog();
+        if backlog <= 0.0 || self.rate_pps <= 0.0 {
+            return None;
+        }
+        let secs = backlog / self.rate_pps;
+        Some(SimTime(self.last.0 + (secs * 1e9).ceil() as u64))
+    }
+}
+
+/// A fluid server with a hard queue capacity: arrivals beyond the capacity
+/// are rejected (the caller counts them as drops).
+#[derive(Debug, Clone)]
+pub struct BoundedServer {
+    inner: FluidServer,
+    capacity: u64,
+    rejected: u64,
+}
+
+impl BoundedServer {
+    /// Creates a bounded server.
+    pub fn new(rate_pps: f64, capacity: u64) -> Self {
+        BoundedServer {
+            inner: FluidServer::new(rate_pps),
+            capacity,
+            rejected: 0,
+        }
+    }
+
+    /// Offers `n` items at `now`; returns `(accepted, completed)`. Items
+    /// that do not fit in the remaining capacity are rejected and counted.
+    pub fn offer(&mut self, now: SimTime, n: u64) -> (u64, u64) {
+        let done = self.inner.advance(now);
+        let room = (self.capacity as f64 - self.inner.backlog()).max(0.0).floor() as u64;
+        let accepted = n.min(room);
+        self.inner.enqueue(now, accepted);
+        self.rejected += n - accepted;
+        (accepted, done)
+    }
+
+    /// Integrates service up to `now`; returns whole completions.
+    pub fn advance(&mut self, now: SimTime) -> u64 {
+        self.inner.advance(now)
+    }
+
+    /// Items rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Access to the underlying fluid server.
+    pub fn server(&self) -> &FluidServer {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying fluid server (rate changes).
+    pub fn server_mut(&mut self) -> &mut FluidServer {
+        &mut self.inner
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SECOND;
+
+    #[test]
+    fn drains_at_rate() {
+        let mut s = FluidServer::new(1000.0);
+        s.enqueue(SimTime(0), 500);
+        // After 0.25 s, 250 items complete.
+        assert_eq!(s.advance(SimTime(SECOND / 4)), 250);
+        // After another 0.25 s, 250 more.
+        assert_eq!(s.advance(SimTime(SECOND / 2)), 250);
+        // Queue empty: no further completions.
+        assert_eq!(s.advance(SimTime(SECOND)), 0);
+        assert_eq!(s.total_completed(), 500);
+    }
+
+    #[test]
+    fn is_work_conserving_not_precomputing() {
+        // An idle period must not bank service credit.
+        let mut s = FluidServer::new(1000.0);
+        s.advance(SimTime(SECOND)); // idle for 1s
+        s.enqueue(SimTime(SECOND), 10);
+        // 1 ms later only 1 item can have completed, not 1000.
+        assert_eq!(s.advance(SimTime(SECOND + SECOND / 1000)), 1);
+    }
+
+    #[test]
+    fn rate_change_integrates_old_rate_first() {
+        let mut s = FluidServer::new(1000.0);
+        s.enqueue(SimTime(0), 1_000_000);
+        let done = s.set_rate(SimTime(SECOND / 2), 2000.0);
+        assert_eq!(done, 500);
+        assert_eq!(s.advance(SimTime(SECOND)), 1000);
+    }
+
+    #[test]
+    fn zero_rate_holds_backlog() {
+        let mut s = FluidServer::new(0.0);
+        s.enqueue(SimTime(0), 5);
+        assert_eq!(s.advance(SimTime(10 * SECOND)), 0);
+        assert_eq!(s.backlog_items(), 5);
+    }
+
+    #[test]
+    fn fractional_completions_accumulate() {
+        let mut s = FluidServer::new(1.0); // 1 item/s
+        s.enqueue(SimTime(0), 10);
+        let mut total = 0;
+        // Advance in 100 ms steps: each step completes 0.1 items.
+        for i in 1..=25 {
+            total += s.advance(SimTime(i * SECOND / 10));
+        }
+        assert_eq!(total, 2); // 2.5 s at 1 item/s, floor carried correctly
+    }
+
+    #[test]
+    fn drain_eta_matches_backlog() {
+        let mut s = FluidServer::new(100.0);
+        s.enqueue(SimTime(0), 50);
+        let eta = s.drain_eta().unwrap();
+        assert_eq!(eta, SimTime(SECOND / 2));
+        assert_eq!(FluidServer::new(10.0).drain_eta(), None);
+    }
+
+    #[test]
+    fn bounded_server_rejects_overflow() {
+        let mut b = BoundedServer::new(0.0, 10);
+        let (acc, _) = b.offer(SimTime(0), 7);
+        assert_eq!(acc, 7);
+        let (acc, _) = b.offer(SimTime(0), 7);
+        assert_eq!(acc, 3);
+        assert_eq!(b.rejected(), 4);
+    }
+
+    #[test]
+    fn bounded_server_frees_capacity_as_it_drains() {
+        let mut b = BoundedServer::new(10.0, 10);
+        b.offer(SimTime(0), 10);
+        // After 0.5 s, 5 items completed, so 5 slots free.
+        let (acc, done) = b.offer(SimTime(SECOND / 2), 10);
+        assert_eq!(done, 5);
+        assert_eq!(acc, 5);
+        assert_eq!(b.rejected(), 5);
+    }
+}

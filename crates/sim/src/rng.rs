@@ -1,0 +1,221 @@
+//! Seedable deterministic random numbers and workload distributions.
+//!
+//! A tiny PCG32 implementation (O'Neill's `pcg32_oneseq`) keeps every
+//! simulation a pure function of its seed, independent of external crate
+//! version bumps. The distribution helpers are the ones the synthetic
+//! border-router trace needs: uniform ranges, exponential inter-arrivals
+//! and bounded-Pareto flow sizes (heavy tails are what create the paper's
+//! long-term load imbalance).
+
+/// PCG32 (XSH-RR variant) pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed and stream id.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator from a seed on the default stream.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, 0xda3e39cb94b95bdb)
+    }
+
+    /// Next raw 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform in `[0, 1)` with 32 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        f64::from(self.next_u32()) / (u32::MAX as f64 + 1.0)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire-style rejection to
+    /// avoid modulo bias.
+    pub fn gen_range_u32(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32();
+            let m = u64::from(r) * u64::from(bound);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range");
+        let span = hi - lo;
+        if span <= u64::from(u32::MAX) {
+            lo + u64::from(self.gen_range_u32(span as u32))
+        } else {
+            // Rare path for huge spans: 64-bit rejection sampling.
+            let zone = u64::MAX - (u64::MAX % span) - 1;
+            loop {
+                let r = self.next_u64();
+                if r <= zone {
+                    return lo + (r % span);
+                }
+            }
+        }
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.next_f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto with shape `alpha` on `[lo, hi]` (inverse-CDF
+    /// sampling). Heavy-tailed for `alpha` near 1.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0);
+        let u = self.next_f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Picks an index according to non-negative weights.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut x = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0, (i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Pcg32::seeded(42);
+        let mut b = Pcg32::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::seeded(1);
+        let mut b = Pcg32::seeded(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = Pcg32::seeded(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_half() {
+        let mut r = Pcg32::seeded(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn exp_mean_matches() {
+        let mut r = Pcg32::seeded(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exp(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut r = Pcg32::seeded(13);
+        for _ in 0..10_000 {
+            let v = r.bounded_pareto(1.2, 2.0, 1e6);
+            assert!((2.0..=1e6).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        // With alpha=1.2, the top 1% of samples should dominate far more
+        // than under a uniform distribution.
+        let mut r = Pcg32::seeded(17);
+        let mut v: Vec<f64> = (0..100_000).map(|_| r.bounded_pareto(1.2, 2.0, 1e6)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let total: f64 = v.iter().sum();
+        let top1: f64 = v[99_000..].iter().sum();
+        assert!(top1 / total > 0.2, "top-1% share = {}", top1 / total);
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weight() {
+        let mut r = Pcg32::seeded(19);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Pcg32::seeded(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}

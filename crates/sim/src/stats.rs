@@ -1,0 +1,424 @@
+//! Measurement plumbing: drop accounting, copy metering, binned series.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// End-to-end packet accounting for one engine/queue, split the way the
+/// paper splits it (§1): *capture drops* (the engine could not take the
+/// packet off the wire in time — no ready descriptor) versus *delivery
+/// drops* (the packet was captured but the data-capture buffer overflowed
+/// before the application consumed it).
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct DropStats {
+    /// Packets offered to the engine by the wire.
+    pub offered: u64,
+    /// Packets successfully taken off the wire into engine buffers.
+    pub captured: u64,
+    /// Packets delivered to (consumed by) the application.
+    pub delivered: u64,
+    /// Packets lost because no receive descriptor was ready.
+    pub capture_drops: u64,
+    /// Packets lost in the engine's data-capture buffer.
+    pub delivery_drops: u64,
+}
+
+impl DropStats {
+    /// Capture-drop rate relative to offered traffic.
+    pub fn capture_drop_rate(&self) -> f64 {
+        ratio(self.capture_drops, self.offered)
+    }
+
+    /// Delivery-drop rate relative to offered traffic (the paper reports
+    /// both rates against the full offered load, which is why a 0 %
+    /// capture / 56.8 % delivery split is possible in Table 1).
+    pub fn delivery_drop_rate(&self) -> f64 {
+        ratio(self.delivery_drops, self.offered)
+    }
+
+    /// Overall drop rate: all losses over offered traffic.
+    pub fn overall_drop_rate(&self) -> f64 {
+        ratio(self.capture_drops + self.delivery_drops, self.offered)
+    }
+
+    /// Merges another accounting record into this one.
+    pub fn merge(&mut self, other: &DropStats) {
+        self.offered += other.offered;
+        self.captured += other.captured;
+        self.delivered += other.delivered;
+        self.capture_drops += other.capture_drops;
+        self.delivery_drops += other.delivery_drops;
+    }
+
+    /// Internal-consistency check: offered = captured + capture drops, and
+    /// captured ≥ delivered + delivery drops (the difference is packets
+    /// still buffered at the end of the run).
+    pub fn is_consistent(&self) -> bool {
+        self.offered == self.captured + self.capture_drops
+            && self.captured >= self.delivered + self.delivery_drops
+    }
+
+    /// Packets still sitting in engine buffers (captured but neither
+    /// delivered nor dropped).
+    pub fn in_flight(&self) -> u64 {
+        self.captured - self.delivered - self.delivery_drops
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Counts packet-byte copies on capture/delivery paths.
+///
+/// The paper's headline property is *zero-copy* capture and delivery; the
+/// meter lets tests assert it: WireCAP's only copies are timeout-driven
+/// partial-chunk copies, PF_RING copies every packet once.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CopyMeter {
+    /// Number of packets that crossed a copy.
+    pub packets: u64,
+    /// Total bytes copied.
+    pub bytes: u64,
+}
+
+impl CopyMeter {
+    /// Records a copy of `n` packets totalling `bytes` bytes.
+    pub fn record(&mut self, n: u64, bytes: u64) {
+        self.packets += n;
+        self.bytes += bytes;
+    }
+
+    /// True if no copy was ever recorded.
+    pub fn is_zero_copy(&self) -> bool {
+        self.packets == 0
+    }
+}
+
+/// A fixed-bin time series of event counts (e.g. packets per 10 ms bin —
+/// the binning used by the paper's `queue_profiler` and Fig. 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bin_ns: u64,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width.
+    pub fn new(bin_ns: u64) -> Self {
+        assert!(bin_ns > 0);
+        TimeSeries {
+            bin_ns,
+            counts: Vec::new(),
+        }
+    }
+
+    /// The paper's `queue_profiler` configuration: 10 ms bins.
+    pub fn profiler_default() -> Self {
+        TimeSeries::new(10 * crate::time::MILLISECOND)
+    }
+
+    /// Records one event at `t`.
+    pub fn record(&mut self, t: SimTime) {
+        self.record_n(t, 1);
+    }
+
+    /// Records `n` events at `t`.
+    pub fn record_n(&mut self, t: SimTime, n: u64) {
+        let bin = (t.as_nanos() / self.bin_ns) as usize;
+        if bin >= self.counts.len() {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += n;
+    }
+
+    /// Bin width in nanoseconds.
+    pub fn bin_ns(&self) -> u64 {
+        self.bin_ns
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Largest bin count (peak burst).
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean events per bin over the observed span.
+    pub fn mean(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.counts.len() as f64
+        }
+    }
+
+    /// (bin start seconds, count) rows for plotting.
+    pub fn rows(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let bin_s = self.bin_ns as f64 / 1e9;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as f64 * bin_s, c))
+    }
+
+    /// Burstiness index: peak over mean. A Poisson-like stream stays near
+    /// 1–3; the paper's border trace shows far higher values.
+    pub fn burstiness(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.peak() as f64 / m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MILLISECOND;
+
+    #[test]
+    fn drop_rates_divide_by_offered() {
+        let s = DropStats {
+            offered: 1000,
+            captured: 800,
+            delivered: 500,
+            capture_drops: 200,
+            delivery_drops: 300,
+        };
+        assert!((s.capture_drop_rate() - 0.2).abs() < 1e-12);
+        assert!((s.delivery_drop_rate() - 0.3).abs() < 1e-12);
+        assert!((s.overall_drop_rate() - 0.5).abs() < 1e-12);
+        assert!(s.is_consistent());
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn inconsistent_stats_detected() {
+        let s = DropStats {
+            offered: 10,
+            captured: 5,
+            delivered: 9, // more delivered than captured
+            capture_drops: 5,
+            delivery_drops: 0,
+        };
+        assert!(!s.is_consistent());
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = DropStats {
+            offered: 10,
+            captured: 8,
+            delivered: 8,
+            capture_drops: 2,
+            delivery_drops: 0,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.offered, 20);
+        assert_eq!(a.captured, 16);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = DropStats::default();
+        assert_eq!(s.overall_drop_rate(), 0.0);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn copy_meter_tracks() {
+        let mut m = CopyMeter::default();
+        assert!(m.is_zero_copy());
+        m.record(3, 192);
+        assert!(!m.is_zero_copy());
+        assert_eq!(m.packets, 3);
+        assert_eq!(m.bytes, 192);
+    }
+
+    #[test]
+    fn timeseries_bins_correctly() {
+        let mut ts = TimeSeries::new(10 * MILLISECOND);
+        ts.record(SimTime(0));
+        ts.record(SimTime(9 * MILLISECOND));
+        ts.record(SimTime(10 * MILLISECOND));
+        ts.record_n(SimTime(25 * MILLISECOND), 5);
+        assert_eq!(ts.counts(), &[2, 1, 5]);
+        assert_eq!(ts.total(), 8);
+        assert_eq!(ts.peak(), 5);
+    }
+
+    #[test]
+    fn timeseries_rows_carry_bin_starts() {
+        let mut ts = TimeSeries::new(10 * MILLISECOND);
+        ts.record(SimTime(15 * MILLISECOND));
+        let rows: Vec<_> = ts.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert!((rows[1].0 - 0.01).abs() < 1e-12);
+        assert_eq!(rows[1].1, 1);
+    }
+
+    #[test]
+    fn burstiness_of_flat_series_is_one() {
+        let mut ts = TimeSeries::new(MILLISECOND);
+        for i in 0..100 {
+            ts.record_n(SimTime(i * MILLISECOND), 7);
+        }
+        assert!((ts.burstiness() - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Log-bucketed latency statistics (nanosecond samples).
+///
+/// The paper's §5c discussion: batch processing "may entail side effects,
+/// such as latency increases and inaccurate time-stamping". The engines
+/// record capture-to-delivery latencies here so those side effects are
+/// measurable rather than anecdotal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyStats {
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+    /// Bucket i counts samples in [2^i, 2^(i+1)) ns; 64 buckets cover
+    /// every representable latency.
+    buckets: Vec<u64>,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: vec![0; 64],
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.record_n(ns, 1);
+    }
+
+    /// Records `n` samples of the same latency (batch deliveries).
+    pub fn record_n(&mut self, ns: u64, n: u64) {
+        self.count += n;
+        self.sum_ns += ns * n;
+        self.max_ns = self.max_ns.max(ns);
+        let bucket = (64 - ns.max(1).leading_zeros() - 1) as usize;
+        self.buckets[bucket] += n;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum observed latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate quantile from the log buckets (upper bound of the
+    /// bucket containing the q-quantile sample).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another set of samples.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    #[test]
+    fn records_mean_and_max() {
+        let mut l = LatencyStats::new();
+        l.record(100);
+        l.record(300);
+        l.record_n(100, 2);
+        assert_eq!(l.count(), 4);
+        assert!((l.mean_ns() - 150.0).abs() < 1e-9);
+        assert_eq!(l.max_ns(), 300);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let mut l = LatencyStats::new();
+        for _ in 0..99 {
+            l.record(1_000); // bucket [512, 1024) .. actually [2^9,2^10)
+        }
+        l.record(1_000_000);
+        // Median is bounded by the small bucket's upper edge.
+        assert!(l.quantile_ns(0.5) <= 2_048);
+        // The p100 quantile must cover the outlier.
+        assert!(l.quantile_ns(1.0) >= 1_000_000 / 2);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let l = LatencyStats::new();
+        assert_eq!(l.mean_ns(), 0.0);
+        assert_eq!(l.quantile_ns(0.99), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Virtual time: nanosecond-resolution simulation timestamps.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the simulated timeline, in nanoseconds since simulation start.
+///
+/// `SimTime` is a transparent `u64` newtype so it can be used as a map key
+/// and compared cheaply; arithmetic helpers keep unit conversions in one
+/// place.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// One microsecond in nanoseconds.
+pub const MICROSECOND: u64 = 1_000;
+/// One millisecond in nanoseconds.
+pub const MILLISECOND: u64 = 1_000_000;
+/// One second in nanoseconds.
+pub const SECOND: u64 = 1_000_000_000;
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * SECOND)
+    }
+
+    /// Constructs from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * MILLISECOND)
+    }
+
+    /// Constructs from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * MICROSECOND)
+    }
+
+    /// Constructs from nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs from fractional seconds (rounds to the nearest ns).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s * SECOND as f64).round() as u64)
+    }
+
+    /// This instant as nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SECOND as f64
+    }
+
+    /// Nanoseconds elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// This instant advanced by `ns` nanoseconds.
+    pub fn advanced(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl core::ops::Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl core::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Converts a packet rate (packets per second) to an inter-arrival gap in
+/// nanoseconds, rounding to the nearest nanosecond.
+pub fn gap_ns_for_rate(pps: f64) -> u64 {
+    assert!(pps > 0.0, "rate must be positive");
+    (SECOND as f64 / pps).round().max(1.0) as u64
+}
+
+/// The 10 GbE wire packet rate for a given frame size in bytes.
+///
+/// `frame_len` follows the Ethernet convention of *including* the 4-byte
+/// FCS (a "64-byte packet" is the minimum legal frame); the 20 bytes of
+/// preamble + inter-frame gap are added on top. For 64-byte frames this
+/// yields the paper's 14.88 Mp/s.
+pub fn wire_rate_pps(frame_len: usize, link_gbps: f64) -> f64 {
+    let on_wire_bits = ((frame_len + 20) * 8) as f64;
+    link_gbps * 1e9 / on_wire_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3 * SECOND);
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5 * MILLISECOND);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7 * MICROSECOND);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert!((SimTime::from_secs(2).as_secs_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(SimTime(5).since(SimTime(10)), 0);
+        assert_eq!(SimTime(10).since(SimTime(4)), 6);
+    }
+
+    #[test]
+    fn wire_rate_matches_paper_64b() {
+        // The paper's canonical number: 14.88 Mp/s for 64-byte frames at 10 GbE.
+        let pps = wire_rate_pps(64, 10.0);
+        assert!((pps - 14_880_952.0).abs() < 1_000.0, "got {pps}");
+    }
+
+    #[test]
+    fn wire_rate_100b() {
+        // 100-byte frames: 10e9 / (120 * 8) ≈ 10.42 Mp/s; two NICs ≈ 20 Mp/s
+        // as the paper states in the scalability experiment.
+        let pps = wire_rate_pps(100, 10.0);
+        assert!((pps - 10_416_667.0).abs() < 1_000.0, "got {pps}");
+    }
+
+    #[test]
+    fn gap_for_rate_roundtrip() {
+        let gap = gap_ns_for_rate(1_000_000.0);
+        assert_eq!(gap, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn gap_rejects_zero_rate() {
+        gap_ns_for_rate(0.0);
+    }
+}

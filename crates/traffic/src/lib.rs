@@ -1,0 +1,41 @@
+//! # traffic — workload generation for the capture experiments
+//!
+//! The paper drives its experiments from two workloads:
+//!
+//! 1. a **captured border-router trace** ("5 million packets … approximately
+//!    32 seconds", §2.2) replayed "at the speed exactly as recorded", used
+//!    for the load-imbalance and advanced-mode experiments (Fig. 3,
+//!    Table 1, Figs. 11–13);
+//! 2. **fixed-size packets at wire rate** (64-byte frames at 14.88 Mp/s),
+//!    used for the basic-mode and scalability experiments (Figs. 8–10, 14).
+//!
+//! We cannot ship Fermilab's trace, so [`synthetic`] builds a statistically
+//! equivalent stand-in: heavy-tailed (bounded-Pareto) flow sizes, ON/OFF
+//! bursty packet arrivals, a TCP-dominant protocol mix, and addresses drawn
+//! from a 131.225.0.0/16-dominated population. What matters for the
+//! reproduction is not byte-for-byte fidelity but that per-flow RSS
+//! steering of the trace produces the paper's two phenomena — short-term
+//! bursts and long-term queue skew (Fig. 3) — which the generator's tests
+//! assert directly.
+//!
+//! All generators implement [`source::TrafficSource`], the arrival-stream
+//! interface consumed by the NIC model, and are deterministic given a seed.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod import;
+pub mod merge;
+pub mod replay;
+pub mod source;
+pub mod synthetic;
+pub mod trace;
+pub mod wire_rate;
+
+pub use import::{import, import_savefile, ImportReport};
+pub use merge::MergedSource;
+pub use replay::TraceCursor;
+pub use source::{Arrival, TrafficSource};
+pub use synthetic::{BorderTraceConfig, generate_border_trace};
+pub use trace::{Trace, TraceRecord};
+pub use wire_rate::WireRateGen;

@@ -1,0 +1,167 @@
+//! Fixed-size packets at wire rate.
+//!
+//! The paper's basic-mode and scalability experiments transmit "P 64-Byte
+//! packets at the wire rate (14.88 million p/s)" (§4). [`WireRateGen`]
+//! produces exactly that arrival process without materializing a trace:
+//! arrival *i* occurs at `i / rate` seconds, packets cycle over a small
+//! set of UDP flows (so multi-queue configurations exercise RSS spreading
+//! as the hardware generator's round-robin source addresses would).
+
+use crate::source::{Arrival, TrafficSource};
+use netproto::FlowKey;
+use sim::time::wire_rate_pps;
+use std::net::Ipv4Addr;
+
+/// A constant-rate fixed-size packet generator.
+#[derive(Debug, Clone)]
+pub struct WireRateGen {
+    flows: Vec<FlowKey>,
+    count: u64,
+    emitted: u64,
+    gap_num: u64,
+    gap_den: u64,
+    frame_len: u16,
+    start_ns: u64,
+}
+
+impl WireRateGen {
+    /// `count` frames of `frame_len` bytes (FCS included) at `pps`
+    /// packets per second, cycling over `n_flows` distinct UDP flows.
+    pub fn new(count: u64, frame_len: u16, pps: f64, n_flows: usize) -> Self {
+        assert!(pps > 0.0 && n_flows > 0 && frame_len >= 64);
+        let flows = (0..n_flows)
+            .map(|i| {
+                FlowKey::udp(
+                    Ipv4Addr::new(198, 18, (i >> 8) as u8, (i & 0xff) as u8),
+                    10_000 + i as u16,
+                    Ipv4Addr::new(131, 225, 107, 1),
+                    9_000,
+                )
+            })
+            .collect();
+        // Represent the inter-arrival gap as a rational (ns) to avoid
+        // cumulative floating-point drift over 10^9 packets:
+        // gap = 1e9/pps = gap_num/gap_den with gap_den = round(pps).
+        let gap_den = pps.round() as u64;
+        WireRateGen {
+            flows,
+            count,
+            emitted: 0,
+            gap_num: 1_000_000_000,
+            gap_den,
+            frame_len,
+            start_ns: 0,
+        }
+    }
+
+    /// Full 10 GbE wire rate for the given frame length.
+    pub fn at_wire_rate(count: u64, frame_len: u16, n_flows: usize) -> Self {
+        Self::new(count, frame_len, wire_rate_pps(usize::from(frame_len), 10.0), n_flows)
+    }
+
+    /// The paper's canonical workload: P × 64-byte frames at 14.88 Mp/s.
+    pub fn paper_burst(count: u64) -> Self {
+        Self::at_wire_rate(count, 64, 16)
+    }
+
+    /// Shifts all arrivals by a start offset (for staggered multi-NIC runs).
+    pub fn starting_at(mut self, start_ns: u64) -> Self {
+        self.start_ns = start_ns;
+        self
+    }
+
+    /// The generator's packet rate in packets/s.
+    pub fn rate_pps(&self) -> f64 {
+        self.gap_den as f64
+    }
+}
+
+impl TrafficSource for WireRateGen {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        if self.emitted >= self.count {
+            return None;
+        }
+        let i = self.emitted;
+        self.emitted += 1;
+        Some(Arrival {
+            // floor(i * 1e9 / rate): exact integer arithmetic, no drift.
+            ts_ns: self.start_ns + i * self.gap_num / self.gap_den,
+            flow: (i % self.flows.len() as u64) as u32,
+            len: self.frame_len,
+        })
+    }
+
+    fn flows(&self) -> &[FlowKey] {
+        &self.flows
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut g: WireRateGen) -> Vec<Arrival> {
+        let mut v = Vec::new();
+        while let Some(a) = g.next_arrival() {
+            v.push(a);
+        }
+        v
+    }
+
+    #[test]
+    fn paper_burst_rate_is_wire_rate() {
+        let g = WireRateGen::paper_burst(1000);
+        assert!((g.rate_pps() - 14_880_952.0).abs() < 2.0);
+        let arrivals = drain(g);
+        assert_eq!(arrivals.len(), 1000);
+        // 1000 packets at 14.88 Mp/s span ~67.2 µs.
+        let span = arrivals.last().unwrap().ts_ns;
+        assert!((66_000..68_500).contains(&span), "span = {span}");
+    }
+
+    #[test]
+    fn arrivals_are_monotonic_and_evenly_spaced() {
+        let arrivals = drain(WireRateGen::new(100, 64, 1_000_000.0, 4));
+        for (i, a) in arrivals.iter().enumerate() {
+            assert_eq!(a.ts_ns, i as u64 * 1000);
+            assert_eq!(a.len, 64);
+        }
+    }
+
+    #[test]
+    fn no_drift_over_many_packets() {
+        // After exactly `rate` packets, one full second must have elapsed.
+        let rate = 14_880_952u64;
+        let mut g = WireRateGen::new(rate + 1, 64, rate as f64, 1);
+        let mut last = g.next_arrival().unwrap();
+        for _ in 0..rate {
+            last = g.next_arrival().unwrap();
+        }
+        assert_eq!(last.ts_ns, 1_000_000_000);
+    }
+
+    #[test]
+    fn flows_cycle() {
+        let arrivals = drain(WireRateGen::new(8, 64, 1e6, 4));
+        let ids: Vec<u32> = arrivals.iter().map(|a| a.flow).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn start_offset_shifts_timeline() {
+        let arrivals = drain(WireRateGen::new(3, 64, 1e6, 1).starting_at(500));
+        assert_eq!(
+            arrivals.iter().map(|a| a.ts_ns).collect::<Vec<_>>(),
+            vec![500, 1500, 2500]
+        );
+    }
+
+    #[test]
+    fn len_hint_matches() {
+        assert_eq!(WireRateGen::paper_burst(77).len_hint(), Some(77));
+    }
+}

@@ -1,0 +1,14 @@
+//! Top-level facade for the WireCAP reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can
+//! reach everything through one dependency. See README.md for the tour.
+
+pub use apps;
+pub use bpf;
+pub use engines;
+pub use netproto;
+pub use nicsim;
+pub use pcap;
+pub use sim;
+pub use traffic;
+pub use wirecap;

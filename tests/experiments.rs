@@ -1,0 +1,222 @@
+//! Integration tests: the paper's headline results at reduced scale.
+//!
+//! Each test runs a scaled-down version of an evaluation-section
+//! experiment through the same code paths as the figure binaries and
+//! asserts the *shape* the paper reports — who wins, in what order, and
+//! where the crossovers fall.
+
+use apps::harness::{run, EngineKind};
+use engines::EngineConfig;
+use traffic::{generate_border_trace, BorderTraceConfig, TraceCursor, WireRateGen};
+use wirecap::WireCapConfig;
+
+fn small_trace() -> traffic::Trace {
+    generate_border_trace(&BorderTraceConfig::small())
+}
+
+/// Headline claim (§1): "WireCAP can capture and deliver 100% of the
+/// network traffic to applications without loss while existing packet
+/// capture engines suffer a packet drop rate ranging from 20% to 40%
+/// under the same conditions."
+#[test]
+fn headline_wirecap_lossless_where_baselines_drop() {
+    // A hot-queue regime: wire-rate burst of 20k packets against x=300.
+    let cfg = EngineConfig::paper(300);
+    let mut drops = Vec::new();
+    for kind in [
+        EngineKind::Dna,
+        EngineKind::Netmap,
+        EngineKind::PfRing,
+        EngineKind::WireCap(WireCapConfig::basic(256, 500, 300)),
+    ] {
+        let mut gen = WireRateGen::paper_burst(20_000);
+        let res = run(kind, 1, cfg, &mut gen);
+        drops.push((res.engine.clone(), res.drop_rate()));
+    }
+    let wirecap = drops.last().unwrap().1;
+    assert_eq!(wirecap, 0.0, "WireCAP must be lossless: {drops:?}");
+    for (name, d) in &drops[..3] {
+        assert!(*d > 0.2, "{name} should drop >20%: {d}");
+    }
+}
+
+/// Fig. 8 shape: at wire rate with x = 0, every zero-copy engine is
+/// lossless at every P; PF_RING drops heavily.
+#[test]
+fn fig8_shape() {
+    let cfg = EngineConfig::paper(0);
+    for p in [1_000u64, 10_000, 100_000] {
+        for kind in [
+            EngineKind::Dna,
+            EngineKind::Netmap,
+            EngineKind::WireCap(WireCapConfig::basic(64, 100, 0)),
+            EngineKind::WireCap(WireCapConfig::basic(256, 500, 0)),
+        ] {
+            let mut gen = WireRateGen::paper_burst(p);
+            let res = run(kind, 1, cfg, &mut gen);
+            assert_eq!(res.drop_rate(), 0.0, "{} at P={p}", res.engine);
+        }
+        let mut gen = WireRateGen::paper_burst(p);
+        let pf = run(EngineKind::PfRing, 1, cfg, &mut gen);
+        if p >= 10_000 {
+            assert!(pf.drop_rate() > 0.3, "PF_RING at P={p}: {}", pf.drop_rate());
+        }
+    }
+}
+
+/// Fig. 9 shape: drop onset ordered by buffering capacity —
+/// DNA (~ring) ≪ WireCAP-B-(256,100) (~25.6k) ≪ WireCAP-B-(256,500).
+#[test]
+fn fig9_buffering_order() {
+    let cfg = EngineConfig::paper(300);
+    let onset = |kind: EngineKind| -> u64 {
+        for p in [2_000u64, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000] {
+            let mut gen = WireRateGen::paper_burst(p);
+            if run(kind, 1, cfg, &mut gen).drop_rate() > 0.01 {
+                return p;
+            }
+        }
+        u64::MAX
+    };
+    let dna = onset(EngineKind::Dna);
+    let wc_small = onset(EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)));
+    let wc_big = onset(EngineKind::WireCap(WireCapConfig::basic(256, 500, 300)));
+    assert!(dna < wc_small, "dna {dna} vs wc(256,100) {wc_small}");
+    assert!(wc_small < wc_big, "wc(256,100) {wc_small} vs wc(256,500) {wc_big}");
+    // The paper's specific observations: DNA drops by P = 6 000;
+    // WireCAP-B-(256,500) is lossless at P = 100 000.
+    assert!(dna <= 5_000);
+    assert!(wc_big > 100_000);
+}
+
+/// Fig. 10 shape: equal R·M ⇒ equal drop behaviour.
+#[test]
+fn fig10_rm_invariance() {
+    let cfg = EngineConfig::paper(300);
+    let mut rates = Vec::new();
+    for (m, r) in [(64usize, 400usize), (128, 200), (256, 100)] {
+        let mut gen = WireRateGen::paper_burst(50_000);
+        let res = run(
+            EngineKind::WireCap(WireCapConfig::basic(m, r, 300)),
+            1,
+            cfg,
+            &mut gen,
+        );
+        rates.push(res.drop_rate());
+    }
+    for w in rates.windows(2) {
+        assert!((w[0] - w[1]).abs() < 0.02, "{rates:?}");
+    }
+}
+
+/// Table 1 shape on the trace: Type-II engines suffer only capture
+/// drops, PF_RING converts them into delivery drops, and the hot queue
+/// dominates.
+#[test]
+fn tab1_shape() {
+    let trace = {
+        // A hotter small trace: push the hot queue past one core
+        // (~130 k p/s total, hot queue ≈ 1.5× one core's 38.8 k p/s).
+        generate_border_trace(&BorderTraceConfig {
+            packets: 400_000,
+            duration_s: 3.0,
+            ..BorderTraceConfig::small()
+        })
+    };
+    let cfg = EngineConfig::paper(300);
+    let mut cursor = TraceCursor::new(&trace);
+    let dna = run(EngineKind::Dna, 6, cfg, &mut cursor);
+    let mut cursor = TraceCursor::new(&trace);
+    let netmap = run(EngineKind::Netmap, 6, cfg, &mut cursor);
+    let mut cursor = TraceCursor::new(&trace);
+    let pfring = run(EngineKind::PfRing, 6, cfg, &mut cursor);
+
+    // Type-II: capture drops only.
+    assert!(dna.total.capture_drops > 0);
+    assert_eq!(dna.total.delivery_drops, 0);
+    assert!(netmap.total.capture_drops > 0);
+    // NETMAP's sync-quantized reclaim drops at least as much as DNA.
+    assert!(netmap.drop_rate() >= dna.drop_rate());
+    // PF_RING: no capture drops at these rates, delivery drops instead.
+    assert_eq!(pfring.total.capture_drops, 0);
+    assert!(pfring.total.delivery_drops > 0);
+}
+
+/// Fig. 11 shape: WireCAP-A ≤ WireCAP-B ≤ baselines at every queue
+/// count. The small trace carries too few hot-queue packets to exhaust
+/// the paper-sized (256,500) pools, so this runs a proportionally
+/// scaled-down geometry: 16× replay speed (hot queue ≈ 1.3× one core)
+/// against (64,20) pools (1 280 packets of buffering).
+#[test]
+fn fig11_ordering() {
+    let trace = small_trace();
+    let cfg = EngineConfig::paper(300);
+    let rate = |kind: EngineKind, queues: usize| -> f64 {
+        let mut cursor = TraceCursor::new(&trace).with_speed(16.0);
+        run(kind, queues, cfg, &mut cursor).drop_rate()
+    };
+    for queues in [4usize, 6] {
+        let dna = rate(EngineKind::Dna, queues);
+        let wc_b = rate(
+            EngineKind::WireCap(WireCapConfig::basic(64, 20, 300)),
+            queues,
+        );
+        let wc_a = rate(
+            EngineKind::WireCap(WireCapConfig::advanced(64, 20, 0.6, 300)),
+            queues,
+        );
+        assert!(dna > 0.05, "baseline must struggle (queues={queues}): {dna}");
+        assert!(wc_b <= dna + 0.02, "B vs DNA (queues={queues}): {wc_b} vs {dna}");
+        assert!(
+            wc_a < wc_b,
+            "A must beat B (queues={queues}): {wc_a} vs {wc_b}"
+        );
+        assert!(wc_b > 0.0, "B must drop so A has something to fix");
+    }
+}
+
+/// Fig. 13 shape: forwarding preserves the ordering, and WireCAP
+/// transmits every packet it delivers.
+#[test]
+fn fig13_forwarding_ordering() {
+    let trace = small_trace();
+    let cfg = EngineConfig::paper_forwarding(300);
+    let mut cursor = TraceCursor::new(&trace).with_speed(8.0);
+    let dna = run(EngineKind::Dna, 4, cfg, &mut cursor);
+    let mut cursor = TraceCursor::new(&trace).with_speed(8.0);
+    let wc = run(
+        EngineKind::WireCap(WireCapConfig::advanced(256, 100, 0.6, 300)),
+        4,
+        cfg,
+        &mut cursor,
+    );
+    assert!(wc.drop_rate() < dna.drop_rate());
+}
+
+/// Fig. 12 shape: the offloading threshold matters less than having
+/// offloading at all; all T values beat basic mode.
+#[test]
+fn fig12_any_threshold_beats_basic() {
+    let trace = small_trace();
+    let cfg = EngineConfig::paper(300);
+    let mut cursor = TraceCursor::new(&trace).with_speed(16.0);
+    let basic = run(
+        EngineKind::WireCap(WireCapConfig::basic(64, 20, 300)),
+        4,
+        cfg,
+        &mut cursor,
+    )
+    .drop_rate();
+    assert!(basic > 0.0, "basic mode must drop under this load");
+    for t in [0.6, 0.9] {
+        let mut cursor = TraceCursor::new(&trace).with_speed(16.0);
+        let adv = run(
+            EngineKind::WireCap(WireCapConfig::advanced(64, 20, t, 300)),
+            4,
+            cfg,
+            &mut cursor,
+        )
+        .drop_rate();
+        assert!(adv < basic, "T={t}: {adv} vs basic {basic}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Failure injection: the §3.2.2c safety claims.
+//!
+//! "A misbehaving application will not crash the kernel. … when a used
+//! packet buffer chunk is to be recycled, its metadata will be strictly
+//! validated and verified by the kernel. Similarly, a misbehaving
+//! application will not crash other applications."
+
+use wirecap::chunk::{ChunkId, ChunkMeta};
+use wirecap::pool::{RecycleError, RingBufferPool};
+use wirecap::WireCapConfig;
+
+fn pool() -> RingBufferPool {
+    RingBufferPool::open(0, 0, &WireCapConfig::basic(256, 8, 0))
+}
+
+fn captured_meta(p: &mut RingBufferPool) -> ChunkMeta {
+    for _ in 0..256 {
+        assert!(p.on_dma(0));
+    }
+    let (metas, _) = p.capture_full();
+    metas[0]
+}
+
+#[test]
+fn forged_chunk_ids_are_rejected_without_corruption() {
+    let mut p = pool();
+    let good = captured_meta(&mut p);
+    for bad_id in [999u32, u32::MAX, 8, 100] {
+        let mut forged = good;
+        forged.id.chunk_id = bad_id;
+        assert_eq!(p.recycle(&forged), Err(RecycleError::BadChunkId));
+        assert!(p.is_consistent(), "pool corrupted by forged id {bad_id}");
+    }
+    // The genuine metadata still works afterwards.
+    assert_eq!(p.recycle(&good), Ok(()));
+}
+
+#[test]
+fn cross_pool_metadata_cannot_free_another_apps_chunks() {
+    // Two applications, two pools (different ring ids).
+    let mut app1 = RingBufferPool::open(0, 0, &WireCapConfig::basic(256, 8, 0));
+    let mut app2 = RingBufferPool::open(0, 1, &WireCapConfig::basic(256, 8, 0));
+    let meta1 = captured_meta(&mut app1);
+    // App 2 replays app 1's metadata at its own kernel interface.
+    assert_eq!(app2.recycle(&meta1), Err(RecycleError::WrongPool));
+    assert!(app2.is_consistent());
+    // App 1 is unaffected.
+    assert_eq!(app1.recycle(&meta1), Ok(()));
+}
+
+#[test]
+fn double_recycle_is_rejected() {
+    let mut p = pool();
+    let meta = captured_meta(&mut p);
+    assert_eq!(p.recycle(&meta), Ok(()));
+    assert_eq!(p.recycle(&meta), Err(RecycleError::NotCaptured));
+    assert!(p.is_consistent());
+}
+
+#[test]
+fn recycling_an_attached_chunk_is_rejected() {
+    // An application guessing the id of a chunk still attached to the
+    // ring must not be able to free it under the NIC.
+    let mut p = pool();
+    let good = captured_meta(&mut p);
+    // Chunk id 1 is attached (0 was captured; 1-3 attached at open, and
+    // a spare was attached to replace 0).
+    let mut forged = good;
+    forged.id = ChunkId {
+        nic_id: 0,
+        ring_id: 0,
+        chunk_id: 1,
+    };
+    // Even with a correctly-guessed process address the state check fires.
+    forged.process_address = good.process_address
+        + (256 * wirecap::config::CELL_BYTES as u64);
+    let err = p.recycle(&forged).unwrap_err();
+    assert!(
+        matches!(err, RecycleError::NotCaptured | RecycleError::BadAddress),
+        "{err:?}"
+    );
+    assert!(p.is_consistent());
+}
+
+#[test]
+fn address_forgery_is_rejected() {
+    let mut p = pool();
+    let good = captured_meta(&mut p);
+    let mut forged = good;
+    forged.process_address ^= 0x1000;
+    assert_eq!(p.recycle(&forged), Err(RecycleError::BadAddress));
+    assert!(p.is_consistent());
+}
+
+#[test]
+fn hostile_recycle_storm_leaves_pool_functional() {
+    // A loop of garbage recycles interleaved with real traffic: the pool
+    // must neither panic nor leak chunks.
+    let mut p = pool();
+    let mut captured = Vec::new();
+    for round in 0u64..50 {
+        for _ in 0..64 {
+            p.on_dma(round);
+        }
+        let (metas, _) = p.capture_full();
+        captured.extend(metas);
+        // Hostile garbage.
+        let _ = p.recycle(&ChunkMeta {
+            id: ChunkId {
+                nic_id: (round % 3) as u16,
+                ring_id: (round % 2) as u16,
+                chunk_id: (round * 37) as u32,
+            },
+            process_address: round.wrapping_mul(0x9e3779b97f4a7c15),
+            pkt_count: 1,
+            offloaded: false,
+            first_fill_ns: 0,
+        });
+        assert!(p.is_consistent(), "round {round}");
+        // Legitimate recycling keeps the system flowing.
+        if let Some(meta) = captured.pop() {
+            p.recycle(&meta).unwrap();
+            p.replenish();
+        }
+    }
+    // Drain: everything still accounted for.
+    for meta in captured {
+        p.recycle(&meta).unwrap();
+    }
+    p.replenish();
+    assert!(p.is_consistent());
+}

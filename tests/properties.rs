@@ -1,0 +1,200 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! These exercise the load-bearing invariants under randomized operation
+//! sequences: chunk conservation in the ring buffer pool, descriptor
+//! conservation in rings, end-to-end accounting consistency of every
+//! engine, and determinism of the workload generators.
+
+use apps::harness::{run, EngineKind};
+use engines::EngineConfig;
+use proptest::prelude::*;
+use traffic::{generate_border_trace, BorderTraceConfig, TraceCursor, TrafficSource};
+use wirecap::pool::RingBufferPool;
+use wirecap::WireCapConfig;
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Dma,
+    Capture,
+    Partial,
+    RecycleOldest,
+    Replenish,
+}
+
+fn arb_pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        8 => Just(PoolOp::Dma),
+        2 => Just(PoolOp::Capture),
+        1 => Just(PoolOp::Partial),
+        3 => Just(PoolOp::RecycleOldest),
+        1 => Just(PoolOp::Replenish),
+    ]
+}
+
+proptest! {
+    /// Chunk conservation: free + attached + captured == R after every
+    /// operation sequence, and armed cells never exceed the ring.
+    #[test]
+    fn pool_conserves_chunks(ops in proptest::collection::vec(arb_pool_op(), 1..400)) {
+        let cfg = WireCapConfig::basic(64, 20, 0);
+        let mut pool = RingBufferPool::open(0, 0, &cfg);
+        let mut outstanding = Vec::new();
+        let mut t = 0u64;
+        for op in ops {
+            t += 10_000;
+            match op {
+                PoolOp::Dma => {
+                    pool.on_dma(t);
+                }
+                PoolOp::Capture => {
+                    let (metas, _) = pool.capture_full();
+                    outstanding.extend(metas);
+                }
+                PoolOp::Partial => {
+                    if let Some((meta, _)) = pool.capture_partial(t + 2_000_000, 1_000_000) {
+                        outstanding.push(meta);
+                    }
+                }
+                PoolOp::RecycleOldest => {
+                    if !outstanding.is_empty() {
+                        let meta = outstanding.remove(0);
+                        prop_assert_eq!(pool.recycle(&meta), Ok(()));
+                    }
+                }
+                PoolOp::Replenish => {
+                    pool.replenish();
+                }
+            }
+            prop_assert!(pool.is_consistent());
+            prop_assert_eq!(
+                pool.captured_chunks(),
+                outstanding.len(),
+                "captured chunks must match outstanding metadata"
+            );
+            prop_assert!(pool.armed_cells() <= cfg.ring_size);
+        }
+    }
+
+    /// Every engine's accounting balances on arbitrary workloads:
+    /// offered = captured + capture_drops, and all captured packets are
+    /// eventually delivered, dropped, or still buffered.
+    #[test]
+    fn engine_accounting_balances(
+        packets in 100u64..5_000,
+        rate in 10_000.0f64..2_000_000.0,
+        engine_idx in 0usize..7,
+        queues in 1usize..4,
+    ) {
+        let kind = match engine_idx {
+            0 => EngineKind::Dna,
+            1 => EngineKind::Netmap,
+            2 => EngineKind::PfRing,
+            3 => EngineKind::Psioe,
+            4 => EngineKind::Dpdk,
+            5 => EngineKind::DpdkAppOffload(0.5),
+            _ => EngineKind::WireCap(WireCapConfig::basic(64, 20, 300)),
+        };
+        let cfg = EngineConfig::paper(300);
+        let mut gen = traffic::WireRateGen::new(packets, 64, rate, 16);
+        let res = run(kind, queues, cfg, &mut gen);
+        prop_assert!(res.total.is_consistent(), "{:?}", res.total);
+        prop_assert_eq!(res.total.offered, packets);
+        // After finish() the engine must have drained: nothing in flight.
+        prop_assert_eq!(res.total.in_flight(), 0, "{:?}", res.total);
+    }
+
+    /// WireCAP never suffers delivery drops, for any basic-mode geometry.
+    #[test]
+    fn wirecap_never_delivery_drops(
+        packets in 100u64..4_000,
+        m_pow in 0usize..3,
+        r in 6usize..40,
+    ) {
+        let m = [64usize, 128, 256][m_pow];
+        let r = r.max(1024 / m + 1);
+        let cfg = EngineConfig::paper(300);
+        let mut gen = traffic::WireRateGen::new(packets, 64, 14_880_952.0, 4);
+        let res = run(
+            EngineKind::WireCap(WireCapConfig::basic(m, r, 300)),
+            1,
+            cfg,
+            &mut gen,
+        );
+        prop_assert_eq!(res.total.delivery_drops, 0);
+        prop_assert!(res.total.is_consistent());
+    }
+
+    /// Trace generation is deterministic and time-ordered for any seed.
+    #[test]
+    fn trace_generation_deterministic(seed in any::<u64>()) {
+        let cfg = BorderTraceConfig {
+            seed,
+            packets: 3_000,
+            duration_s: 2.0,
+            flows: 60,
+            max_flow_packets: 1_000.0,
+            ..BorderTraceConfig::small()
+        };
+        let a = generate_border_trace(&cfg);
+        let b = generate_border_trace(&cfg);
+        prop_assert_eq!(a.records(), b.records());
+        prop_assert!(a.records().windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        prop_assert_eq!(a.len(), 3_000);
+    }
+
+    /// The full experiment pipeline is deterministic: identical inputs
+    /// yield bit-identical accounting, for every engine.
+    #[test]
+    fn experiments_are_deterministic(
+        engine_idx in 0usize..7,
+        seed in any::<u64>(),
+    ) {
+        let kind = match engine_idx {
+            0 => EngineKind::Dna,
+            1 => EngineKind::Netmap,
+            2 => EngineKind::PfRing,
+            3 => EngineKind::Psioe,
+            4 => EngineKind::Dpdk,
+            5 => EngineKind::DpdkAppOffload(0.6),
+            _ => EngineKind::WireCap(WireCapConfig::advanced(64, 20, 0.6, 300)),
+        };
+        let cfg = EngineConfig::paper(300);
+        let trace_cfg = BorderTraceConfig {
+            seed,
+            packets: 2_000,
+            duration_s: 0.2,
+            flows: 40,
+            max_flow_packets: 500.0,
+            ..BorderTraceConfig::small()
+        };
+        let trace = generate_border_trace(&trace_cfg);
+        let mut c1 = TraceCursor::new(&trace);
+        let r1 = run(kind, 3, cfg, &mut c1);
+        let mut c2 = TraceCursor::new(&trace);
+        let r2 = run(kind, 3, cfg, &mut c2);
+        prop_assert_eq!(r1.per_queue, r2.per_queue);
+        prop_assert_eq!(r1.copies, r2.copies);
+    }
+
+    /// Replay at any speed preserves order and count.
+    #[test]
+    fn replay_preserves_order(speed in 0.25f64..8.0, loops in 1u32..4) {
+        let cfg = BorderTraceConfig {
+            packets: 500,
+            duration_s: 1.0,
+            flows: 20,
+            max_flow_packets: 100.0,
+            ..BorderTraceConfig::small()
+        };
+        let trace = generate_border_trace(&cfg);
+        let mut cursor = TraceCursor::new(&trace).with_speed(speed).looped(loops);
+        let mut n = 0u64;
+        let mut last = 0u64;
+        while let Some(a) = cursor.next_arrival() {
+            prop_assert!(a.ts_ns >= last, "time went backwards");
+            last = a.ts_ns;
+            n += 1;
+        }
+        prop_assert_eq!(n, 500 * u64::from(loops));
+    }
+}

@@ -1,0 +1,76 @@
+//! Integration tests for the zero-copy accounting across engines.
+//!
+//! The paper's taxonomy (§2.1, Table 2): Type-II engines and WireCAP are
+//! zero-copy; Type-I engines copy every packet at least once; WireCAP's
+//! only copy is the capture-timeout partial-chunk path.
+
+use apps::harness::{run, EngineKind};
+use engines::EngineConfig;
+use traffic::WireRateGen;
+use wirecap::WireCapConfig;
+
+fn copies_for(kind: EngineKind, packets: u64, pps: f64) -> sim::stats::CopyMeter {
+    let cfg = EngineConfig::paper(300);
+    let mut gen = WireRateGen::new(packets, 64, pps, 8);
+    run(kind, 1, cfg, &mut gen).copies
+}
+
+#[test]
+fn type2_engines_never_copy() {
+    for kind in [EngineKind::Dna, EngineKind::Netmap] {
+        let copies = copies_for(kind, 10_000, 100_000.0);
+        assert!(copies.is_zero_copy(), "{kind:?}: {copies:?}");
+    }
+}
+
+#[test]
+fn type1_engines_copy_every_packet() {
+    // At 20 k p/s both Type-I engines keep up losslessly — and pay one
+    // copy per packet for it.
+    let copies = copies_for(EngineKind::PfRing, 10_000, 20_000.0);
+    assert_eq!(copies.packets, 10_000);
+    assert!(copies.bytes >= 10_000 * 60);
+    let copies = copies_for(EngineKind::Psioe, 10_000, 20_000.0);
+    assert_eq!(copies.packets, 10_000);
+}
+
+#[test]
+fn wirecap_copies_only_timeout_partials() {
+    // At 1 Mp/s a 256-cell chunk fills in 256 µs, far inside the capture
+    // timeout: full chunks move zero-copy.
+    let full = copies_for(
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+        256 * 40,
+        1_000_000.0,
+    );
+    assert!(full.is_zero_copy(), "{full:?}");
+
+    // 40 full chunks + 100 stragglers: exactly 100 packets copied (the
+    // timeout flushes the trailing partial chunk).
+    let ragged = copies_for(
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+        256 * 40 + 100,
+        1_000_000.0,
+    );
+    assert_eq!(ragged.packets, 100, "{ragged:?}");
+}
+
+#[test]
+fn wirecap_below_fill_rate_copies_via_timeout_by_design() {
+    // §3.2.1's tradeoff made visible: a queue receiving slower than
+    // M / timeout never fills a chunk, so the timeout path delivers
+    // (and copies) everything — the price of bounded capture latency.
+    let slow = copies_for(
+        EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)),
+        2_000,
+        10_000.0, // 10 k p/s ≪ 256 cells / 10 ms
+    );
+    assert_eq!(slow.packets, 2_000, "{slow:?}");
+}
+
+#[test]
+fn copy_volume_scales_with_traffic_for_type1() {
+    let small = copies_for(EngineKind::PfRing, 1_000, 20_000.0);
+    let large = copies_for(EngineKind::PfRing, 4_000, 20_000.0);
+    assert_eq!(large.packets, 4 * small.packets);
+}
