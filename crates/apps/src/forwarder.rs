@@ -97,6 +97,17 @@ impl Middlebox {
         Verdict::Forwarded
     }
 
+    /// Processes a borrowed frame into a caller-provided scratch buffer:
+    /// `scratch` is overwritten with the frame and modified in place, so
+    /// chunk-view consumers reuse one buffer for the whole stream instead
+    /// of allocating per packet. On [`Verdict::Forwarded`] (or
+    /// [`Verdict::PassedThrough`]) `scratch` holds the frame to transmit.
+    pub fn process_slice(&mut self, frame: &[u8], scratch: &mut Vec<u8>) -> Verdict {
+        scratch.clear();
+        scratch.extend_from_slice(frame);
+        self.process(scratch)
+    }
+
     /// Convenience wrapper for owned packets: returns the modified copy
     /// when forwarded.
     pub fn process_packet(&mut self, pkt: &Packet) -> (Verdict, Option<Packet>) {
@@ -160,7 +171,10 @@ mod tests {
         assert_eq!(mb.process(&mut f), Verdict::Forwarded);
         let ip = Ipv4Header::parse(&f[14..]).unwrap();
         assert_eq!(ip.ttl(), before - 1);
-        assert!(ip.checksum_ok(), "incremental checksum update broke the header");
+        assert!(
+            ip.checksum_ok(),
+            "incremental checksum update broke the header"
+        );
         assert_eq!(mb.forwarded, 1);
     }
 
@@ -182,7 +196,7 @@ mod tests {
         let mut mb = Middlebox::with_router_ip("203.0.113.1".parse().unwrap());
         let mut f = frame();
         f[14 + 8] = 1; // TTL 1: next hop would be 0
-        // refresh the header checksum for the modified TTL
+                       // refresh the header checksum for the modified TTL
         f[14 + 10] = 0;
         f[14 + 11] = 0;
         let csum = netproto::checksum::checksum(&f[14..34]);
@@ -194,7 +208,10 @@ mod tests {
         let ip = Ipv4Header::parse(&reply.data[14..]).unwrap();
         assert_eq!(ip.protocol(), 1);
         // Back toward the original source.
-        assert_eq!(ip.dst(), "131.225.2.1".parse::<std::net::Ipv4Addr>().unwrap());
+        assert_eq!(
+            ip.dst(),
+            "131.225.2.1".parse::<std::net::Ipv4Addr>().unwrap()
+        );
         assert_eq!(mb.icmp_sent, 1);
     }
 
@@ -207,6 +224,21 @@ mod tests {
         let orig = arp.clone();
         assert_eq!(mb.process(&mut arp), Verdict::PassedThrough);
         assert_eq!(arp, orig);
+    }
+
+    #[test]
+    fn process_slice_reuses_the_scratch_buffer() {
+        let mut mb = Middlebox::new();
+        let f = frame();
+        let mut scratch = Vec::new();
+        assert_eq!(mb.process_slice(&f, &mut scratch), Verdict::Forwarded);
+        let ip = Ipv4Header::parse(&scratch[14..]).unwrap();
+        assert!(ip.checksum_ok());
+        let cap = scratch.capacity();
+        // A second, equally sized frame reuses the allocation.
+        assert_eq!(mb.process_slice(&f, &mut scratch), Verdict::Forwarded);
+        assert_eq!(scratch.capacity(), cap);
+        assert_eq!(mb.forwarded, 2);
     }
 
     #[test]

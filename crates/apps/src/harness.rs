@@ -43,9 +43,7 @@ impl EngineKind {
             EngineKind::PfPacket => Box::new(PfPacketEngine::new(queues, cfg)),
             EngineKind::Psioe => Box::new(PsioeEngine::new(queues, cfg)),
             EngineKind::Dpdk => Box::new(DpdkEngine::new(queues, cfg)),
-            EngineKind::DpdkAppOffload(t) => {
-                Box::new(DpdkEngine::with_app_offload(queues, cfg, t))
-            }
+            EngineKind::DpdkAppOffload(t) => Box::new(DpdkEngine::with_app_offload(queues, cfg, t)),
             EngineKind::WireCap(mut wc) => {
                 wc.app = cfg.app;
                 wc.ring_size = cfg.ring_size;
@@ -93,6 +91,9 @@ impl ExperimentResult {
     }
 }
 
+/// Arrivals pulled from the traffic source per batch.
+const ARRIVAL_BATCH: usize = 256;
+
 /// Runs a workload through RSS steering into an engine and returns the
 /// measurements. Arrival timestamps must be non-decreasing.
 pub fn run_experiment(
@@ -104,19 +105,24 @@ pub fn run_experiment(
     // Per-flow steering decisions are cached: the hash depends only on
     // the 5-tuple (this is exactly why RSS skews — every packet of a
     // flow lands on the same queue).
-    let steering: Vec<usize> = source
-        .flows()
-        .iter()
-        .map(|f| rss.steer(f))
-        .collect();
+    let steering: Vec<usize> = source.flows().iter().map(|f| rss.steer(f)).collect();
 
+    // Arrivals are pulled in batches (sources backed by contiguous
+    // records emit whole slices per call) and fed to the engine.
     let mut last = SimTime::ZERO;
     let mut debug_prev = 0u64;
-    while let Some(a) = source.next_arrival() {
-        debug_assert!(a.ts_ns >= debug_prev, "arrivals must be time-ordered");
-        debug_prev = a.ts_ns;
-        last = SimTime(a.ts_ns);
-        engine.on_arrival(last, steering[a.flow as usize], a.len);
+    let mut batch: Vec<traffic::Arrival> = Vec::with_capacity(ARRIVAL_BATCH);
+    loop {
+        batch.clear();
+        if source.next_batch(&mut batch, ARRIVAL_BATCH) == 0 {
+            break;
+        }
+        for a in &batch {
+            debug_assert!(a.ts_ns >= debug_prev, "arrivals must be time-ordered");
+            debug_prev = a.ts_ns;
+            last = SimTime(a.ts_ns);
+            engine.on_arrival(last, steering[a.flow as usize], a.len);
+        }
     }
     let drained = engine.finish(last);
 

@@ -32,11 +32,7 @@ pub struct HandlerReport {
 ///
 /// The caller owns the injection side: inject packets into `nic`, call
 /// [`LiveNic::stop`], then collect the reports this function returns.
-pub fn run(
-    nic: Arc<LiveNic>,
-    cfg: WireCapConfig,
-    x: u32,
-) -> Vec<HandlerReport> {
+pub fn run(nic: Arc<LiveNic>, cfg: WireCapConfig, x: u32) -> Vec<HandlerReport> {
     let queues = nic.queue_count();
     let groups = if cfg.threshold.is_some() {
         BuddyGroups::single(queues)
@@ -53,8 +49,11 @@ pub fn run(
                     let mut handler = PktHandler::paper(x);
                     let mut matched = 0u64;
                     while let Some(chunk) = consumer.next_chunk() {
-                        for pkt in &chunk.packets {
-                            if handler.handle(pkt) {
+                        // Zero-copy consumption: the filter runs on
+                        // borrowed arena slices; recycling the chunk
+                        // ends the view's lifetime.
+                        for pkt in consumer.view(&chunk).iter() {
+                            if handler.handle_bytes(pkt.data) {
                                 matched += 1;
                             }
                         }

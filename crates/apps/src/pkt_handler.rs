@@ -46,9 +46,16 @@ impl PktHandler {
     /// Processes one packet: applies the BPF filter x times, then
     /// discards it. Returns the final filter verdict.
     pub fn handle(&mut self, pkt: &Packet) -> bool {
+        self.handle_bytes(&pkt.data)
+    }
+
+    /// Processes one raw frame — the zero-copy entry point for consumers
+    /// holding borrowed `&[u8]` slices (arena chunk views) rather than
+    /// owned packets.
+    pub fn handle_bytes(&mut self, frame: &[u8]) -> bool {
         let mut verdict = false;
         for _ in 0..self.x.max(1) {
-            verdict = self.filter.matches(&pkt.data);
+            verdict = self.filter.matches(frame);
         }
         self.processed += 1;
         self.matched_last = verdict;

@@ -25,8 +25,9 @@ impl QueueProfiler {
     pub fn profile(source: &mut dyn TrafficSource, queues: usize) -> Self {
         let rss = Rss::new(queues);
         let steering: Vec<usize> = source.flows().iter().map(|f| rss.steer(f)).collect();
-        let mut series: Vec<TimeSeries> =
-            (0..queues).map(|_| TimeSeries::profiler_default()).collect();
+        let mut series: Vec<TimeSeries> = (0..queues)
+            .map(|_| TimeSeries::profiler_default())
+            .collect();
         while let Some(a) = source.next_arrival() {
             series[steering[a.flow as usize]].record(SimTime(a.ts_ns));
         }

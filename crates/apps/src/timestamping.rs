@@ -83,9 +83,7 @@ impl TimestampSource {
         match *self {
             TimestampSource::OsJiffy { .. } => 2.0, // a cached variable read
             TimestampSource::PerPacketTsc { cost_cycles } => cost_cycles,
-            TimestampSource::BatchTsc { batch, cost_cycles } => {
-                cost_cycles / batch.max(1) as f64
-            }
+            TimestampSource::BatchTsc { batch, cost_cycles } => cost_cycles / batch.max(1) as f64,
         }
     }
 }
@@ -171,9 +169,14 @@ mod tests {
     #[test]
     fn jiffy_clock_is_cheap_but_useless_at_wire_rate() {
         let t = wire_rate_timeline(10_000);
-        let r = evaluate(TimestampSource::OsJiffy { resolution_ns: 1_000_000 }, &t);
+        let r = evaluate(
+            TimestampSource::OsJiffy {
+                resolution_ns: 1_000_000,
+            },
+            &t,
+        );
         assert!(r.cpu_share_at_rate < 0.02); // ~2 cycles/pkt
-        // Nearly every stamp collides within a 1 ms jiffy at 14.9 Mp/s.
+                                             // Nearly every stamp collides within a 1 ms jiffy at 14.9 Mp/s.
         assert!(r.duplicate_fraction > 0.99, "{}", r.duplicate_fraction);
         assert!(r.max_error_ns < 1_000_000);
     }
@@ -181,8 +184,20 @@ mod tests {
     #[test]
     fn batch_tsc_trades_error_for_overhead() {
         let t = wire_rate_timeline(10_000);
-        let small = evaluate(TimestampSource::BatchTsc { batch: 64, cost_cycles: 60.0 }, &t);
-        let big = evaluate(TimestampSource::BatchTsc { batch: 256, cost_cycles: 60.0 }, &t);
+        let small = evaluate(
+            TimestampSource::BatchTsc {
+                batch: 64,
+                cost_cycles: 60.0,
+            },
+            &t,
+        );
+        let big = evaluate(
+            TimestampSource::BatchTsc {
+                batch: 256,
+                cost_cycles: 60.0,
+            },
+            &t,
+        );
         // Bigger batches: cheaper but less accurate and less unique.
         assert!(big.cpu_share_at_rate < small.cpu_share_at_rate);
         assert!(big.mean_error_ns > small.mean_error_ns);
@@ -196,8 +211,13 @@ mod tests {
     fn stamps_never_reorder_but_can_tie() {
         let t = wire_rate_timeline(1_000);
         for src in [
-            TimestampSource::OsJiffy { resolution_ns: 4_000_000 },
-            TimestampSource::BatchTsc { batch: 128, cost_cycles: 60.0 },
+            TimestampSource::OsJiffy {
+                resolution_ns: 4_000_000,
+            },
+            TimestampSource::BatchTsc {
+                batch: 128,
+                cost_cycles: 60.0,
+            },
         ] {
             let stamps = src.stamp(&t);
             assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{src:?}");

@@ -1,0 +1,273 @@
+//! Old-vs-new hot path: chunk-at-a-time owned packets against the
+//! batched, allocation-free arena pipeline.
+//!
+//! The seed live engine moved every packet through a per-packet
+//! `ArrayQueue` hop, cloned it into a freshly allocated `Vec<Packet>`
+//! per chunk, and handed each chunk to the consumer with one CAS on a
+//! shared `ArrayQueue`. The rebuilt engine writes payloads into a
+//! fixed-cell [`wirecap::arena::ChunkArena`] (the DMA model of §3.1 —
+//! the NIC lands frames directly in chunk cells), hands chunks to the
+//! consumer over an SPSC [`wirecap::spsc::BatchRing`] up to
+//! [`wirecap::spsc::MAX_BATCH`] at a time, and the consumer reads
+//! borrowed slices through `ChunkView` before releasing the slot.
+//!
+//! Both pipelines are exercised single-threaded over identical traffic
+//! at M ∈ {1, 4, 16, 64}, and the measured packet rates are written to
+//! `BENCH_hotpath.json` at the repository root.
+//!
+//! Run with `cargo bench -p bench --bench hotpath` (set
+//! `CRITERION_QUICK=1` for a short CI run).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use crossbeam::queue::ArrayQueue;
+use netproto::{FlowKey, Packet, PacketBuilder};
+use std::net::Ipv4Addr;
+use std::time::Instant;
+use wirecap::arena::{ChunkArena, FreeSlot};
+use wirecap::spsc::{BatchRing, MAX_BATCH};
+
+/// Chunks per pool in both pipelines (the paper's R).
+const R: usize = 64;
+/// Payload bytes per packet.
+const FRAME: usize = 128;
+
+fn traffic(n: usize) -> Vec<Packet> {
+    let mut b = PacketBuilder::new();
+    (0..n)
+        .map(|i| {
+            let flow = FlowKey::udp(
+                Ipv4Addr::new(131, 225, 2, (i % 200) as u8 + 1),
+                (9_000 + i % 2_000) as u16,
+                Ipv4Addr::new(10, 0, 0, 1),
+                443,
+            );
+            b.build_packet(i as u64, &flow, FRAME).unwrap()
+        })
+        .collect()
+}
+
+/// The seed pipeline: per-packet queue hop, owned per-chunk `Vec`s,
+/// chunk-at-a-time consumer handoff. Returns (packets, bytes) consumed.
+fn seed_path(
+    pkts: &[Packet],
+    m: usize,
+    nic: &ArrayQueue<Packet>,
+    chunks: &ArrayQueue<Vec<Packet>>,
+) -> (u64, u64) {
+    let mut consumed = 0u64;
+    let mut bytes = 0u64;
+    let mut current: Vec<Packet> = Vec::with_capacity(m);
+    let drain = |chunks: &ArrayQueue<Vec<Packet>>, consumed: &mut u64, bytes: &mut u64| {
+        while let Some(chunk) = chunks.pop() {
+            for p in &chunk {
+                *consumed += 1;
+                *bytes += p.data.len() as u64;
+            }
+            // The chunk's Vec (and its packet clones) die here — the
+            // per-chunk allocation the seed engine paid.
+            drop(chunk);
+        }
+    };
+    for pkt in pkts {
+        // NIC hop: one push + one pop + one clone per packet.
+        nic.push(pkt.clone())
+            .expect("nic ring drained every packet");
+        let pkt = nic.pop().expect("just pushed");
+        current.push(pkt);
+        if current.len() == m {
+            let full = std::mem::replace(&mut current, Vec::with_capacity(m));
+            if chunks.push(full).is_err() {
+                unreachable!("consumer keeps up in-line");
+            }
+            drain(chunks, &mut consumed, &mut bytes);
+        }
+    }
+    for p in &current {
+        consumed += 1;
+        bytes += p.data.len() as u64;
+    }
+    current.clear();
+    drain(chunks, &mut consumed, &mut bytes);
+    (consumed, bytes)
+}
+
+/// The batched arena pipeline: payloads land in fixed cells, sealed
+/// chunks move through an SPSC batch ring, the consumer reads borrowed
+/// views and releases slots. Returns (packets, bytes) consumed.
+fn batched_path(
+    pkts: &[Packet],
+    arena: &ChunkArena,
+    free: &mut Vec<FreeSlot>,
+    ring: &BatchRing<wirecap::arena::SealedSlot>,
+) -> (u64, u64) {
+    let mut consumed = 0u64;
+    let mut bytes = 0u64;
+    let mut staged = Vec::with_capacity(MAX_BATCH);
+    let mut popped = Vec::with_capacity(MAX_BATCH);
+    let drain = |free: &mut Vec<FreeSlot>,
+                 popped: &mut Vec<wirecap::arena::SealedSlot>,
+                 consumed: &mut u64,
+                 bytes: &mut u64| {
+        loop {
+            popped.clear();
+            if ring.pop_batch(popped, MAX_BATCH) == 0 {
+                break;
+            }
+            for seal in popped.drain(..) {
+                for p in arena.view(&seal).iter() {
+                    *consumed += 1;
+                    *bytes += p.data.len() as u64;
+                }
+                free.push(arena.release(seal));
+            }
+        }
+    };
+    let mut current = free.pop().expect("R slots free at start");
+    for pkt in pkts {
+        // DMA model: the frame lands directly in the chunk cell.
+        if !arena.write_packet(&mut current, pkt.ts_ns, pkt.wire_len, &pkt.data) {
+            unreachable!("sealed before full");
+        }
+        if current.filled() == arena.m() {
+            staged.push(arena.seal(current));
+            if staged.len() == MAX_BATCH {
+                while !staged.is_empty() {
+                    if ring.push_batch(&mut staged) == 0 {
+                        drain(free, &mut popped, &mut consumed, &mut bytes);
+                    }
+                }
+            }
+            if free.is_empty() {
+                drain(free, &mut popped, &mut consumed, &mut bytes);
+            }
+            current = free.pop().expect("drain refilled the freelist");
+        }
+    }
+    // Trailing partial chunk: count in place and keep the slot free.
+    let view_len = current.filled();
+    if view_len > 0 {
+        let seal = arena.seal(current);
+        for p in arena.view(&seal).iter() {
+            consumed += 1;
+            bytes += p.data.len() as u64;
+        }
+        free.push(arena.release(seal));
+    } else {
+        free.push(current);
+    }
+    while !staged.is_empty() {
+        if ring.push_batch(&mut staged) == 0 {
+            drain(free, &mut popped, &mut consumed, &mut bytes);
+        }
+    }
+    drain(free, &mut popped, &mut consumed, &mut bytes);
+    (consumed, bytes)
+}
+
+/// Times `f` over `rounds` passes of `n_packets` and returns packets/s.
+fn measure(mut f: impl FnMut() -> (u64, u64), n_packets: usize, rounds: usize) -> f64 {
+    // Warm-up pass.
+    black_box(f());
+    let start = Instant::now();
+    let mut total = 0u64;
+    for _ in 0..rounds {
+        let (consumed, bytes) = black_box(f());
+        assert_eq!(consumed as usize, n_packets);
+        assert_eq!(bytes as usize, n_packets * FRAME);
+        total += consumed;
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn quick() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some() || std::env::args().any(|a| a == "--quick")
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let ms = [1usize, 4, 16, 64];
+    let n_packets = if quick() { 16 * 1024 } else { 64 * 1024 };
+    let rounds = if quick() { 3 } else { 10 };
+    let pkts = traffic(n_packets);
+
+    let mut results = Vec::new();
+    for &m in &ms {
+        // Seed fixtures (reused across rounds, like the seed engine).
+        let nic: ArrayQueue<Packet> = ArrayQueue::new(R * m.max(2));
+        let chunks: ArrayQueue<Vec<Packet>> = ArrayQueue::new(R);
+        // Arena fixtures.
+        let (arena, mut free) = ChunkArena::with_slots(R, m, FRAME);
+        let ring: BatchRing<wirecap::arena::SealedSlot> = BatchRing::with_capacity(R);
+
+        let seed_pps = measure(|| seed_path(&pkts, m, &nic, &chunks), n_packets, rounds);
+        let batched_pps = measure(
+            || batched_path(&pkts, &arena, &mut free, &ring),
+            n_packets,
+            rounds,
+        );
+        let speedup = batched_pps / seed_pps;
+        eprintln!(
+            "hotpath M={m:>2}: seed {seed_pps:>12.0} p/s, batched {batched_pps:>12.0} p/s, \
+             speedup {speedup:.2}x"
+        );
+        results.push((m, seed_pps, batched_pps, speedup));
+
+        // Criterion display entries over the same closures.
+        let mut g = c.benchmark_group(format!("hotpath_m{m}"));
+        g.throughput(Throughput::Elements(n_packets as u64));
+        g.bench_function("seed_chunk_at_a_time", |b| {
+            b.iter(|| seed_path(&pkts, m, &nic, &chunks))
+        });
+        g.bench_function("batched_arena", |b| {
+            b.iter(|| batched_path(&pkts, &arena, &mut free, &ring))
+        });
+        g.finish();
+    }
+
+    write_json(&results, n_packets, rounds);
+}
+
+#[derive(serde::Serialize)]
+struct Entry {
+    m: usize,
+    seed_pps: f64,
+    batched_pps: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Doc {
+    benchmark: String,
+    frame_bytes: usize,
+    pool_chunks: usize,
+    packets_per_round: usize,
+    rounds: usize,
+    results: Vec<Entry>,
+}
+
+fn write_json(results: &[(usize, f64, f64, f64)], n_packets: usize, rounds: usize) {
+    let doc = Doc {
+        benchmark: "live hot path, chunk-at-a-time vs batched arena".into(),
+        frame_bytes: FRAME,
+        pool_chunks: R,
+        packets_per_round: n_packets,
+        rounds,
+        results: results
+            .iter()
+            .map(|&(m, seed_pps, batched_pps, speedup)| Entry {
+                m,
+                seed_pps,
+                batched_pps,
+                speedup,
+            })
+            .collect(),
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_hotpath.json");
+    let body = serde_json::to_string_pretty(&doc).expect("serializing results");
+    std::fs::write(&path, body + "\n").expect("writing BENCH_hotpath.json");
+    eprintln!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -104,7 +104,10 @@ fn bench_savefile(c: &mut Criterion) {
     let packets: Vec<netproto::Packet> = {
         let mut b = PacketBuilder::new();
         (0..1_000u16)
-            .map(|i| b.build_packet(u64::from(i) * 1_000, &sample_flow(i), 300).unwrap())
+            .map(|i| {
+                b.build_packet(u64::from(i) * 1_000, &sample_flow(i), 300)
+                    .unwrap()
+            })
             .collect()
     };
     g.throughput(Throughput::Elements(1_000));

@@ -59,10 +59,7 @@ fn main() {
         PlacementPolicy::NextNeighbor,
     ] {
         let cfg = WireCapConfig::advanced(256, 100, 0.6, 300);
-        let groups = BuddyGroups::new(
-            queues,
-            vec![BuddyGroup::all(queues).with_policy(policy)],
-        );
+        let groups = BuddyGroups::new(queues, vec![BuddyGroup::all(queues).with_policy(policy)]);
         let mut e = WireCapEngine::with_groups(queues, cfg, groups);
         run_variant(format!("A-(256,100,60%) placement {policy:?}"), &mut e);
     }
@@ -72,7 +69,10 @@ fn main() {
         let mut cfg = WireCapConfig::advanced(256, 100, 0.6, 300);
         cfg.offload_penalty = penalty;
         let mut e = WireCapEngine::new(queues, cfg);
-        run_variant(format!("A-(256,100,60%) affinity penalty {penalty}"), &mut e);
+        run_variant(
+            format!("A-(256,100,60%) affinity penalty {penalty}"),
+            &mut e,
+        );
     }
 
     let rows: Vec<Vec<String>> = rows_data

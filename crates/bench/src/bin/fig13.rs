@@ -9,7 +9,13 @@ fn main() {
         experiments::trace_experiment(&trace, &experiments::fig13_engines(), &[4, 5, 6], true);
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|p| vec![p.engine.clone(), format!("{} queues", p.queues), pct(p.drop_rate)])
+        .map(|p| {
+            vec![
+                p.engine.clone(),
+                format!("{} queues", p.queues),
+                pct(p.drop_rate),
+            ]
+        })
         .collect();
     write_table(
         &opts.out,

@@ -19,7 +19,10 @@ fn main() {
             vec![
                 format!("queue {q}{marker}"),
                 result.totals[q].to_string(),
-                format!("{:.1}", result.totals[q] as f64 / trace.duration_ns() as f64 * 1e9),
+                format!(
+                    "{:.1}",
+                    result.totals[q] as f64 / trace.duration_ns() as f64 * 1e9
+                ),
             ]
         })
         .collect();

@@ -88,5 +88,9 @@ fn main() {
 
     write_json(&opts.out, "fig14", &experiments::fig14());
     write_json(&opts.out, "tab2", &engines::capabilities::table2());
-    eprintln!("[{:6.1?}] all experiments written to {}", t0.elapsed(), opts.out.display());
+    eprintln!(
+        "[{:6.1?}] all experiments written to {}",
+        t0.elapsed(),
+        opts.out.display()
+    );
 }

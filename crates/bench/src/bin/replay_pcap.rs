@@ -29,7 +29,13 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--engine" => engine = args.next().expect("--engine needs a value"),
-            "--queues" => queues = args.next().expect("--queues needs a value").parse().unwrap(),
+            "--queues" => {
+                queues = args
+                    .next()
+                    .expect("--queues needs a value")
+                    .parse()
+                    .unwrap()
+            }
             "--x" => x = args.next().expect("--x needs a value").parse().unwrap(),
             "--speed" => speed = args.next().expect("--speed needs a value").parse().unwrap(),
             "--help" | "-h" => {

@@ -24,7 +24,13 @@ fn main() {
     let points = experiments::trace_experiment(&trace, &engines, &[4, 5, 6], false);
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|p| vec![p.engine.clone(), format!("{} queues", p.queues), pct(p.drop_rate)])
+        .map(|p| {
+            vec![
+                p.engine.clone(),
+                format!("{} queues", p.queues),
+                pct(p.drop_rate),
+            ]
+        })
         .collect();
     write_table(
         &opts.out,

@@ -27,9 +27,7 @@ fn main() {
     // measured latency is dominated by each engine's delivery mechanism.
     let cfg = EngineConfig::paper(300);
     let packets = opts.scale(400_000);
-    let mut engines: Vec<(String, EngineKind)> = vec![
-        ("DNA".into(), EngineKind::Dna),
-    ];
+    let mut engines: Vec<(String, EngineKind)> = vec![("DNA".into(), EngineKind::Dna)];
     for m in [64usize, 256] {
         let wc = WireCapConfig::basic(m, 25_600 / m + 16, 300);
         engines.push((wc.name(), EngineKind::WireCap(wc)));

@@ -18,11 +18,21 @@ fn main() {
     }
 
     let sources = [
-        TimestampSource::OsJiffy { resolution_ns: 4_000_000 }, // HZ=250
-        TimestampSource::OsJiffy { resolution_ns: 1_000_000 }, // HZ=1000
+        TimestampSource::OsJiffy {
+            resolution_ns: 4_000_000,
+        }, // HZ=250
+        TimestampSource::OsJiffy {
+            resolution_ns: 1_000_000,
+        }, // HZ=1000
         TimestampSource::PerPacketTsc { cost_cycles: 60.0 },
-        TimestampSource::BatchTsc { batch: 64, cost_cycles: 60.0 },
-        TimestampSource::BatchTsc { batch: 256, cost_cycles: 60.0 },
+        TimestampSource::BatchTsc {
+            batch: 64,
+            cost_cycles: 60.0,
+        },
+        TimestampSource::BatchTsc {
+            batch: 256,
+            cost_cycles: 60.0,
+        },
     ];
     let reports: Vec<_> = sources.iter().map(|&s| evaluate(s, &arrivals)).collect();
     let rows: Vec<Vec<String>> = reports
@@ -41,7 +51,13 @@ fn main() {
         &opts.out,
         "study_timestamps",
         "Study — timestamping at 64-byte wire rate (14.88 Mp/s)",
-        &["source", "mean err µs", "max err µs", "duplicates", "CPU share"],
+        &[
+            "source",
+            "mean err µs",
+            "max err µs",
+            "duplicates",
+            "CPU share",
+        ],
         &rows,
     );
     write_json(&opts.out, "study_timestamps", &reports);

@@ -119,10 +119,7 @@ pub fn drop_rate(engine: Fig14Engine, pt: OperatingPoint) -> f64 {
         }
     };
     let shares = rss_shares(pt.queues_per_nic);
-    let loads: Vec<f64> = shares
-        .iter()
-        .map(|s| lambda_nic * s * bus_served)
-        .collect();
+    let loads: Vec<f64> = shares.iter().map(|s| lambda_nic * s * bus_served).collect();
     let processed: f64 = match engine {
         Fig14Engine::Dna => loads.iter().map(|&l| l.min(mu)).sum(),
         Fig14Engine::WireCapA(cfg) => {

@@ -56,9 +56,7 @@ impl Opts {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--small" => opts.small = true,
-                "--out" => {
-                    opts.out = PathBuf::from(args.next().expect("--out needs a directory"))
-                }
+                "--out" => opts.out = PathBuf::from(args.next().expect("--out needs a directory")),
                 "--help" | "-h" => {
                     eprintln!("usage: [--small] [--out DIR]");
                     std::process::exit(0);

@@ -292,7 +292,11 @@ impl Insn {
                 if op == BPF_NEG {
                     return Some(Insn::Neg);
                 }
-                let src = if raw.code & BPF_X != 0 { Src::X } else { Src::K(k) };
+                let src = if raw.code & BPF_X != 0 {
+                    Src::X
+                } else {
+                    Src::K(k)
+                };
                 let op = match op {
                     BPF_ADD => AluOp::Add,
                     BPF_SUB => AluOp::Sub,
@@ -313,7 +317,11 @@ impl Insn {
                 if op == BPF_JA {
                     return Some(Insn::Ja(k));
                 }
-                let src = if raw.code & BPF_X != 0 { Src::X } else { Src::K(k) };
+                let src = if raw.code & BPF_X != 0 {
+                    Src::X
+                } else {
+                    Src::K(k)
+                };
                 let op = match op {
                     BPF_JEQ => JmpOp::Eq,
                     BPF_JGT => JmpOp::Gt,

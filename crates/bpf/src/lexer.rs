@@ -119,12 +119,10 @@ fn parse_numeric(text: &str, at: usize) -> Result<Token, Error> {
             }),
         }
     } else {
-        text.parse::<u32>()
-            .map(Token::Num)
-            .map_err(|_| Error::Lex {
-                at,
-                msg: format!("number out of range {text:?}"),
-            })
+        text.parse::<u32>().map(Token::Num).map_err(|_| Error::Lex {
+            at,
+            msg: format!("number out of range {text:?}"),
+        })
     }
 }
 

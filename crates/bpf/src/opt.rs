@@ -55,10 +55,7 @@ fn thread_jumps(prog: &Program) -> Program {
             Insn::Jmp(op, src, jt, jf) => {
                 let t = resolve(prog, pc + 1 + jt as usize);
                 let f = resolve(prog, pc + 1 + jf as usize);
-                let (jt, jf) = match (
-                    u8::try_from(t - pc - 1),
-                    u8::try_from(f - pc - 1),
-                ) {
+                let (jt, jf) = match (u8::try_from(t - pc - 1), u8::try_from(f - pc - 1)) {
                     (Ok(t8), Ok(f8)) => (t8, f8),
                     _ => (jt, jf), // out of reach: keep the chain
                 };
@@ -151,8 +148,8 @@ mod tests {
         // jmp -> ja -> ja -> ret
         let prog = vec![
             Jmp(JmpOp::Eq, Src::K(1), 0, 1), // jt -> 1 (ja), jf -> 2 (ja)
-            Ja(1),                            // -> 3
-            Ja(1),                            // -> 4
+            Ja(1),                           // -> 3
+            Ja(1),                           // -> 4
             RetK(7),
             RetK(0),
         ];

@@ -143,10 +143,10 @@ impl Parser {
                     self.host_or_net(dir, octets, true)
                 }
                 "port" => match self.next() {
-                    Some(Token::Num(n)) if n <= 65535 => {
-                        Ok(Expr::Prim(Prim::Port(dir, n as u16)))
-                    }
-                    other => Err(Error::Parse(format!("expected port number, found {other:?}"))),
+                    Some(Token::Num(n)) if n <= 65535 => Ok(Expr::Prim(Prim::Port(dir, n as u16))),
+                    other => Err(Error::Parse(format!(
+                        "expected port number, found {other:?}"
+                    ))),
                 },
                 "ip" if !explicit_dir => Ok(Expr::Prim(Prim::EtherProto(ETH_IP))),
                 "ip6" if !explicit_dir => Ok(Expr::Prim(Prim::EtherProto(ETH_IP6))),
@@ -206,11 +206,12 @@ impl Parser {
         };
         self.pos += 1; // consume "port"
         match self.next() {
-            Some(Token::Num(n)) if n <= 65535 => Ok(Expr::and(
-                base,
-                Expr::Prim(Prim::Port(dir, n as u16)),
-            )),
-            other => Err(Error::Parse(format!("expected port number, found {other:?}"))),
+            Some(Token::Num(n)) if n <= 65535 => {
+                Ok(Expr::and(base, Expr::Prim(Prim::Port(dir, n as u16))))
+            }
+            other => Err(Error::Parse(format!(
+                "expected port number, found {other:?}"
+            ))),
         }
     }
 

@@ -22,8 +22,7 @@ pub fn verify(prog: &Program) -> Result<(), String> {
     for (pc, insn) in prog.iter().enumerate() {
         match *insn {
             Insn::Ja(k) => {
-                check_target(prog.len(), pc, k as usize)
-                    .map_err(|e| format!("insn {pc}: {e}"))?;
+                check_target(prog.len(), pc, k as usize).map_err(|e| format!("insn {pc}: {e}"))?;
             }
             Insn::Jmp(_, _, jt, jf) => {
                 check_target(prog.len(), pc, jt as usize)

@@ -134,13 +134,13 @@ mod tests {
     /// accept IPv4 (or IPv6) packets whose protocol is UDP.
     fn udp_program() -> Program {
         vec![
-            LdAbs(Width::Half, 12),                     // ethertype
-            Jmp(JmpOp::Eq, Src::K(0x86dd), 0, 2),       // ip6?
-            LdAbs(Width::Byte, 20),                     // ip6 next header
-            Jmp(JmpOp::Eq, Src::K(17), 3, 4),           // udp?
-            Jmp(JmpOp::Eq, Src::K(0x0800), 0, 3),       // ip?
-            LdAbs(Width::Byte, 23),                     // ip protocol
-            Jmp(JmpOp::Eq, Src::K(17), 0, 1),           // udp?
+            LdAbs(Width::Half, 12),               // ethertype
+            Jmp(JmpOp::Eq, Src::K(0x86dd), 0, 2), // ip6?
+            LdAbs(Width::Byte, 20),               // ip6 next header
+            Jmp(JmpOp::Eq, Src::K(17), 3, 4),     // udp?
+            Jmp(JmpOp::Eq, Src::K(0x0800), 0, 3), // ip?
+            LdAbs(Width::Byte, 23),               // ip protocol
+            Jmp(JmpOp::Eq, Src::K(17), 0, 1),     // udp?
             RetK(262144),
             RetK(0),
         ]
@@ -213,23 +213,13 @@ mod tests {
 
     #[test]
     fn div_by_zero_rejects() {
-        let prog = vec![
-            LdImm(8),
-            Alu(crate::insn::AluOp::Div, Src::K(0)),
-            RetK(1),
-        ];
+        let prog = vec![LdImm(8), Alu(crate::insn::AluOp::Div, Src::K(0)), RetK(1)];
         assert_eq!(Vm::new(&prog).run(&[]), 0);
     }
 
     #[test]
     fn scratch_memory_works() {
-        let prog = vec![
-            LdImm(99),
-            St(5),
-            LdImm(0),
-            LdMem(5),
-            RetA,
-        ];
+        let prog = vec![LdImm(99), St(5), LdImm(0), LdMem(5), RetA];
         assert_eq!(Vm::new(&prog).run(&[]), 99);
     }
 

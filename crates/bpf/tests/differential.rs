@@ -51,11 +51,7 @@ fn arb_packet() -> impl Strategy<Value = Vec<u8>> {
             Just([192, 168, 1])
         ],
         any::<u8>(),
-        prop_oneof![
-            Just([131u8, 225, 2]),
-            Just([8, 8, 8]),
-            Just([10, 0, 0])
-        ],
+        prop_oneof![Just([131u8, 225, 2]), Just([8, 8, 8]), Just([10, 0, 0])],
         any::<u8>(),
         prop_oneof![Just(53u16), Just(80), Just(443), any::<u16>()],
         prop_oneof![Just(53u16), Just(80), Just(443), any::<u16>()],

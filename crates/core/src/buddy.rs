@@ -35,7 +35,10 @@ pub struct BuddyGroup {
 impl BuddyGroup {
     /// Forms a buddy group over the given queue indices.
     pub fn new(members: Vec<usize>) -> Self {
-        assert!(!members.is_empty(), "a buddy group needs at least one queue");
+        assert!(
+            !members.is_empty(),
+            "a buddy group needs at least one queue"
+        );
         BuddyGroup {
             members,
             policy: PlacementPolicy::ShortestQueue,
@@ -75,13 +78,7 @@ impl BuddyGroup {
     /// chosen by the group's [`PlacementPolicy`] (the paper's default:
     /// shortest capture queue, ties broken by lowest index for
     /// determinism). Offloading never leaves the group.
-    pub fn place(
-        &self,
-        from: usize,
-        lens: &[usize],
-        capacity: usize,
-        threshold: f64,
-    ) -> usize {
+    pub fn place(&self, from: usize, lens: &[usize], capacity: usize, threshold: f64) -> usize {
         self.place_seq(from, lens, capacity, threshold, 0)
     }
 
@@ -108,15 +105,9 @@ impl BuddyGroup {
                 .copied()
                 .min_by_key(|&q| (lens[q], q))
                 .unwrap_or(from),
-            PlacementPolicy::RoundRobin => {
-                self.members[(seq as usize) % self.members.len()]
-            }
+            PlacementPolicy::RoundRobin => self.members[(seq as usize) % self.members.len()],
             PlacementPolicy::NextNeighbor => {
-                let pos = self
-                    .members
-                    .iter()
-                    .position(|&q| q == from)
-                    .unwrap_or(0);
+                let pos = self.members.iter().position(|&q| q == from).unwrap_or(0);
                 self.members[(pos + 1) % self.members.len()]
             }
         }

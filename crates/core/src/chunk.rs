@@ -140,8 +140,22 @@ mod tests {
 
     #[test]
     fn chunks_of_different_rings_do_not_overlap() {
-        let a = Chunk::new(ChunkId { nic_id: 0, ring_id: 0, chunk_id: 499 }, 256);
-        let b = Chunk::new(ChunkId { nic_id: 0, ring_id: 1, chunk_id: 0 }, 256);
+        let a = Chunk::new(
+            ChunkId {
+                nic_id: 0,
+                ring_id: 0,
+                chunk_id: 499,
+            },
+            256,
+        );
+        let b = Chunk::new(
+            ChunkId {
+                nic_id: 0,
+                ring_id: 1,
+                chunk_id: 0,
+            },
+            256,
+        );
         assert!(a.kernel_address + (256 * CELL_BYTES) as u64 <= b.kernel_address);
     }
 

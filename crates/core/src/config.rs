@@ -144,10 +144,19 @@ mod tests {
 
     #[test]
     fn paper_configs_validate() {
-        for (m, r) in [(64, 100), (128, 100), (256, 100), (256, 500), (64, 400), (128, 200)] {
+        for (m, r) in [
+            (64, 100),
+            (128, 100),
+            (256, 100),
+            (256, 500),
+            (64, 400),
+            (128, 200),
+        ] {
             WireCapConfig::basic(m, r, 300).validate().unwrap();
         }
-        WireCapConfig::advanced(256, 100, 0.6, 300).validate().unwrap();
+        WireCapConfig::advanced(256, 100, 0.6, 300)
+            .validate()
+            .unwrap();
     }
 
     #[test]
@@ -183,7 +192,10 @@ mod tests {
 
     #[test]
     fn naming_convention() {
-        assert_eq!(WireCapConfig::basic(256, 100, 300).name(), "WireCAP-B-(256, 100)");
+        assert_eq!(
+            WireCapConfig::basic(256, 100, 300).name(),
+            "WireCAP-B-(256, 100)"
+        );
         assert_eq!(
             WireCapConfig::advanced(256, 500, 0.6, 300).name(),
             "WireCAP-A-(256, 500, 60%)"

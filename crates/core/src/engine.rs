@@ -38,6 +38,11 @@ struct QueueState {
     offered: u64,
     captured: u64,
     capture_drops: u64,
+    /// Packets lost after capture because a capture queue rejected a
+    /// chunk at capacity. Structurally impossible with correct
+    /// accounting (the capacity is the chunk population R), but the
+    /// bound is enforced — see [`WorkQueuePair::push_captured`].
+    delivery_drops: u64,
     delivered: u64,
     bytes_seen: u64,
     fwd: Option<ForwardPath>,
@@ -87,11 +92,13 @@ impl WireCapEngine {
                     offered: 0,
                     captured: 0,
                     capture_drops: 0,
+                    delivery_drops: 0,
                     delivered: 0,
                     bytes_seen: 0,
-                    fwd: cfg.app.forward.then(|| {
-                        ForwardPath::new(TxRing::new(4096, 10.0))
-                    }),
+                    fwd: cfg
+                        .app
+                        .forward
+                        .then(|| ForwardPath::new(TxRing::new(4096, 10.0))),
                     latency: sim::stats::LatencyStats::new(),
                 })
                 .collect(),
@@ -101,13 +108,19 @@ impl WireCapEngine {
 
     /// Packets forwarded by queue `q`'s application thread.
     pub fn forwarded(&self, q: usize) -> u64 {
-        self.queues[q].fwd.as_ref().map_or(0, ForwardPath::forwarded)
+        self.queues[q]
+            .fwd
+            .as_ref()
+            .map_or(0, ForwardPath::forwarded)
     }
 
     /// Frames actually transmitted for queue `q` (Fig. 13 counts these at
     /// the traffic receiver).
     pub fn transmitted(&self, q: usize) -> u64 {
-        self.queues[q].fwd.as_ref().map_or(0, ForwardPath::transmitted)
+        self.queues[q]
+            .fwd
+            .as_ref()
+            .map_or(0, ForwardPath::transmitted)
     }
 
     /// Chunks that arrived on `q`'s capture queue via offloading.
@@ -172,8 +185,10 @@ impl WireCapEngine {
                 // Capture-to-delivery latency for the whole chunk: the
                 // batching cost §5c warns about, metered per packet
                 // against the chunk's first arrival.
-                qs.latency
-                    .record_n(now.as_nanos().saturating_sub(done.first_fill_ns), u64::from(done.pkt_count));
+                qs.latency.record_n(
+                    now.as_nanos().saturating_sub(done.first_fill_ns),
+                    u64::from(done.pkt_count),
+                );
                 qs.current = None;
                 match &mut qs.fwd {
                     Some(fwd) => {
@@ -214,8 +229,9 @@ impl WireCapEngine {
 
         // 2. Capture full chunks and the timeout partial.
         let (mut metas, _) = self.queues[q].pool.capture_full();
-        if let Some((meta, _)) =
-            self.queues[q].pool.capture_partial(now.as_nanos(), self.cfg.capture_timeout_ns)
+        if let Some((meta, _)) = self.queues[q]
+            .pool
+            .capture_partial(now.as_nanos(), self.cfg.capture_timeout_ns)
         {
             metas.push(meta);
         }
@@ -236,7 +252,19 @@ impl WireCapEngine {
                 None => q,
             };
             meta.offloaded = target != q;
-            self.queues[target].wq.push_captured(meta);
+            if self.queues[target].wq.push_captured(meta).is_err() {
+                // The target queue rejected the chunk (at capacity). The
+                // packets are lost after capture; the chunk itself goes
+                // straight back to its home pool so the buffer population
+                // is preserved.
+                let home = meta.id.ring_id as usize;
+                self.queues[home].delivery_drops += u64::from(meta.pkt_count);
+                self.queues[home]
+                    .pool
+                    .recycle(&meta)
+                    .expect("engine-internal recycle metadata is always valid");
+                self.queues[home].pool.replenish();
+            }
         }
     }
 
@@ -250,8 +278,7 @@ impl WireCapEngine {
             qs.wq.capture_len() > 0
                 || qs.wq.recycle_len() > 0
                 || qs.current.is_some()
-                || qs.pool.armed_cells()
-                    < qs.pool.attached_chunks() * self.cfg.m
+                || qs.pool.armed_cells() < qs.pool.attached_chunks() * self.cfg.m
                 || qs.fwd.as_ref().is_some_and(|f| f.pinned_chunks() > 0)
         })
     }
@@ -320,7 +347,9 @@ impl CaptureEngine for WireCapEngine {
             // WireCAP's design makes delivery drops structurally
             // impossible: the capture queue is bounded by the chunk
             // population, and back-pressure surfaces as capture drops.
-            delivery_drops: 0,
+            // The bound is enforced rather than assumed — a rejected
+            // chunk surfaces here instead of silently growing the queue.
+            delivery_drops: qs.delivery_drops,
         }
     }
 
@@ -460,11 +489,8 @@ mod tests {
             4,
             vec![BuddyGroup::new(vec![0, 1]), BuddyGroup::new(vec![2, 3])],
         );
-        let mut e = WireCapEngine::with_groups(
-            4,
-            WireCapConfig::advanced(256, 100, 0.6, 300),
-            groups,
-        );
+        let mut e =
+            WireCapEngine::with_groups(4, WireCapConfig::advanced(256, 100, 0.6, 300), groups);
         burst(&mut e, 0, 100_000, 0, 12_500);
         e.finish(SimTime(30 * SECOND));
         assert_eq!(e.offloaded_in(2), 0);
@@ -501,8 +527,7 @@ mod tests {
     /// chunks recycle after their packets leave the wire.
     #[test]
     fn forwarding_transmits_everything() {
-        let mut e =
-            WireCapEngine::new(1, WireCapConfig::basic(256, 100, 300).forwarding());
+        let mut e = WireCapEngine::new(1, WireCapConfig::basic(256, 100, 300).forwarding());
         burst(&mut e, 0, 20_000, 0, 67);
         e.finish(SimTime(10 * SECOND));
         let s = e.queue_stats(0);

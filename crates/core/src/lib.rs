@@ -50,20 +50,27 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe code is denied everywhere except the two audited hot-path
+// modules ([`arena`] and [`spsc`]), which opt back in with module-level
+// `#[allow(unsafe_code)]` around a safe public API.
+#![deny(unsafe_code)]
 
+pub mod arena;
 pub mod buddy;
 pub mod chunk;
 pub mod config;
 pub mod engine;
 pub mod live;
 pub mod pool;
+pub mod spsc;
 pub mod steering;
 pub mod tx;
 pub mod workqueue;
 
+pub use arena::{ChunkArena, ChunkView, PacketRef};
 pub use buddy::BuddyGroup;
 pub use chunk::{ChunkId, ChunkMeta, ChunkState};
 pub use config::WireCapConfig;
 pub use engine::WireCapEngine;
 pub use pool::RingBufferPool;
+pub use spsc::{BatchRing, MAX_BATCH};

@@ -8,45 +8,114 @@
 //! run on top unchanged — the paper's Libpcap-compatibility claim,
 //! demonstrated end-to-end in the examples.
 //!
+//! # Hot path
+//!
+//! The capture path is allocation-free and batched:
+//!
+//! * packet payloads live in a per-queue [`ChunkArena`] allocated once at
+//!   start; the capture thread writes each packet straight into a cell of
+//!   the chunk it is filling, and consumers read borrowed `&[u8]` slices
+//!   through [`ChunkView`] ([`LiveConsumer::view`]). A [`LiveChunk`] is
+//!   a ~16-byte handle, not a packet vector;
+//! * chunk hand-off uses one [`BatchRing`] per (target queue, producer)
+//!   pair — strictly single-producer, so a whole batch of chunks is
+//!   published with a single release store. Buddy-group offloading picks
+//!   the target ring; because each producer owns its row of rings, the
+//!   offload path needs no fallback and can never lose a chunk to a full
+//!   queue;
+//! * recycling returns the sealed slot through a small MPMC queue sized
+//!   R — it can never be full because only R slots exist per queue.
+//!
+//! [`LiveConsumer::recycle`] consumes the [`LiveChunk`] by value, which
+//! statically invalidates every [`ChunkView`] borrowed from it — the
+//! compile-time form of the paper's rule that a recycled chunk's cells
+//! may be overwritten by DMA at any time.
+//!
 //! Simulation-mode experiments (the figures) use
 //! [`crate::engine::WireCapEngine`]; this module exists to prove the
 //! design works as a concurrent artifact.
 
+use crate::arena::{ChunkArena, ChunkView, FreeSlot, SealedSlot};
 use crate::buddy::BuddyGroups;
-use crate::config::WireCapConfig;
+use crate::config::{WireCapConfig, CELL_BYTES};
+use crate::spsc::{BatchRing, MAX_BATCH};
 use crossbeam::queue::ArrayQueue;
+use crossbeam::utils::CachePadded;
 use netproto::Packet;
 use nicsim::livenic::LiveNic;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A captured chunk in the live engine: the packets plus the metadata a
-/// consumer needs to recycle it.
+/// Packets pulled from the NIC queue per batch.
+const NIC_POP_BATCH: usize = 256;
+
+/// A captured chunk in the live engine: a sealed arena slot plus the
+/// metadata a consumer needs to view and recycle it. The payload stays
+/// in the home queue's [`ChunkArena`]; borrow it with
+/// [`LiveConsumer::view`].
 #[derive(Debug)]
 pub struct LiveChunk {
-    /// The captured packets (up to M).
-    pub packets: Vec<Packet>,
-    /// The queue whose pool owns this chunk.
-    pub home: usize,
-    /// Whether the offloading policy moved it off its home queue.
-    pub offloaded: bool,
+    seal: SealedSlot,
+    home: u32,
+    offloaded: bool,
 }
 
-struct QueueShared {
-    capture: ArrayQueue<LiveChunk>,
-    recycle: ArrayQueue<usize>, // chunk counts to return to the pool
-    free_chunks: AtomicUsize,
+impl LiveChunk {
+    /// Packets the chunk holds.
+    pub fn len(&self) -> usize {
+        self.seal.len()
+    }
+
+    /// True if the chunk holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.seal.is_empty()
+    }
+
+    /// The queue whose pool owns this chunk.
+    pub fn home(&self) -> usize {
+        self.home as usize
+    }
+
+    /// Whether the offloading policy moved it off its home queue.
+    pub fn offloaded(&self) -> bool {
+        self.offloaded
+    }
+}
+
+/// Counters written by the queue's capture thread only.
+#[derive(Debug, Default)]
+struct ProducerStats {
     captured_pkts: AtomicU64,
     dropped_pkts: AtomicU64,
-    delivered_pkts: AtomicU64,
-    offloaded_chunks: AtomicU64,
     partial_chunks: AtomicU64,
-    /// Set by the capture thread after it has flushed its final chunk;
-    /// consumers only treat an empty capture queue as end-of-stream once
-    /// this is set.
-    closed: AtomicBool,
+}
+
+/// Per-queue statistics, sharded by writer so the capture thread, the
+/// consumers, and offloading buddies each write their own cache line —
+/// no false sharing on the hot path.
+#[derive(Debug, Default)]
+struct QueueStats {
+    /// Capture-thread counters (one writer).
+    prod: CachePadded<ProducerStats>,
+    /// Packets consumed and recycled (written by consumer threads).
+    delivered_pkts: CachePadded<AtomicU64>,
+    /// Chunks received via offloading (written by buddy producers).
+    offloaded_chunks: CachePadded<AtomicU64>,
+}
+
+struct Shared {
+    /// `rings[target][producer]`: the SPSC batch ring carrying chunks
+    /// captured by `producer` to `target`'s consumers.
+    rings: Vec<Vec<BatchRing<LiveChunk>>>,
+    /// Per-home-queue recycle queues carrying sealed slots back to the
+    /// capture thread. Capacity R; can never be full.
+    recycle: Vec<ArrayQueue<SealedSlot>>,
+    /// Per-queue cell arenas; all payload bytes live here.
+    arenas: Vec<Arc<ChunkArena>>,
+    stats: Vec<QueueStats>,
 }
 
 /// The live WireCAP engine: per-queue capture threads over a live NIC.
@@ -54,7 +123,7 @@ pub struct LiveWireCap {
     nic: Arc<LiveNic>,
     cfg: WireCapConfig,
 
-    shared: Vec<Arc<QueueShared>>,
+    shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
 }
@@ -67,31 +136,37 @@ impl LiveWireCap {
     pub fn start(nic: Arc<LiveNic>, cfg: WireCapConfig, groups: BuddyGroups) -> Self {
         cfg.validate().expect("invalid WireCAP configuration");
         let queues = nic.queue_count();
-        let shared: Vec<Arc<QueueShared>> = (0..queues)
-            .map(|_| {
-                Arc::new(QueueShared {
-                    capture: ArrayQueue::new(cfg.r),
-                    recycle: ArrayQueue::new(cfg.r),
-                    free_chunks: AtomicUsize::new(cfg.r),
-                    captured_pkts: AtomicU64::new(0),
-                    dropped_pkts: AtomicU64::new(0),
-                    delivered_pkts: AtomicU64::new(0),
-                    offloaded_chunks: AtomicU64::new(0),
-                    partial_chunks: AtomicU64::new(0),
-                    closed: AtomicBool::new(false),
+        let mut arenas = Vec::with_capacity(queues);
+        let mut freelists = Vec::with_capacity(queues);
+        for _ in 0..queues {
+            let (arena, slots) = ChunkArena::with_slots(cfg.r, cfg.m, CELL_BYTES);
+            arenas.push(arena);
+            freelists.push(slots);
+        }
+        let shared = Arc::new(Shared {
+            rings: (0..queues)
+                .map(|_| {
+                    (0..queues)
+                        .map(|_| BatchRing::with_capacity(cfg.r))
+                        .collect()
                 })
-            })
-            .collect();
+                .collect(),
+            recycle: (0..queues).map(|_| ArrayQueue::new(cfg.r)).collect(),
+            arenas,
+            stats: (0..queues).map(|_| QueueStats::default()).collect(),
+        });
         let stop = Arc::new(AtomicBool::new(false));
-        let threads = (0..queues)
-            .map(|q| {
+        let threads = freelists
+            .into_iter()
+            .enumerate()
+            .map(|(q, free)| {
                 let nic = Arc::clone(&nic);
-                let shared: Vec<Arc<QueueShared>> = shared.iter().map(Arc::clone).collect();
+                let shared = Arc::clone(&shared);
                 let stop = Arc::clone(&stop);
                 let group = groups.group_of(q).cloned();
                 std::thread::Builder::new()
                     .name(format!("wirecap-capture-{q}"))
-                    .spawn(move || capture_thread(q, nic, shared, cfg, group, stop))
+                    .spawn(move || capture_thread(q, nic, shared, cfg, group, stop, free))
                     .expect("spawning capture thread")
             })
             .collect();
@@ -106,9 +181,13 @@ impl LiveWireCap {
 
     /// A consumer handle for queue `q` (the application side).
     pub fn consumer(&self, q: usize) -> LiveConsumer {
+        assert!(q < self.shared.rings.len());
         LiveConsumer {
             q,
-            shared: self.shared.iter().map(Arc::clone).collect(),
+            shared: Arc::clone(&self.shared),
+            inbox: VecDeque::new(),
+            scratch: Vec::new(),
+            rr: 0,
             pending: None,
             cursor: 0,
         }
@@ -126,27 +205,38 @@ impl LiveWireCap {
 
     /// Packets captured into chunks on queue `q`.
     pub fn captured(&self, q: usize) -> u64 {
-        self.shared[q].captured_pkts.load(Ordering::Relaxed)
+        self.shared.stats[q]
+            .prod
+            .captured_pkts
+            .load(Ordering::Relaxed)
     }
 
     /// Packets dropped on queue `q` for want of a free chunk.
     pub fn dropped(&self, q: usize) -> u64 {
-        self.shared[q].dropped_pkts.load(Ordering::Relaxed)
+        self.shared.stats[q]
+            .prod
+            .dropped_pkts
+            .load(Ordering::Relaxed)
     }
 
-    /// Packets consumed from queue `q`'s capture queue.
+    /// Packets consumed from queue `q`'s pool and recycled.
     pub fn delivered(&self, q: usize) -> u64 {
-        self.shared[q].delivered_pkts.load(Ordering::Relaxed)
+        self.shared.stats[q].delivered_pkts.load(Ordering::Relaxed)
     }
 
     /// Chunks queue `q` received via offloading.
     pub fn offloaded_in(&self, q: usize) -> u64 {
-        self.shared[q].offloaded_chunks.load(Ordering::Relaxed)
+        self.shared.stats[q]
+            .offloaded_chunks
+            .load(Ordering::Relaxed)
     }
 
     /// Chunks delivered through the timeout partial path.
     pub fn partial_chunks(&self, q: usize) -> u64 {
-        self.shared[q].partial_chunks.load(Ordering::Relaxed)
+        self.shared.stats[q]
+            .prod
+            .partial_chunks
+            .load(Ordering::Relaxed)
     }
 
     /// Stops the capture threads (consumers should be joined first) and
@@ -159,60 +249,111 @@ impl LiveWireCap {
     }
 }
 
+struct CaptureState {
+    q: usize,
+    free: Vec<FreeSlot>,
+    current: Option<FreeSlot>,
+    chunk_started: Instant,
+    /// Chunks sealed this iteration, staged per target queue.
+    outbox: Vec<Vec<LiveChunk>>,
+    /// Scratch for buddy placement decisions.
+    lens: Vec<usize>,
+}
+
 fn capture_thread(
     q: usize,
     nic: Arc<LiveNic>,
-    shared: Vec<Arc<QueueShared>>,
+    shared: Arc<Shared>,
     cfg: WireCapConfig,
     group: Option<crate::buddy::BuddyGroup>,
     stop: Arc<AtomicBool>,
+    free: Vec<FreeSlot>,
 ) {
+    let queues = shared.rings.len();
     let queue = nic.queue(q);
-    let own = &shared[q];
-    let mut current: Vec<Packet> = Vec::with_capacity(cfg.m);
-    let mut chunk_started = Instant::now();
+    let arena = Arc::clone(&shared.arenas[q]);
+    let mut st = CaptureState {
+        q,
+        free,
+        current: None,
+        chunk_started: Instant::now(),
+        outbox: (0..queues).map(|_| Vec::new()).collect(),
+        lens: Vec::with_capacity(queues),
+    };
+    let mut pkt_buf: Vec<Packet> = Vec::with_capacity(NIC_POP_BATCH);
     let timeout = Duration::from_nanos(cfg.capture_timeout_ns);
+    let stats = &shared.stats[q];
     loop {
-        // Recycle first: returned chunks replenish the pool.
-        while let Some(n) = own.recycle.pop() {
-            own.free_chunks.fetch_add(n, Ordering::Relaxed);
+        // Recycle first: returned slots replenish the local freelist.
+        while let Some(seal) = shared.recycle[q].pop() {
+            st.free.push(arena.release(seal));
         }
 
         let mut progressed = false;
-        while let Some(pkt) = queue.pop() {
+        loop {
+            pkt_buf.clear();
+            if queue.pop_batch(&mut pkt_buf, NIC_POP_BATCH) == 0 {
+                break;
+            }
             progressed = true;
-            if current.is_empty() {
-                // A chunk is claimed from the pool when it starts filling.
-                if own.free_chunks.load(Ordering::Relaxed) == 0 {
-                    own.dropped_pkts.fetch_add(1, Ordering::Relaxed);
-                    continue;
+            for pkt in pkt_buf.drain(..) {
+                if st.current.is_none() {
+                    // Claim a chunk; drain the recycle queue before
+                    // declaring the pool exhausted.
+                    if st.free.is_empty() {
+                        while let Some(seal) = shared.recycle[q].pop() {
+                            st.free.push(arena.release(seal));
+                        }
+                    }
+                    match st.free.pop() {
+                        Some(slot) => {
+                            st.chunk_started = Instant::now();
+                            st.current = Some(slot);
+                        }
+                        None => {
+                            stats.prod.dropped_pkts.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
                 }
-                own.free_chunks.fetch_sub(1, Ordering::Relaxed);
-                chunk_started = Instant::now();
+                let slot = st.current.as_mut().expect("claimed above");
+                arena.write_packet(slot, pkt.ts_ns, pkt.wire_len, &pkt.data);
+                stats.prod.captured_pkts.fetch_add(1, Ordering::Relaxed);
+                if slot.filled() == cfg.m {
+                    let full = st.current.take().expect("slot just filled");
+                    stage(&shared, &cfg, group.as_ref(), &arena, full, &mut st);
+                }
             }
-            current.push(pkt);
-            own.captured_pkts.fetch_add(1, Ordering::Relaxed);
-            if current.len() == cfg.m {
-                deliver(q, &shared, &cfg, group.as_ref(), &mut current, false);
-            }
+            flush(&shared, &mut st);
         }
 
         // Timeout partial delivery.
-        if !current.is_empty() && chunk_started.elapsed() >= timeout {
-            own.partial_chunks.fetch_add(1, Ordering::Relaxed);
-            deliver(q, &shared, &cfg, group.as_ref(), &mut current, true);
+        if st.current.as_ref().is_some_and(|s| !s.is_empty())
+            && st.chunk_started.elapsed() >= timeout
+        {
+            stats.prod.partial_chunks.fetch_add(1, Ordering::Relaxed);
+            let partial = st.current.take().expect("checked non-empty");
+            stage(&shared, &cfg, group.as_ref(), &arena, partial, &mut st);
+            flush(&shared, &mut st);
         }
 
         if !progressed {
             let ending = stop.load(Ordering::SeqCst) || (nic.is_stopped() && queue.depth() == 0);
             if ending {
                 // Close semantics: flush the in-progress chunk without
-                // waiting for the timeout, then signal consumers.
-                if !current.is_empty() {
-                    own.partial_chunks.fetch_add(1, Ordering::Relaxed);
-                    deliver(q, &shared, &cfg, group.as_ref(), &mut current, true);
+                // waiting for the timeout, then close our rings.
+                if let Some(last) = st.current.take() {
+                    if last.is_empty() {
+                        st.free.push(last);
+                    } else {
+                        stats.prod.partial_chunks.fetch_add(1, Ordering::Relaxed);
+                        stage(&shared, &cfg, group.as_ref(), &arena, last, &mut st);
+                    }
                 }
-                own.closed.store(true, Ordering::SeqCst);
+                flush(&shared, &mut st);
+                for target in 0..queues {
+                    shared.rings[target][q].close();
+                }
                 return;
             }
             std::thread::yield_now();
@@ -220,93 +361,164 @@ fn capture_thread(
     }
 }
 
-fn deliver(
-    q: usize,
-    shared: &[Arc<QueueShared>],
+/// Seals a filled chunk, runs the buddy placement policy, and stages the
+/// chunk on the target's outbox (batched; [`flush`] publishes).
+fn stage(
+    shared: &Shared,
     cfg: &WireCapConfig,
     group: Option<&crate::buddy::BuddyGroup>,
-    current: &mut Vec<Packet>,
-    _partial: bool,
+    arena: &ChunkArena,
+    slot: FreeSlot,
+    st: &mut CaptureState,
 ) {
-    let packets = std::mem::replace(current, Vec::with_capacity(cfg.m));
+    let q = st.q;
+    let seal = arena.seal(slot);
     let target = match (cfg.threshold, group) {
         (Some(t), Some(g)) => {
-            let lens: Vec<usize> = shared.iter().map(|s| s.capture.len()).collect();
-            g.place(q, &lens, cfg.capture_queue_capacity(), t)
+            st.lens.clear();
+            st.lens.extend(
+                shared.rings.iter().enumerate().map(|(tq, row)| {
+                    row.iter().map(|r| r.len()).sum::<usize>() + st.outbox[tq].len()
+                }),
+            );
+            g.place(q, &st.lens, cfg.capture_queue_capacity(), t)
         }
         _ => q,
     };
-    let chunk = LiveChunk {
-        packets,
-        home: q,
-        offloaded: target != q,
-    };
-    if chunk.offloaded {
-        shared[target].offloaded_chunks.fetch_add(1, Ordering::Relaxed);
+    if target != q {
+        shared.stats[target]
+            .offloaded_chunks
+            .fetch_add(1, Ordering::Relaxed);
     }
-    // The capture queue has capacity R and at most R chunks exist, but an
-    // offload target shares its queue with its own chunks; fall back to
-    // the home queue if the buddy's queue is momentarily full.
-    if let Err(chunk) = shared[target].capture.push(chunk) {
-        if shared[q].capture.push(chunk).is_err() {
-            // Both full: the chunk's packets are lost and the chunk
-            // returns to the pool (cannot happen for home-only delivery).
-            shared[q].free_chunks.fetch_add(1, Ordering::Relaxed);
+    st.outbox[target].push(LiveChunk {
+        seal,
+        home: q as u32,
+        offloaded: target != q,
+    });
+}
+
+/// Publishes every staged chunk. Each ring is per-producer with capacity
+/// ≥ R, and at most R chunks homed here exist, so the loop always drains.
+fn flush(shared: &Shared, st: &mut CaptureState) {
+    let q = st.q;
+    for (target, staged) in st.outbox.iter_mut().enumerate() {
+        while !staged.is_empty() {
+            if shared.rings[target][q].push_batch(staged) == 0 {
+                std::thread::yield_now();
+            }
         }
     }
 }
 
-/// The application-side handle for one queue: iterates captured packets
-/// and recycles chunks when they are fully consumed.
+/// The application-side handle for one queue: takes chunk handles,
+/// borrows their packets through [`ChunkView`], and recycles the slots.
 pub struct LiveConsumer {
     q: usize,
-    shared: Vec<Arc<QueueShared>>,
+    shared: Arc<Shared>,
+    /// Chunks popped in a batch but not yet handed to the application.
+    inbox: VecDeque<LiveChunk>,
+    scratch: Vec<LiveChunk>,
+    /// Round-robin cursor over inbound per-producer rings.
+    rr: usize,
+    /// pcap-source iteration state.
     pending: Option<LiveChunk>,
     cursor: usize,
 }
 
 impl LiveConsumer {
+    /// Pops a batch from each inbound ring into the local inbox.
+    fn refill(&mut self) -> bool {
+        let producers = self.shared.rings[self.q].len();
+        let mut got = false;
+        for i in 0..producers {
+            let p = (self.rr + i) % producers;
+            if self.shared.rings[self.q][p].pop_batch(&mut self.scratch, MAX_BATCH) > 0 {
+                got = true;
+            }
+        }
+        self.rr = (self.rr + 1) % producers;
+        self.inbox.extend(self.scratch.drain(..));
+        got
+    }
+
+    /// Takes the next whole chunk without blocking. `None` means nothing
+    /// is available right now — the stream may still be live; use
+    /// [`Self::next_chunk`] to wait for end-of-stream.
+    pub fn try_chunk(&mut self) -> Option<LiveChunk> {
+        if let Some(chunk) = self.inbox.pop_front() {
+            return Some(chunk);
+        }
+        self.refill();
+        self.inbox.pop_front()
+    }
+
     /// Takes the next whole chunk, blocking (with yields) until one is
     /// available or the stream ends.
     pub fn next_chunk(&mut self) -> Option<LiveChunk> {
         loop {
-            if let Some(chunk) = self.shared[self.q].capture.pop() {
+            if let Some(chunk) = self.inbox.pop_front() {
                 return Some(chunk);
             }
-            if self.shared[self.q].closed.load(Ordering::SeqCst) {
-                // The capture thread has flushed everything it will ever
-                // deliver; one final pop closes the race window.
-                return self.shared[self.q].capture.pop();
+            if self.refill() {
+                continue;
+            }
+            if self.shared.rings[self.q].iter().all(|r| r.is_closed()) {
+                // Every producer has closed; one final drain closes the
+                // push-then-close race window.
+                if self.refill() {
+                    continue;
+                }
+                return None;
             }
             std::thread::yield_now();
         }
     }
 
-    /// Returns a consumed chunk to its home pool.
+    /// Borrows the packets of a chunk from its home arena. The view (and
+    /// every [`crate::arena::PacketRef`] from it) lives only as long as
+    /// the chunk handle: [`Self::recycle`] consumes the chunk, so no view
+    /// can outlive recycling.
+    pub fn view<'a>(&'a self, chunk: &'a LiveChunk) -> ChunkView<'a> {
+        self.shared.arenas[chunk.home()].view(&chunk.seal)
+    }
+
+    /// Returns a consumed chunk to its home pool. Consuming the handle
+    /// invalidates all outstanding views of the chunk.
     pub fn recycle(&self, chunk: LiveChunk) {
-        let home = &self.shared[chunk.home];
-        home.delivered_pkts
-            .fetch_add(chunk.packets.len() as u64, Ordering::Relaxed);
-        // Best effort: the recycle queue is sized R so this only fails if
-        // the producer raced ahead; retry via spin.
-        let mut n = 1;
-        while let Err(v) = home.recycle.push(n) {
-            n = v;
+        let home = chunk.home();
+        self.shared.stats[home]
+            .delivered_pkts
+            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        // The recycle queue is sized R and only R slots exist, so this
+        // cannot stay full; spin defensively anyway.
+        let mut seal = chunk.seal;
+        while let Err(back) = self.shared.recycle[home].push(seal) {
+            seal = back;
             std::thread::yield_now();
         }
     }
 }
 
 impl pcap::PacketSource for LiveConsumer {
+    /// Compatibility shim: pcap-style callers receive owned [`Packet`]s,
+    /// so this path **copies** each payload out of the arena (metered
+    /// nowhere — it is the price of the owning interface; zero-copy
+    /// consumers use [`LiveConsumer::view`] instead).
     fn next_packet(&mut self) -> Option<Packet> {
         loop {
-            if let Some(chunk) = &mut self.pending {
-                if self.cursor < chunk.packets.len() {
-                    let pkt = chunk.packets[self.cursor].clone();
+            if let Some(chunk) = &self.pending {
+                if self.cursor < chunk.len() {
+                    let arena = &self.shared.arenas[chunk.home()];
+                    let p = arena.view(&chunk.seal).packet(self.cursor);
+                    let pkt = Packet {
+                        ts_ns: p.ts_ns,
+                        wire_len: p.wire_len,
+                        data: bytes::Bytes::copy_from_slice(p.data),
+                    };
                     self.cursor += 1;
                     return Some(pkt);
                 }
-                let done = self.pending.take().unwrap();
+                let done = self.pending.take().expect("just matched Some");
                 self.cursor = 0;
                 self.recycle(done);
             }
@@ -322,8 +534,10 @@ impl pcap::PacketSource for LiveConsumer {
 
     fn is_done(&self) -> bool {
         self.pending.is_none()
-            && self.shared[self.q].closed.load(Ordering::SeqCst)
-            && self.shared[self.q].capture.is_empty()
+            && self.inbox.is_empty()
+            && self.shared.rings[self.q]
+                .iter()
+                .all(|r| r.is_closed() && r.is_empty())
     }
 }
 
@@ -364,7 +578,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut n = 0u64;
                     while let Some(chunk) = c.next_chunk() {
-                        n += chunk.packets.len() as u64;
+                        n += chunk.len() as u64;
                         c.recycle(chunk);
                     }
                     n
@@ -381,6 +595,37 @@ mod tests {
         let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         cap.shutdown();
         assert_eq!(consumed, u64::from(total));
+    }
+
+    #[test]
+    fn views_expose_the_captured_bytes_without_copying() {
+        let nic = LiveNic::new(1, 4096);
+        let cap = LiveWireCap::start(Arc::clone(&nic), test_cfg(), BuddyGroups::isolated(1));
+        let injected = packets(64);
+        for p in &injected {
+            nic.inject(p.clone()).unwrap();
+        }
+        nic.stop();
+        let mut c = cap.consumer(0);
+        let chunk = c.next_chunk().expect("one full chunk");
+        assert_eq!(chunk.len(), 64);
+        let allocs_before = crate::arena::arena_allocations();
+        {
+            let view = c.view(&chunk);
+            for (i, p) in view.iter().enumerate() {
+                assert_eq!(p.data, &injected[i].data[..], "packet {i} payload");
+                assert_eq!(p.ts_ns, injected[i].ts_ns);
+                assert_eq!(p.wire_len, injected[i].wire_len);
+            }
+        }
+        assert_eq!(
+            crate::arena::arena_allocations(),
+            allocs_before,
+            "view consumption must not allocate"
+        );
+        c.recycle(chunk);
+        assert!(c.next_chunk().is_none());
+        cap.shutdown();
     }
 
     #[test]
@@ -424,7 +669,8 @@ mod tests {
         }
         let mut c = cap.consumer(0);
         let chunk = c.next_chunk().expect("timeout should deliver");
-        assert_eq!(chunk.packets.len(), 10);
+        assert_eq!(chunk.len(), 10);
+        assert_eq!(c.view(&chunk).len(), 10);
         c.recycle(chunk);
         assert_eq!(cap.partial_chunks(0), 1);
         assert_eq!(cap.delivered(0), 10);

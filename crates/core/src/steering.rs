@@ -94,7 +94,13 @@ impl AppSteering {
     /// The steering decision for a packet (software Toeplitz over the
     /// 5-tuple; non-IP lands on queue 0, like hardware RSS).
     pub fn classify(&self, pkt: &Packet) -> usize {
-        match parse_frame(&pkt.data).ok().and_then(|p| p.flow) {
+        self.classify_bytes(&pkt.data)
+    }
+
+    /// [`AppSteering::classify`] on a raw frame — usable with borrowed
+    /// arena slices as well as owned packets.
+    pub fn classify_bytes(&self, frame: &[u8]) -> usize {
+        match parse_frame(frame).ok().and_then(|p| p.flow) {
             Some(flow) => (self.hasher.hash_flow(&flow) as usize) % self.queues.len(),
             None => 0,
         }
@@ -119,6 +125,36 @@ impl AppSteering {
             self.copied_bytes
                 .fetch_add(copy.data.len() as u64, Ordering::Relaxed);
             let q = &self.queues[self.classify(pkt)];
+            match q.ring.push(copy) {
+                Ok(()) => {
+                    q.enqueued.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    q.dropped.fetch_add(1, Ordering::Relaxed);
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// [`AppSteering::dispatch`] for a borrowed chunk view from the live
+    /// engine: every packet is copied out of the arena into an
+    /// application-owned buffer (the §5e tradeoff), so the chunk may be
+    /// recycled as soon as this returns. Returns the number of packets
+    /// that did not fit their target queue.
+    pub fn dispatch_view(&self, view: crate::arena::ChunkView<'_>) -> u64 {
+        let mut dropped = 0;
+        for pkt in view.iter() {
+            let copy = Packet {
+                ts_ns: pkt.ts_ns,
+                wire_len: pkt.wire_len,
+                data: bytes::Bytes::copy_from_slice(pkt.data),
+            };
+            self.copied_packets.fetch_add(1, Ordering::Relaxed);
+            self.copied_bytes
+                .fetch_add(copy.data.len() as u64, Ordering::Relaxed);
+            let q = &self.queues[self.classify_bytes(pkt.data)];
             match q.ring.push(copy) {
                 Ok(()) => {
                     q.enqueued.fetch_add(1, Ordering::Relaxed);

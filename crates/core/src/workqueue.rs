@@ -12,6 +12,21 @@
 use crate::chunk::ChunkMeta;
 use std::collections::VecDeque;
 
+/// Error returned when a capture queue is at capacity: the chunk was
+/// **not** enqueued and the caller must recycle it (and account the
+/// loss). Previously this condition was a `debug_assert!` that vanished
+/// in release builds, silently growing the queue past its capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureQueueFull;
+
+impl std::fmt::Display for CaptureQueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "capture queue at capacity")
+    }
+}
+
+impl std::error::Error for CaptureQueueFull {}
+
 /// The user-space work-queue pair of one receive queue.
 #[derive(Debug, Default)]
 pub struct WorkQueuePair {
@@ -22,6 +37,8 @@ pub struct WorkQueuePair {
     pub enqueued: u64,
     /// Chunks placed here by a *buddy's* capture thread (offloaded in).
     pub offloaded_in: u64,
+    /// Chunks rejected because the capture queue was at capacity.
+    pub rejected: u64,
 }
 
 impl WorkQueuePair {
@@ -55,16 +72,25 @@ impl WorkQueuePair {
     }
 
     /// Places a captured chunk's metadata on the capture queue.
-    pub fn push_captured(&mut self, meta: ChunkMeta) {
-        debug_assert!(
-            self.capture.len() < self.capacity,
-            "capture queue can never exceed the chunk population"
-        );
+    ///
+    /// # Errors
+    /// Returns [`CaptureQueueFull`] — without enqueueing — when the
+    /// queue already holds `capacity` chunks; the rejection is counted
+    /// in [`WorkQueuePair::rejected`]. With correct accounting (at most
+    /// R chunks exist and the capacity is R) this cannot fire from the
+    /// engine's own placement, but the capacity bound is now enforced in
+    /// release builds rather than assumed.
+    pub fn push_captured(&mut self, meta: ChunkMeta) -> Result<(), CaptureQueueFull> {
+        if self.capture.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(CaptureQueueFull);
+        }
         self.enqueued += 1;
         if meta.offloaded {
             self.offloaded_in += 1;
         }
         self.capture.push_back(meta);
+        Ok(())
     }
 
     /// The application takes the next chunk to process.
@@ -110,8 +136,8 @@ mod tests {
     #[test]
     fn fifo_capture_order() {
         let mut wq = WorkQueuePair::new(10);
-        wq.push_captured(meta(1, false));
-        wq.push_captured(meta(2, false));
+        wq.push_captured(meta(1, false)).unwrap();
+        wq.push_captured(meta(2, false)).unwrap();
         assert_eq!(wq.pop_captured().unwrap().id.chunk_id, 1);
         assert_eq!(wq.pop_captured().unwrap().id.chunk_id, 2);
         assert!(wq.pop_captured().is_none());
@@ -121,8 +147,8 @@ mod tests {
     fn occupancy_tracks_length() {
         let mut wq = WorkQueuePair::new(4);
         assert_eq!(wq.occupancy(), 0.0);
-        wq.push_captured(meta(1, false));
-        wq.push_captured(meta(2, false));
+        wq.push_captured(meta(1, false)).unwrap();
+        wq.push_captured(meta(2, false)).unwrap();
         assert_eq!(wq.occupancy(), 0.5);
         wq.pop_captured();
         assert_eq!(wq.occupancy(), 0.25);
@@ -131,7 +157,7 @@ mod tests {
     #[test]
     fn recycle_queue_is_independent() {
         let mut wq = WorkQueuePair::new(4);
-        wq.push_captured(meta(1, false));
+        wq.push_captured(meta(1, false)).unwrap();
         let m = wq.pop_captured().unwrap();
         wq.push_recycle(m);
         assert_eq!(wq.capture_len(), 0);
@@ -142,9 +168,29 @@ mod tests {
     #[test]
     fn offloaded_chunks_counted() {
         let mut wq = WorkQueuePair::new(4);
-        wq.push_captured(meta(1, true));
-        wq.push_captured(meta(2, false));
+        wq.push_captured(meta(1, true)).unwrap();
+        wq.push_captured(meta(2, false)).unwrap();
         assert_eq!(wq.offloaded_in, 1);
         assert_eq!(wq.enqueued, 2);
+    }
+
+    #[test]
+    fn push_at_capacity_is_rejected_and_counted() {
+        let mut wq = WorkQueuePair::new(2);
+        wq.push_captured(meta(1, false)).unwrap();
+        wq.push_captured(meta(2, false)).unwrap();
+        assert_eq!(wq.push_captured(meta(3, true)), Err(CaptureQueueFull));
+        assert_eq!(wq.push_captured(meta(4, false)), Err(CaptureQueueFull));
+        // The rejected chunks were not enqueued and touched no counter
+        // other than `rejected` — the queue never exceeds its capacity.
+        assert_eq!(wq.rejected, 2);
+        assert_eq!(wq.enqueued, 2);
+        assert_eq!(wq.offloaded_in, 0);
+        assert_eq!(wq.capture_len(), 2);
+        assert_eq!(wq.occupancy(), 1.0);
+        // Draining makes room again.
+        wq.pop_captured().unwrap();
+        wq.push_captured(meta(5, false)).unwrap();
+        assert_eq!(wq.enqueued, 3);
     }
 }

@@ -237,9 +237,10 @@ impl CaptureEngine for DpdkEngine {
     fn finish(&mut self, after: SimTime) -> SimTime {
         let mut t = after;
         for _ in 0..100_000 {
-            let busy = self.queues.iter().any(|qs| {
-                qs.ring.used() > 0 || qs.backlog > 0 || !qs.foreign_backlog.is_empty()
-            });
+            let busy = self
+                .queues
+                .iter()
+                .any(|qs| qs.ring.used() > 0 || qs.backlog > 0 || !qs.foreign_backlog.is_empty());
             if !busy {
                 return t;
             }

@@ -135,7 +135,10 @@ mod tests {
             x: 300,
             forward: false,
         };
-        let fwd = AppModel { forward: true, ..plain };
+        let fwd = AppModel {
+            forward: true,
+            ..plain
+        };
         assert!(fwd.rate_pps() < plain.rate_pps());
         // but only slightly: the attach is a metadata operation.
         assert!(fwd.rate_pps() > 0.99 * plain.rate_pps());

@@ -225,7 +225,11 @@ mod tests {
         let mut e = PfRingEngine::new(1, EngineConfig::paper(0));
         run_uniform(&mut e, 200_000, 67);
         let s = e.queue_stats(0);
-        assert!(s.capture_drop_rate() > 0.4, "capture {}", s.capture_drop_rate());
+        assert!(
+            s.capture_drop_rate() > 0.4,
+            "capture {}",
+            s.capture_drop_rate()
+        );
         assert!(s.delivery_drops > 0, "expected livelock delivery drops");
         assert!(s.is_consistent());
     }
@@ -284,7 +288,11 @@ mod tests {
         e.finish(SimTime(SECOND));
         let s = e.queue_stats(0);
         assert_eq!(s.capture_drops, 0);
-        assert!(s.delivery_drops > 5_000, "delivery drops {}", s.delivery_drops);
+        assert!(
+            s.delivery_drops > 5_000,
+            "delivery drops {}",
+            s.delivery_drops
+        );
     }
 
     #[test]
@@ -297,8 +305,6 @@ mod tests {
             }
             e.finish(SimTime(SECOND));
         }
-        assert!(
-            small.queue_stats(0).delivery_drops > big.queue_stats(0).delivery_drops
-        );
+        assert!(small.queue_stats(0).delivery_drops > big.queue_stats(0).delivery_drops);
     }
 }

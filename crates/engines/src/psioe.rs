@@ -171,7 +171,11 @@ mod tests {
         let mut e = PsioeEngine::new(1, EngineConfig::paper(300));
         drive(&mut e, 50_000, 67); // wire-rate burst of 50k
         let s = e.total_stats();
-        assert!(s.capture_drop_rate() > 0.5, "rate {}", s.capture_drop_rate());
+        assert!(
+            s.capture_drop_rate() > 0.5,
+            "rate {}",
+            s.capture_drop_rate()
+        );
     }
 
     #[test]

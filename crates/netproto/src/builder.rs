@@ -110,7 +110,12 @@ impl PacketBuilder {
     }
 
     /// Builds a frame and returns it as a [`crate::Packet`].
-    pub fn build_packet(&mut self, ts_ns: u64, flow: &FlowKey, frame_len: usize) -> Result<crate::Packet> {
+    pub fn build_packet(
+        &mut self,
+        ts_ns: u64,
+        flow: &FlowKey,
+        frame_len: usize,
+    ) -> Result<crate::Packet> {
         Ok(crate::Packet::new(ts_ns, self.build(flow, frame_len)?))
     }
 

@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_short_buffer() {
-        assert_eq!(EthernetFrame::parse(&[0u8; 13]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            EthernetFrame::parse(&[0u8; 13]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

@@ -127,6 +127,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_truncated() {
-        assert_eq!(Ipv6Header::parse(&[0x60; 39]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Ipv6Header::parse(&[0x60; 39]).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

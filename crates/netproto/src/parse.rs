@@ -137,13 +137,7 @@ mod tests {
     #[test]
     fn non_ipv4_yields_no_flow() {
         let mut buf = [0u8; 60];
-        crate::ethernet::emit(
-            &mut buf,
-            MacAddr([0; 6]),
-            MacAddr([1; 6]),
-            EtherType::Arp,
-        )
-        .unwrap();
+        crate::ethernet::emit(&mut buf, MacAddr([0; 6]), MacAddr([1; 6]), EtherType::Arp).unwrap();
         let p = parse_frame(&buf).unwrap();
         assert_eq!(p.network, NetworkLayer::Arp);
         assert_eq!(p.flow, None);

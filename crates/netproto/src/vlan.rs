@@ -92,12 +92,7 @@ mod tests {
     fn frame() -> Vec<u8> {
         PacketBuilder::new()
             .build(
-                &FlowKey::udp(
-                    Ipv4Addr::new(10, 0, 0, 1),
-                    1,
-                    Ipv4Addr::new(10, 0, 0, 2),
-                    2,
-                ),
+                &FlowKey::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2),
                 100,
             )
             .unwrap()

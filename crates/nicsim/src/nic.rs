@@ -74,7 +74,9 @@ impl Nic {
         Nic {
             rss: Rss::new(cfg.rx_queues),
             fdir: None,
-            rx: (0..cfg.rx_queues).map(|_| RxRing::new(cfg.ring_size)).collect(),
+            rx: (0..cfg.rx_queues)
+                .map(|_| RxRing::new(cfg.ring_size))
+                .collect(),
             tx: (0..cfg.tx_queues)
                 .map(|_| TxRing::new(cfg.tx_ring_size, cfg.link_gbps))
                 .collect(),

@@ -41,6 +41,10 @@ pub struct RxRing {
     drops: u64,
     /// Total packets successfully received into the ring.
     received: u64,
+    /// Tail-pointer (doorbell) writes issued to the modelled NIC. Each
+    /// write is an MMIO transaction on real hardware, so batching packets
+    /// per tail advance is where descriptor-ring batching pays off.
+    tail_advances: u64,
 }
 
 impl RxRing {
@@ -53,6 +57,7 @@ impl RxRing {
             used: 0,
             drops: 0,
             received: 0,
+            tail_advances: 0,
         }
     }
 
@@ -81,8 +86,16 @@ impl RxRing {
         self.received
     }
 
-    /// DMA attempt: consumes one ready descriptor. Returns `true` if the
-    /// packet landed, `false` if it was dropped on the wire side.
+    /// Tail-pointer (doorbell) writes issued so far. The per-packet
+    /// [`RxRing::dma`] path pays one per packet; [`RxRing::fill_batch`]
+    /// pays one per batch.
+    pub fn tail_advances(&self) -> u64 {
+        self.tail_advances
+    }
+
+    /// DMA attempt: consumes one ready descriptor and advances the tail
+    /// once. Returns `true` if the packet landed, `false` if it was
+    /// dropped on the wire side.
     pub fn dma(&mut self) -> bool {
         if self.ready == 0 {
             self.drops += 1;
@@ -91,25 +104,40 @@ impl RxRing {
         self.ready -= 1;
         self.used += 1;
         self.received += 1;
+        self.tail_advances += 1;
         true
     }
 
-    /// Bulk DMA attempt: receives as many of `n` packets as there are
-    /// ready descriptors; the rest are dropped. Returns packets received.
-    pub fn dma_burst(&mut self, n: u64) -> u64 {
+    /// Batched DMA: receives as many of `n` packets as there are ready
+    /// descriptors — dropping the rest — and advances the descriptor
+    /// tail **once** for the whole batch. Returns packets received.
+    pub fn fill_batch(&mut self, n: u64) -> u64 {
         let landed = n.min(self.ready as u64);
         self.ready -= landed as usize;
         self.used += landed as usize;
         self.received += landed;
         self.drops += n - landed;
+        if landed > 0 {
+            self.tail_advances += 1;
+        }
         landed
+    }
+
+    /// Bulk DMA attempt; alias of [`RxRing::fill_batch`] kept for the
+    /// original burst-oriented call sites.
+    pub fn dma_burst(&mut self, n: u64) -> u64 {
+        self.fill_batch(n)
     }
 
     /// Re-arms `n` used descriptors with fresh buffers (engine policy
     /// decides when). Panics if more than `used` are reclaimed — that
     /// would mean the engine invented descriptors.
     pub fn rearm(&mut self, n: usize) {
-        assert!(n <= self.used, "rearming {n} of {} used descriptors", self.used);
+        assert!(
+            n <= self.used,
+            "rearming {n} of {} used descriptors",
+            self.used
+        );
         self.used -= n;
         self.ready += n;
         debug_assert!(self.ready + self.used <= self.size);
@@ -164,6 +192,19 @@ mod tests {
         assert_eq!(r.dma_burst(25), 10);
         assert_eq!(r.drops(), 15);
         assert_eq!(r.received(), 10);
+    }
+
+    #[test]
+    fn batched_fill_advances_tail_once() {
+        let mut r = RxRing::new(1024);
+        assert_eq!(r.fill_batch(64), 64);
+        assert_eq!(r.tail_advances(), 1, "one doorbell write per batch");
+        for _ in 0..64 {
+            assert!(r.dma());
+        }
+        assert_eq!(r.tail_advances(), 65, "one doorbell write per packet");
+        r.fill_batch(0);
+        assert_eq!(r.tail_advances(), 65, "empty batches ring no doorbell");
     }
 
     #[test]

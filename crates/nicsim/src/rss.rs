@@ -12,9 +12,9 @@ use netproto::FlowKey;
 
 /// Microsoft's 40-byte RSS verification key (the de-facto default).
 pub const MICROSOFT_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// Number of entries in the 82599's RSS indirection (RETA) table.
@@ -143,18 +143,8 @@ mod tests {
     use super::*;
     use std::net::Ipv4Addr;
 
-    fn flow(
-        src: [u8; 4],
-        sport: u16,
-        dst: [u8; 4],
-        dport: u16,
-    ) -> FlowKey {
-        FlowKey::tcp(
-            Ipv4Addr::from(src),
-            sport,
-            Ipv4Addr::from(dst),
-            dport,
-        )
+    fn flow(src: [u8; 4], sport: u16, dst: [u8; 4], dport: u16) -> FlowKey {
+        FlowKey::tcp(Ipv4Addr::from(src), sport, Ipv4Addr::from(dst), dport)
     }
 
     /// The published Microsoft RSS verification suite (IPv4 with ports).
@@ -162,11 +152,26 @@ mod tests {
     fn microsoft_test_vectors_with_ports() {
         let h = RssHasher::new(MICROSOFT_KEY, HashFields::Ipv4Ports);
         let cases = [
-            (flow([66, 9, 149, 187], 2794, [161, 142, 100, 80], 1766), 0x51cc_c178u32),
-            (flow([199, 92, 111, 2], 14230, [65, 69, 140, 83], 4739), 0xc626_b0ea),
-            (flow([24, 19, 198, 95], 12898, [12, 22, 207, 184], 38024), 0x5c2b_394a),
-            (flow([38, 27, 205, 30], 48228, [209, 142, 163, 6], 2217), 0xafc7_327f),
-            (flow([153, 39, 163, 191], 44251, [202, 188, 127, 2], 1303), 0x10e8_28a2),
+            (
+                flow([66, 9, 149, 187], 2794, [161, 142, 100, 80], 1766),
+                0x51cc_c178u32,
+            ),
+            (
+                flow([199, 92, 111, 2], 14230, [65, 69, 140, 83], 4739),
+                0xc626_b0ea,
+            ),
+            (
+                flow([24, 19, 198, 95], 12898, [12, 22, 207, 184], 38024),
+                0x5c2b_394a,
+            ),
+            (
+                flow([38, 27, 205, 30], 48228, [209, 142, 163, 6], 2217),
+                0xafc7_327f,
+            ),
+            (
+                flow([153, 39, 163, 191], 44251, [202, 188, 127, 2], 1303),
+                0x10e8_28a2,
+            ),
         ];
         for (f, expect) in cases {
             assert_eq!(h.hash_flow(&f), expect, "flow {f}");
@@ -178,11 +183,26 @@ mod tests {
     fn microsoft_test_vectors_addresses_only() {
         let h = RssHasher::new(MICROSOFT_KEY, HashFields::Ipv4);
         let cases = [
-            (flow([66, 9, 149, 187], 0, [161, 142, 100, 80], 0), 0x323e_8fc2u32),
-            (flow([199, 92, 111, 2], 0, [65, 69, 140, 83], 0), 0xd718_262a),
-            (flow([24, 19, 198, 95], 0, [12, 22, 207, 184], 0), 0xd2d0_a5de),
-            (flow([38, 27, 205, 30], 0, [209, 142, 163, 6], 0), 0x8298_9176),
-            (flow([153, 39, 163, 191], 0, [202, 188, 127, 2], 0), 0x5d18_09c5),
+            (
+                flow([66, 9, 149, 187], 0, [161, 142, 100, 80], 0),
+                0x323e_8fc2u32,
+            ),
+            (
+                flow([199, 92, 111, 2], 0, [65, 69, 140, 83], 0),
+                0xd718_262a,
+            ),
+            (
+                flow([24, 19, 198, 95], 0, [12, 22, 207, 184], 0),
+                0xd2d0_a5de,
+            ),
+            (
+                flow([38, 27, 205, 30], 0, [209, 142, 163, 6], 0),
+                0x8298_9176,
+            ),
+            (
+                flow([153, 39, 163, 191], 0, [202, 188, 127, 2], 0),
+                0x5d18_09c5,
+            ),
         ];
         for (f, expect) in cases {
             assert_eq!(h.hash_flow(&f), expect, "flow {f}");

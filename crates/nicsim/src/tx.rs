@@ -147,7 +147,7 @@ mod tests {
         let mut tx = TxRing::new(16, 10.0);
         tx.attach(0, 64);
         tx.advance(1_000_000); // long idle
-        // A frame attached now still takes a full frame time.
+                               // A frame attached now still takes a full frame time.
         tx.attach(1_000_000, 64);
         assert_eq!(tx.advance(1_000_050), 0);
         assert_eq!(tx.advance(1_000_070), 1);

@@ -139,7 +139,9 @@ impl BoundedServer {
     /// that do not fit in the remaining capacity are rejected and counted.
     pub fn offer(&mut self, now: SimTime, n: u64) -> (u64, u64) {
         let done = self.inner.advance(now);
-        let room = (self.capacity as f64 - self.inner.backlog()).max(0.0).floor() as u64;
+        let room = (self.capacity as f64 - self.inner.backlog())
+            .max(0.0)
+            .floor() as u64;
         let accepted = n.min(room);
         self.inner.enqueue(now, accepted);
         self.rejected += n - accepted;

@@ -189,7 +189,9 @@ mod tests {
         // With alpha=1.2, the top 1% of samples should dominate far more
         // than under a uniform distribution.
         let mut r = Pcg32::seeded(17);
-        let mut v: Vec<f64> = (0..100_000).map(|_| r.bounded_pareto(1.2, 2.0, 1e6)).collect();
+        let mut v: Vec<f64> = (0..100_000)
+            .map(|_| r.bounded_pareto(1.2, 2.0, 1e6))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let total: f64 = v.iter().sum();
         let top1: f64 = v[99_000..].iter().sum();

@@ -36,6 +36,6 @@ pub use import::{import, import_savefile, ImportReport};
 pub use merge::MergedSource;
 pub use replay::TraceCursor;
 pub use source::{Arrival, TrafficSource};
-pub use synthetic::{BorderTraceConfig, generate_border_trace};
+pub use synthetic::{generate_border_trace, BorderTraceConfig};
 pub use trace::{Trace, TraceRecord};
 pub use wire_rate::WireRateGen;

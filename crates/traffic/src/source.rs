@@ -28,6 +28,25 @@ pub trait TrafficSource {
     /// Takes the next arrival, or `None` at end of workload.
     fn next_arrival(&mut self) -> Option<Arrival>;
 
+    /// Appends up to `max` arrivals to `out`, returning how many were
+    /// produced; `0` means end of workload. The default forwards to
+    /// [`TrafficSource::next_arrival`]; sources backed by contiguous
+    /// records override it to emit a whole slice per call, which is what
+    /// lets the experiment harness feed engines in batches.
+    fn next_batch(&mut self, out: &mut Vec<Arrival>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_arrival() {
+                Some(a) => {
+                    out.push(a);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// The interned flow table; `Arrival::flow` indexes into it.
     fn flows(&self) -> &[FlowKey];
 
@@ -63,6 +82,24 @@ mod tests {
         fn flows(&self) -> &[FlowKey] {
             &self.flows
         }
+    }
+
+    #[test]
+    fn default_batch_forwards_to_next_arrival() {
+        let mut src = TwoPackets {
+            emitted: 0,
+            flows: vec![FlowKey::udp(
+                Ipv4Addr::new(1, 1, 1, 1),
+                1,
+                Ipv4Addr::new(2, 2, 2, 2),
+                2,
+            )],
+        };
+        let mut out = Vec::new();
+        assert_eq!(src.next_batch(&mut out, 10), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts_ns, 100);
+        assert_eq!(src.next_batch(&mut out, 10), 0);
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl Trace {
     pub fn render(&self, builder: &mut PacketBuilder, record: &TraceRecord) -> Packet {
         let captured_len = usize::from(record.len).saturating_sub(4).max(14);
         builder
-            .build_packet(record.ts_ns, &self.flows[record.flow as usize], captured_len)
+            .build_packet(
+                record.ts_ns,
+                &self.flows[record.flow as usize],
+                captured_len,
+            )
             .expect("trace records always describe renderable flows")
     }
 
@@ -105,7 +109,10 @@ impl Trace {
     /// packets would allocate gigabytes).
     pub fn render_all(&self) -> Vec<Packet> {
         let mut b = PacketBuilder::new();
-        self.records.iter().map(|r| self.render(&mut b, r)).collect()
+        self.records
+            .iter()
+            .map(|r| self.render(&mut b, r))
+            .collect()
     }
 }
 
@@ -127,9 +134,21 @@ mod tests {
         Trace::new(
             vec![flow(1), flow(2)],
             vec![
-                Arrival { ts_ns: 0, flow: 0, len: 64 },
-                Arrival { ts_ns: 500, flow: 1, len: 1518 },
-                Arrival { ts_ns: 1_000_000_000, flow: 0, len: 64 },
+                Arrival {
+                    ts_ns: 0,
+                    flow: 0,
+                    len: 64,
+                },
+                Arrival {
+                    ts_ns: 500,
+                    flow: 1,
+                    len: 1518,
+                },
+                Arrival {
+                    ts_ns: 1_000_000_000,
+                    flow: 0,
+                    len: 64,
+                },
             ],
         )
     }

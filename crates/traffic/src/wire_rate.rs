@@ -56,7 +56,12 @@ impl WireRateGen {
 
     /// Full 10 GbE wire rate for the given frame length.
     pub fn at_wire_rate(count: u64, frame_len: u16, n_flows: usize) -> Self {
-        Self::new(count, frame_len, wire_rate_pps(usize::from(frame_len), 10.0), n_flows)
+        Self::new(
+            count,
+            frame_len,
+            wire_rate_pps(usize::from(frame_len), 10.0),
+            n_flows,
+        )
     }
 
     /// The paper's canonical workload: P × 64-byte frames at 14.88 Mp/s.

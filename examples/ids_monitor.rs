@@ -46,11 +46,12 @@ fn main() {
                 let mut ports_by_src: HashMap<Ipv4Addr, Vec<u16>> = HashMap::new();
                 let mut matched = 0u64;
                 while let Some(chunk) = consumer.next_chunk() {
-                    for pkt in &chunk.packets {
-                        if handler.handle(pkt) {
+                    // Analysis runs on borrowed arena slices — no copy.
+                    for pkt in consumer.view(&chunk).iter() {
+                        if handler.handle_bytes(pkt.data) {
                             matched += 1;
                         }
-                        if let Ok(parsed) = parse_frame(&pkt.data) {
+                        if let Ok(parsed) = parse_frame(pkt.data) {
                             if let Some(flow) = parsed.flow {
                                 let ports = ports_by_src.entry(flow.src_ip).or_default();
                                 if !ports.contains(&flow.dst_port) {

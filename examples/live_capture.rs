@@ -38,8 +38,16 @@ fn main() {
             std::thread::spawn(move || {
                 let mut n = 0u64;
                 while let Some(chunk) = c.next_chunk() {
-                    for pkt in &chunk.packets {
-                        tx.send(pkt.clone()).expect("writer alive");
+                    // The savefile writer outlives the chunk, so each
+                    // frame is copied out of the arena into an owned
+                    // packet — the price of keeping bytes past recycle.
+                    for pkt in c.view(&chunk).iter() {
+                        let owned = Packet {
+                            ts_ns: pkt.ts_ns,
+                            wire_len: pkt.wire_len,
+                            data: bytes::Bytes::copy_from_slice(pkt.data),
+                        };
+                        tx.send(owned).expect("writer alive");
                         n += 1;
                     }
                     c.recycle(chunk);

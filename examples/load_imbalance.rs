@@ -64,5 +64,7 @@ fn spark(counts: &[u64]) -> String {
     let chunk = counts.len().div_ceil(buckets).max(1);
     let sums: Vec<u64> = counts.chunks(chunk).map(|c| c.iter().sum()).collect();
     let max = sums.iter().copied().max().unwrap_or(1).max(1);
-    sums.iter().map(|&s| GLYPHS[((s * 7) / max) as usize]).collect()
+    sums.iter()
+        .map(|&s| GLYPHS[((s * 7) / max) as usize])
+        .collect()
 }

@@ -40,17 +40,27 @@ fn main() {
             let egress = Arc::clone(&nic2);
             std::thread::spawn(move || {
                 let mut mb = Middlebox::new();
+                // One scratch buffer for the whole stream: frames are
+                // inspected/modified straight off the borrowed chunk
+                // view, with no per-packet allocation on this side.
+                let mut scratch = Vec::new();
                 while let Some(chunk) = consumer.next_chunk() {
-                    for pkt in &chunk.packets {
-                        let (verdict, out) = mb.process_packet(pkt);
+                    for pkt in consumer.view(&chunk).iter() {
+                        let verdict = mb.process_slice(pkt.data, &mut scratch);
                         if verdict == Verdict::TtlExpired {
                             // A real router answers with ICMP Time
                             // Exceeded toward the sender.
                             let _reply = mb
-                                .time_exceeded_reply(&pkt.data)
+                                .time_exceeded_reply(pkt.data)
                                 .expect("IPv4 frame quotes cleanly");
                         } else {
-                            let out = out.expect("forwarded packets carry a frame");
+                            // Transmit owns its frame: the one copy out
+                            // of the scratch buffer happens here.
+                            let out = netproto::Packet {
+                                ts_ns: pkt.ts_ns,
+                                wire_len: pkt.wire_len,
+                                data: bytes::Bytes::copy_from_slice(&scratch),
+                            };
                             while egress.inject(out.clone()).is_none() {
                                 std::thread::yield_now();
                             }
@@ -140,6 +150,9 @@ fn main() {
     assert_eq!(expired, expiring);
     assert_eq!(icmp_sent, expiring, "every expiry answered with ICMP");
     assert_eq!(forwarded, total - expiring);
-    assert_eq!(received, forwarded, "every forwarded frame reaches the peer");
+    assert_eq!(
+        received, forwarded,
+        "every forwarded frame reaches the peer"
+    );
     println!("middlebox OK: inspect-modify-forward with zero loss");
 }

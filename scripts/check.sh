@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, lints, the full test suite, and a short run
+# of the hot-path benchmark (which must produce BENCH_hotpath.json).
+# Run from anywhere; everything executes at the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "    rustfmt not installed; skipping"
+fi
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "    clippy not installed; skipping"
+fi
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> hot-path benchmark (quick mode)"
+rm -f BENCH_hotpath.json
+CRITERION_QUICK=1 cargo bench -p bench --bench hotpath
+if [ ! -f BENCH_hotpath.json ]; then
+    echo "FAIL: benchmark did not produce BENCH_hotpath.json" >&2
+    exit 1
+fi
+
+echo "==> all checks passed"

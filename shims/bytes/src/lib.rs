@@ -1,0 +1,232 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the real crate's API that this workspace
+//! uses: a cheaply cloneable, sliceable, immutable byte buffer backed by
+//! a reference-counted allocation. `clone()` and `slice()` share the
+//! backing storage (no copy); `copy_from_slice()` allocates fresh
+//! storage — the distinction several zero-copy tests rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// A buffer that copies `src` into fresh backing storage.
+    #[must_use]
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from(src.to_vec())
+    }
+
+    /// A buffer holding a copy of a static slice.
+    #[must_use]
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// Number of bytes in the buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-slice sharing the same backing storage (no copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        Bytes::from(v.into_vec())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self[..] == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::copy_from_slice(b"hello world");
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn copy_from_slice_allocates() {
+        let src = Bytes::copy_from_slice(b"abc");
+        let copy = Bytes::copy_from_slice(&src);
+        assert_eq!(src, copy);
+        assert_ne!(src.as_ptr(), copy.as_ptr());
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let a = Bytes::copy_from_slice(b"0123456789");
+        let s = a.slice(2..5);
+        assert_eq!(&s[..], b"234");
+        assert_eq!(s.as_ptr(), a[2..].as_ptr());
+        let t = a.slice(..4);
+        assert_eq!(&t[..], b"0123");
+        let u = a.slice(..);
+        assert_eq!(u.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_past_end_panics() {
+        let _ = Bytes::copy_from_slice(b"abc").slice(..4);
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal timing-loop harness with the same surface the workspace's
+//! benches use: `Criterion`, `benchmark_group` with `throughput` /
+//! `sample_size` / `bench_function` / `finish`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! No statistics beyond best-of-N medians and no HTML reports — results
+//! print to stderr, one line per benchmark.
+//!
+//! Set `CRITERION_QUICK=1` (or pass `--quick`) to shrink measurement
+//! time for CI gates.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration element/byte counts for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some() || std::env::args().any(|a| a == "--quick")
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        if quick_mode() {
+            Criterion {
+                measure: Duration::from_millis(20),
+                samples: 3,
+            }
+        } else {
+            Criterion {
+                measure: Duration::from_millis(200),
+                samples: 10,
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            samples: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_bench(self.measure, self.samples, f);
+        report(name, result, None);
+        self
+    }
+
+    /// Criterion's CLI/config entry point; a no-op here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Criterion's post-run summary; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of samples (kept for API compatibility; this
+    /// shim's sampling is time-bounded).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.clamp(3, 100));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        let result = run_bench(self.criterion.measure, samples, f);
+        report(&format!("{}/{name}", self.name), result, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    /// Measured wall-clock time per iteration, in nanoseconds.
+    ns_per_iter: f64,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to fill the measurement
+    /// window, and records the per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that takes ~1/5 of the
+        // measurement window.
+        let mut iters: u64 = 1;
+        let calibrated = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.measure / 5 || iters >= 1 << 40 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() { 100 } else { 4 });
+        };
+        let _ = calibrated;
+        // Measure: repeat the calibrated batch until the window closes,
+        // keeping the fastest batch (least interference).
+        let mut best = f64::INFINITY;
+        let window = Instant::now();
+        let mut batches = 0u32;
+        while window.elapsed() < self.measure || batches < 2 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+            best = best.min(per_iter);
+            batches += 1;
+        }
+        self.ns_per_iter = best * 1e9;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(measure: Duration, _samples: usize, mut f: F) -> f64 {
+    let mut b = Bencher {
+        ns_per_iter: f64::NAN,
+        measure,
+    };
+    f(&mut b);
+    b.ns_per_iter
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let time = if ns_per_iter >= 1e6 {
+        format!("{:.3} ms", ns_per_iter / 1e6)
+    } else if ns_per_iter >= 1e3 {
+        format!("{:.3} µs", ns_per_iter / 1e3)
+    } else {
+        format!("{ns_per_iter:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns_per_iter / 1e9);
+            eprintln!("{name:<50} {time:>12}/iter  {:>14.0} elem/s", rate);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns_per_iter / 1e9);
+            eprintln!(
+                "{name:<50} {time:>12}/iter  {:>10.1} MiB/s",
+                rate / (1024.0 * 1024.0)
+            );
+        }
+        None => eprintln!("{name:<50} {time:>12}/iter"),
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,248 @@
+//! Derive macros for the in-tree serde shim.
+//!
+//! Parses the derive input directly from the proc-macro token stream
+//! (no `syn`/`quote`, which are unavailable offline) and supports the
+//! shapes this workspace actually uses:
+//!
+//! * named-field structs without generics;
+//! * tuple structs with a single field (serialized transparently, like
+//!   serde's newtype structs — `#[serde(transparent)]` is accepted and
+//!   means the same thing here);
+//! * multi-field tuple structs (serialized as arrays).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim): converts the struct to a
+/// `serde::Value` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok(info) => gen_serialize(&info).parse().unwrap(),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize` (shim): rebuilds the struct from a
+/// `serde::Value` tree.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok(info) => gen_deserialize(&info).parse().unwrap(),
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+struct StructInfo {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructInfo, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes (doc comments, #[serde(...)], ...): skip.
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2; // '#' + bracket group
+    }
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        Some(TokenTree::Ident(id)) => {
+            return Err(format!(
+                "serde shim derive supports structs only, found `{id}`"
+            ))
+        }
+        _ => return Err("serde shim derive: unexpected input".into()),
+    }
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: missing struct name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("serde shim derive does not support generic structs".into());
+    }
+    match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(StructInfo {
+            name,
+            kind: Kind::Named(parse_named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(StructInfo {
+            name,
+            kind: Kind::Tuple(count_tuple_fields(g.stream())),
+        }),
+        _ => Err("serde shim derive does not support unit structs".into()),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Field attributes.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde shim derive: expected field name".into()),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`"
+                ))
+            }
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    let mut last_was_comma = false;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                last_was_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        saw_any = true;
+        last_was_comma = false;
+    }
+    if saw_any && !last_was_comma {
+        fields += 1;
+    }
+    fields
+}
+
+fn gen_serialize(info: &StructInfo) -> String {
+    let name = &info.name;
+    let body = match &info.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(info: &StructInfo) -> String {
+    let name = &info.name;
+    let body = match &info.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field({f:?})\
+                         .ok_or_else(|| ::serde::Error::msg(\
+                         concat!(\"missing field `\", {f:?}, \"`\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i})\
+                         .ok_or_else(|| ::serde::Error::msg(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Arr(items) => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::msg(\"expected array\")),\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

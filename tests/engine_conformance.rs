@@ -133,5 +133,9 @@ fn names_are_distinct_and_stable() {
     let mut unique = names.clone();
     unique.sort();
     unique.dedup();
-    assert_eq!(unique.len(), names.len(), "duplicate engine names: {names:?}");
+    assert_eq!(
+        unique.len(),
+        names.len(),
+        "duplicate engine names: {names:?}"
+    );
 }

@@ -82,7 +82,10 @@ fn fig9_buffering_order() {
     let wc_small = onset(EngineKind::WireCap(WireCapConfig::basic(256, 100, 300)));
     let wc_big = onset(EngineKind::WireCap(WireCapConfig::basic(256, 500, 300)));
     assert!(dna < wc_small, "dna {dna} vs wc(256,100) {wc_small}");
-    assert!(wc_small < wc_big, "wc(256,100) {wc_small} vs wc(256,500) {wc_big}");
+    assert!(
+        wc_small < wc_big,
+        "wc(256,100) {wc_small} vs wc(256,500) {wc_big}"
+    );
     // The paper's specific observations: DNA drops by P = 6 000;
     // WireCAP-B-(256,500) is lossless at P = 100 000.
     assert!(dna <= 5_000);
@@ -165,8 +168,14 @@ fn fig11_ordering() {
             EngineKind::WireCap(WireCapConfig::advanced(64, 20, 0.6, 300)),
             queues,
         );
-        assert!(dna > 0.05, "baseline must struggle (queues={queues}): {dna}");
-        assert!(wc_b <= dna + 0.02, "B vs DNA (queues={queues}): {wc_b} vs {dna}");
+        assert!(
+            dna > 0.05,
+            "baseline must struggle (queues={queues}): {dna}"
+        );
+        assert!(
+            wc_b <= dna + 0.02,
+            "B vs DNA (queues={queues}): {wc_b} vs {dna}"
+        );
         assert!(
             wc_a < wc_b,
             "A must beat B (queues={queues}): {wc_a} vs {wc_b}"

@@ -72,8 +72,7 @@ fn recycling_an_attached_chunk_is_rejected() {
         chunk_id: 1,
     };
     // Even with a correctly-guessed process address the state check fires.
-    forged.process_address = good.process_address
-        + (256 * wirecap::config::CELL_BYTES as u64);
+    forged.process_address = good.process_address + (256 * wirecap::config::CELL_BYTES as u64);
     let err = p.recycle(&forged).unwrap_err();
     assert!(
         matches!(err, RecycleError::NotCaptured | RecycleError::BadAddress),

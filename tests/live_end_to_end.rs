@@ -44,7 +44,7 @@ fn multi_queue_capture_accounts_every_packet() {
             std::thread::spawn(move || {
                 let mut n = 0u64;
                 while let Some(chunk) = c.next_chunk() {
-                    n += chunk.packets.len() as u64;
+                    n += chunk.len() as u64;
                     c.recycle(chunk);
                 }
                 n
@@ -96,7 +96,7 @@ fn offloading_moves_chunks_in_live_mode() {
         std::thread::spawn(move || {
             let mut n = 0u64;
             while let Some(chunk) = c.next_chunk() {
-                n += chunk.packets.len() as u64;
+                n += chunk.len() as u64;
                 c.recycle(chunk);
             }
             n
@@ -107,7 +107,7 @@ fn offloading_moves_chunks_in_live_mode() {
         std::thread::spawn(move || {
             let mut n = 0u64;
             while let Some(chunk) = c.next_chunk() {
-                n += chunk.packets.len() as u64;
+                n += chunk.len() as u64;
                 std::thread::sleep(std::time::Duration::from_micros(500));
                 c.recycle(chunk);
             }
@@ -168,7 +168,7 @@ fn overload_produces_bounded_loss_accounting() {
     nic.stop();
     let mut consumed = 0u64;
     while let Some(chunk) = c.next_chunk() {
-        consumed += chunk.packets.len() as u64;
+        consumed += chunk.len() as u64;
         c.recycle(chunk);
     }
     let captured = engine.captured(0);
@@ -176,7 +176,10 @@ fn overload_produces_bounded_loss_accounting() {
     engine.shutdown();
     assert_eq!(captured + dropped + wire_drops, offered);
     assert_eq!(consumed, captured);
-    assert!(dropped + wire_drops > 0, "overload must be visible somewhere");
+    assert!(
+        dropped + wire_drops > 0,
+        "overload must be visible somewhere"
+    );
 }
 
 /// §5e paradigm 1: "Multiple threads (or processes) of a packet-processing
@@ -193,7 +196,7 @@ fn multiple_consumers_share_one_queue() {
             std::thread::spawn(move || {
                 let mut n = 0u64;
                 while let Some(chunk) = c.next_chunk() {
-                    n += chunk.packets.len() as u64;
+                    n += chunk.len() as u64;
                     c.recycle(chunk);
                 }
                 n
@@ -243,7 +246,7 @@ fn app_level_steering_over_live_capture() {
             std::thread::spawn(move || {
                 let mut dropped = 0u64;
                 while let Some(chunk) = c.next_chunk() {
-                    dropped += s.dispatch(&chunk.packets);
+                    dropped += s.dispatch_view(c.view(&chunk));
                     // The chunk recycles immediately — the copy decoupled it.
                     c.recycle(chunk);
                 }
@@ -260,6 +263,8 @@ fn app_level_steering_over_live_capture() {
     let delivered: u64 = (0..16).map(|i| steering.queue(i).enqueued()).sum();
     assert_eq!(delivered, 3_000);
     // The fan-out actually spread the traffic beyond the 2 NIC queues.
-    let used = (0..16).filter(|&i| steering.queue(i).enqueued() > 0).count();
+    let used = (0..16)
+        .filter(|&i| steering.queue(i).enqueued() > 0)
+        .count();
     assert!(used > 4, "only {used} app queues used");
 }
