@@ -8,6 +8,7 @@ use nicsim::rss::Rss;
 use serde::{Deserialize, Serialize};
 use sim::stats::CopyMeter;
 use sim::{DropStats, SimTime};
+use telemetry::EngineSnapshot;
 use traffic::TrafficSource;
 use wirecap::{WireCapConfig, WireCapEngine};
 
@@ -82,6 +83,9 @@ pub struct ExperimentResult {
     pub latency: sim::stats::LatencyStats,
     /// Simulated time at which the engine drained, seconds.
     pub drained_at_s: f64,
+    /// Full unified telemetry snapshot (per-queue counters, gauges and
+    /// histograms in the schema every engine shares).
+    pub telemetry: EngineSnapshot,
 }
 
 impl ExperimentResult {
@@ -126,7 +130,13 @@ pub fn run_experiment(
     }
     let drained = engine.finish(last);
 
-    let per_queue: Vec<DropStats> = (0..queues).map(|q| engine.queue_stats(q)).collect();
+    let snapshot = engine.snapshot();
+    // `scripts/`-friendly dump hook: when WIRECAP_TELEMETRY_DUMP is
+    // set, every harness run (figure binaries included) writes the
+    // unified snapshot at completion, same as the live engine does at
+    // shutdown.
+    telemetry::dump::dump_snapshot(&snapshot);
+    let per_queue: Vec<DropStats> = snapshot.queues.iter().map(DropStats::from).collect();
     let mut total = DropStats::default();
     for s in &per_queue {
         debug_assert!(s.is_consistent(), "inconsistent stats: {s:?}");
@@ -136,9 +146,10 @@ pub fn run_experiment(
         engine: engine.name(),
         per_queue,
         total,
-        copies: engine.copies(),
-        latency: engine.latency(),
+        copies: snapshot.copies,
+        latency: snapshot.latency.clone(),
         drained_at_s: drained.as_secs_f64(),
+        telemetry: snapshot,
     }
 }
 

@@ -2,6 +2,7 @@
 
 use engines::AppModel;
 use sim::CpuModel;
+use std::fmt;
 
 /// Bytes per cell in the current implementation: "a cell is two Kbytes"
 /// (§5a). One cell holds one packet.
@@ -61,11 +62,16 @@ impl WireCapConfig {
 
     /// `WireCAP-A-(M, R, T)` — advanced mode.
     pub fn advanced(m: usize, r: usize, t: f64, x: u32) -> Self {
-        assert!((0.0..=1.0).contains(&t));
         WireCapConfig {
             threshold: Some(t),
             ..Self::basic(m, r, x)
         }
+    }
+
+    /// A validating builder starting from the paper's standard
+    /// environment (see [`WireCapConfigBuilder`]).
+    pub fn builder() -> WireCapConfigBuilder {
+        WireCapConfigBuilder::new()
     }
 
     /// Enables packet forwarding in the application model.
@@ -75,22 +81,27 @@ impl WireCapConfig {
     }
 
     /// Validates the structural constraints of §3.2.1.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.m == 0 || !self.ring_size.is_multiple_of(self.m) {
-            return Err(format!(
-                "M = {} must be a non-zero divisor of the ring size {}",
-                self.m, self.ring_size
-            ));
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.m == 0 || self.ring_size == 0 || !self.ring_size.is_multiple_of(self.m) {
+            return Err(ConfigError::InvalidSegmentSize {
+                m: self.m,
+                ring_size: self.ring_size,
+            });
         }
         let segments = self.ring_size / self.m;
         if self.r <= segments {
-            return Err(format!(
-                "R = {} must exceed N/M = {} so the pool has spare chunks",
-                self.r, segments
-            ));
+            return Err(ConfigError::PoolTooSmall {
+                r: self.r,
+                segments,
+            });
+        }
+        if let Some(t) = self.threshold {
+            if !(0.0..=1.0).contains(&t) {
+                return Err(ConfigError::InvalidThreshold(t));
+            }
         }
         if !(0.0..=1.0).contains(&self.offload_penalty) || self.offload_penalty == 0.0 {
-            return Err("offload penalty must be in (0, 1]".into());
+            return Err(ConfigError::InvalidPenalty(self.offload_penalty));
         }
         Ok(())
     }
@@ -135,6 +146,154 @@ impl WireCapConfig {
             Some(t) => format!("WireCAP-A-({}, {}, {:.0}%)", self.m, self.r, t * 100.0),
             None => format!("WireCAP-B-({}, {})", self.m, self.r),
         }
+    }
+}
+
+/// Why a [`WireCapConfig`] is structurally invalid (§3.2.1
+/// constraints). Returned by [`WireCapConfig::validate`] and
+/// [`WireCapConfigBuilder::build`] so callers get an error value
+/// instead of a panic on zero-sized pools and the like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// M must be a non-zero divisor of the non-zero ring size, so the
+    /// ring partitions into whole descriptor segments.
+    InvalidSegmentSize {
+        /// The offending cells-per-chunk value.
+        m: usize,
+        /// The ring size it fails to divide.
+        ring_size: usize,
+    },
+    /// R must exceed N/M: a pool with no spare chunks beyond the ones
+    /// pinned to descriptor segments can never seal a chunk.
+    PoolTooSmall {
+        /// The offending pool size in chunks.
+        r: usize,
+        /// The number of descriptor segments N/M it must exceed.
+        segments: usize,
+    },
+    /// The offloading threshold T is a fraction of the capture-queue
+    /// capacity and must lie in [0, 1].
+    InvalidThreshold(f64),
+    /// The offload CPU-efficiency penalty must lie in (0, 1].
+    InvalidPenalty(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::InvalidSegmentSize { m, ring_size } => write!(
+                f,
+                "M = {m} must be a non-zero divisor of the ring size {ring_size}"
+            ),
+            ConfigError::PoolTooSmall { r, segments } => write!(
+                f,
+                "R = {r} must exceed N/M = {segments} so the pool has spare chunks"
+            ),
+            ConfigError::InvalidThreshold(t) => {
+                write!(f, "offloading threshold {t} must be in [0, 1]")
+            }
+            ConfigError::InvalidPenalty(p) => {
+                write!(f, "offload penalty {p} must be in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builds a validated [`WireCapConfig`].
+///
+/// Starts from the paper's standard environment (the same defaults as
+/// [`WireCapConfig::basic`]: M = 256, R = 100, ring size 1024, 10 ms
+/// capture timeout, x = 0) and validates on [`build`], returning a
+/// [`ConfigError`] instead of panicking on zero-sized pools or other
+/// structural violations:
+///
+/// ```
+/// use wirecap::WireCapConfig;
+///
+/// let cfg = WireCapConfig::builder()
+///     .chunks(200)
+///     .cells(128)
+///     .threshold(0.6)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.name(), "WireCAP-A-(128, 200, 60%)");
+/// assert!(WireCapConfig::builder().chunks(0).build().is_err());
+/// ```
+///
+/// [`build`]: WireCapConfigBuilder::build
+#[derive(Debug, Clone, Copy)]
+pub struct WireCapConfigBuilder {
+    cfg: WireCapConfig,
+}
+
+impl WireCapConfigBuilder {
+    /// Starts from the paper's standard basic-mode configuration.
+    pub fn new() -> Self {
+        WireCapConfigBuilder {
+            cfg: WireCapConfig::basic(256, 100, 0),
+        }
+    }
+
+    /// Cells per chunk M (a divisor of the ring size).
+    pub fn cells(mut self, m: usize) -> Self {
+        self.cfg.m = m;
+        self
+    }
+
+    /// Pool size R in chunks.
+    pub fn chunks(mut self, r: usize) -> Self {
+        self.cfg.r = r;
+        self
+    }
+
+    /// Offloading threshold T in [0, 1] — selects advanced mode.
+    pub fn threshold(mut self, t: f64) -> Self {
+        self.cfg.threshold = Some(t);
+        self
+    }
+
+    /// Receive-ring size N in descriptors.
+    pub fn ring_size(mut self, n: usize) -> Self {
+        self.cfg.ring_size = n;
+        self
+    }
+
+    /// The capture operation's blocking timeout in nanoseconds.
+    pub fn capture_timeout_ns(mut self, ns: u64) -> Self {
+        self.cfg.capture_timeout_ns = ns;
+        self
+    }
+
+    /// CPU-efficiency factor for offloaded processing, in (0, 1].
+    pub fn offload_penalty(mut self, p: f64) -> Self {
+        self.cfg.offload_penalty = p;
+        self
+    }
+
+    /// BPF repetitions x per packet in the application model.
+    pub fn bpf_repetitions(mut self, x: u32) -> Self {
+        self.cfg.app.x = x;
+        self
+    }
+
+    /// Enables packet forwarding in the application model.
+    pub fn forwarding(mut self) -> Self {
+        self.cfg.app.forward = true;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<WireCapConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+impl Default for WireCapConfigBuilder {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -188,6 +347,60 @@ mod tests {
         assert!((b - 25_667.0).abs() < 10.0, "bound = {b}");
         // Pin ≤ Pp: never drops.
         assert!(cfg.max_lossless_burst(10_000.0, 38_844.0).is_infinite());
+    }
+
+    #[test]
+    fn builder_validates_instead_of_panicking() {
+        let cfg = WireCapConfig::builder()
+            .cells(128)
+            .chunks(200)
+            .threshold(0.6)
+            .bpf_repetitions(300)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.m, 128);
+        assert_eq!(cfg.r, 200);
+        assert_eq!(cfg.threshold, Some(0.6));
+        assert_eq!(cfg.app.x, 300);
+
+        assert_eq!(
+            WireCapConfig::builder().chunks(0).build().unwrap_err(),
+            ConfigError::PoolTooSmall { r: 0, segments: 4 }
+        );
+        assert_eq!(
+            WireCapConfig::builder().cells(0).build().unwrap_err(),
+            ConfigError::InvalidSegmentSize {
+                m: 0,
+                ring_size: 1024
+            }
+        );
+        assert_eq!(
+            WireCapConfig::builder().threshold(1.5).build().unwrap_err(),
+            ConfigError::InvalidThreshold(1.5)
+        );
+        assert_eq!(
+            WireCapConfig::builder()
+                .offload_penalty(0.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::InvalidPenalty(0.0)
+        );
+        // advanced() with an out-of-range T no longer panics; it fails
+        // validation instead.
+        assert!(WireCapConfig::advanced(256, 100, 2.0, 0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_matches_basic_defaults() {
+        let b = WireCapConfig::builder().build().unwrap();
+        let basic = WireCapConfig::basic(256, 100, 0);
+        assert_eq!(b.m, basic.m);
+        assert_eq!(b.r, basic.r);
+        assert_eq!(b.ring_size, basic.ring_size);
+        assert_eq!(b.capture_timeout_ns, basic.capture_timeout_ns);
+        assert_eq!(b.name(), basic.name());
     }
 
     #[test]

@@ -25,7 +25,8 @@ use crate::workqueue::WorkQueuePair;
 use engines::CaptureEngine;
 use nicsim::tx::TxRing;
 use sim::stats::CopyMeter;
-use sim::{DropStats, SimTime};
+use sim::SimTime;
+use telemetry::{kind, QueueTelemetry, Registry};
 
 #[derive(Debug)]
 struct QueueState {
@@ -35,15 +36,6 @@ struct QueueState {
     current: Option<(ChunkMeta, u32)>,
     app_carry: f64,
     last_app: SimTime,
-    offered: u64,
-    captured: u64,
-    capture_drops: u64,
-    /// Packets lost after capture because a capture queue rejected a
-    /// chunk at capacity. Structurally impossible with correct
-    /// accounting (the capacity is the chunk population R), but the
-    /// bound is enforced — see [`WorkQueuePair::push_captured`].
-    delivery_drops: u64,
-    delivered: u64,
     bytes_seen: u64,
     fwd: Option<ForwardPath>,
     latency: sim::stats::LatencyStats,
@@ -55,6 +47,8 @@ pub struct WireCapEngine {
     cfg: WireCapConfig,
     groups: BuddyGroups,
     queues: Vec<QueueState>,
+    /// All packet/chunk counters, histograms and the event tracer.
+    tel: Registry,
     app_rate: f64,
     /// Monotone offload-decision counter (rotation-policy cursor).
     place_seq: u64,
@@ -82,6 +76,7 @@ impl WireCapEngine {
             app_rate: cfg.app.rate_pps(),
             place_seq: 0,
             groups,
+            tel: Registry::new(queues),
             queues: (0..queues)
                 .map(|q| QueueState {
                     pool: RingBufferPool::open(0, q as u16, &cfg),
@@ -89,11 +84,6 @@ impl WireCapEngine {
                     current: None,
                     app_carry: 0.0,
                     last_app: SimTime::ZERO,
-                    offered: 0,
-                    captured: 0,
-                    capture_drops: 0,
-                    delivery_drops: 0,
-                    delivered: 0,
                     bytes_seen: 0,
                     fwd: cfg
                         .app
@@ -106,41 +96,15 @@ impl WireCapEngine {
         }
     }
 
-    /// Packets forwarded by queue `q`'s application thread.
-    pub fn forwarded(&self, q: usize) -> u64 {
-        self.queues[q]
-            .fwd
-            .as_ref()
-            .map_or(0, ForwardPath::forwarded)
-    }
-
-    /// Frames actually transmitted for queue `q` (Fig. 13 counts these at
-    /// the traffic receiver).
-    pub fn transmitted(&self, q: usize) -> u64 {
-        self.queues[q]
-            .fwd
-            .as_ref()
-            .map_or(0, ForwardPath::transmitted)
-    }
-
-    /// Chunks that arrived on `q`'s capture queue via offloading.
-    pub fn offloaded_in(&self, q: usize) -> u64 {
-        self.queues[q].wq.offloaded_in
-    }
-
     /// The engine's configuration.
     pub fn config(&self) -> &WireCapConfig {
         &self.cfg
     }
 
-    /// Capture-queue length of queue `q` (observability/diagnostics).
-    pub fn capture_queue_len(&self, q: usize) -> usize {
-        self.queues[q].wq.capture_len()
-    }
-
-    /// Free chunks remaining in queue `q`'s pool (observability).
-    pub fn free_chunks(&self, q: usize) -> usize {
-        self.queues[q].pool.free_chunks()
+    /// The telemetry registry (counters + event tracer). Enable the
+    /// tracer with `engine.registry().tracer().enable()`.
+    pub fn registry(&self) -> &Registry {
+        &self.tel
     }
 
     /// Application-thread step: consume packets from the capture queue.
@@ -163,6 +127,7 @@ impl WireCapEngine {
         // otherwise offloading makes per-queue accounting incoherent
         // (a buddy would show more deliveries than captures).
         let mut delivered_by_home = vec![0u64; self.queues.len()];
+        let captured_so_far = self.tel.queue(q).cap.captured_packets.get();
         let qs = &mut self.queues[q];
         loop {
             if qs.current.is_none() {
@@ -194,7 +159,7 @@ impl WireCapEngine {
                     Some(fwd) => {
                         // Zero-copy forward: the chunk pins until the NIC
                         // transmits its packets, then recycles.
-                        let mean_len = mean_frame_len(qs.bytes_seen, qs.captured);
+                        let mean_len = mean_frame_len(qs.bytes_seen, captured_so_far);
                         fwd.forward_chunk(now.as_nanos(), done, mean_len);
                     }
                     None => qs.wq.push_recycle(done),
@@ -210,7 +175,9 @@ impl WireCapEngine {
             }
         }
         for (home, n) in delivered_by_home.into_iter().enumerate() {
-            self.queues[home].delivered += n;
+            if n > 0 {
+                self.tel.queue(home).app.delivered_packets.add(n);
+            }
         }
     }
 
@@ -225,18 +192,54 @@ impl WireCapEngine {
                 .recycle(&meta)
                 .expect("engine-internal recycle metadata is always valid");
             self.queues[home].pool.replenish();
+            self.tel.queue(home).app.recycled_chunks.inc();
+            self.tel.tracer().record(
+                now.as_nanos(),
+                q as u32,
+                kind::RECYCLE,
+                meta.id.chunk_id,
+                home as u32,
+                u64::from(meta.pkt_count),
+            );
         }
 
         // 2. Capture full chunks and the timeout partial.
         let (mut metas, _) = self.queues[q].pool.capture_full();
+        for meta in &metas {
+            self.tel.tracer().record(
+                now.as_nanos(),
+                q as u32,
+                kind::CAPTURE,
+                meta.id.chunk_id,
+                q as u32,
+                u64::from(meta.pkt_count),
+            );
+        }
         if let Some((meta, _)) = self.queues[q]
             .pool
             .capture_partial(now.as_nanos(), self.cfg.capture_timeout_ns)
         {
+            self.tel.queue(q).cap.partial_chunks.inc();
+            self.tel.tracer().record(
+                now.as_nanos(),
+                q as u32,
+                kind::CAPTURE_PARTIAL,
+                meta.id.chunk_id,
+                q as u32,
+                u64::from(meta.pkt_count),
+            );
             metas.push(meta);
         }
         if metas.is_empty() {
             return;
+        }
+        {
+            let cap = &self.tel.queue(q).cap;
+            cap.sealed_chunks.add(metas.len() as u64);
+            cap.batch_size.record(metas.len() as u64);
+            for meta in &metas {
+                cap.chunk_fill.record(u64::from(meta.pkt_count));
+            }
         }
 
         // 3. Placement: home queue in basic mode; buddy-group policy in
@@ -252,18 +255,47 @@ impl WireCapEngine {
                 None => q,
             };
             meta.offloaded = target != q;
+            self.tel
+                .queue(target)
+                .cap
+                .capture_queue_depth
+                .record(lens[target] as u64);
             if self.queues[target].wq.push_captured(meta).is_err() {
                 // The target queue rejected the chunk (at capacity). The
                 // packets are lost after capture; the chunk itself goes
                 // straight back to its home pool so the buffer population
                 // is preserved.
                 let home = meta.id.ring_id as usize;
-                self.queues[home].delivery_drops += u64::from(meta.pkt_count);
+                self.tel
+                    .queue(home)
+                    .cap
+                    .delivery_drop_packets
+                    .add(u64::from(meta.pkt_count));
                 self.queues[home]
                     .pool
                     .recycle(&meta)
                     .expect("engine-internal recycle metadata is always valid");
                 self.queues[home].pool.replenish();
+                self.tel.queue(home).app.recycled_chunks.inc();
+                self.tel.tracer().record(
+                    now.as_nanos(),
+                    q as u32,
+                    kind::REJECT,
+                    meta.id.chunk_id,
+                    target as u32,
+                    u64::from(meta.pkt_count),
+                );
+            } else if meta.offloaded {
+                self.tel.queue(q).cap.offloaded_out_chunks.inc();
+                self.tel.queue(target).peer.offloaded_in_chunks.inc();
+                self.tel.tracer().record(
+                    now.as_nanos(),
+                    q as u32,
+                    kind::OFFLOAD,
+                    meta.id.chunk_id,
+                    target as u32,
+                    lens[target] as u64,
+                );
             }
         }
     }
@@ -309,13 +341,14 @@ impl CaptureEngine for WireCapEngine {
         } else {
             self.advance_queue(queue, now);
         }
+        let cap = &self.tel.queue(queue).cap;
+        cap.offered_packets.inc();
         let qs = &mut self.queues[queue];
-        qs.offered += 1;
         if qs.pool.on_dma(now.as_nanos()) {
-            qs.captured += 1;
+            cap.captured_packets.inc();
             qs.bytes_seen += u64::from(len);
         } else {
-            qs.capture_drops += 1;
+            cap.capture_drop_packets.inc();
         }
     }
 
@@ -337,27 +370,29 @@ impl CaptureEngine for WireCapEngine {
         t
     }
 
-    fn queue_stats(&self, queue: usize) -> DropStats {
+    fn telemetry(&self, queue: usize) -> QueueTelemetry {
+        // WireCAP's design makes delivery drops structurally impossible:
+        // the capture queue is bounded by the chunk population, and
+        // back-pressure surfaces as capture drops. The bound is enforced
+        // rather than assumed — a rejected chunk surfaces in
+        // `delivery_drop_packets` instead of silently growing the queue.
+        let mut t = self.tel.snapshot_queue(queue);
         let qs = &self.queues[queue];
-        DropStats {
-            offered: qs.offered,
-            captured: qs.captured,
-            delivered: qs.delivered,
-            capture_drops: qs.capture_drops,
-            // WireCAP's design makes delivery drops structurally
-            // impossible: the capture queue is bounded by the chunk
-            // population, and back-pressure surfaces as capture drops.
-            // The bound is enforced rather than assumed — a rejected
-            // chunk surfaces here instead of silently growing the queue.
-            delivery_drops: qs.delivery_drops,
-        }
+        t.forwarded_packets = qs.fwd.as_ref().map_or(0, ForwardPath::forwarded);
+        t.transmitted_packets = qs.fwd.as_ref().map_or(0, ForwardPath::transmitted);
+        t.capture_queue_len = qs.wq.capture_len() as u64;
+        t.free_chunks = qs.pool.free_chunks() as u64;
+        t.ring_ready = qs.pool.armed_cells() as u64;
+        t.ring_used = (qs.pool.attached_chunks() * self.cfg.m) as u64 - t.ring_ready;
+        t
     }
 
     fn copies(&self) -> CopyMeter {
         let mut m = CopyMeter::default();
-        for qs in &self.queues {
+        for (q, qs) in self.queues.iter().enumerate() {
             let pkts = qs.pool.partial_copy_packets();
-            let mean = u64::from(mean_frame_len(qs.bytes_seen, qs.captured));
+            let captured = self.tel.queue(q).cap.captured_packets.get();
+            let mean = u64::from(mean_frame_len(qs.bytes_seen, captured));
             m.record(pkts, pkts * mean);
         }
         m
@@ -477,7 +512,7 @@ mod tests {
         assert_eq!(a.capture_drops, 0, "advanced mode should be lossless");
         assert_eq!(a.delivered, n);
         // Work actually moved: buddies processed offloaded chunks.
-        let moved: u64 = (1..4).map(|q| adv.offloaded_in(q)).sum();
+        let moved: u64 = (1..4).map(|q| adv.telemetry(q).offloaded_in_chunks).sum();
         assert!(moved > 0);
     }
 
@@ -493,9 +528,9 @@ mod tests {
             WireCapEngine::with_groups(4, WireCapConfig::advanced(256, 100, 0.6, 300), groups);
         burst(&mut e, 0, 100_000, 0, 12_500);
         e.finish(SimTime(30 * SECOND));
-        assert_eq!(e.offloaded_in(2), 0);
-        assert_eq!(e.offloaded_in(3), 0);
-        assert!(e.offloaded_in(1) > 0);
+        assert_eq!(e.telemetry(2).offloaded_in_chunks, 0);
+        assert_eq!(e.telemetry(3).offloaded_in_chunks, 0);
+        assert!(e.telemetry(1).offloaded_in_chunks > 0);
     }
 
     /// The timeout partial-capture path delivers stragglers, and those
@@ -532,8 +567,9 @@ mod tests {
         e.finish(SimTime(10 * SECOND));
         let s = e.queue_stats(0);
         assert_eq!(s.capture_drops, 0);
-        assert_eq!(e.forwarded(0), 20_000);
-        assert_eq!(e.transmitted(0), 20_000);
+        let t = e.telemetry(0);
+        assert_eq!(t.forwarded_packets, 20_000);
+        assert_eq!(t.transmitted_packets, 20_000);
         assert!(s.is_consistent());
     }
 
@@ -555,6 +591,51 @@ mod tests {
         let full = run(1.0); // capacity ≈ 77.7 k/s: pools absorb the rest
         assert!(penalized > 0.05, "penalized drop rate = {penalized}");
         assert!(full < penalized / 2.0, "full-speed drop rate = {full}");
+    }
+
+    /// The tracer observes the chunk lifecycle when enabled, and the
+    /// telemetry snapshot carries coherent chunk/histogram accounting.
+    #[test]
+    fn telemetry_traces_chunk_lifecycle() {
+        let mut e = WireCapEngine::new(2, WireCapConfig::advanced(64, 20, 0.0, 300));
+        e.registry().tracer().enable();
+        for i in 0..20_000u64 {
+            e.on_arrival(SimTime(i * 500), 0, 64);
+        }
+        e.finish(SimTime(10 * SECOND));
+        let t = e.telemetry(0);
+        assert!(t.sealed_chunks > 0);
+        assert_eq!(t.chunk_fill.count, t.sealed_chunks);
+        assert_eq!(
+            t.sealed_chunks, t.recycled_chunks,
+            "drained engine recycles every sealed chunk"
+        );
+        assert!(t.offloaded_out_chunks > 0, "T = 0 forces offloading");
+        assert_eq!(t.offloaded_out_chunks, e.telemetry(1).offloaded_in_chunks);
+        let kinds: std::collections::HashSet<&str> = e
+            .registry()
+            .tracer()
+            .events()
+            .iter()
+            .map(|ev| ev.kind)
+            .collect();
+        assert!(kinds.contains(kind::CAPTURE));
+        assert!(kinds.contains(kind::RECYCLE));
+        assert!(kinds.contains(kind::OFFLOAD));
+    }
+
+    /// The trait-level snapshot emits the unified schema.
+    #[test]
+    fn snapshot_has_every_queue() {
+        let mut e = WireCapEngine::new(2, WireCapConfig::basic(64, 20, 300));
+        burst(&mut e, 0, 1_000, 0, 67);
+        e.finish(SimTime(SECOND));
+        let snap = e.snapshot();
+        assert_eq!(snap.engine, e.name());
+        assert_eq!(snap.queues.len(), 2);
+        assert_eq!(snap.queues[0].delivered_packets, 1_000);
+        assert!(snap.to_json().contains("\"capture_queue_depth\""));
+        assert!(snap.total_drop_stats().is_consistent());
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod workqueue;
 pub use arena::{ChunkArena, ChunkView, PacketRef};
 pub use buddy::BuddyGroup;
 pub use chunk::{ChunkId, ChunkMeta, ChunkState};
-pub use config::WireCapConfig;
+pub use config::{ConfigError, WireCapConfig, WireCapConfigBuilder};
 pub use engine::WireCapEngine;
 pub use pool::RingBufferPool;
 pub use spsc::{BatchRing, MAX_BATCH};

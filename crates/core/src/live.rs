@@ -40,14 +40,14 @@ use crate::buddy::BuddyGroups;
 use crate::config::{WireCapConfig, CELL_BYTES};
 use crate::spsc::{BatchRing, MAX_BATCH};
 use crossbeam::queue::ArrayQueue;
-use crossbeam::utils::CachePadded;
 use netproto::Packet;
 use nicsim::livenic::LiveNic;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::{dump, kind, EngineSnapshot, QueueTelemetry, Registry};
 
 /// Packets pulled from the NIC queue per batch.
 const NIC_POP_BATCH: usize = 256;
@@ -85,27 +85,6 @@ impl LiveChunk {
     }
 }
 
-/// Counters written by the queue's capture thread only.
-#[derive(Debug, Default)]
-struct ProducerStats {
-    captured_pkts: AtomicU64,
-    dropped_pkts: AtomicU64,
-    partial_chunks: AtomicU64,
-}
-
-/// Per-queue statistics, sharded by writer so the capture thread, the
-/// consumers, and offloading buddies each write their own cache line —
-/// no false sharing on the hot path.
-#[derive(Debug, Default)]
-struct QueueStats {
-    /// Capture-thread counters (one writer).
-    prod: CachePadded<ProducerStats>,
-    /// Packets consumed and recycled (written by consumer threads).
-    delivered_pkts: CachePadded<AtomicU64>,
-    /// Chunks received via offloading (written by buddy producers).
-    offloaded_chunks: CachePadded<AtomicU64>,
-}
-
 struct Shared {
     /// `rings[target][producer]`: the SPSC batch ring carrying chunks
     /// captured by `producer` to `target`'s consumers.
@@ -115,7 +94,11 @@ struct Shared {
     recycle: Vec<ArrayQueue<SealedSlot>>,
     /// Per-queue cell arenas; all payload bytes live here.
     arenas: Vec<Arc<ChunkArena>>,
-    stats: Vec<QueueStats>,
+    /// All counters, histograms and the event tracer — sharded by
+    /// writer role per queue (see `telemetry::QueueCounters`), so the
+    /// capture thread, the consumers, and offloading buddies each write
+    /// their own cache line and never false-share on the hot path.
+    tel: Registry,
 }
 
 /// The live WireCAP engine: per-queue capture threads over a live NIC.
@@ -153,8 +136,11 @@ impl LiveWireCap {
                 .collect(),
             recycle: (0..queues).map(|_| ArrayQueue::new(cfg.r)).collect(),
             arenas,
-            stats: (0..queues).map(|_| QueueStats::default()).collect(),
+            tel: Registry::new(queues),
         });
+        if std::env::var_os("WIRECAP_TELEMETRY_DUMP").is_some() {
+            dump::install_sigusr1();
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let threads = freelists
             .into_iter()
@@ -182,6 +168,7 @@ impl LiveWireCap {
     /// A consumer handle for queue `q` (the application side).
     pub fn consumer(&self, q: usize) -> LiveConsumer {
         assert!(q < self.shared.rings.len());
+        let queues = self.shared.rings.len();
         LiveConsumer {
             q,
             shared: Arc::clone(&self.shared),
@@ -190,6 +177,7 @@ impl LiveWireCap {
             rr: 0,
             pending: None,
             cursor: 0,
+            tally: vec![std::cell::Cell::new((0, 0)); queues],
         }
     }
 
@@ -203,49 +191,65 @@ impl LiveWireCap {
         &self.nic
     }
 
-    /// Packets captured into chunks on queue `q`.
-    pub fn captured(&self, q: usize) -> u64 {
-        self.shared.stats[q]
-            .prod
-            .captured_pkts
-            .load(Ordering::Relaxed)
+    /// Full telemetry snapshot for queue `q` — the same
+    /// [`QueueTelemetry`] type (and semantics) the simulation engine
+    /// returns from `CaptureEngine::telemetry(q)`. Counters and gauges
+    /// may disagree by a few in-flight packets while capture threads
+    /// run.
+    pub fn telemetry(&self, q: usize) -> QueueTelemetry {
+        queue_telemetry(&self.shared, &self.nic, &self.cfg, q)
     }
 
-    /// Packets dropped on queue `q` for want of a free chunk.
-    pub fn dropped(&self, q: usize) -> u64 {
-        self.shared.stats[q]
-            .prod
-            .dropped_pkts
-            .load(Ordering::Relaxed)
+    /// Full engine snapshot in the unified schema (JSON / Prometheus).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        engine_snapshot(&self.shared, &self.nic, &self.cfg)
     }
 
-    /// Packets consumed from queue `q`'s pool and recycled.
-    pub fn delivered(&self, q: usize) -> u64 {
-        self.shared.stats[q].delivered_pkts.load(Ordering::Relaxed)
-    }
-
-    /// Chunks queue `q` received via offloading.
-    pub fn offloaded_in(&self, q: usize) -> u64 {
-        self.shared.stats[q]
-            .offloaded_chunks
-            .load(Ordering::Relaxed)
-    }
-
-    /// Chunks delivered through the timeout partial path.
-    pub fn partial_chunks(&self, q: usize) -> u64 {
-        self.shared.stats[q]
-            .prod
-            .partial_chunks
-            .load(Ordering::Relaxed)
+    /// The telemetry registry (counters + event tracer). Enable the
+    /// tracer with `engine.registry().tracer().enable()`.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.tel
     }
 
     /// Stops the capture threads (consumers should be joined first) and
-    /// waits for them.
+    /// waits for them. Writes a final telemetry snapshot when
+    /// `WIRECAP_TELEMETRY_DUMP` is set.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         for t in self.threads.drain(..) {
             t.join().expect("capture thread panicked");
         }
+        dump::dump_snapshot(&self.snapshot());
+    }
+}
+
+/// Builds queue `q`'s [`QueueTelemetry`]: registry counters plus the
+/// NIC-side accounting and the engine-owned gauges.
+fn queue_telemetry(
+    shared: &Shared,
+    nic: &LiveNic,
+    cfg: &WireCapConfig,
+    q: usize,
+) -> QueueTelemetry {
+    let mut t = shared.tel.snapshot_queue(q);
+    nic.queue(q).fill_telemetry(&mut t);
+    t.capture_queue_len = shared.rings[q].iter().map(|r| r.len() as u64).sum();
+    // Chunks not currently sealed-and-outstanding are free (the one
+    // being filled counts as free here; the gauge is approximate while
+    // threads run).
+    t.free_chunks = (cfg.r as u64).saturating_sub(t.sealed_chunks - t.recycled_chunks);
+    t
+}
+
+/// Builds the engine-wide snapshot in the unified schema.
+fn engine_snapshot(shared: &Shared, nic: &LiveNic, cfg: &WireCapConfig) -> EngineSnapshot {
+    EngineSnapshot {
+        engine: cfg.name(),
+        queues: (0..shared.rings.len())
+            .map(|q| queue_telemetry(shared, nic, cfg, q))
+            .collect(),
+        copies: sim::stats::CopyMeter::default(),
+        latency: sim::stats::LatencyStats::new(),
     }
 }
 
@@ -282,7 +286,7 @@ fn capture_thread(
     };
     let mut pkt_buf: Vec<Packet> = Vec::with_capacity(NIC_POP_BATCH);
     let timeout = Duration::from_nanos(cfg.capture_timeout_ns);
-    let stats = &shared.stats[q];
+    let cap = &shared.tel.queue(q).cap;
     loop {
         // Recycle first: returned slots replenish the local freelist.
         while let Some(seal) = shared.recycle[q].pop() {
@@ -296,6 +300,10 @@ fn capture_thread(
                 break;
             }
             progressed = true;
+            // Counter writes are batched: one relaxed add per NIC batch
+            // (≤ NIC_POP_BATCH packets), not one per packet.
+            let mut captured_batch = 0u64;
+            let mut dropped_batch = 0u64;
             for pkt in pkt_buf.drain(..) {
                 if st.current.is_none() {
                     // Claim a chunk; drain the recycle queue before
@@ -311,18 +319,24 @@ fn capture_thread(
                             st.current = Some(slot);
                         }
                         None => {
-                            stats.prod.dropped_pkts.fetch_add(1, Ordering::Relaxed);
+                            dropped_batch += 1;
                             continue;
                         }
                     }
                 }
                 let slot = st.current.as_mut().expect("claimed above");
                 arena.write_packet(slot, pkt.ts_ns, pkt.wire_len, &pkt.data);
-                stats.prod.captured_pkts.fetch_add(1, Ordering::Relaxed);
+                captured_batch += 1;
                 if slot.filled() == cfg.m {
                     let full = st.current.take().expect("slot just filled");
                     stage(&shared, &cfg, group.as_ref(), &arena, full, &mut st);
                 }
+            }
+            if captured_batch > 0 {
+                cap.captured_packets.add_local(captured_batch);
+            }
+            if dropped_batch > 0 {
+                cap.capture_drop_packets.add_local(dropped_batch);
             }
             flush(&shared, &mut st);
         }
@@ -331,13 +345,18 @@ fn capture_thread(
         if st.current.as_ref().is_some_and(|s| !s.is_empty())
             && st.chunk_started.elapsed() >= timeout
         {
-            stats.prod.partial_chunks.fetch_add(1, Ordering::Relaxed);
+            cap.partial_chunks.inc_local();
             let partial = st.current.take().expect("checked non-empty");
             stage(&shared, &cfg, group.as_ref(), &arena, partial, &mut st);
             flush(&shared, &mut st);
         }
 
         if !progressed {
+            // Queue 0's capture thread doubles as the SIGUSR1 servant:
+            // it renders the dump off the hot path, only when idle.
+            if q == 0 && dump::take_dump_request() {
+                dump::dump_snapshot(&engine_snapshot(&shared, &nic, &cfg));
+            }
             let ending = stop.load(Ordering::SeqCst) || (nic.is_stopped() && queue.depth() == 0);
             if ending {
                 // Close semantics: flush the in-progress chunk without
@@ -346,7 +365,7 @@ fn capture_thread(
                     if last.is_empty() {
                         st.free.push(last);
                     } else {
-                        stats.prod.partial_chunks.fetch_add(1, Ordering::Relaxed);
+                        cap.partial_chunks.inc_local();
                         stage(&shared, &cfg, group.as_ref(), &arena, last, &mut st);
                     }
                 }
@@ -373,6 +392,9 @@ fn stage(
 ) {
     let q = st.q;
     let seal = arena.seal(slot);
+    let cap = &shared.tel.queue(q).cap;
+    cap.sealed_chunks.inc_local();
+    cap.chunk_fill.record(seal.len() as u64);
     let target = match (cfg.threshold, group) {
         (Some(t), Some(g)) => {
             st.lens.clear();
@@ -381,14 +403,26 @@ fn stage(
                     row.iter().map(|r| r.len()).sum::<usize>() + st.outbox[tq].len()
                 }),
             );
-            g.place(q, &st.lens, cfg.capture_queue_capacity(), t)
+            let target = g.place(q, &st.lens, cfg.capture_queue_capacity(), t);
+            cap.capture_queue_depth.record(st.lens[target] as u64);
+            target
         }
         _ => q,
     };
     if target != q {
-        shared.stats[target]
-            .offloaded_chunks
-            .fetch_add(1, Ordering::Relaxed);
+        cap.offloaded_out_chunks.inc_local();
+        shared.tel.queue(target).peer.offloaded_in_chunks.inc();
+        let tracer = shared.tel.tracer();
+        if tracer.is_enabled() {
+            tracer.record(
+                wall_ns(),
+                q as u32,
+                kind::OFFLOAD,
+                seal.len() as u32,
+                target as u32,
+                st.lens.get(target).copied().unwrap_or(0) as u64,
+            );
+        }
     }
     st.outbox[target].push(LiveChunk {
         seal,
@@ -397,14 +431,26 @@ fn stage(
     });
 }
 
+/// Wall-clock nanoseconds for tracer timestamps (only computed when the
+/// tracer is enabled).
+fn wall_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64)
+}
+
 /// Publishes every staged chunk. Each ring is per-producer with capacity
 /// ≥ R, and at most R chunks homed here exist, so the loop always drains.
 fn flush(shared: &Shared, st: &mut CaptureState) {
     let q = st.q;
+    let cap = &shared.tel.queue(q).cap;
     for (target, staged) in st.outbox.iter_mut().enumerate() {
         while !staged.is_empty() {
-            if shared.rings[target][q].push_batch(staged) == 0 {
+            let pushed = shared.rings[target][q].push_batch(staged);
+            if pushed == 0 {
                 std::thread::yield_now();
+            } else {
+                cap.batch_size.record(pushed as u64);
             }
         }
     }
@@ -423,11 +469,28 @@ pub struct LiveConsumer {
     /// pcap-source iteration state.
     pending: Option<LiveChunk>,
     cursor: usize,
+    /// Per-home-queue (delivered packets, recycled chunks) tallies,
+    /// flushed to the shared telemetry counters at every inbox refill —
+    /// one atomic add per batch of chunks, not one per chunk.
+    tally: Vec<std::cell::Cell<(u64, u64)>>,
 }
 
 impl LiveConsumer {
+    /// Flushes the local delivery tallies to the shared counters.
+    fn flush_tally(&self) {
+        for (home, cell) in self.tally.iter().enumerate() {
+            let (delivered, recycled) = cell.take();
+            if recycled > 0 {
+                let app = &self.shared.tel.queue(home).app;
+                app.delivered_packets.add(delivered);
+                app.recycled_chunks.add(recycled);
+            }
+        }
+    }
+
     /// Pops a batch from each inbound ring into the local inbox.
     fn refill(&mut self) -> bool {
+        self.flush_tally();
         let producers = self.shared.rings[self.q].len();
         let mut got = false;
         for i in 0..producers {
@@ -484,11 +547,26 @@ impl LiveConsumer {
 
     /// Returns a consumed chunk to its home pool. Consuming the handle
     /// invalidates all outstanding views of the chunk.
+    ///
+    /// Delivery accounting (`delivered_packets`, `recycled_chunks`) is
+    /// tallied locally and flushed to the shared telemetry at the next
+    /// inbox refill or when the consumer drops, so snapshots taken
+    /// mid-batch may trail the true delivery count by a few chunks.
     pub fn recycle(&self, chunk: LiveChunk) {
         let home = chunk.home();
-        self.shared.stats[home]
-            .delivered_pkts
-            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        let (delivered, recycled) = self.tally[home].get();
+        self.tally[home].set((delivered + chunk.len() as u64, recycled + 1));
+        let tracer = self.shared.tel.tracer();
+        if tracer.is_enabled() {
+            tracer.record(
+                wall_ns(),
+                self.q as u32,
+                kind::RECYCLE,
+                home as u32,
+                home as u32,
+                chunk.len() as u64,
+            );
+        }
         // The recycle queue is sized R and only R slots exist, so this
         // cannot stay full; spin defensively anyway.
         let mut seal = chunk.seal;
@@ -496,6 +574,12 @@ impl LiveConsumer {
             seal = back;
             std::thread::yield_now();
         }
+    }
+}
+
+impl Drop for LiveConsumer {
+    fn drop(&mut self) {
+        self.flush_tally();
     }
 }
 
@@ -672,8 +756,15 @@ mod tests {
         assert_eq!(chunk.len(), 10);
         assert_eq!(c.view(&chunk).len(), 10);
         c.recycle(chunk);
-        assert_eq!(cap.partial_chunks(0), 1);
-        assert_eq!(cap.delivered(0), 10);
+        // Delivery tallies flush at batch boundaries (or consumer
+        // drop), not per chunk.
+        drop(c);
+        let t = cap.telemetry(0);
+        assert_eq!(t.partial_chunks, 1);
+        assert_eq!(t.delivered_packets, 10);
+        assert_eq!(t.sealed_chunks, 1);
+        assert_eq!(t.chunk_fill.count, 1);
+        assert_eq!(t.chunk_fill.max, 10);
         nic.stop();
         cap.shutdown();
     }

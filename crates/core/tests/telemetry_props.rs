@@ -1,0 +1,126 @@
+//! Property test: telemetry conservation laws over randomized live runs.
+//!
+//! Drives the threaded live engine with randomized pool geometry, NIC
+//! ring capacity, offloading mode and packet counts (reusing the SPSC
+//! interleaving harness style from `spsc_props`), then checks the
+//! conservation identities the unified snapshot promises:
+//!
+//! * every offered packet is captured, pool-dropped, or NIC-dropped;
+//! * every captured packet is delivered (consumers drain everything);
+//! * every sealed chunk is recycled, and chunk-fill histogram mass
+//!   equals the sealed-chunk and captured-packet counts;
+//! * chunks offloaded out by one queue are offloaded in by another.
+
+use netproto::{FlowKey, PacketBuilder};
+use nicsim::livenic::LiveNic;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use wirecap::buddy::BuddyGroups;
+use wirecap::live::LiveWireCap;
+use wirecap::WireCapConfig;
+
+/// One randomized live run; returns the per-queue telemetry.
+fn run_live(
+    queues: usize,
+    m: usize,
+    extra_chunks: usize,
+    nic_capacity: usize,
+    npkts: u64,
+    offload: bool,
+) -> Vec<telemetry::QueueTelemetry> {
+    const RING: usize = 64;
+    let mut builder = WireCapConfig::builder()
+        .ring_size(RING)
+        .cells(m)
+        .chunks(RING / m + extra_chunks)
+        .capture_timeout_ns(2_000_000);
+    if offload {
+        builder = builder.threshold(0.5);
+    }
+    let cfg = builder.build().expect("generated configs are valid");
+    let groups = if offload {
+        BuddyGroups::single(queues)
+    } else {
+        BuddyGroups::isolated(queues)
+    };
+    let nic = LiveNic::new(queues, nic_capacity);
+    let cap = LiveWireCap::start(Arc::clone(&nic), cfg, groups);
+    let consumers: Vec<_> = (0..queues)
+        .map(|q| {
+            let mut c = cap.consumer(q);
+            std::thread::spawn(move || {
+                while let Some(chunk) = c.next_chunk() {
+                    c.recycle(chunk);
+                }
+            })
+        })
+        .collect();
+    let mut b = PacketBuilder::new();
+    for i in 0..npkts {
+        let flow = FlowKey::udp(
+            Ipv4Addr::new(10, (i % 7) as u8, (i % 11) as u8, 1),
+            1000 + (i % 13) as u16,
+            Ipv4Addr::new(131, 225, 2, 1),
+            443,
+        );
+        let pkt = b.build_packet(i, &flow, 100).unwrap();
+        // No spinning: a full NIC ring is a legitimate outcome and must
+        // show up as `nic_drop_packets`.
+        let _ = nic.inject(pkt);
+    }
+    nic.stop();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    let tels: Vec<_> = (0..queues).map(|q| cap.telemetry(q)).collect();
+    cap.shutdown();
+    tels
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn conservation_holds_across_randomized_live_runs(
+        queues in 1usize..=3,
+        m_index in 0usize..3,
+        extra_chunks in 2usize..20,
+        nic_capacity in 32usize..512,
+        npkts in 1u64..=1200,
+        offload_sel in 0u8..2,
+    ) {
+        let m = [8, 16, 32][m_index];
+        let offload = offload_sel == 1;
+        let tels = run_live(queues, m, extra_chunks, nic_capacity, npkts, offload);
+
+        let mut offered_total = 0u64;
+        let mut out_total = 0u64;
+        let mut in_total = 0u64;
+        for t in &tels {
+            // Packet conservation at the capture boundary.
+            prop_assert_eq!(
+                t.offered_packets,
+                t.captured_packets + t.capture_drop_packets + t.nic_drop_packets,
+                "queue {}: {:?}", t.queue, t
+            );
+            // Consumers drained everything: captured == delivered and
+            // every sealed chunk came home.
+            prop_assert_eq!(t.captured_packets, t.delivered_packets);
+            prop_assert_eq!(t.sealed_chunks, t.recycled_chunks);
+            // Histogram mass matches the counters it samples.
+            prop_assert_eq!(t.chunk_fill.count, t.sealed_chunks);
+            prop_assert_eq!(t.chunk_fill.sum, t.captured_packets);
+            prop_assert!(t.partial_chunks <= t.sealed_chunks);
+            prop_assert!(t.offloaded_out_chunks <= t.sealed_chunks);
+            if !offload {
+                prop_assert_eq!(t.offloaded_out_chunks, 0);
+                prop_assert_eq!(t.offloaded_in_chunks, 0);
+            }
+            offered_total += t.offered_packets;
+            out_total += t.offloaded_out_chunks;
+            in_total += t.offloaded_in_chunks;
+        }
+        prop_assert_eq!(offered_total, npkts, "the NIC saw every injection");
+        prop_assert_eq!(out_total, in_total, "offloads are pairwise conserved");
+    }
+}

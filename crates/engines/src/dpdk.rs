@@ -29,7 +29,8 @@
 use crate::engine::{CaptureEngine, EngineConfig};
 use nicsim::ring::RxRing;
 use sim::stats::CopyMeter;
-use sim::{DropStats, SimTime};
+use sim::SimTime;
+use telemetry::{Log2Histogram, QueueTelemetry};
 
 /// Default mempool size in mbufs per queue, chosen to match
 /// WireCAP-B-(256,100)'s R·M = 25 600 packets of buffering so the §6
@@ -63,6 +64,12 @@ struct DpdkQueue {
     delivered: u64,
     /// Packets this worker handed away, by home queue accounting.
     moved_out: u64,
+    /// Handoff batches this worker gave away.
+    moved_out_batches: u64,
+    /// Handoff batches this worker received from peers.
+    moved_in_batches: u64,
+    /// Packets per application-layer handoff batch.
+    batch_hist: Log2Histogram,
 }
 
 /// The DPDK capture model.
@@ -111,14 +118,12 @@ impl DpdkEngine {
                     captured: 0,
                     delivered: 0,
                     moved_out: 0,
+                    moved_out_batches: 0,
+                    moved_in_batches: 0,
+                    batch_hist: Log2Histogram::new(),
                 })
                 .collect(),
         }
-    }
-
-    /// Packets queue `q` handed to other workers.
-    pub fn moved_out(&self, q: usize) -> u64 {
-        self.queues[q].moved_out
     }
 
     fn advance_queue(&mut self, q: usize, now: SimTime) {
@@ -191,6 +196,9 @@ impl DpdkEngine {
                     // the home mempool when the peer consumes them.
                     self.queues[q].backlog -= batch;
                     self.queues[q].moved_out += batch;
+                    self.queues[q].moved_out_batches += 1;
+                    self.queues[q].batch_hist.record(batch);
+                    self.queues[p].moved_in_batches += 1;
                     self.queues[p].foreign_backlog.push_back((q, batch));
                 }
             }
@@ -250,15 +258,22 @@ impl CaptureEngine for DpdkEngine {
         t
     }
 
-    fn queue_stats(&self, queue: usize) -> DropStats {
+    fn telemetry(&self, queue: usize) -> QueueTelemetry {
         let qs = &self.queues[queue];
-        DropStats {
-            offered: qs.offered,
-            captured: qs.captured,
-            delivered: qs.delivered,
-            capture_drops: qs.ring.drops(),
-            delivery_drops: 0,
-        }
+        let mut t = QueueTelemetry::empty(queue);
+        t.offered_packets = qs.offered;
+        t.captured_packets = qs.captured;
+        t.delivered_packets = qs.delivered;
+        t.capture_drop_packets = qs.ring.drops();
+        // Application-layer handoff batches map onto the chunk-offload
+        // vocabulary: one batch ≈ one chunk-sized placement.
+        t.offloaded_out_chunks = qs.moved_out_batches;
+        t.offloaded_in_chunks = qs.moved_in_batches;
+        t.capture_queue_len = qs.backlog + qs.foreign_backlog.iter().map(|&(_, n)| n).sum::<u64>();
+        t.free_chunks = qs.free_mbufs;
+        t.batch_size = qs.batch_hist.snapshot();
+        qs.ring.fill_telemetry(&mut t);
+        t
     }
 
     fn copies(&self) -> CopyMeter {
@@ -310,7 +325,11 @@ mod tests {
         e.finish(SimTime(60 * SECOND));
         let s = e.total_stats();
         assert_eq!(s.capture_drops, 0, "{s:?}");
-        assert!(e.moved_out(0) > 0, "rebalancing must have moved packets");
+        let t = e.telemetry(0);
+        assert!(
+            t.offloaded_out_chunks > 0 && t.batch_size.sum > 0,
+            "rebalancing must have moved packets"
+        );
         assert!(s.is_consistent());
     }
 

@@ -2,6 +2,7 @@
 
 use sim::stats::CopyMeter;
 use sim::{CpuModel, DropStats, SimTime};
+use telemetry::{EngineSnapshot, QueueTelemetry};
 
 /// Extra per-packet CPU cycles when the application forwards each
 /// processed packet. Attaching is a metadata-only operation (descriptor
@@ -91,8 +92,27 @@ pub trait CaptureEngine {
     /// returns the simulated time at which the engine drained.
     fn finish(&mut self, after: SimTime) -> SimTime;
 
-    /// Accounting for one queue.
-    fn queue_stats(&self, queue: usize) -> DropStats;
+    /// Full telemetry snapshot for one queue: the unified schema every
+    /// engine (simulated, baseline, and the live threaded path) reports
+    /// through. See `telemetry::QueueTelemetry` for the naming scheme.
+    fn telemetry(&self, queue: usize) -> QueueTelemetry;
+
+    /// Accounting for one queue in the figure-code vocabulary, derived
+    /// from [`telemetry`](Self::telemetry) via the `DropStats` bridge.
+    fn queue_stats(&self, queue: usize) -> DropStats {
+        DropStats::from(&self.telemetry(queue))
+    }
+
+    /// Full engine snapshot: per-queue telemetry plus the engine-wide
+    /// copy and latency meters, serializable to JSON and Prometheus.
+    fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            engine: self.name(),
+            queues: (0..self.queues()).map(|q| self.telemetry(q)).collect(),
+            copies: self.copies(),
+            latency: self.latency(),
+        }
+    }
 
     /// Packet-byte copies performed on the capture/delivery path.
     fn copies(&self) -> CopyMeter;

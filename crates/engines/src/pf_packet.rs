@@ -15,7 +15,8 @@
 use crate::engine::{CaptureEngine, EngineConfig};
 use crate::pf_ring::PfRingEngine;
 use sim::stats::CopyMeter;
-use sim::{DropStats, SimTime};
+use sim::SimTime;
+use telemetry::QueueTelemetry;
 
 /// Effective socket receive-buffer capacity in packets (212992-byte
 /// default rmem over ~750-byte truesize for small frames).
@@ -71,8 +72,8 @@ impl CaptureEngine for PfPacketEngine {
         self.inner.finish(after)
     }
 
-    fn queue_stats(&self, queue: usize) -> DropStats {
-        self.inner.queue_stats(queue)
+    fn telemetry(&self, queue: usize) -> QueueTelemetry {
+        self.inner.telemetry(queue)
     }
 
     fn copies(&self) -> CopyMeter {

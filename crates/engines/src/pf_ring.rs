@@ -22,7 +22,8 @@
 use crate::engine::{CaptureEngine, EngineConfig};
 use nicsim::ring::RxRing;
 use sim::stats::CopyMeter;
-use sim::{DropStats, SimTime};
+use sim::SimTime;
+use telemetry::QueueTelemetry;
 
 /// CPU cycles to copy one packet from a ring buffer into `pf_ring`
 /// (memcpy + descriptor bookkeeping in NAPI context). At 2.4 GHz this
@@ -185,15 +186,19 @@ impl CaptureEngine for PfRingEngine {
         t
     }
 
-    fn queue_stats(&self, queue: usize) -> DropStats {
+    fn telemetry(&self, queue: usize) -> QueueTelemetry {
         let qs = &self.queues[queue];
-        DropStats {
-            offered: qs.offered,
-            captured: qs.ring.received(),
-            delivered: qs.delivered,
-            capture_drops: qs.ring.drops(),
-            delivery_drops: qs.delivery_drops,
-        }
+        let mut t = QueueTelemetry::empty(queue);
+        t.offered_packets = qs.offered;
+        t.captured_packets = qs.ring.received();
+        t.delivered_packets = qs.delivered;
+        t.capture_drop_packets = qs.ring.drops();
+        t.delivery_drop_packets = qs.delivery_drops;
+        // The pf_ring buffer plays the capture-queue role in Type I.
+        t.capture_queue_len = qs.pf_backlog as u64;
+        t.free_chunks = (self.pf_slots as f64 - qs.pf_backlog).max(0.0) as u64;
+        qs.ring.fill_telemetry(&mut t);
+        t
     }
 
     fn copies(&self) -> CopyMeter {

@@ -15,7 +15,8 @@
 use crate::engine::{CaptureEngine, EngineConfig};
 use nicsim::ring::RxRing;
 use sim::stats::CopyMeter;
-use sim::{DropStats, FluidServer, SimTime};
+use sim::{FluidServer, SimTime};
+use telemetry::{Log2Histogram, QueueTelemetry};
 
 /// Cycles for the cache-resident copy of one packet into the user buffer.
 pub const CACHED_COPY_CYCLES: f64 = 120.0;
@@ -34,6 +35,8 @@ struct PsQueue {
     delivered: u64,
     copied_packets: u64,
     copied_bytes: u64,
+    /// Packets per ring→user-buffer copy batch.
+    batch_hist: Log2Histogram,
 }
 
 /// The PacketShader I/O engine model.
@@ -59,6 +62,7 @@ impl PsioeEngine {
                     delivered: 0,
                     copied_packets: 0,
                     copied_bytes: 0,
+                    batch_hist: Log2Histogram::new(),
                 })
                 .collect(),
         }
@@ -74,6 +78,7 @@ impl PsioeEngine {
         let room = USER_BUFFER_SLOTS - qs.user_buf;
         let batch = (qs.ring.used() as u64).min(room);
         if batch > 0 {
+            qs.batch_hist.record(batch);
             qs.ring.rearm(batch as usize);
             qs.user_buf += batch;
             qs.app.enqueue(now, batch);
@@ -122,15 +127,19 @@ impl CaptureEngine for PsioeEngine {
         t
     }
 
-    fn queue_stats(&self, queue: usize) -> DropStats {
+    fn telemetry(&self, queue: usize) -> QueueTelemetry {
         let qs = &self.queues[queue];
-        DropStats {
-            offered: qs.offered,
-            captured: qs.ring.received(),
-            delivered: qs.delivered,
-            capture_drops: qs.ring.drops(),
-            delivery_drops: 0,
-        }
+        let mut t = QueueTelemetry::empty(queue);
+        t.offered_packets = qs.offered;
+        t.captured_packets = qs.ring.received();
+        t.delivered_packets = qs.delivered;
+        t.capture_drop_packets = qs.ring.drops();
+        // The one-batch user buffer plays the capture-queue role.
+        t.capture_queue_len = qs.user_buf;
+        t.free_chunks = USER_BUFFER_SLOTS - qs.user_buf;
+        t.batch_size = qs.batch_hist.snapshot();
+        qs.ring.fill_telemetry(&mut t);
+        t
     }
 
     fn copies(&self) -> CopyMeter {

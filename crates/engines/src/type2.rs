@@ -22,7 +22,8 @@
 use crate::engine::{CaptureEngine, EngineConfig};
 use nicsim::ring::RxRing;
 use sim::stats::CopyMeter;
-use sim::{DropStats, FluidServer, SimTime};
+use sim::{FluidServer, SimTime};
+use telemetry::{Log2Histogram, QueueTelemetry};
 
 /// Which Type-II engine to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,8 @@ struct QueueState {
     batch_size: u64,
     /// NETMAP: received packets not yet taken into a batch.
     unbatched: u64,
+    /// NETMAP: sync batch sizes (Type-II batching telemetry).
+    batch_hist: Log2Histogram,
     latency: sim::stats::LatencyStats,
 }
 
@@ -74,15 +77,11 @@ impl Type2Engine {
                     batch_remaining: 0,
                     batch_size: 0,
                     unbatched: 0,
+                    batch_hist: Log2Histogram::new(),
                     latency: sim::stats::LatencyStats::new(),
                 })
                 .collect(),
         }
-    }
-
-    /// Packets the application on `queue` forwarded (Fig. 13 accounting).
-    pub fn forwarded(&self, queue: usize) -> u64 {
-        self.queues[queue].forwarded
     }
 
     fn advance_queue(&mut self, q: usize, now: SimTime) {
@@ -122,6 +121,7 @@ fn netmap_sync(qs: &mut QueueState, now: SimTime) {
         qs.batch_size = 0;
     }
     if qs.unbatched > 0 {
+        qs.batch_hist.record(qs.unbatched);
         qs.batch_size = qs.unbatched;
         qs.batch_remaining = qs.unbatched;
         qs.app.enqueue(now, qs.unbatched);
@@ -201,15 +201,19 @@ impl CaptureEngine for Type2Engine {
         t
     }
 
-    fn queue_stats(&self, queue: usize) -> DropStats {
+    fn telemetry(&self, queue: usize) -> QueueTelemetry {
         let qs = &self.queues[queue];
-        DropStats {
-            offered: qs.offered,
-            captured: qs.ring.received(),
-            delivered: qs.delivered,
-            capture_drops: qs.ring.drops(),
-            delivery_drops: 0,
-        }
+        let mut t = QueueTelemetry::empty(queue);
+        t.offered_packets = qs.offered;
+        t.captured_packets = qs.ring.received();
+        t.delivered_packets = qs.delivered;
+        t.capture_drop_packets = qs.ring.drops();
+        t.forwarded_packets = qs.forwarded;
+        t.transmitted_packets = qs.forwarded;
+        t.capture_queue_len = qs.unbatched + qs.batch_remaining;
+        t.batch_size = qs.batch_hist.snapshot();
+        qs.ring.fill_telemetry(&mut t);
+        t
     }
 
     fn copies(&self) -> CopyMeter {
@@ -316,7 +320,7 @@ mod tests {
         let mut e = Type2Engine::new(Type2Kind::Dna, 1, EngineConfig::paper_forwarding(0));
         burst(&mut e, 1000, 0, 1000);
         e.finish(SimTime(SECOND));
-        assert_eq!(e.forwarded(0), 1000);
+        assert_eq!(e.telemetry(0).forwarded_packets, 1000);
         assert_eq!(e.queue_stats(0).delivered, 1000);
     }
 

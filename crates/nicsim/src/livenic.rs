@@ -67,6 +67,24 @@ impl LiveQueue {
     pub fn depth(&self) -> usize {
         self.ring.len()
     }
+
+    /// Ring capacity in packets.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Copies this queue's NIC-side accounting into a telemetry
+    /// snapshot: offered = received + dropped, NIC drops, and the ring
+    /// occupancy gauges.
+    pub fn fill_telemetry(&self, t: &mut telemetry::QueueTelemetry) {
+        let received = self.received();
+        let dropped = self.dropped();
+        t.offered_packets = received + dropped;
+        t.nic_drop_packets = dropped;
+        let used = self.depth() as u64;
+        t.ring_used = used;
+        t.ring_ready = (self.capacity() as u64).saturating_sub(used);
+    }
 }
 
 /// A live, multi-queue, promiscuous in-memory NIC.

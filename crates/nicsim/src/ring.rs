@@ -86,6 +86,13 @@ impl RxRing {
         self.received
     }
 
+    /// Copies this ring's occupancy gauges into a telemetry snapshot:
+    /// `ring_ready` armed descriptors, `ring_used` unreclaimed ones.
+    pub fn fill_telemetry(&self, t: &mut telemetry::QueueTelemetry) {
+        t.ring_ready = self.ready as u64;
+        t.ring_used = self.used as u64;
+    }
+
     /// Tail-pointer (doorbell) writes issued so far. The per-packet
     /// [`RxRing::dma`] path pays one per packet; [`RxRing::fill_batch`]
     /// pays one per batch.

@@ -1,0 +1,213 @@
+//! Lock-free per-queue counter groups, sharded by writer role.
+//!
+//! A queue's counters are split into three cache-padded groups so the
+//! threads that write them never share a cache line: the capture
+//! thread owns [`CaptureSide`], the application/consumer side owns
+//! [`DeliverySide`], and buddy capture threads placing offloaded
+//! chunks own [`PeerSide`]. All updates are relaxed atomics — there is
+//! no lock anywhere, and nothing is paid until a snapshot is taken.
+
+use crate::hist::Log2Histogram;
+use crate::snapshot::QueueTelemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single relaxed-atomic monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` (relaxed). Safe with any number of concurrent writers.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one (relaxed). Safe with any number of concurrent writers.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` with single-writer semantics: a relaxed load + store
+    /// instead of an atomic read-modify-write. On x86 this compiles to
+    /// two plain `mov`s where [`add`](Self::add) needs a `lock xadd`,
+    /// which is what keeps [`CaptureSide`] free on the hot path. Only
+    /// the shard's one designated writer thread may call this; readers
+    /// (snapshots) stay safe because the store is still atomic.
+    #[inline]
+    pub fn add_local(&self, n: u64) {
+        self.0
+            .store(self.0.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+    }
+
+    /// Adds one with single-writer semantics (see
+    /// [`add_local`](Self::add_local)).
+    #[inline]
+    pub fn inc_local(&self) {
+        self.add_local(1);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Pads its contents to its own cache line (128 bytes covers adjacent-
+/// line prefetching on modern x86).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> std::ops::Deref for CacheAligned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CacheAligned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Counters written only by the queue's capture thread.
+///
+/// Single-writer by construction, so updates use the load+store
+/// [`Counter::add_local`] path and the histograms' single-writer
+/// [`Log2Histogram::record`] — no lock-prefixed instructions anywhere
+/// on the capture hot path.
+#[derive(Debug, Default)]
+pub struct CaptureSide {
+    /// Packets the engine attempted to capture (seen on the ring).
+    pub offered_packets: Counter,
+    /// Packets landed in pool chunks.
+    pub captured_packets: Counter,
+    /// Packets lost on the capture side (pool or capture queue full).
+    pub capture_drop_packets: Counter,
+    /// Captured packets discarded before delivery (e.g. chunk rejected
+    /// by a full buddy capture queue).
+    pub delivery_drop_packets: Counter,
+    /// Chunks sealed and handed toward user space (full or partial).
+    pub sealed_chunks: Counter,
+    /// Sealed chunks that were partial (capture-timeout flushes).
+    pub partial_chunks: Counter,
+    /// Chunks this queue's capture thread placed on a buddy instead.
+    pub offloaded_out_chunks: Counter,
+    /// Depth of the destination capture queue observed at each
+    /// placement decision.
+    pub capture_queue_depth: Log2Histogram,
+    /// Packets per sealed chunk (fill level; partials show up short).
+    pub chunk_fill: Log2Histogram,
+    /// Chunks (or packets, for batch-copy baselines) moved per handoff
+    /// batch.
+    pub batch_size: Log2Histogram,
+}
+
+/// Counters written only by the application / consumer side.
+#[derive(Debug, Default)]
+pub struct DeliverySide {
+    /// Packets handed to the application.
+    pub delivered_packets: Counter,
+    /// Chunks recycled back to the pool after consumption.
+    pub recycled_chunks: Counter,
+}
+
+/// Counters written by *other* queues' capture threads (buddy
+/// placements land here).
+#[derive(Debug, Default)]
+pub struct PeerSide {
+    /// Chunks buddies placed on this queue's capture queue.
+    pub offloaded_in_chunks: Counter,
+}
+
+/// All counters for one queue, one cache line per writer role.
+#[derive(Debug, Default)]
+pub struct QueueCounters {
+    /// Capture-thread shard.
+    pub cap: CacheAligned<CaptureSide>,
+    /// Application/consumer shard.
+    pub app: CacheAligned<DeliverySide>,
+    /// Buddy-peer shard.
+    pub peer: CacheAligned<PeerSide>,
+}
+
+impl QueueCounters {
+    /// Creates a zeroed counter group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies every counter and histogram into a [`QueueTelemetry`]
+    /// for queue `queue`. Gauges (`capture_queue_len`, `free_chunks`,
+    /// ring occupancy) and NIC-owned counters are left at zero for the
+    /// engine to fill in.
+    pub fn snapshot(&self, queue: usize) -> QueueTelemetry {
+        let cap = &self.cap.0;
+        QueueTelemetry {
+            queue,
+            offered_packets: cap.offered_packets.get(),
+            captured_packets: cap.captured_packets.get(),
+            delivered_packets: self.app.0.delivered_packets.get(),
+            capture_drop_packets: cap.capture_drop_packets.get(),
+            delivery_drop_packets: cap.delivery_drop_packets.get(),
+            nic_drop_packets: 0,
+            forwarded_packets: 0,
+            transmitted_packets: 0,
+            sealed_chunks: cap.sealed_chunks.get(),
+            partial_chunks: cap.partial_chunks.get(),
+            recycled_chunks: self.app.0.recycled_chunks.get(),
+            offloaded_in_chunks: self.peer.0.offloaded_in_chunks.get(),
+            offloaded_out_chunks: cap.offloaded_out_chunks.get(),
+            capture_queue_len: 0,
+            free_chunks: 0,
+            ring_ready: 0,
+            ring_used: 0,
+            capture_queue_depth: cap.capture_queue_depth.snapshot(),
+            chunk_fill: cap.chunk_fill.snapshot(),
+            batch_size: cap.batch_size.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_cache_line_separated() {
+        assert_eq!(std::mem::align_of::<CacheAligned<CaptureSide>>(), 128);
+        let qc = QueueCounters::new();
+        let cap = &qc.cap as *const _ as usize;
+        let app = &qc.app as *const _ as usize;
+        let peer = &qc.peer as *const _ as usize;
+        assert!(app.abs_diff(cap) >= 128);
+        assert!(peer.abs_diff(app) >= 128);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let qc = QueueCounters::new();
+        qc.cap.0.offered_packets.add(10);
+        qc.cap.0.captured_packets.add(8);
+        qc.cap.0.capture_drop_packets.add(2);
+        qc.app.0.delivered_packets.add(8);
+        qc.peer.0.offloaded_in_chunks.inc();
+        qc.cap.0.chunk_fill.record(8);
+        let t = qc.snapshot(3);
+        assert_eq!(t.queue, 3);
+        assert_eq!(t.offered_packets, 10);
+        assert_eq!(t.captured_packets, 8);
+        assert_eq!(t.capture_drop_packets, 2);
+        assert_eq!(t.delivered_packets, 8);
+        assert_eq!(t.offloaded_in_chunks, 1);
+        assert_eq!(t.chunk_fill.count, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Snapshot dumping: on `SIGUSR1`, at shutdown, or on demand.
+//!
+//! The dump targets are environment-driven so the `scripts/` harnesses
+//! can request telemetry without touching engine code:
+//!
+//! * `WIRECAP_TELEMETRY_DUMP` — where to write: a file path, or `-`
+//!   for stderr. Unset means dumping is off.
+//! * `WIRECAP_TELEMETRY_FORMAT` — `json` (default) or `prometheus`.
+//!
+//! [`install_sigusr1`] registers a minimal signal handler that only
+//! sets an atomic flag; engines poll [`take_dump_request`] from their
+//! capture loop and call [`dump_snapshot`] when it fires (and again at
+//! shutdown).
+
+use crate::snapshot::EngineSnapshot;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Requests a dump, as the `SIGUSR1` handler does. Useful from tests
+/// and platforms without signal support.
+pub fn request_dump() {
+    DUMP_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// True if a dump has been requested and not yet consumed.
+pub fn dump_requested() -> bool {
+    DUMP_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Consumes a pending dump request, returning whether one was pending.
+pub fn take_dump_request() -> bool {
+    DUMP_REQUESTED.swap(false, Ordering::Relaxed)
+}
+
+/// Installs the `SIGUSR1` handler (Linux only; a no-op returning
+/// `false` elsewhere). The handler only sets an atomic flag — all I/O
+/// happens on the engine thread that polls [`take_dump_request`].
+pub fn install_sigusr1() -> bool {
+    sys::install()
+}
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys {
+    use std::sync::atomic::Ordering;
+
+    /// `SIGUSR1` on Linux (x86-64 and aarch64).
+    const SIGUSR1: i32 = 10;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigusr1(_signum: i32) {
+        // Async-signal-safe: a single relaxed store.
+        super::DUMP_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal(2)` with a handler that only performs an
+        // atomic store is async-signal-safe; no Rust runtime state is
+        // touched inside the handler.
+        unsafe {
+            signal(SIGUSR1, on_sigusr1);
+        }
+        true
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Renders `snap` per `WIRECAP_TELEMETRY_FORMAT` and writes it to the
+/// `WIRECAP_TELEMETRY_DUMP` target. Returns `false` (and does nothing)
+/// when `WIRECAP_TELEMETRY_DUMP` is unset; I/O errors are reported on
+/// stderr rather than panicking an engine thread.
+pub fn dump_snapshot(snap: &EngineSnapshot) -> bool {
+    let Some(target) = std::env::var_os("WIRECAP_TELEMETRY_DUMP") else {
+        return false;
+    };
+    let body = match std::env::var("WIRECAP_TELEMETRY_FORMAT").as_deref() {
+        Ok("prometheus") => snap.to_prometheus(),
+        _ => snap.to_json() + "\n",
+    };
+    if target == "-" {
+        eprint!("{body}");
+        return true;
+    }
+    if let Err(e) = std::fs::write(&target, body) {
+        eprintln!(
+            "wirecap telemetry: writing {}: {e}",
+            target.to_string_lossy()
+        );
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_flag_is_take_once() {
+        assert!(!take_dump_request());
+        request_dump();
+        assert!(dump_requested());
+        assert!(take_dump_request());
+        assert!(!take_dump_request());
+    }
+
+    #[test]
+    fn install_succeeds_on_linux() {
+        assert_eq!(install_sigusr1(), cfg!(target_os = "linux"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Fixed-bucket log2 histograms, lock-free and allocation-free.
+//!
+//! [`Log2Histogram`] is the recording side: 64 relaxed atomic buckets,
+//! safe to hammer from the hot path. [`HistogramSnapshot`] is the
+//! serializable point-in-time copy carried inside
+//! [`crate::QueueTelemetry`].
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets; enough for any `u64` value.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: bucket 0 counts zeros, bucket `i ≥ 1`
+/// counts values in `[2^(i-1), 2^i)`, and the last bucket absorbs the
+/// tail.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// A fixed-bucket power-of-two histogram with relaxed-atomic recording.
+///
+/// Used for capture-queue depth, chunk fill level and handoff batch
+/// sizes. Recording is one relaxed `fetch_add` per sample (plus a
+/// `fetch_max` for the running maximum) — no locks, no allocation.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// Single-writer semantics: each field is updated with a relaxed
+    /// load + store rather than a read-modify-write, so recording costs
+    /// plain `mov`s on x86. Histograms live in the capture thread's
+    /// shard (`CaptureSide`), which has exactly one writer; concurrent
+    /// snapshot readers stay safe because every store is still atomic.
+    pub fn record(&self, v: u64) {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        self.count.store(load(&self.count) + 1, Ordering::Relaxed);
+        self.sum.store(load(&self.sum) + v, Ordering::Relaxed);
+        if v > load(&self.max) {
+            self.max.store(v, Ordering::Relaxed);
+        }
+        let b = &self.buckets[bucket_index(v)];
+        b.store(load(b) + 1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a serializable point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Log2Histogram`].
+///
+/// `buckets[0]` counts zero samples; `buckets[i]` for `i ≥ 1` counts
+/// samples in `[2^(i-1), 2^i)`. Trailing empty buckets are trimmed so
+/// idle histograms serialize compactly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Per-bucket sample counts, trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper edge (exclusive) of the bucket containing the `q`-quantile
+    /// sample, `q` in `[0, 1]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                return bucket_upper_edge(i);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Exclusive upper edge of bucket `i` (0 for the zero bucket).
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 1, 3, 64] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 69);
+        assert_eq!(s.max, 64);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[7], 1);
+        assert_eq!(s.buckets.len(), 8, "trailing zeros trimmed");
+        assert!((s.mean() - 13.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_and_merge() {
+        let h = Log2Histogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let mut s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 2);
+        assert_eq!(s.quantile(0.99), 1024);
+        let other = s.clone();
+        s.merge(&other);
+        assert_eq!(s.count, 200);
+        assert_eq!(s.buckets[1], 180);
+    }
+
+    #[test]
+    fn empty_serializes_compactly() {
+        let s = Log2Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+    }
+}

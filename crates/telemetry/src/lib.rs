@@ -1,0 +1,47 @@
+//! Unified telemetry for WireCAP capture engines.
+//!
+//! The paper's evaluation (§4, Figs. 11–14) is driven entirely by
+//! per-queue counters — packets captured, dropped, delivered, chunks
+//! offloaded between buddies, partial-chunk copies. This crate is the
+//! one observability layer those numbers flow through:
+//!
+//! * [`Registry`] / [`QueueCounters`] — lock-free, cache-padded,
+//!   relaxed-atomic counter groups sharded by writer role (capture
+//!   thread, application/consumer side, buddy peers), so the hot path
+//!   pays one relaxed RMW per *batch*, never a lock and never a shared
+//!   cache line between roles.
+//! * [`Log2Histogram`] — fixed-bucket power-of-two histograms for
+//!   capture-queue depth, chunk fill level and handoff batch sizes.
+//! * [`EventTracer`] — a bounded ring buffer of chunk lifecycle events
+//!   (`free → attached → captured → recycled`) and offload decisions
+//!   (which buddy was chosen, and why). Disabled by default; recording
+//!   while disabled is a single relaxed load.
+//! * [`QueueTelemetry`] / [`EngineSnapshot`] — the one snapshot schema
+//!   every engine (live, simulated, and the baseline models) returns
+//!   from `CaptureEngine::telemetry(q)`, serializable to JSON and
+//!   Prometheus text exposition, dumpable on `SIGUSR1` or shutdown
+//!   (see [`dump`]).
+//!
+//! The naming scheme (the single drop-accounting vocabulary, DESIGN.md
+//! §4.8): packet counters end in `_packets`, chunk counters in
+//! `_chunks`; `capture_drop_packets` are losses on the capture side
+//! (pool or ring exhausted, the paper's "capture drops"),
+//! `delivery_drop_packets` are packets captured but never delivered to
+//! the application ("delivery drops"), and `nic_drop_packets` are
+//! frames the NIC dropped before the engine ever saw them.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod counters;
+pub mod dump;
+pub mod hist;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use counters::{CaptureSide, Counter, DeliverySide, PeerSide, QueueCounters};
+pub use hist::{HistogramSnapshot, Log2Histogram, BUCKETS};
+pub use registry::Registry;
+pub use snapshot::{EngineSnapshot, QueueTelemetry};
+pub use trace::{kind, EventTracer, TraceEvent};

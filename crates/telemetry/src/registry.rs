@@ -1,0 +1,75 @@
+//! Per-engine registry: one [`QueueCounters`] group per queue plus the
+//! shared [`EventTracer`].
+
+use crate::counters::QueueCounters;
+use crate::snapshot::QueueTelemetry;
+use crate::trace::EventTracer;
+
+/// Default number of trace events retained per engine.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// All telemetry state for one engine instance.
+///
+/// Constructed once at engine start; capture/consumer threads hold
+/// `&Registry` (usually via the engine's shared state) and update
+/// their own queue's counter shards with relaxed atomics.
+#[derive(Debug)]
+pub struct Registry {
+    queues: Vec<QueueCounters>,
+    tracer: EventTracer,
+}
+
+impl Registry {
+    /// Creates a registry for `queues` queues with the default trace
+    /// capacity (tracer disabled).
+    pub fn new(queues: usize) -> Self {
+        Self::with_trace_capacity(queues, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates a registry retaining up to `trace_capacity` events.
+    pub fn with_trace_capacity(queues: usize, trace_capacity: usize) -> Self {
+        Registry {
+            queues: (0..queues).map(|_| QueueCounters::new()).collect(),
+            tracer: EventTracer::new(trace_capacity),
+        }
+    }
+
+    /// Number of queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The counter group for queue `q`.
+    #[inline]
+    pub fn queue(&self, q: usize) -> &QueueCounters {
+        &self.queues[q]
+    }
+
+    /// The shared event tracer.
+    #[inline]
+    pub fn tracer(&self) -> &EventTracer {
+        &self.tracer
+    }
+
+    /// Snapshot of queue `q`'s counters; engine-owned gauges are left
+    /// at zero for the caller to fill.
+    pub fn snapshot_queue(&self, q: usize) -> QueueTelemetry {
+        self.queues[q].snapshot(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_snapshots_per_queue() {
+        let r = Registry::new(2);
+        r.queue(0).cap.0.captured_packets.add(5);
+        r.queue(1).cap.0.captured_packets.add(7);
+        assert_eq!(r.snapshot_queue(0).captured_packets, 5);
+        assert_eq!(r.snapshot_queue(1).captured_packets, 7);
+        assert_eq!(r.snapshot_queue(1).queue, 1);
+        assert_eq!(r.queue_count(), 2);
+    }
+}

@@ -1,0 +1,317 @@
+//! The unified snapshot schema: [`QueueTelemetry`] per queue,
+//! [`EngineSnapshot`] per engine, JSON and Prometheus text exposition.
+//!
+//! Every engine — the live threaded `LiveWireCap`, the simulation
+//! `WireCapEngine`, and the baseline models — returns this exact type
+//! from `CaptureEngine::telemetry(q)`, so figure binaries, the apps
+//! harness and the hotpath bench all emit one schema.
+
+use crate::hist::{bucket_upper_edge, HistogramSnapshot};
+use serde::{Deserialize, Serialize};
+use sim::stats::{CopyMeter, LatencyStats};
+use sim::DropStats;
+use std::fmt::Write as _;
+
+/// Point-in-time telemetry for one capture queue.
+///
+/// Naming scheme (DESIGN.md §4.8): packet counters end in `_packets`,
+/// chunk counters in `_chunks`; gauges carry no suffix. Monotonic
+/// counters and gauges may be mutually inconsistent by a few in-flight
+/// packets when snapshotted while capture threads run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueTelemetry {
+    /// Queue index.
+    pub queue: usize,
+    /// Packets offered to this queue (NIC-received plus NIC-dropped).
+    pub offered_packets: u64,
+    /// Packets landed in pool chunks (or the baseline's ring/buffer).
+    pub captured_packets: u64,
+    /// Packets handed to the application.
+    pub delivered_packets: u64,
+    /// Capture-side losses: pool or capture ring exhausted.
+    pub capture_drop_packets: u64,
+    /// Captured packets discarded before delivery.
+    pub delivery_drop_packets: u64,
+    /// Frames the NIC dropped before the engine saw them (ring full).
+    pub nic_drop_packets: u64,
+    /// Packets forwarded by the middlebox path (0 when not forwarding).
+    pub forwarded_packets: u64,
+    /// Forwarded packets actually put on the wire by the TX path.
+    pub transmitted_packets: u64,
+    /// Chunks sealed and handed toward user space.
+    pub sealed_chunks: u64,
+    /// Sealed chunks that were partial (capture-timeout flushes).
+    pub partial_chunks: u64,
+    /// Chunks recycled back to the pool.
+    pub recycled_chunks: u64,
+    /// Chunks buddies placed on this queue.
+    pub offloaded_in_chunks: u64,
+    /// Chunks this queue placed on buddies.
+    pub offloaded_out_chunks: u64,
+    /// Gauge: chunks currently waiting on this queue's capture queue.
+    pub capture_queue_len: u64,
+    /// Gauge: free chunks in this queue's pool (or free ring slots).
+    pub free_chunks: u64,
+    /// Gauge: ring descriptors armed and ready for the NIC.
+    pub ring_ready: u64,
+    /// Gauge: ring descriptors holding received, unharvested frames.
+    pub ring_used: u64,
+    /// Destination capture-queue depth at each placement decision.
+    pub capture_queue_depth: HistogramSnapshot,
+    /// Packets per sealed chunk (partials show up short).
+    pub chunk_fill: HistogramSnapshot,
+    /// Chunks (or packets, for copy baselines) per handoff batch.
+    pub batch_size: HistogramSnapshot,
+}
+
+impl QueueTelemetry {
+    /// An all-zero snapshot for queue `queue`.
+    pub fn empty(queue: usize) -> Self {
+        QueueTelemetry {
+            queue,
+            ..Default::default()
+        }
+    }
+
+    /// Folds another queue's telemetry into this one. Counters and
+    /// gauges add; histograms merge bucket-wise; `queue` keeps its
+    /// value.
+    pub fn merge(&mut self, other: &QueueTelemetry) {
+        self.offered_packets += other.offered_packets;
+        self.captured_packets += other.captured_packets;
+        self.delivered_packets += other.delivered_packets;
+        self.capture_drop_packets += other.capture_drop_packets;
+        self.delivery_drop_packets += other.delivery_drop_packets;
+        self.nic_drop_packets += other.nic_drop_packets;
+        self.forwarded_packets += other.forwarded_packets;
+        self.transmitted_packets += other.transmitted_packets;
+        self.sealed_chunks += other.sealed_chunks;
+        self.partial_chunks += other.partial_chunks;
+        self.recycled_chunks += other.recycled_chunks;
+        self.offloaded_in_chunks += other.offloaded_in_chunks;
+        self.offloaded_out_chunks += other.offloaded_out_chunks;
+        self.capture_queue_len += other.capture_queue_len;
+        self.free_chunks += other.free_chunks;
+        self.ring_ready += other.ring_ready;
+        self.ring_used += other.ring_used;
+        self.capture_queue_depth.merge(&other.capture_queue_depth);
+        self.chunk_fill.merge(&other.chunk_fill);
+        self.batch_size.merge(&other.batch_size);
+    }
+
+    /// The figure-code view of this queue's drop accounting.
+    pub fn drop_stats(&self) -> DropStats {
+        DropStats::from(self)
+    }
+}
+
+/// Bridge to the simulation vocabulary, so figure code keeps compiling:
+/// NIC drops and engine capture drops both land in `capture_drops`
+/// (the paper does not distinguish where before-capture losses occur).
+impl From<&QueueTelemetry> for DropStats {
+    fn from(t: &QueueTelemetry) -> DropStats {
+        DropStats {
+            offered: t.offered_packets,
+            captured: t.captured_packets,
+            delivered: t.delivered_packets,
+            capture_drops: t.capture_drop_packets + t.nic_drop_packets,
+            delivery_drops: t.delivery_drop_packets,
+        }
+    }
+}
+
+/// Owned-value variant of the [`DropStats`] bridge.
+impl From<QueueTelemetry> for DropStats {
+    fn from(t: QueueTelemetry) -> DropStats {
+        DropStats::from(&t)
+    }
+}
+
+/// Full engine snapshot: one [`QueueTelemetry`] per queue plus the
+/// engine-wide copy and latency meters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Engine display name (e.g. `WireCAP-A-(64, 20, 60%)`).
+    pub engine: String,
+    /// Per-queue telemetry, indexed by queue.
+    pub queues: Vec<QueueTelemetry>,
+    /// Packets/bytes copied outside the zero-copy path.
+    pub copies: CopyMeter,
+    /// Capture-to-delivery latency distribution.
+    pub latency: LatencyStats,
+}
+
+impl EngineSnapshot {
+    /// Sum of all queues' telemetry (the `queue` field is the queue
+    /// count).
+    pub fn total(&self) -> QueueTelemetry {
+        let mut total = QueueTelemetry::empty(self.queues.len());
+        for q in &self.queues {
+            total.merge(q);
+        }
+        total
+    }
+
+    /// Engine-wide drop accounting in the figure-code vocabulary.
+    pub fn total_drop_stats(&self) -> DropStats {
+        DropStats::from(&self.total())
+    }
+
+    /// Pretty-printed JSON (the schema the fig binaries emit).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("EngineSnapshot serializes")
+    }
+
+    /// Prometheus text exposition (metric names `wirecap_*`, labels
+    /// `engine` and `queue`; histograms use cumulative `_bucket{le=…}`
+    /// lines with power-of-two edges).
+    pub fn to_prometheus(&self) -> String {
+        /// A named accessor over one `QueueTelemetry` scalar.
+        type Field = (&'static str, fn(&QueueTelemetry) -> u64);
+        /// A named accessor over one `QueueTelemetry` histogram.
+        type HistField = (&'static str, fn(&QueueTelemetry) -> &HistogramSnapshot);
+        let mut out = String::new();
+        let engine = self.engine.replace('"', "'");
+        let counters: [Field; 13] = [
+            ("offered_packets", |t| t.offered_packets),
+            ("captured_packets", |t| t.captured_packets),
+            ("delivered_packets", |t| t.delivered_packets),
+            ("capture_drop_packets", |t| t.capture_drop_packets),
+            ("delivery_drop_packets", |t| t.delivery_drop_packets),
+            ("nic_drop_packets", |t| t.nic_drop_packets),
+            ("forwarded_packets", |t| t.forwarded_packets),
+            ("transmitted_packets", |t| t.transmitted_packets),
+            ("sealed_chunks", |t| t.sealed_chunks),
+            ("partial_chunks", |t| t.partial_chunks),
+            ("recycled_chunks", |t| t.recycled_chunks),
+            ("offloaded_in_chunks", |t| t.offloaded_in_chunks),
+            ("offloaded_out_chunks", |t| t.offloaded_out_chunks),
+        ];
+        for (name, get) in counters {
+            let _ = writeln!(out, "# TYPE wirecap_{name}_total counter");
+            for t in &self.queues {
+                let _ = writeln!(
+                    out,
+                    "wirecap_{name}_total{{engine=\"{engine}\",queue=\"{}\"}} {}",
+                    t.queue,
+                    get(t)
+                );
+            }
+        }
+        let gauges: [Field; 4] = [
+            ("capture_queue_len", |t| t.capture_queue_len),
+            ("free_chunks", |t| t.free_chunks),
+            ("ring_ready", |t| t.ring_ready),
+            ("ring_used", |t| t.ring_used),
+        ];
+        for (name, get) in gauges {
+            let _ = writeln!(out, "# TYPE wirecap_{name} gauge");
+            for t in &self.queues {
+                let _ = writeln!(
+                    out,
+                    "wirecap_{name}{{engine=\"{engine}\",queue=\"{}\"}} {}",
+                    t.queue,
+                    get(t)
+                );
+            }
+        }
+        let hists: [HistField; 3] = [
+            ("capture_queue_depth", |t| &t.capture_queue_depth),
+            ("chunk_fill", |t| &t.chunk_fill),
+            ("batch_size", |t| &t.batch_size),
+        ];
+        for (name, get) in hists {
+            let _ = writeln!(out, "# TYPE wirecap_{name} histogram");
+            for t in &self.queues {
+                let h = get(t);
+                let labels = format!("engine=\"{engine}\",queue=\"{}\"", t.queue);
+                let mut cum = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    cum += n;
+                    let _ = writeln!(
+                        out,
+                        "wirecap_{name}_bucket{{{labels},le=\"{}\"}} {cum}",
+                        bucket_upper_edge(i)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "wirecap_{name}_bucket{{{labels},le=\"+Inf\"}} {}",
+                    h.count
+                );
+                let _ = writeln!(out, "wirecap_{name}_sum{{{labels}}} {}", h.sum);
+                let _ = writeln!(out, "wirecap_{name}_count{{{labels}}} {}", h.count);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineSnapshot {
+        let mut q0 = QueueTelemetry::empty(0);
+        q0.offered_packets = 100;
+        q0.captured_packets = 90;
+        q0.delivered_packets = 88;
+        q0.capture_drop_packets = 7;
+        q0.nic_drop_packets = 3;
+        q0.delivery_drop_packets = 2;
+        q0.chunk_fill.count = 2;
+        q0.chunk_fill.sum = 90;
+        q0.chunk_fill.max = 64;
+        q0.chunk_fill.buckets = vec![0, 0, 0, 0, 0, 1, 0, 1];
+        EngineSnapshot {
+            engine: "test".into(),
+            queues: vec![q0, QueueTelemetry::empty(1)],
+            copies: CopyMeter::default(),
+            latency: LatencyStats::default(),
+        }
+    }
+
+    #[test]
+    fn drop_stats_bridge_is_consistent() {
+        let snap = sample();
+        let ds = snap.total_drop_stats();
+        assert_eq!(ds.offered, 100);
+        assert_eq!(ds.captured, 90);
+        assert_eq!(ds.delivered, 88);
+        assert_eq!(ds.capture_drops, 10, "nic + capture drops unify");
+        assert_eq!(ds.delivery_drops, 2);
+        assert!(ds.is_consistent());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back: EngineSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.engine, snap.engine);
+        assert_eq!(back.queues, snap.queues);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE wirecap_captured_packets_total counter"));
+        assert!(text.contains("wirecap_captured_packets_total{engine=\"test\",queue=\"0\"} 90"));
+        assert!(text.contains("# TYPE wirecap_chunk_fill histogram"));
+        assert!(
+            text.contains("wirecap_chunk_fill_bucket{engine=\"test\",queue=\"0\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("wirecap_chunk_fill_sum{engine=\"test\",queue=\"0\"} 90"));
+        // Cumulative buckets end at the total count.
+        assert!(text.contains("le=\"128\"} 2"));
+    }
+
+    #[test]
+    fn merge_sums_queues() {
+        let snap = sample();
+        let total = snap.total();
+        assert_eq!(total.queue, 2);
+        assert_eq!(total.offered_packets, 100);
+        assert_eq!(total.chunk_fill.count, 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Lightweight ring-buffer event tracer for chunk lifecycle debugging.
+//!
+//! Records chunk state transitions (`free → attached → captured →
+//! recycled`) and offload decisions (which buddy was chosen, and the
+//! occupancy that drove the choice). The tracer is disabled by default:
+//! [`EventTracer::record`] while disabled is a single relaxed load, so
+//! it can sit on the hot path unconditionally. When enabled, the last
+//! `capacity` events are kept in a bounded ring behind a mutex — this
+//! is a debugging facility, not a hot-path counter.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Well-known event kinds. Free-form strings are allowed; these are the
+/// ones the engines emit.
+pub mod kind {
+    /// A free chunk was attached to ring descriptors (`free → attached`).
+    pub const ATTACH: &str = "attach";
+    /// A chunk was sealed and captured to user space
+    /// (`attached → captured`); `info` carries the packet count.
+    pub const CAPTURE: &str = "capture";
+    /// A partial chunk was captured on timeout; `info` carries the
+    /// packet count.
+    pub const CAPTURE_PARTIAL: &str = "capture_partial";
+    /// A captured chunk was recycled back to the pool
+    /// (`captured → free`).
+    pub const RECYCLE: &str = "recycle";
+    /// A chunk was placed on a buddy's capture queue instead of home;
+    /// `target` is the buddy, `info` the buddy's observed occupancy.
+    pub const OFFLOAD: &str = "offload";
+    /// A placement was rejected (capture queue full); the chunk's
+    /// packets become delivery drops.
+    pub const REJECT: &str = "reject";
+}
+
+/// One traced event. `kind` is one of the [`kind`] constants; `chunk`
+/// is the chunk id within its pool; `target` is the destination queue
+/// for placement events (the queue itself otherwise); `info` is
+/// kind-specific (packet count, occupancy, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (monotonic across queues).
+    pub seq: u64,
+    /// Event timestamp in nanoseconds (sim time or wall clock).
+    pub ts_ns: u64,
+    /// Queue whose capture path emitted the event.
+    pub queue: u32,
+    /// Event kind (see [`kind`]).
+    pub kind: &'static str,
+    /// Chunk id within its pool.
+    pub chunk: u32,
+    /// Destination queue for placements; the home queue otherwise.
+    pub target: u32,
+    /// Kind-specific payload (packet count, occupancy, …).
+    pub info: u64,
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s, newest wins.
+#[derive(Debug)]
+pub struct EventTracer {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    next: usize,
+}
+
+impl EventTracer {
+    /// Creates a tracer keeping the last `capacity` events, disabled.
+    pub fn new(capacity: usize) -> Self {
+        EventTracer {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                buf: Vec::new(),
+                capacity: capacity.max(1),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording (already-captured events are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether [`record`](Self::record) currently stores events. One
+    /// relaxed load — callers may use it to skip argument computation.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records an event if enabled; a single relaxed load otherwise.
+    #[inline]
+    pub fn record(
+        &self,
+        ts_ns: u64,
+        queue: u32,
+        kind: &'static str,
+        chunk: u32,
+        target: u32,
+        info: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_always(ts_ns, queue, kind, chunk, target, info);
+    }
+
+    fn record_always(
+        &self,
+        ts_ns: u64,
+        queue: u32,
+        kind: &'static str,
+        chunk: u32,
+        target: u32,
+        info: u64,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = TraceEvent {
+            seq,
+            ts_ns,
+            queue,
+            kind,
+            chunk,
+            target,
+            info,
+        };
+        let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        if ring.buf.len() < ring.capacity {
+            ring.buf.push(ev);
+        } else {
+            let at = ring.next;
+            ring.buf[at] = ev;
+        }
+        ring.next = (ring.next + 1) % ring.capacity;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("tracer ring poisoned");
+        let mut out = Vec::with_capacity(ring.buf.len());
+        if ring.buf.len() == ring.capacity {
+            out.extend_from_slice(&ring.buf[ring.next..]);
+            out.extend_from_slice(&ring.buf[..ring.next]);
+        } else {
+            out.extend_from_slice(&ring.buf);
+        }
+        out
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer ring poisoned").buf.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = EventTracer::new(8);
+        t.record(1, 0, kind::CAPTURE, 0, 0, 64);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let t = EventTracer::new(4);
+        t.enable();
+        for i in 0..10u64 {
+            t.record(i, 0, kind::RECYCLE, i as u32, 0, 0);
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        t.disable();
+        t.record(99, 0, kind::RECYCLE, 99, 0, 0);
+        assert_eq!(t.len(), 4, "disabled tracer stops recording");
+    }
+}

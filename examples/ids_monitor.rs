@@ -133,8 +133,9 @@ fn main() {
         matched += m;
         alerts.extend(scanners);
     }
-    let offloaded: u64 = (0..QUEUES).map(|q| engine.offloaded_in(q)).sum();
-    let dropped: u64 = (0..QUEUES).map(|q| engine.dropped(q)).sum();
+    let tel = engine.snapshot().total();
+    let offloaded = tel.offloaded_in_chunks;
+    let dropped = tel.capture_drop_packets;
     engine.shutdown();
 
     println!("---");

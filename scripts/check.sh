@@ -20,8 +20,14 @@ else
     echo "    clippy not installed; skipping"
 fi
 
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> snapshot schema golden test"
+cargo test -q --test snapshot_schema
 
 echo "==> hot-path benchmark (quick mode)"
 rm -f BENCH_hotpath.json

@@ -54,8 +54,9 @@ fn multi_queue_capture_accounts_every_packet() {
     inject_flows(&nic, 5_000, 1);
     nic.stop();
     let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
-    let captured: u64 = (0..4).map(|q| engine.captured(q)).sum();
-    let dropped: u64 = (0..4).map(|q| engine.dropped(q)).sum();
+    let tel = engine.snapshot().total();
+    let captured = tel.captured_packets;
+    let dropped = tel.capture_drop_packets;
     engine.shutdown();
     assert_eq!(captured + dropped, 5_000);
     assert_eq!(consumed, captured);
@@ -130,8 +131,9 @@ fn offloading_moves_chunks_in_live_mode() {
     }
     nic.stop();
     let total = fast.join().unwrap() + slow.join().unwrap();
-    let offloaded: u64 = (0..2).map(|q| engine.offloaded_in(q)).sum();
-    let captured: u64 = (0..2).map(|q| engine.captured(q)).sum();
+    let tel = engine.snapshot().total();
+    let offloaded = tel.offloaded_in_chunks;
+    let captured = tel.captured_packets;
     engine.shutdown();
     assert_eq!(total, captured, "every captured packet is consumed");
     assert!(offloaded > 0, "offloading must have moved chunks");
@@ -171,8 +173,9 @@ fn overload_produces_bounded_loss_accounting() {
         consumed += chunk.len() as u64;
         c.recycle(chunk);
     }
-    let captured = engine.captured(0);
-    let dropped = engine.dropped(0);
+    let t = engine.telemetry(0);
+    let captured = t.captured_packets;
+    let dropped = t.capture_drop_packets;
     engine.shutdown();
     assert_eq!(captured + dropped + wire_drops, offered);
     assert_eq!(consumed, captured);
@@ -225,7 +228,7 @@ fn multiple_consumers_share_one_queue() {
     }
     nic.stop();
     let per_thread: Vec<u64> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
-    let dropped = engine.dropped(0);
+    let dropped = engine.telemetry(0).capture_drop_packets;
     engine.shutdown();
     assert_eq!(per_thread.iter().sum::<u64>() + dropped, 4_000);
     assert_eq!(dropped, 0, "paced load must be lossless: {per_thread:?}");

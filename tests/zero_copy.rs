@@ -133,7 +133,7 @@ fn live_view_consumption_allocates_no_arena_buffers() {
         consumed += chunk.len() as u64;
         c.recycle(chunk);
     }
-    let dropped = engine.dropped(0);
+    let dropped = engine.telemetry(0).capture_drop_packets;
     engine.shutdown();
 
     assert_eq!(consumed + dropped, 2_048);
