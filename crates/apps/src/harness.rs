@@ -8,7 +8,8 @@ use nicsim::rss::Rss;
 use serde::{Deserialize, Serialize};
 use sim::stats::CopyMeter;
 use sim::{DropStats, SimTime};
-use telemetry::EngineSnapshot;
+use std::sync::{Arc, Mutex};
+use telemetry::{EngineSnapshot, Observable, PipelineConfig, TelemetryPipeline};
 use traffic::TrafficSource;
 use wirecap::{WireCapConfig, WireCapEngine};
 
@@ -98,6 +99,69 @@ impl ExperimentResult {
 /// Arrivals pulled from the traffic source per batch.
 const ARRIVAL_BATCH: usize = 256;
 
+/// A published snapshot cell: the simulation loop refreshes it at
+/// wall-clock intervals and the telemetry pipeline (sampler + scrape
+/// endpoint) reads it from its own threads. Simulated engines are
+/// single-threaded, so this is how their state becomes observable live
+/// — the live engine's counters are shared directly instead.
+struct SnapshotCell(Mutex<EngineSnapshot>);
+
+impl Observable for SnapshotCell {
+    fn snapshot(&self) -> EngineSnapshot {
+        self.0.lock().expect("snapshot cell poisoned").clone()
+    }
+}
+
+/// Telemetry attachment for one harness run, driven by the same env
+/// contract the live engine uses (`WIRECAP_TELEMETRY_LISTEN`,
+/// `WIRECAP_TELEMETRY_SAMPLE_MS`, `WIRECAP_TELEMETRY_FLIGHT_DIR`).
+struct HarnessTelemetry {
+    cell: Arc<SnapshotCell>,
+    pipeline: TelemetryPipeline,
+    refreshed: std::time::Instant,
+}
+
+impl HarnessTelemetry {
+    /// Publish interval for the snapshot cell; finer granularity would
+    /// only burn simulation throughput on clones nobody samples.
+    const REFRESH: std::time::Duration = std::time::Duration::from_millis(10);
+
+    fn start_from_env(engine: &dyn CaptureEngine) -> Option<Self> {
+        let cfg = PipelineConfig::from_env();
+        if cfg.is_inert() {
+            return None;
+        }
+        let cell = Arc::new(SnapshotCell(Mutex::new(engine.snapshot())));
+        let pipeline = TelemetryPipeline::start(
+            &engine.name(),
+            Arc::clone(&cell) as Arc<dyn Observable>,
+            cfg,
+        )?;
+        Some(HarnessTelemetry {
+            cell,
+            pipeline,
+            refreshed: std::time::Instant::now(),
+        })
+    }
+
+    /// Refreshes the published snapshot, rate-limited to [`Self::REFRESH`].
+    fn maybe_refresh(&mut self, engine: &dyn CaptureEngine) {
+        if self.refreshed.elapsed() >= Self::REFRESH {
+            self.publish(engine.snapshot());
+        }
+    }
+
+    fn publish(&mut self, snap: EngineSnapshot) {
+        *self.cell.0.lock().expect("snapshot cell poisoned") = snap;
+        self.refreshed = std::time::Instant::now();
+    }
+
+    fn finish(mut self, snap: EngineSnapshot) {
+        self.publish(snap);
+        self.pipeline.stop();
+    }
+}
+
 /// Runs a workload through RSS steering into an engine and returns the
 /// measurements. Arrival timestamps must be non-decreasing.
 pub fn run_experiment(
@@ -110,6 +174,10 @@ pub fn run_experiment(
     // the 5-tuple (this is exactly why RSS skews — every packet of a
     // flow lands on the same queue).
     let steering: Vec<usize> = source.flows().iter().map(|f| rss.steer(f)).collect();
+
+    // Live observability rides along when the telemetry env asks for it
+    // (scrape endpoint + sampler over a periodically published snapshot).
+    let mut live_view = HarnessTelemetry::start_from_env(engine);
 
     // Arrivals are pulled in batches (sources backed by contiguous
     // records emit whole slices per call) and fed to the engine.
@@ -127,10 +195,16 @@ pub fn run_experiment(
             last = SimTime(a.ts_ns);
             engine.on_arrival(last, steering[a.flow as usize], a.len);
         }
+        if let Some(view) = live_view.as_mut() {
+            view.maybe_refresh(engine);
+        }
     }
     let drained = engine.finish(last);
 
     let snapshot = engine.snapshot();
+    if let Some(view) = live_view.take() {
+        view.finish(snapshot.clone());
+    }
     // `scripts/`-friendly dump hook: when WIRECAP_TELEMETRY_DUMP is
     // set, every harness run (figure binaries included) writes the
     // unified snapshot at completion, same as the live engine does at

@@ -23,7 +23,7 @@ use crossbeam::queue::ArrayQueue;
 use netproto::{FlowKey, Packet, PacketBuilder};
 use std::net::Ipv4Addr;
 use std::time::Instant;
-use telemetry::{kind, EventTracer, QueueCounters};
+use telemetry::{clock, kind, EventTracer, QueueCounters};
 use wirecap::arena::{ChunkArena, FreeSlot};
 use wirecap::spsc::{BatchRing, MAX_BATCH};
 
@@ -277,6 +277,134 @@ fn telemetry_path(
     (consumed, bytes)
 }
 
+/// The telemetry pipeline plus the PR-3 latency instrumentation: one
+/// monotonic-clock read per NIC poll batch stamping every chunk sealed
+/// within it (`seal_at`, exactly as the capture thread amortizes its
+/// stamp), one clock read per consumer pop batch (the delivery stamp,
+/// shared by every chunk in the batch, as `LiveConsumer::refill` stamps
+/// its inbox), and one log2 histogram record per recycled chunk.
+/// Measured against [`telemetry_path`] to bound what capture-to-
+/// delivery latency metering costs on top of the counters: the
+/// `latency_overhead` entry in `BENCH_hotpath.json`.
+fn stamped_path(
+    pkts: &[Packet],
+    arena: &ChunkArena,
+    free: &mut Vec<FreeSlot>,
+    ring: &BatchRing<wirecap::arena::SealedSlot>,
+    tel: &QueueCounters,
+    tracer: &EventTracer,
+) -> (u64, u64) {
+    let mut consumed = 0u64;
+    let mut bytes = 0u64;
+    let mut staged = Vec::with_capacity(MAX_BATCH);
+    let mut popped = Vec::with_capacity(MAX_BATCH);
+    let drain = |free: &mut Vec<FreeSlot>,
+                 popped: &mut Vec<wirecap::arena::SealedSlot>,
+                 consumed: &mut u64,
+                 bytes: &mut u64| {
+        let mut delivered = 0u64;
+        let mut recycled = 0u64;
+        loop {
+            popped.clear();
+            if ring.pop_batch(popped, MAX_BATCH) == 0 {
+                break;
+            }
+            // Delivery stamp: one clock read per pop batch, shared by
+            // every chunk in it, as `LiveConsumer::refill` does.
+            let delivered_ns = clock::mono_ns();
+            for seal in popped.drain(..) {
+                for p in arena.view(&seal).iter() {
+                    delivered += 1;
+                    *bytes += p.data.len() as u64;
+                }
+                let sealed_ns = seal.sealed_ns();
+                if sealed_ns > 0 {
+                    tel.app
+                        .latency_ns
+                        .record(delivered_ns.saturating_sub(sealed_ns));
+                }
+                recycled += 1;
+                free.push(arena.release(seal));
+            }
+        }
+        *consumed += delivered;
+        if recycled > 0 {
+            tel.app.delivered_packets.add(delivered);
+            tel.app.recycled_chunks.add(recycled);
+        }
+    };
+    const NIC_POP_BATCH: usize = 256;
+    let mut current = free.pop().expect("R slots free at start");
+    for batch in pkts.chunks(NIC_POP_BATCH) {
+        // Seal stamp: one clock read per poll batch, shared by every
+        // chunk sealed in it.
+        let now_ns = clock::mono_ns();
+        for pkt in batch {
+            if !arena.write_packet(&mut current, pkt.ts_ns, pkt.wire_len, &pkt.data) {
+                unreachable!("sealed before full");
+            }
+            if current.filled() == arena.m() {
+                let fill = current.filled() as u64;
+                tel.cap.sealed_chunks.inc_local();
+                tel.cap.chunk_fill.record(fill);
+                if tracer.is_enabled() {
+                    tracer.record(0, 0, kind::CAPTURE, 0, 0, fill);
+                }
+                staged.push(arena.seal_at(current, now_ns));
+                if staged.len() == MAX_BATCH {
+                    while !staged.is_empty() {
+                        let pushed = ring.push_batch(&mut staged);
+                        if pushed == 0 {
+                            drain(free, &mut popped, &mut consumed, &mut bytes);
+                        } else {
+                            tel.cap.batch_size.record(pushed as u64);
+                        }
+                    }
+                }
+                if free.is_empty() {
+                    drain(free, &mut popped, &mut consumed, &mut bytes);
+                }
+                current = free.pop().expect("drain refilled the freelist");
+            }
+        }
+        tel.cap.captured_packets.add_local(batch.len() as u64);
+    }
+    let view_len = current.filled();
+    if view_len > 0 {
+        tel.cap.sealed_chunks.inc_local();
+        tel.cap.partial_chunks.inc_local();
+        tel.cap.chunk_fill.record(view_len as u64);
+        let seal = arena.seal_at(current, clock::mono_ns());
+        let mut delivered = 0u64;
+        for p in arena.view(&seal).iter() {
+            delivered += 1;
+            bytes += p.data.len() as u64;
+        }
+        let sealed_ns = seal.sealed_ns();
+        if sealed_ns > 0 {
+            tel.app
+                .latency_ns
+                .record(clock::mono_ns().saturating_sub(sealed_ns));
+        }
+        consumed += delivered;
+        tel.app.delivered_packets.add(delivered);
+        tel.app.recycled_chunks.add(1);
+        free.push(arena.release(seal));
+    } else {
+        free.push(current);
+    }
+    while !staged.is_empty() {
+        let pushed = ring.push_batch(&mut staged);
+        if pushed == 0 {
+            drain(free, &mut popped, &mut consumed, &mut bytes);
+        } else {
+            tel.cap.batch_size.record(pushed as u64);
+        }
+    }
+    drain(free, &mut popped, &mut consumed, &mut bytes);
+    (consumed, bytes)
+}
+
 /// Times `f` over `rounds` passes of `n_packets` and returns packets/s.
 fn measure(mut f: impl FnMut() -> (u64, u64), n_packets: usize, rounds: usize) -> f64 {
     // Warm-up pass.
@@ -293,35 +421,51 @@ fn measure(mut f: impl FnMut() -> (u64, u64), n_packets: usize, rounds: usize) -
 }
 
 /// Times two closures with interleaved rounds (a, b, a, b, …) so clock
-/// drift and thermal effects hit both equally, and returns their
-/// best-round packets/s. The minimum round time is the noise-robust
-/// estimator: scheduler preemption and frequency dips only ever add
-/// time, so the fastest round is the closest observation of the true
-/// cost. Used for the telemetry-overhead comparison, where the delta
-/// under measurement is small.
+/// drift and thermal effects hit both equally. Returns the best-round
+/// packets/s for each plus a noise-robust estimate of b's slowdown
+/// relative to a (`1 - speed_b/speed_a`).
+///
+/// The per-path minimum handles additive noise (preemption and
+/// frequency dips only ever add time), but on a busy host the two
+/// minima can land in different load regimes and skew the ratio by
+/// more than the small delta under measurement. The overhead estimate
+/// therefore comes from the *median of per-round time ratios*: a and b
+/// of the same round run back-to-back under (nearly) the same load, so
+/// sustained slowdowns cancel in the ratio and the median discards the
+/// rounds where a spike hit only one side.
 fn measure_pair(
     mut a: impl FnMut() -> (u64, u64),
     mut b: impl FnMut() -> (u64, u64),
     n_packets: usize,
     rounds: usize,
-) -> (f64, f64) {
+) -> (f64, f64, f64) {
     black_box(a());
     black_box(b());
     let mut best_a = f64::INFINITY;
     let mut best_b = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let start = Instant::now();
         let (consumed, bytes) = black_box(a());
-        best_a = best_a.min(start.elapsed().as_secs_f64());
+        let time_a = start.elapsed().as_secs_f64();
+        best_a = best_a.min(time_a);
         assert_eq!(consumed as usize, n_packets);
         assert_eq!(bytes as usize, n_packets * FRAME);
         let start = Instant::now();
         let (consumed, bytes) = black_box(b());
-        best_b = best_b.min(start.elapsed().as_secs_f64());
+        let time_b = start.elapsed().as_secs_f64();
+        best_b = best_b.min(time_b);
         assert_eq!(consumed as usize, n_packets);
         assert_eq!(bytes as usize, n_packets * FRAME);
+        ratios.push(time_a / time_b);
     }
-    (n_packets as f64 / best_a, n_packets as f64 / best_b)
+    ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite round times"));
+    let overhead = 1.0 - ratios[ratios.len() / 2];
+    (
+        n_packets as f64 / best_a,
+        n_packets as f64 / best_b,
+        overhead,
+    )
 }
 
 fn quick() -> bool {
@@ -332,10 +476,10 @@ fn bench_hotpath(c: &mut Criterion) {
     let ms = [1usize, 4, 16, 64];
     let n_packets = if quick() { 16 * 1024 } else { 64 * 1024 };
     let rounds = if quick() { 3 } else { 10 };
-    // The overhead comparison resolves a small delta, so its best-of-N
-    // needs more rounds than the headline numbers even in quick mode;
-    // each round is sub-millisecond, so this stays cheap.
-    let pair_rounds = 25;
+    // The overhead comparisons resolve small deltas, so their
+    // median-of-ratios needs more rounds than the headline numbers even
+    // in quick mode; each round is sub-millisecond, so this stays cheap.
+    let pair_rounds = 61;
     let pkts = traffic(n_packets);
 
     let mut results = Vec::new();
@@ -351,9 +495,9 @@ fn bench_hotpath(c: &mut Criterion) {
         let tracer = EventTracer::new(1024);
 
         let seed_pps = measure(|| seed_path(&pkts, m, &nic, &chunks), n_packets, rounds);
-        let (batched_pps, telemetry_pps) = {
+        let (batched_pps, telemetry_pps, telemetry_overhead) = {
             let free_cell = std::cell::RefCell::new(std::mem::take(&mut free));
-            let (b, t) = measure_pair(
+            let (b, t, o) = measure_pair(
                 || batched_path(&pkts, &arena, &mut free_cell.borrow_mut(), &ring),
                 || {
                     telemetry_path(
@@ -369,15 +513,48 @@ fn bench_hotpath(c: &mut Criterion) {
                 pair_rounds,
             );
             free = free_cell.into_inner();
-            (b, t)
+            (b, t, o)
+        };
+        // Latency stamping is measured against the telemetry baseline
+        // (not the bare batched path): the 5% budget in check.sh bounds
+        // what the *stamp itself* adds to an already-instrumented loop.
+        let (_, latency_stamping_pps, latency_overhead) = {
+            let free_cell = std::cell::RefCell::new(std::mem::take(&mut free));
+            let (t, s, o) = measure_pair(
+                || {
+                    telemetry_path(
+                        &pkts,
+                        &arena,
+                        &mut free_cell.borrow_mut(),
+                        &ring,
+                        &tel,
+                        &tracer,
+                    )
+                },
+                || {
+                    stamped_path(
+                        &pkts,
+                        &arena,
+                        &mut free_cell.borrow_mut(),
+                        &ring,
+                        &tel,
+                        &tracer,
+                    )
+                },
+                n_packets,
+                pair_rounds,
+            );
+            free = free_cell.into_inner();
+            (t, s, o)
         };
         let speedup = batched_pps / seed_pps;
-        let telemetry_overhead = 1.0 - telemetry_pps / batched_pps;
         eprintln!(
             "hotpath M={m:>2}: seed {seed_pps:>12.0} p/s, batched {batched_pps:>12.0} p/s, \
              speedup {speedup:.2}x, telemetry {telemetry_pps:>12.0} p/s \
-             (overhead {:.2}%)",
-            telemetry_overhead * 100.0
+             (overhead {:.2}%), stamped {latency_stamping_pps:>12.0} p/s \
+             (latency overhead {:.2}%)",
+            telemetry_overhead * 100.0,
+            latency_overhead * 100.0
         );
         results.push(HotpathResult {
             m,
@@ -386,6 +563,8 @@ fn bench_hotpath(c: &mut Criterion) {
             speedup,
             telemetry_pps,
             telemetry_overhead,
+            latency_stamping_pps,
+            latency_overhead,
         });
 
         // Criterion display entries over the same closures.
@@ -400,6 +579,9 @@ fn bench_hotpath(c: &mut Criterion) {
         g.bench_function("batched_arena_telemetry", |b| {
             b.iter(|| telemetry_path(&pkts, &arena, &mut free, &ring, &tel, &tracer))
         });
+        g.bench_function("latency_stamping", |b| {
+            b.iter(|| stamped_path(&pkts, &arena, &mut free, &ring, &tel, &tracer))
+        });
         g.finish();
     }
 
@@ -413,6 +595,8 @@ struct HotpathResult {
     speedup: f64,
     telemetry_pps: f64,
     telemetry_overhead: f64,
+    latency_stamping_pps: f64,
+    latency_overhead: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -423,6 +607,8 @@ struct Entry {
     speedup: f64,
     telemetry_pps: f64,
     telemetry_overhead: f64,
+    latency_stamping_pps: f64,
+    latency_overhead: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -451,6 +637,8 @@ fn write_json(results: &[HotpathResult], n_packets: usize, rounds: usize) {
                 speedup: r.speedup,
                 telemetry_pps: r.telemetry_pps,
                 telemetry_overhead: r.telemetry_overhead,
+                latency_stamping_pps: r.latency_stamping_pps,
+                latency_overhead: r.latency_overhead,
             })
             .collect(),
     };

@@ -81,6 +81,7 @@ mod imp {
         arena: u64,
         chunk: u32,
         len: u32,
+        sealed_ns: u64,
     }
 
     impl SealedSlot {
@@ -92,6 +93,16 @@ mod imp {
         /// True if the chunk was sealed empty.
         pub fn is_empty(&self) -> bool {
             self.len == 0
+        }
+
+        /// Monotonic seal timestamp, ns (0 when sealed without one).
+        ///
+        /// The token carries one clock read per *chunk*, taken at seal
+        /// time; the consumer subtracts it from its own clock read to
+        /// get the capture-to-delivery latency without any per-packet
+        /// timing cost.
+        pub fn sealed_ns(&self) -> u64 {
+            self.sealed_ns
         }
     }
 
@@ -276,13 +287,22 @@ mod imp {
         }
 
         /// Seals a chunk for delivery: the token becomes read-only,
-        /// carrying the packet count written so far.
+        /// carrying the packet count written so far. The seal timestamp
+        /// is left at 0; the live engine uses [`ChunkArena::seal_at`].
         pub fn seal(&self, slot: FreeSlot) -> SealedSlot {
+            self.seal_at(slot, 0)
+        }
+
+        /// Seals a chunk, stamping it with a monotonic timestamp for
+        /// capture-to-delivery latency accounting (one clock read per
+        /// chunk, taken by the caller).
+        pub fn seal_at(&self, slot: FreeSlot, sealed_ns: u64) -> SealedSlot {
             self.check(slot.arena, slot.chunk);
             SealedSlot {
                 arena: slot.arena,
                 chunk: slot.chunk,
                 len: slot.filled,
+                sealed_ns,
             }
         }
 
@@ -324,8 +344,9 @@ mod tests {
         assert!(arena.write_packet(&mut slot, 10, 100, b"hello"));
         assert!(arena.write_packet(&mut slot, 20, 200, b"world!"));
         assert_eq!(slot.filled(), 2);
-        let sealed = arena.seal(slot);
+        let sealed = arena.seal_at(slot, 777);
         assert_eq!(sealed.len(), 2);
+        assert_eq!(sealed.sealed_ns(), 777);
         let view = arena.view(&sealed);
         assert_eq!(view.len(), 2);
         assert_eq!(view.packet(0).data, b"hello");

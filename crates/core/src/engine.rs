@@ -260,6 +260,10 @@ impl WireCapEngine {
                 .cap
                 .capture_queue_depth
                 .record(lens[target] as u64);
+            self.tel
+                .queue(target)
+                .capture_queue_watermark
+                .observe(lens[target] as u64 + 1);
             if self.queues[target].wq.push_captured(meta).is_err() {
                 // The target queue rejected the chunk (at capacity). The
                 // packets are lost after capture; the chunk itself goes
@@ -381,9 +385,16 @@ impl CaptureEngine for WireCapEngine {
         t.forwarded_packets = qs.fwd.as_ref().map_or(0, ForwardPath::forwarded);
         t.transmitted_packets = qs.fwd.as_ref().map_or(0, ForwardPath::transmitted);
         t.capture_queue_len = qs.wq.capture_len() as u64;
+        let wm = &self.tel.queue(queue).capture_queue_watermark;
+        wm.observe(t.capture_queue_len);
+        t.capture_queue_watermark = wm.get();
         t.free_chunks = qs.pool.free_chunks() as u64;
         t.ring_ready = qs.pool.armed_cells() as u64;
         t.ring_used = (qs.pool.attached_chunks() * self.cfg.m) as u64 - t.ring_ready;
+        // The sim engine meters latency in its own accumulator; expose
+        // it through the unified schema too (bucket mapping documented
+        // on the `From` impl).
+        t.latency_ns = telemetry::HistogramSnapshot::from(&qs.latency);
         t
     }
 

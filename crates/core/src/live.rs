@@ -47,7 +47,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use telemetry::{dump, kind, EngineSnapshot, QueueTelemetry, Registry};
+use telemetry::{
+    clock, dump, kind, EngineSnapshot, Observable, PipelineConfig, QueueTelemetry, Registry,
+    TelemetryPipeline, TraceEvent,
+};
 
 /// Packets pulled from the NIC queue per batch.
 const NIC_POP_BATCH: usize = 256;
@@ -109,6 +112,29 @@ pub struct LiveWireCap {
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
+    /// Sampler + scrape endpoint, attached from the environment
+    /// (`WIRECAP_TELEMETRY_LISTEN` / `WIRECAP_TELEMETRY_SAMPLE_MS`).
+    pipeline: Option<TelemetryPipeline>,
+}
+
+/// A cheap, thread-safe observer handle over a running [`LiveWireCap`]:
+/// what the telemetry sampler and scrape endpoint hold. Keeps only the
+/// shared state alive — not the capture threads — so observation never
+/// extends the engine's lifetime.
+struct LiveObserver {
+    shared: Arc<Shared>,
+    nic: Arc<LiveNic>,
+    cfg: WireCapConfig,
+}
+
+impl Observable for LiveObserver {
+    fn snapshot(&self) -> EngineSnapshot {
+        engine_snapshot(&self.shared, &self.nic, &self.cfg)
+    }
+
+    fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.tel.tracer().events()
+    }
 }
 
 impl LiveWireCap {
@@ -141,6 +167,24 @@ impl LiveWireCap {
         if std::env::var_os("WIRECAP_TELEMETRY_DUMP").is_some() {
             dump::install_sigusr1();
         }
+        // Live observability (DESIGN.md §4.9): sampler thread + scrape
+        // endpoint, attached only when the telemetry env asks for them.
+        // The anomaly detector's queue-depth limit comes from the
+        // engine's own offloading threshold T — a capture queue
+        // sustained above T means offloading has stopped keeping up.
+        let mut pcfg = PipelineConfig::from_env();
+        if let (Some(anom), Some(t)) = (pcfg.anomaly.as_mut(), cfg.threshold) {
+            anom.queue_depth_limit = Some((t * cfg.capture_queue_capacity() as f64).ceil() as u64);
+        }
+        let pipeline = TelemetryPipeline::start(
+            &cfg.name(),
+            Arc::new(LiveObserver {
+                shared: Arc::clone(&shared),
+                nic: Arc::clone(&nic),
+                cfg,
+            }),
+            pcfg,
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let threads = freelists
             .into_iter()
@@ -162,6 +206,7 @@ impl LiveWireCap {
             shared,
             threads,
             stop,
+            pipeline,
         }
     }
 
@@ -178,6 +223,7 @@ impl LiveWireCap {
             pending: None,
             cursor: 0,
             tally: vec![std::cell::Cell::new((0, 0)); queues],
+            delivered_ns: std::cell::Cell::new(clock::mono_ns()),
         }
     }
 
@@ -211,6 +257,28 @@ impl LiveWireCap {
         &self.shared.tel
     }
 
+    /// An [`Observable`] handle for external samplers / scrape servers.
+    /// Holds only the shared telemetry state, never the threads.
+    pub fn observer(&self) -> Arc<dyn Observable> {
+        Arc::new(LiveObserver {
+            shared: Arc::clone(&self.shared),
+            nic: Arc::clone(&self.nic),
+            cfg: self.cfg,
+        })
+    }
+
+    /// The attached telemetry pipeline, when the environment requested
+    /// one at start (`WIRECAP_TELEMETRY_LISTEN` etc.).
+    pub fn telemetry_pipeline(&self) -> Option<&TelemetryPipeline> {
+        self.pipeline.as_ref()
+    }
+
+    /// The scrape endpoint's bound address, when one is serving —
+    /// resolves `WIRECAP_TELEMETRY_LISTEN=127.0.0.1:0` ephemeral ports.
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.pipeline.as_ref().and_then(TelemetryPipeline::addr)
+    }
+
     /// Stops the capture threads (consumers should be joined first) and
     /// waits for them. Writes a final telemetry snapshot when
     /// `WIRECAP_TELEMETRY_DUMP` is set.
@@ -218,6 +286,11 @@ impl LiveWireCap {
         self.stop.store(true, Ordering::SeqCst);
         for t in self.threads.drain(..) {
             t.join().expect("capture thread panicked");
+        }
+        // Stop the pipeline after the capture threads so its final
+        // sampler tick sees the end-of-run counters.
+        if let Some(mut p) = self.pipeline.take() {
+            p.stop();
         }
         dump::dump_snapshot(&self.snapshot());
     }
@@ -234,6 +307,12 @@ fn queue_telemetry(
     let mut t = shared.tel.snapshot_queue(q);
     nic.queue(q).fill_telemetry(&mut t);
     t.capture_queue_len = shared.rings[q].iter().map(|r| r.len() as u64).sum();
+    // The watermark is also advanced by readers: every snapshot (and so
+    // every sampler tick) folds the current depth in, which covers
+    // basic mode, where the capture path makes no placement decisions.
+    let wm = &shared.tel.queue(q).capture_queue_watermark;
+    wm.observe(t.capture_queue_len);
+    t.capture_queue_watermark = wm.get();
     // Chunks not currently sealed-and-outstanding are free (the one
     // being filled counts as free here; the gauge is approximate while
     // threads run).
@@ -262,6 +341,12 @@ struct CaptureState {
     outbox: Vec<Vec<LiveChunk>>,
     /// Scratch for buddy placement decisions.
     lens: Vec<usize>,
+    /// Seal stamp for the current NIC poll batch: read once per poll,
+    /// shared by every chunk sealed within it. The ceiling is one clock
+    /// read per chunk; amortizing over the poll batch keeps the stamp
+    /// within one poll duration (microseconds) of the true seal time at
+    /// a fraction of the cost.
+    now_ns: u64,
 }
 
 fn capture_thread(
@@ -283,6 +368,7 @@ fn capture_thread(
         chunk_started: Instant::now(),
         outbox: (0..queues).map(|_| Vec::new()).collect(),
         lens: Vec::with_capacity(queues),
+        now_ns: clock::mono_ns(),
     };
     let mut pkt_buf: Vec<Packet> = Vec::with_capacity(NIC_POP_BATCH);
     let timeout = Duration::from_nanos(cfg.capture_timeout_ns);
@@ -300,6 +386,9 @@ fn capture_thread(
                 break;
             }
             progressed = true;
+            // One clock read per poll batch stamps every chunk sealed
+            // in it (see `CaptureState::now_ns`).
+            st.now_ns = clock::mono_ns();
             // Counter writes are batched: one relaxed add per NIC batch
             // (≤ NIC_POP_BATCH packets), not one per packet.
             let mut captured_batch = 0u64;
@@ -347,6 +436,7 @@ fn capture_thread(
         {
             cap.partial_chunks.inc_local();
             let partial = st.current.take().expect("checked non-empty");
+            st.now_ns = clock::mono_ns();
             stage(&shared, &cfg, group.as_ref(), &arena, partial, &mut st);
             flush(&shared, &mut st);
         }
@@ -366,6 +456,7 @@ fn capture_thread(
                         st.free.push(last);
                     } else {
                         cap.partial_chunks.inc_local();
+                        st.now_ns = clock::mono_ns();
                         stage(&shared, &cfg, group.as_ref(), &arena, last, &mut st);
                     }
                 }
@@ -391,7 +482,10 @@ fn stage(
     st: &mut CaptureState,
 ) {
     let q = st.q;
-    let seal = arena.seal(slot);
+    // Latency stamp: the poll-batch clock read from `CaptureState`
+    // (at most one read per chunk, never one per packet); the consumer
+    // closes the interval against its own batch delivery stamp.
+    let seal = arena.seal_at(slot, st.now_ns);
     let cap = &shared.tel.queue(q).cap;
     cap.sealed_chunks.inc_local();
     cap.chunk_fill.record(seal.len() as u64);
@@ -405,6 +499,11 @@ fn stage(
             );
             let target = g.place(q, &st.lens, cfg.capture_queue_capacity(), t);
             cap.capture_queue_depth.record(st.lens[target] as u64);
+            shared
+                .tel
+                .queue(target)
+                .capture_queue_watermark
+                .observe(st.lens[target] as u64 + 1);
             target
         }
         _ => q,
@@ -473,6 +572,12 @@ pub struct LiveConsumer {
     /// flushed to the shared telemetry counters at every inbox refill —
     /// one atomic add per batch of chunks, not one per chunk.
     tally: Vec<std::cell::Cell<(u64, u64)>>,
+    /// Delivery timestamp for the current inbox batch: read once per
+    /// refill, shared by every chunk popped in that batch. The refill is
+    /// the delivery moment — when chunks crossed from the engine to the
+    /// application — so the latency interval closes here rather than at
+    /// recycle, and the clock cost is one read per batch, not per chunk.
+    delivered_ns: std::cell::Cell<u64>,
 }
 
 impl LiveConsumer {
@@ -500,6 +605,11 @@ impl LiveConsumer {
             }
         }
         self.rr = (self.rr + 1) % producers;
+        if got {
+            // One clock read per batch stamps the delivery moment for
+            // every chunk just popped (see `delivered_ns`).
+            self.delivered_ns.set(clock::mono_ns());
+        }
         self.inbox.extend(self.scratch.drain(..));
         got
     }
@@ -556,6 +666,20 @@ impl LiveConsumer {
         let home = chunk.home();
         let (delivered, recycled) = self.tally[home].get();
         self.tally[home].set((delivered + chunk.len() as u64, recycled + 1));
+        // Close the capture-to-delivery latency interval opened at seal
+        // time against the batch delivery stamp (no clock read here),
+        // recorded into *this* queue's delivery shard (the consumer is
+        // its single writer; `home` may be written by several consumers
+        // when chunks were offloaded).
+        let sealed_ns = chunk.seal.sealed_ns();
+        if sealed_ns > 0 {
+            self.shared
+                .tel
+                .queue(self.q)
+                .app
+                .latency_ns
+                .record(self.delivered_ns.get().saturating_sub(sealed_ns));
+        }
         let tracer = self.shared.tel.tracer();
         if tracer.is_enabled() {
             tracer.record(
@@ -765,7 +889,33 @@ mod tests {
         assert_eq!(t.sealed_chunks, 1);
         assert_eq!(t.chunk_fill.count, 1);
         assert_eq!(t.chunk_fill.max, 10);
+        // One chunk recycled → one capture-to-delivery latency sample.
+        assert_eq!(t.latency_ns.count, 1);
+        assert!(t.latency_ns.sum > 0, "seal stamp preceded recycle");
         nic.stop();
+        cap.shutdown();
+    }
+
+    #[test]
+    fn latency_samples_cover_every_recycled_chunk() {
+        let nic = LiveNic::new(1, 4096);
+        let cap = LiveWireCap::start(Arc::clone(&nic), test_cfg(), BuddyGroups::isolated(1));
+        for p in packets(640) {
+            while nic.inject(p.clone()).is_none() {
+                std::thread::yield_now();
+            }
+        }
+        nic.stop();
+        let mut c = cap.consumer(0);
+        let mut chunks = 0u64;
+        while let Some(chunk) = c.next_chunk() {
+            chunks += 1;
+            c.recycle(chunk);
+        }
+        drop(c);
+        let t = cap.telemetry(0);
+        assert_eq!(t.latency_ns.count, chunks, "one sample per chunk");
+        assert_eq!(t.recycled_chunks, chunks);
         cap.shutdown();
     }
 }

@@ -347,6 +347,17 @@ impl LatencyStats {
         self.max_ns
     }
 
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// The raw bucket counts: bucket `i` counts samples in
+    /// `[2^i, 2^(i+1))` ns (zeros are clamped into bucket 0).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Approximate quantile from the log buckets (upper bound of the
     /// bucket containing the q-quantile sample).
     pub fn quantile_ns(&self, q: f64) -> u64 {

@@ -118,6 +118,35 @@ pub struct DeliverySide {
     pub delivered_packets: Counter,
     /// Chunks recycled back to the pool after consumption.
     pub recycled_chunks: Counter,
+    /// Capture-to-delivery latency per chunk, ns: sealed-timestamp to
+    /// recycle, recorded once per chunk by the consumer (single
+    /// writer, so [`Log2Histogram::record`]'s load+store path is safe).
+    pub latency_ns: Log2Histogram,
+}
+
+/// A running maximum updated with `fetch_max` — safe with any number
+/// of concurrent writers (the queue's own capture thread and buddies
+/// both push onto a capture queue).
+#[derive(Debug, Default)]
+pub struct Watermark(AtomicU64);
+
+impl Watermark {
+    /// Creates a zeroed watermark.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the watermark to at least `v` (relaxed `fetch_max`).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Highest value observed so far.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
 }
 
 /// Counters written by *other* queues' capture threads (buddy
@@ -137,6 +166,10 @@ pub struct QueueCounters {
     pub app: CacheAligned<DeliverySide>,
     /// Buddy-peer shard.
     pub peer: CacheAligned<PeerSide>,
+    /// High-watermark of this queue's capture-queue depth. Multi-writer
+    /// (`fetch_max` from whoever pushes onto the queue), so it gets its
+    /// own cache line rather than riding in a single-writer shard.
+    pub capture_queue_watermark: CacheAligned<Watermark>,
 }
 
 impl QueueCounters {
@@ -167,12 +200,14 @@ impl QueueCounters {
             offloaded_in_chunks: self.peer.0.offloaded_in_chunks.get(),
             offloaded_out_chunks: cap.offloaded_out_chunks.get(),
             capture_queue_len: 0,
+            capture_queue_watermark: self.capture_queue_watermark.get(),
             free_chunks: 0,
             ring_ready: 0,
             ring_used: 0,
             capture_queue_depth: cap.capture_queue_depth.snapshot(),
             chunk_fill: cap.chunk_fill.snapshot(),
             batch_size: cap.batch_size.snapshot(),
+            latency_ns: self.app.0.latency_ns.snapshot(),
         }
     }
 }
@@ -201,6 +236,9 @@ mod tests {
         qc.app.0.delivered_packets.add(8);
         qc.peer.0.offloaded_in_chunks.inc();
         qc.cap.0.chunk_fill.record(8);
+        qc.app.0.latency_ns.record(1500);
+        qc.capture_queue_watermark.observe(9);
+        qc.capture_queue_watermark.observe(4);
         let t = qc.snapshot(3);
         assert_eq!(t.queue, 3);
         assert_eq!(t.offered_packets, 10);
@@ -209,5 +247,8 @@ mod tests {
         assert_eq!(t.delivered_packets, 8);
         assert_eq!(t.offloaded_in_chunks, 1);
         assert_eq!(t.chunk_fill.count, 1);
+        assert_eq!(t.latency_ns.count, 1);
+        assert_eq!(t.latency_ns.max, 1500);
+        assert_eq!(t.capture_queue_watermark, 9, "watermark keeps the max");
     }
 }

@@ -17,6 +17,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
 
+/// Serializes tests that touch the process-global `DUMP_REQUESTED`
+/// flag (the unit tests here and the sampler's flag-polling test run
+/// in the same binary).
+#[cfg(test)]
+pub(crate) static TEST_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Requests a dump, as the `SIGUSR1` handler does. Useful from tests
 /// and platforms without signal support.
 pub fn request_dump() {
@@ -107,6 +113,7 @@ mod tests {
 
     #[test]
     fn request_flag_is_take_once() {
+        let _guard = TEST_FLAG_LOCK.lock().unwrap();
         assert!(!take_dump_request());
         request_dump();
         assert!(dump_requested());

@@ -157,6 +157,27 @@ impl HistogramSnapshot {
     }
 }
 
+/// Bridge from the simulation's latency accumulator, so sim engines
+/// expose `latency_ns` in the same schema the live engine records
+/// natively. `LatencyStats` bucket `i` covers `[2^i, 2^(i+1))` ns,
+/// which is [`HistogramSnapshot`] bucket `i + 1` (bucket 0 here counts
+/// exact zeros, which `LatencyStats` clamps into its bucket 0).
+impl From<&sim::stats::LatencyStats> for HistogramSnapshot {
+    fn from(l: &sim::stats::LatencyStats) -> HistogramSnapshot {
+        let mut buckets = vec![0u64];
+        buckets.extend_from_slice(l.buckets());
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            count: l.count(),
+            sum: l.sum_ns(),
+            max: l.max_ns(),
+            buckets,
+        }
+    }
+}
+
 /// Exclusive upper edge of bucket `i` (0 for the zero bucket).
 pub fn bucket_upper_edge(i: usize) -> u64 {
     if i == 0 {
@@ -218,6 +239,25 @@ mod tests {
         s.merge(&other);
         assert_eq!(s.count, 200);
         assert_eq!(s.buckets[1], 180);
+    }
+
+    #[test]
+    fn latency_stats_bridge_shifts_buckets_by_one() {
+        let mut l = sim::stats::LatencyStats::new();
+        l.record(1); // LatencyStats bucket 0: [1, 2)
+        l.record(1000); // LatencyStats bucket 9: [512, 1024)
+        let s = HistogramSnapshot::from(&l);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 1001);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 0, "no exact zeros");
+        assert_eq!(s.buckets[1], 1, "[1, 2) lands in snapshot bucket 1");
+        assert_eq!(s.buckets[10], 1, "[512, 1024) lands in snapshot bucket 10");
+        // Same mapping a native Log2Histogram would produce.
+        let h = Log2Histogram::new();
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.snapshot().buckets, s.buckets);
     }
 
     #[test]

@@ -33,15 +33,28 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod anomaly;
+pub mod clock;
 pub mod counters;
 pub mod dump;
+pub mod flight;
 pub mod hist;
+pub mod pipeline;
 pub mod registry;
+pub mod sampler;
+pub mod scrape;
 pub mod snapshot;
+pub mod timeseries;
 pub mod trace;
 
+pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector};
 pub use counters::{CaptureSide, Counter, DeliverySide, PeerSide, QueueCounters};
+pub use flight::{FlightEvent, FlightRecord};
 pub use hist::{HistogramSnapshot, Log2Histogram, BUCKETS};
+pub use pipeline::{PipelineConfig, TelemetryPipeline};
 pub use registry::Registry;
+pub use sampler::{Observable, Sampler, SamplerConfig, SamplerCore, SamplerState};
+pub use scrape::ScrapeServer;
 pub use snapshot::{EngineSnapshot, QueueTelemetry};
+pub use timeseries::{Rates, SeriesSample, TimeSeriesRing};
 pub use trace::{kind, EventTracer, TraceEvent};

@@ -1,0 +1,302 @@
+//! The scrape endpoint: a dependency-free HTTP server for live
+//! telemetry.
+//!
+//! Serves a running engine without stopping it:
+//!
+//! * `GET /metrics` — Prometheus text exposition (the same encoder as
+//!   the dump hook, [`crate::EngineSnapshot::to_prometheus`]);
+//! * `GET /snapshot.json` — the unified snapshot JSON;
+//! * `GET /series.json` — the sampler's time-series window and derived
+//!   rates (`404` when no sampler is attached);
+//! * `GET /healthz` — liveness probe.
+//!
+//! Built on nothing but `std::net::TcpListener`: one acceptor thread,
+//! non-blocking accept with a short sleep so shutdown is prompt, one
+//! snapshot per request. Scrapes are reader-side only — the hot path
+//! never notices them. This is deliberately *not* a general HTTP
+//! server: requests beyond a line + headers are ignored, keep-alive is
+//! not offered, and responses close the connection.
+
+use crate::sampler::{Observable, SamplerCore};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running scrape endpoint. Dropping (or [`ScrapeServer::stop`])
+/// shuts the acceptor down and joins it.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ScrapeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScrapeServer")
+            .field("addr", &self.addr)
+            .field("served", &self.served.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port `0` picks an
+    /// ephemeral port — read it back with [`ScrapeServer::addr`]) and
+    /// starts serving `observer`. `sampler` adds `/series.json`.
+    pub fn bind(
+        addr: &str,
+        observer: Arc<dyn Observable>,
+        sampler: Option<Arc<SamplerCore>>,
+    ) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let stop_flag = Arc::clone(&stop);
+        let served_ctr = Arc::clone(&served);
+        let thread = std::thread::Builder::new()
+            .name("wirecap-scrape".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if serve_one(stream, observer.as_ref(), sampler.as_deref()).is_ok() {
+                                served_ctr.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) => {
+                            eprintln!("wirecap telemetry: scrape accept: {e}");
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                    }
+                }
+            })
+            .expect("spawning scrape thread");
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            served,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops and joins the acceptor thread (idempotent).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            t.join().expect("scrape thread panicked");
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn serve_one(
+    mut stream: TcpStream,
+    observer: &dyn Observable,
+    sampler: Option<&SamplerCore>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let path = match read_request_path(&mut stream) {
+        Some(p) => p,
+        None => {
+            write_response(&mut stream, 400, "text/plain", "bad request\n")?;
+            return Ok(());
+        }
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = observer.snapshot().to_prometheus();
+            write_response(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/snapshot.json" => {
+            let body = observer.snapshot().to_json() + "\n";
+            write_response(&mut stream, 200, "application/json", &body)
+        }
+        "/series.json" => match sampler {
+            Some(core) => {
+                let body = series_json(core);
+                write_response(&mut stream, 200, "application/json", &body)
+            }
+            None => write_response(&mut stream, 404, "text/plain", "no sampler attached\n"),
+        },
+        "/healthz" => write_response(&mut stream, 200, "text/plain", "ok\n"),
+        _ => write_response(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// The `/series.json` document: retained samples plus derived rates.
+fn series_json(core: &SamplerCore) -> String {
+    let doc = SeriesDoc {
+        samples: core.samples(),
+        anomalies: core.anomalies(),
+        series: core.series(),
+        rates: core.rates(),
+    };
+    serde_json::to_string_pretty(&doc).expect("series serializes") + "\n"
+}
+
+#[derive(serde::Serialize)]
+struct SeriesDoc {
+    samples: u64,
+    anomalies: u64,
+    series: Vec<crate::timeseries::SeriesSample>,
+    rates: Vec<crate::timeseries::Rates>,
+}
+
+/// Parses the request line (`GET <path> HTTP/1.x`) from the stream.
+/// Reads until the header terminator or 4 KiB, whichever comes first.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 4096 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Strip any query string; routes take no parameters.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Not Found",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{EngineSnapshot, QueueTelemetry};
+
+    struct Fixed;
+
+    impl Observable for Fixed {
+        fn snapshot(&self) -> EngineSnapshot {
+            let mut q = QueueTelemetry::empty(0);
+            q.captured_packets = 42;
+            EngineSnapshot {
+                engine: "scrape-test".into(),
+                queues: vec![q],
+                copies: sim::stats::CopyMeter::default(),
+                latency: sim::stats::LatencyStats::new(),
+            }
+        }
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        let status: u16 = body
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let payload = body
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, payload)
+    }
+
+    #[test]
+    fn serves_metrics_snapshot_and_404() {
+        let mut server = ScrapeServer::bind("127.0.0.1:0", Arc::new(Fixed), None).unwrap();
+        let addr = server.addr();
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(metrics
+            .contains("wirecap_captured_packets_total{engine=\"scrape-test\",queue=\"0\"} 42"));
+        let (status, snap) = get(addr, "/snapshot.json");
+        assert_eq!(status, 200);
+        let parsed: EngineSnapshot = serde_json::from_str(&snap).unwrap();
+        assert_eq!(parsed.engine, "scrape-test");
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        let (status, _) = get(addr, "/series.json");
+        assert_eq!(status, 404, "no sampler attached");
+        let (status, ok) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(ok, "ok\n");
+        assert!(server.served() >= 5);
+        server.stop();
+    }
+
+    #[test]
+    fn serves_series_when_sampler_attached() {
+        use crate::sampler::{SamplerConfig, SamplerState};
+        let mut st = SamplerState::new(
+            Arc::new(Fixed),
+            SamplerConfig {
+                anomaly: None,
+                ..Default::default()
+            },
+        );
+        st.tick();
+        std::thread::sleep(Duration::from_millis(1));
+        st.tick();
+        let mut server =
+            ScrapeServer::bind("127.0.0.1:0", Arc::new(Fixed), Some(st.core())).unwrap();
+        let (status, body) = get(server.addr(), "/series.json");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"series\""), "{body}");
+        assert!(body.contains("\"captured_pps\""), "{body}");
+        server.stop();
+    }
+}

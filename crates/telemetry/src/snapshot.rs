@@ -50,6 +50,9 @@ pub struct QueueTelemetry {
     pub offloaded_out_chunks: u64,
     /// Gauge: chunks currently waiting on this queue's capture queue.
     pub capture_queue_len: u64,
+    /// High-watermark of `capture_queue_len` since engine start (the
+    /// deepest this queue's capture queue has ever been, in chunks).
+    pub capture_queue_watermark: u64,
     /// Gauge: free chunks in this queue's pool (or free ring slots).
     pub free_chunks: u64,
     /// Gauge: ring descriptors armed and ready for the NIC.
@@ -62,6 +65,10 @@ pub struct QueueTelemetry {
     pub chunk_fill: HistogramSnapshot,
     /// Chunks (or packets, for copy baselines) per handoff batch.
     pub batch_size: HistogramSnapshot,
+    /// Capture-to-delivery latency per chunk, ns: the chunk's seal
+    /// timestamp to its consumption/recycle. One clock read per chunk,
+    /// never per packet, so the hot path stays flat (§5c).
+    pub latency_ns: HistogramSnapshot,
 }
 
 impl QueueTelemetry {
@@ -91,12 +98,16 @@ impl QueueTelemetry {
         self.offloaded_in_chunks += other.offloaded_in_chunks;
         self.offloaded_out_chunks += other.offloaded_out_chunks;
         self.capture_queue_len += other.capture_queue_len;
+        self.capture_queue_watermark = self
+            .capture_queue_watermark
+            .max(other.capture_queue_watermark);
         self.free_chunks += other.free_chunks;
         self.ring_ready += other.ring_ready;
         self.ring_used += other.ring_used;
         self.capture_queue_depth.merge(&other.capture_queue_depth);
         self.chunk_fill.merge(&other.chunk_fill);
         self.batch_size.merge(&other.batch_size);
+        self.latency_ns.merge(&other.latency_ns);
     }
 
     /// The figure-code view of this queue's drop accounting.
@@ -198,8 +209,9 @@ impl EngineSnapshot {
                 );
             }
         }
-        let gauges: [Field; 4] = [
+        let gauges: [Field; 5] = [
             ("capture_queue_len", |t| t.capture_queue_len),
+            ("capture_queue_watermark", |t| t.capture_queue_watermark),
             ("free_chunks", |t| t.free_chunks),
             ("ring_ready", |t| t.ring_ready),
             ("ring_used", |t| t.ring_used),
@@ -215,10 +227,11 @@ impl EngineSnapshot {
                 );
             }
         }
-        let hists: [HistField; 3] = [
+        let hists: [HistField; 4] = [
             ("capture_queue_depth", |t| &t.capture_queue_depth),
             ("chunk_fill", |t| &t.chunk_fill),
             ("batch_size", |t| &t.batch_size),
+            ("latency_ns", |t| &t.latency_ns),
         ];
         for (name, get) in hists {
             let _ = writeln!(out, "# TYPE wirecap_{name} histogram");
@@ -263,6 +276,11 @@ mod tests {
         q0.chunk_fill.sum = 90;
         q0.chunk_fill.max = 64;
         q0.chunk_fill.buckets = vec![0, 0, 0, 0, 0, 1, 0, 1];
+        q0.capture_queue_watermark = 5;
+        q0.latency_ns.count = 1;
+        q0.latency_ns.sum = 1500;
+        q0.latency_ns.max = 1500;
+        q0.latency_ns.buckets = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
         EngineSnapshot {
             engine: "test".into(),
             queues: vec![q0, QueueTelemetry::empty(1)],
@@ -304,6 +322,10 @@ mod tests {
         assert!(text.contains("wirecap_chunk_fill_sum{engine=\"test\",queue=\"0\"} 90"));
         // Cumulative buckets end at the total count.
         assert!(text.contains("le=\"128\"} 2"));
+        assert!(text.contains("# TYPE wirecap_capture_queue_watermark gauge"));
+        assert!(text.contains("wirecap_capture_queue_watermark{engine=\"test\",queue=\"0\"} 5"));
+        assert!(text.contains("# TYPE wirecap_latency_ns histogram"));
+        assert!(text.contains("wirecap_latency_ns_sum{engine=\"test\",queue=\"0\"} 1500"));
     }
 
     #[test]
@@ -313,5 +335,7 @@ mod tests {
         assert_eq!(total.queue, 2);
         assert_eq!(total.offered_packets, 100);
         assert_eq!(total.chunk_fill.count, 2);
+        assert_eq!(total.capture_queue_watermark, 5, "watermarks merge as max");
+        assert_eq!(total.latency_ns.count, 1);
     }
 }

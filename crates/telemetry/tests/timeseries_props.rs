@@ -1,0 +1,157 @@
+//! Property tests for the telemetry time series (proptest).
+//!
+//! The rate math feeds the anomaly detector, which triggers flight-
+//! recorder dumps — a NaN or negative rate would either crash the
+//! detector's comparisons or fire spurious dumps. These properties pin
+//! the invariants under randomized sampling: arbitrary (including
+//! zero-length and wildly non-uniform) intervals, arbitrary counter
+//! movement including regressions, and ring wraparound.
+
+use proptest::prelude::*;
+use telemetry::timeseries::{rates_between, SeriesSample, TimeSeriesRing};
+
+/// A randomized step between consecutive samples: how much time passed
+/// and how far each counter moved (deltas of 0 are common and legal).
+#[derive(Debug, Clone)]
+struct Step {
+    dt_ns: u64,
+    captured: u64,
+    delivered: u64,
+    drops: u64,
+    sealed: u64,
+    offloaded: u64,
+    queue_max: u64,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (
+        0u64..3_000_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..100_000,
+        (0u64..10_000, 0u64..10_000),
+        0u64..512,
+    )
+        .prop_map(
+            |(dt_ns, captured, delivered, drops, (sealed, offloaded), queue_max)| Step {
+                dt_ns,
+                captured,
+                delivered,
+                drops,
+                sealed,
+                // A chunk must be sealed to be offloaded.
+                offloaded: offloaded.min(sealed),
+                queue_max,
+            },
+        )
+}
+
+/// Integrates steps into a monotonic sample sequence.
+fn samples_from(steps: &[Step]) -> Vec<SeriesSample> {
+    let mut out = Vec::with_capacity(steps.len() + 1);
+    let mut s = SeriesSample::default();
+    out.push(s);
+    for st in steps {
+        s.ts_ns += st.dt_ns;
+        s.captured_packets += st.captured;
+        s.delivered_packets += st.delivered;
+        s.drop_packets += st.drops;
+        s.sealed_chunks += st.sealed;
+        s.offloaded_chunks += st.offloaded;
+        s.capture_queue_max_len = st.queue_max;
+        out.push(s);
+    }
+    out
+}
+
+proptest! {
+    /// Every rate derived from any consecutive pair is finite and
+    /// non-negative; ratio metrics stay in [0, 1]; a zero interval
+    /// yields `None` rather than division by zero.
+    #[test]
+    fn rates_are_finite_nonnegative_and_bounded(
+        steps in proptest::collection::vec(arb_step(), 1..60),
+    ) {
+        let samples = samples_from(&steps);
+        for pair in samples.windows(2) {
+            let rates = rates_between(&pair[0], &pair[1]);
+            let dt = pair[1].ts_ns - pair[0].ts_ns;
+            if dt == 0 {
+                prop_assert!(rates.is_none(), "zero interval must yield None");
+                continue;
+            }
+            let r = rates.expect("positive interval yields rates");
+            prop_assert_eq!(r.dt_ns, dt);
+            for v in [
+                r.captured_pps,
+                r.delivered_pps,
+                r.drop_pps,
+                r.sealed_cps,
+                r.offload_cps,
+            ] {
+                prop_assert!(v.is_finite() && v >= 0.0, "rate {v} out of range");
+            }
+            prop_assert!((0.0..=1.0).contains(&r.drop_rate), "drop_rate {}", r.drop_rate);
+            prop_assert!(
+                (0.0..=1.0).contains(&r.offload_rate),
+                "offload_rate {}",
+                r.offload_rate
+            );
+            // Cross-check one rate against its definition.
+            let captured = pair[1].captured_packets - pair[0].captured_packets;
+            let expect = captured as f64 / (dt as f64 / 1e9);
+            prop_assert!((r.captured_pps - expect).abs() <= expect.abs() * 1e-12 + 1e-9);
+        }
+    }
+
+    /// Counter regressions (engine restart between samples) saturate to
+    /// zero rates — never negative, never NaN.
+    #[test]
+    fn counter_regressions_never_go_negative(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        dt in 1u64..2_000_000_000,
+    ) {
+        let prev = SeriesSample { ts_ns: 0, captured_packets: a, drop_packets: a / 2, ..Default::default() };
+        let next = SeriesSample { ts_ns: dt, captured_packets: b, drop_packets: b / 2, ..Default::default() };
+        let r = rates_between(&prev, &next).expect("dt > 0");
+        prop_assert!(r.captured_pps >= 0.0 && r.captured_pps.is_finite());
+        prop_assert!(r.drop_pps >= 0.0 && r.drop_pps.is_finite());
+        if b < a {
+            prop_assert_eq!(r.captured_pps, 0.0, "regression saturates");
+        }
+    }
+
+    /// Ring wraparound: after any push sequence the window is exactly
+    /// the last `min(len, capacity)` samples in order, and the rates
+    /// computed through the ring equal the rates computed directly on
+    /// that window — wraparound never pairs samples across the seam.
+    #[test]
+    fn ring_window_and_rates_survive_wraparound(
+        capacity in 2usize..12,
+        steps in proptest::collection::vec(arb_step(), 1..80),
+    ) {
+        let samples = samples_from(&steps);
+        let mut ring = TimeSeriesRing::with_capacity(capacity);
+        for s in &samples {
+            ring.push(*s);
+        }
+        let expected: Vec<SeriesSample> = samples
+            .iter()
+            .skip(samples.len().saturating_sub(capacity))
+            .copied()
+            .collect();
+        prop_assert_eq!(ring.window(), expected.clone());
+        prop_assert_eq!(ring.latest().copied(), expected.last().copied());
+        let direct: Vec<_> = expected
+            .windows(2)
+            .filter_map(|p| rates_between(&p[0], &p[1]))
+            .collect();
+        prop_assert_eq!(ring.rates(), direct);
+        let n = expected.len();
+        prop_assert_eq!(
+            ring.last_rates(),
+            rates_between(&expected[n - 2], &expected[n - 1])
+        );
+    }
+}

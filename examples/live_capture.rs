@@ -10,6 +10,11 @@
 //! ```sh
 //! cargo run --release --example live_capture
 //! ```
+//!
+//! Watch it live: `WIRECAP_TELEMETRY_LISTEN=127.0.0.1:9184` serves
+//! `/metrics`, `/snapshot.json` and `/series.json` over HTTP for the
+//! duration of the run (DESIGN.md §4.9); `WIRECAP_TELEMETRY_SAMPLE_MS=0`
+//! disables the sampler thread for latency-critical runs.
 
 use netproto::{FlowKey, Packet, PacketBuilder};
 use nicsim::livenic::LiveNic;

@@ -11,6 +11,9 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Like every engine run, it serves live telemetry when
+//! `WIRECAP_TELEMETRY_LISTEN` is set (DESIGN.md §4.9).
 
 use netproto::{FlowKey, PacketBuilder};
 use nicsim::livenic::LiveNic;

@@ -37,12 +37,14 @@ const QUEUE_FIELDS: &[&str] = &[
     "offloaded_in_chunks",
     "offloaded_out_chunks",
     "capture_queue_len",
+    "capture_queue_watermark",
     "free_chunks",
     "ring_ready",
     "ring_used",
     "capture_queue_depth",
     "chunk_fill",
     "batch_size",
+    "latency_ns",
 ];
 
 fn golden_path() -> std::path::PathBuf {

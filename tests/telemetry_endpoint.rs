@@ -1,0 +1,219 @@
+//! Tier-1 smoke: the live scrape endpoint end to end.
+//!
+//! A real (threaded) engine run with `WIRECAP_TELEMETRY_LISTEN` set to
+//! an ephemeral port, scraped over a plain [`TcpStream`] while traffic
+//! flows: `/metrics` must render valid Prometheus text exposition and
+//! `/snapshot.json` the unified snapshot schema, both carrying the
+//! run's real counters. A second test pins the escape hatch: with the
+//! sampler disabled (`WIRECAP_TELEMETRY_SAMPLE_MS=0`) the engine still
+//! captures and the endpoint still serves direct snapshots — only the
+//! sampled series goes away.
+//!
+//! The engine reads its telemetry configuration from the environment at
+//! start, so the env-touching tests serialize on one lock (integration
+//! tests in this binary share a process).
+
+use netproto::{FlowKey, PacketBuilder};
+use nicsim::livenic::LiveNic;
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use wirecap::buddy::BuddyGroups;
+use wirecap::live::LiveWireCap;
+use wirecap::WireCapConfig;
+
+/// Serializes tests that mutate the `WIRECAP_TELEMETRY_*` environment.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Scoped environment override: sets on construction, restores on drop
+/// (even on panic), so one test's env never leaks into another's.
+struct EnvGuard {
+    key: &'static str,
+    prior: Option<std::ffi::OsString>,
+}
+
+impl EnvGuard {
+    fn set(key: &'static str, value: &str) -> Self {
+        let prior = std::env::var_os(key);
+        std::env::set_var(key, value);
+        EnvGuard { key, prior }
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match self.prior.take() {
+            Some(v) => std::env::set_var(self.key, v),
+            None => std::env::remove_var(self.key),
+        }
+    }
+}
+
+fn inject_flows(nic: &Arc<LiveNic>, n: u16) {
+    let mut b = PacketBuilder::new();
+    for i in 0..n {
+        let flow = FlowKey::udp(
+            Ipv4Addr::new(131, 225, 2, (i % 200) as u8 + 1),
+            9_000 + i,
+            Ipv4Addr::new(10, 0, 0, 1),
+            443,
+        );
+        let pkt = b.build_packet(u64::from(i), &flow, 128).unwrap();
+        nic.inject(pkt).unwrap();
+    }
+}
+
+/// One HTTP/1.1 GET over a fresh connection; returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connecting to scrape endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reading reply");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("headers/body separator");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn scrape_endpoint_serves_a_live_run() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let _listen = EnvGuard::set("WIRECAP_TELEMETRY_LISTEN", "127.0.0.1:0");
+    let _sample = EnvGuard::set("WIRECAP_TELEMETRY_SAMPLE_MS", "5");
+
+    let nic = LiveNic::new(1, 4096);
+    let mut cfg = WireCapConfig::basic(64, 32, 0);
+    cfg.capture_timeout_ns = 1_500_000;
+    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(1));
+    let addr = engine
+        .telemetry_addr()
+        .expect("WIRECAP_TELEMETRY_LISTEN was set");
+
+    let consumer = {
+        let mut c = engine.consumer(0);
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while let Some(chunk) = c.next_chunk() {
+                n += chunk.len() as u64;
+                c.recycle(chunk);
+            }
+            n
+        })
+    };
+    inject_flows(&nic, 4_000);
+
+    // Scrape mid-run: both documents must be well-formed whenever they
+    // are fetched, not only at shutdown.
+    let (status, _) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    nic.stop();
+    let consumed = consumer.join().unwrap();
+    assert_eq!(consumed, 4_000, "endpoint must not perturb capture");
+
+    // Post-drain scrape: the counters now cover the whole run.
+    let (status, prom) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    // Prometheus text exposition: every exposed family carries # HELP /
+    // # TYPE headers and per-queue sample lines.
+    for family in [
+        "wirecap_captured_packets_total",
+        "wirecap_delivered_packets_total",
+        "wirecap_capture_queue_watermark",
+        "wirecap_latency_ns",
+    ] {
+        assert!(
+            prom.contains(&format!("# TYPE {family} ")),
+            "{family}:\n{prom}"
+        );
+    }
+    assert!(
+        prom.lines()
+            .any(|l| l.starts_with("wirecap_captured_packets_total{") && l.ends_with("} 4000")),
+        "whole-run counter:\n{prom}"
+    );
+    assert!(
+        prom.contains("wirecap_latency_ns_bucket{"),
+        "latency histogram exposed per queue:\n{prom}"
+    );
+
+    let (status, body) = http_get(addr, "/snapshot.json");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let snap: telemetry::EngineSnapshot =
+        serde_json::from_str(&body).expect("snapshot.json parses into the schema");
+    let total = snap.total();
+    assert_eq!(total.captured_packets, 4_000);
+    assert_eq!(total.delivered_packets, 4_000);
+    assert!(
+        total.latency_ns.count > 0,
+        "latency histogram populated by the run"
+    );
+
+    // The sampler was live too: the series document reflects it.
+    let (status, body) = http_get(addr, "/series.json");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"samples\""), "series doc: {body}");
+
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    engine.shutdown();
+    // The endpoint dies with the engine.
+    assert!(TcpStream::connect(addr).is_err(), "endpoint must stop");
+}
+
+#[test]
+fn sampler_escape_hatch_still_captures_and_serves() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let _listen = EnvGuard::set("WIRECAP_TELEMETRY_LISTEN", "127.0.0.1:0");
+    let _sample = EnvGuard::set("WIRECAP_TELEMETRY_SAMPLE_MS", "0");
+
+    let nic = LiveNic::new(1, 4096);
+    let mut cfg = WireCapConfig::basic(64, 32, 0);
+    cfg.capture_timeout_ns = 1_500_000;
+    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(1));
+    let addr = engine.telemetry_addr().expect("endpoint without sampler");
+
+    let consumer = {
+        let mut c = engine.consumer(0);
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while let Some(chunk) = c.next_chunk() {
+                n += chunk.len() as u64;
+                c.recycle(chunk);
+            }
+            n
+        })
+    };
+    inject_flows(&nic, 1_000);
+    nic.stop();
+    assert_eq!(consumer.join().unwrap(), 1_000, "sampler off, capture on");
+
+    // Direct snapshots still serve; the sampled series does not exist.
+    let (status, _) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let (status, _) = http_get(addr, "/series.json");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    engine.shutdown();
+}
+
+#[test]
+fn no_telemetry_env_means_no_endpoint() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let _listen = EnvGuard::set("WIRECAP_TELEMETRY_LISTEN", "");
+    let _sample = EnvGuard::set("WIRECAP_TELEMETRY_SAMPLE_MS", "0");
+
+    let nic = LiveNic::new(1, 1024);
+    let mut cfg = WireCapConfig::basic(64, 32, 0);
+    cfg.capture_timeout_ns = 1_500_000;
+    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(1));
+    assert!(engine.telemetry_addr().is_none(), "inert env, no endpoint");
+    nic.stop();
+    engine.shutdown();
+}
