@@ -19,6 +19,8 @@
 //! * [`harness`] — steers a [`traffic::TrafficSource`] through the NIC's
 //!   RSS stage into any [`engines::CaptureEngine`] and collects the
 //!   paper's metrics ([`harness::ExperimentResult`]);
+//! * [`save`] — `capture_and_save`: the capture-to-disk harness over
+//!   the live engine, with the graceful-degradation disk sink;
 //! * [`timestamping`] — the §5c timestamp-accuracy/overhead study
 //!   (OS jiffy vs. per-packet TSC vs. batched TSC).
 
@@ -30,8 +32,10 @@ pub mod harness;
 pub mod multi_pkt_handler;
 pub mod pkt_handler;
 pub mod queue_profiler;
+pub mod save;
 pub mod timestamping;
 
 pub use harness::{run_experiment, EngineKind, ExperimentResult};
 pub use pkt_handler::PktHandler;
 pub use queue_profiler::QueueProfiler;
+pub use save::SaveOutcome;

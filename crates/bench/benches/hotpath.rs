@@ -405,6 +405,148 @@ fn stamped_path(
     (consumed, bytes)
 }
 
+/// The stamped pipeline plus the capture-to-disk writer's encode work:
+/// every delivered packet is serialized as a pcapng Enhanced Packet
+/// Block into a reused batch buffer, with one simulated commit (and one
+/// batched disk-counter add) per pop batch — the `capdisk` writer
+/// thread's `push_packet`/`commit_batch` split, minus the actual
+/// `write(2)`, so the number isolates the CPU cost of the encode copy.
+/// In the real sink this work runs on a dedicated writer thread, not
+/// the capture thread; the `disk_writer` entry in `BENCH_hotpath.json`
+/// bounds how much headroom that thread needs, and check.sh gates it
+/// leniently (the encode necessarily copies every payload byte).
+fn disk_writer_path(
+    pkts: &[Packet],
+    arena: &ChunkArena,
+    free: &mut Vec<FreeSlot>,
+    ring: &BatchRing<wirecap::arena::SealedSlot>,
+    tel: &QueueCounters,
+    tracer: &EventTracer,
+    enc: &mut Vec<u8>,
+) -> (u64, u64) {
+    const SNAPLEN: u32 = 65_535;
+    let mut consumed = 0u64;
+    let mut bytes = 0u64;
+    let mut staged = Vec::with_capacity(MAX_BATCH);
+    let mut popped = Vec::with_capacity(MAX_BATCH);
+    let drain = |free: &mut Vec<FreeSlot>,
+                 popped: &mut Vec<wirecap::arena::SealedSlot>,
+                 enc: &mut Vec<u8>,
+                 consumed: &mut u64,
+                 bytes: &mut u64| {
+        let mut delivered = 0u64;
+        let mut recycled = 0u64;
+        loop {
+            popped.clear();
+            if ring.pop_batch(popped, MAX_BATCH) == 0 {
+                break;
+            }
+            let delivered_ns = clock::mono_ns();
+            for seal in popped.drain(..) {
+                for p in arena.view(&seal).iter() {
+                    delivered += 1;
+                    *bytes += p.data.len() as u64;
+                    capdisk::FileFormat::Pcapng
+                        .encode_packet(enc, p.ts_ns, p.wire_len, p.data, SNAPLEN);
+                }
+                let sealed_ns = seal.sealed_ns();
+                if sealed_ns > 0 {
+                    tel.app
+                        .latency_ns
+                        .record(delivered_ns.saturating_sub(sealed_ns));
+                }
+                recycled += 1;
+                free.push(arena.release(seal));
+            }
+            // Simulated commit: one batched counter add and buffer
+            // reset per pop batch, standing in for the single
+            // `write_all` the real writer issues here.
+            tel.disk.disk_written_bytes.add(enc.len() as u64);
+            black_box(enc.as_slice());
+            enc.clear();
+        }
+        *consumed += delivered;
+        if recycled > 0 {
+            tel.app.delivered_packets.add(delivered);
+            tel.app.recycled_chunks.add(recycled);
+            tel.disk.disk_written_packets.add(delivered);
+        }
+    };
+    const NIC_POP_BATCH: usize = 256;
+    let mut current = free.pop().expect("R slots free at start");
+    for batch in pkts.chunks(NIC_POP_BATCH) {
+        let now_ns = clock::mono_ns();
+        for pkt in batch {
+            if !arena.write_packet(&mut current, pkt.ts_ns, pkt.wire_len, &pkt.data) {
+                unreachable!("sealed before full");
+            }
+            if current.filled() == arena.m() {
+                let fill = current.filled() as u64;
+                tel.cap.sealed_chunks.inc_local();
+                tel.cap.chunk_fill.record(fill);
+                if tracer.is_enabled() {
+                    tracer.record(0, 0, kind::CAPTURE, 0, 0, fill);
+                }
+                staged.push(arena.seal_at(current, now_ns));
+                if staged.len() == MAX_BATCH {
+                    while !staged.is_empty() {
+                        let pushed = ring.push_batch(&mut staged);
+                        if pushed == 0 {
+                            drain(free, &mut popped, enc, &mut consumed, &mut bytes);
+                        } else {
+                            tel.cap.batch_size.record(pushed as u64);
+                        }
+                    }
+                }
+                if free.is_empty() {
+                    drain(free, &mut popped, enc, &mut consumed, &mut bytes);
+                }
+                current = free.pop().expect("drain refilled the freelist");
+            }
+        }
+        tel.cap.captured_packets.add_local(batch.len() as u64);
+    }
+    let view_len = current.filled();
+    if view_len > 0 {
+        tel.cap.sealed_chunks.inc_local();
+        tel.cap.partial_chunks.inc_local();
+        tel.cap.chunk_fill.record(view_len as u64);
+        let seal = arena.seal_at(current, clock::mono_ns());
+        let mut delivered = 0u64;
+        for p in arena.view(&seal).iter() {
+            delivered += 1;
+            bytes += p.data.len() as u64;
+            capdisk::FileFormat::Pcapng.encode_packet(enc, p.ts_ns, p.wire_len, p.data, SNAPLEN);
+        }
+        let sealed_ns = seal.sealed_ns();
+        if sealed_ns > 0 {
+            tel.app
+                .latency_ns
+                .record(clock::mono_ns().saturating_sub(sealed_ns));
+        }
+        tel.disk.disk_written_bytes.add(enc.len() as u64);
+        black_box(enc.as_slice());
+        enc.clear();
+        consumed += delivered;
+        tel.app.delivered_packets.add(delivered);
+        tel.app.recycled_chunks.add(1);
+        tel.disk.disk_written_packets.add(delivered);
+        free.push(arena.release(seal));
+    } else {
+        free.push(current);
+    }
+    while !staged.is_empty() {
+        let pushed = ring.push_batch(&mut staged);
+        if pushed == 0 {
+            drain(free, &mut popped, enc, &mut consumed, &mut bytes);
+        } else {
+            tel.cap.batch_size.record(pushed as u64);
+        }
+    }
+    drain(free, &mut popped, enc, &mut consumed, &mut bytes);
+    (consumed, bytes)
+}
+
 /// Times `f` over `rounds` passes of `n_packets` and returns packets/s.
 fn measure(mut f: impl FnMut() -> (u64, u64), n_packets: usize, rounds: usize) -> f64 {
     // Warm-up pass.
@@ -547,14 +689,50 @@ fn bench_hotpath(c: &mut Criterion) {
             free = free_cell.into_inner();
             (t, s, o)
         };
+        // The disk-writer encode is measured against the stamped
+        // baseline: the extra cost is exactly what the capdisk writer
+        // thread adds (pcapng encode + batched commit bookkeeping).
+        let mut enc: Vec<u8> = Vec::with_capacity(64 << 10);
+        let (_, disk_writer_pps, disk_writer_overhead) = {
+            let free_cell = std::cell::RefCell::new(std::mem::take(&mut free));
+            let (s, d, o) = measure_pair(
+                || {
+                    stamped_path(
+                        &pkts,
+                        &arena,
+                        &mut free_cell.borrow_mut(),
+                        &ring,
+                        &tel,
+                        &tracer,
+                    )
+                },
+                || {
+                    disk_writer_path(
+                        &pkts,
+                        &arena,
+                        &mut free_cell.borrow_mut(),
+                        &ring,
+                        &tel,
+                        &tracer,
+                        &mut enc,
+                    )
+                },
+                n_packets,
+                pair_rounds,
+            );
+            free = free_cell.into_inner();
+            (s, d, o)
+        };
         let speedup = batched_pps / seed_pps;
         eprintln!(
             "hotpath M={m:>2}: seed {seed_pps:>12.0} p/s, batched {batched_pps:>12.0} p/s, \
              speedup {speedup:.2}x, telemetry {telemetry_pps:>12.0} p/s \
              (overhead {:.2}%), stamped {latency_stamping_pps:>12.0} p/s \
-             (latency overhead {:.2}%)",
+             (latency overhead {:.2}%), disk writer {disk_writer_pps:>12.0} p/s \
+             (encode overhead {:.2}%)",
             telemetry_overhead * 100.0,
-            latency_overhead * 100.0
+            latency_overhead * 100.0,
+            disk_writer_overhead * 100.0
         );
         results.push(HotpathResult {
             m,
@@ -565,6 +743,8 @@ fn bench_hotpath(c: &mut Criterion) {
             telemetry_overhead,
             latency_stamping_pps,
             latency_overhead,
+            disk_writer_pps,
+            disk_writer_overhead,
         });
 
         // Criterion display entries over the same closures.
@@ -582,6 +762,9 @@ fn bench_hotpath(c: &mut Criterion) {
         g.bench_function("latency_stamping", |b| {
             b.iter(|| stamped_path(&pkts, &arena, &mut free, &ring, &tel, &tracer))
         });
+        g.bench_function("disk_writer_encode", |b| {
+            b.iter(|| disk_writer_path(&pkts, &arena, &mut free, &ring, &tel, &tracer, &mut enc))
+        });
         g.finish();
     }
 
@@ -597,6 +780,8 @@ struct HotpathResult {
     telemetry_overhead: f64,
     latency_stamping_pps: f64,
     latency_overhead: f64,
+    disk_writer_pps: f64,
+    disk_writer_overhead: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -609,6 +794,8 @@ struct Entry {
     telemetry_overhead: f64,
     latency_stamping_pps: f64,
     latency_overhead: f64,
+    disk_writer_pps: f64,
+    disk_writer_overhead: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -639,6 +826,8 @@ fn write_json(results: &[HotpathResult], n_packets: usize, rounds: usize) {
                 telemetry_overhead: r.telemetry_overhead,
                 latency_stamping_pps: r.latency_stamping_pps,
                 latency_overhead: r.latency_overhead,
+                disk_writer_pps: r.disk_writer_pps,
+                disk_writer_overhead: r.disk_writer_overhead,
             })
             .collect(),
     };

@@ -1,0 +1,407 @@
+//! Capture-file block encoders: classic pcap and pcapng.
+//!
+//! Both formats are encoded by *appending to a caller-owned byte
+//! buffer* rather than writing records to an `io::Write` — the disk
+//! sink's whole point is one `write` syscall per chunk batch, so the
+//! encoders never touch the file themselves. The
+//! [`crate::writer::RotatingWriter`] owns the buffer discipline.
+//!
+//! The pcapng leg emits the minimal conforming block sequence — one
+//! Section Header Block, one Interface Description Block carrying
+//! `if_tsresol = 9` (nanosecond timestamps, matching the engine's
+//! nanosecond clock), then Enhanced Packet Blocks — and ships its own
+//! strict reader so tests can verify files without external tools. The
+//! classic pcap leg reuses the layout of [`pcap::savefile`]
+//! byte-for-byte (nanosecond magic), so files parse with the existing
+//! reader.
+
+use bytes::Bytes;
+use netproto::Packet;
+
+/// On-disk capture file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FileFormat {
+    /// pcapng (SHB + IDB + EPBs, nanosecond `if_tsresol`). The default:
+    /// it is what modern capture tools emit and the only one of the two
+    /// formats that can carry per-section metadata.
+    #[default]
+    Pcapng,
+    /// Classic libpcap savefile, nanosecond magic `0xa1b23c4d`.
+    Pcap,
+}
+
+impl FileFormat {
+    /// Conventional filename extension.
+    pub fn extension(self) -> &'static str {
+        match self {
+            FileFormat::Pcapng => "pcapng",
+            FileFormat::Pcap => "pcap",
+        }
+    }
+
+    /// Appends the file-level preamble (everything before the first
+    /// packet record) to `buf`.
+    pub fn encode_header(self, buf: &mut Vec<u8>, snaplen: u32) {
+        match self {
+            FileFormat::Pcapng => {
+                pcapng_section_header(buf);
+                pcapng_interface_block(buf, snaplen);
+            }
+            FileFormat::Pcap => pcap_file_header(buf, snaplen),
+        }
+    }
+
+    /// Appends one packet record to `buf`, truncating payload to
+    /// `snaplen` while preserving the original wire length.
+    pub fn encode_packet(
+        self,
+        buf: &mut Vec<u8>,
+        ts_ns: u64,
+        wire_len: u32,
+        data: &[u8],
+        snaplen: u32,
+    ) {
+        match self {
+            FileFormat::Pcapng => pcapng_packet_block(buf, ts_ns, wire_len, data, snaplen),
+            FileFormat::Pcap => pcap_record(buf, ts_ns, wire_len, data, snaplen),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Classic pcap (nanosecond precision, little-endian) — same layout as
+// `pcap::savefile::write_file`.
+// ---------------------------------------------------------------------
+
+fn pcap_file_header(buf: &mut Vec<u8>, snaplen: u32) {
+    buf.extend_from_slice(&pcap::savefile::MAGIC_NANOS.to_le_bytes());
+    buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+    buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    buf.extend_from_slice(&snaplen.to_le_bytes());
+    buf.extend_from_slice(&1u32.to_le_bytes()); // LINKTYPE_ETHERNET
+}
+
+fn pcap_record(buf: &mut Vec<u8>, ts_ns: u64, wire_len: u32, data: &[u8], snaplen: u32) {
+    let secs = (ts_ns / 1_000_000_000) as u32;
+    let nanos = (ts_ns % 1_000_000_000) as u32;
+    let incl = (data.len() as u32).min(snaplen);
+    buf.extend_from_slice(&secs.to_le_bytes());
+    buf.extend_from_slice(&nanos.to_le_bytes());
+    buf.extend_from_slice(&incl.to_le_bytes());
+    buf.extend_from_slice(&wire_len.to_le_bytes());
+    buf.extend_from_slice(&data[..incl as usize]);
+}
+
+// ---------------------------------------------------------------------
+// pcapng
+// ---------------------------------------------------------------------
+
+/// Section Header Block type.
+pub const SHB_TYPE: u32 = 0x0A0D_0D0A;
+/// Interface Description Block type.
+pub const IDB_TYPE: u32 = 0x0000_0001;
+/// Enhanced Packet Block type.
+pub const EPB_TYPE: u32 = 0x0000_0006;
+/// Byte-order magic inside the SHB.
+pub const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+
+/// Appends a Section Header Block (version 1.0, unknown section
+/// length).
+pub fn pcapng_section_header(buf: &mut Vec<u8>) {
+    let total: u32 = 28; // 4 type + 4 len + 4 magic + 2+2 version + 8 seclen + 4 len
+    buf.extend_from_slice(&SHB_TYPE.to_le_bytes());
+    buf.extend_from_slice(&total.to_le_bytes());
+    buf.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&1u16.to_le_bytes()); // major
+    buf.extend_from_slice(&0u16.to_le_bytes()); // minor
+    buf.extend_from_slice(&u64::MAX.to_le_bytes()); // section length unknown
+    buf.extend_from_slice(&total.to_le_bytes());
+}
+
+/// Appends an Interface Description Block for Ethernet with
+/// `if_tsresol = 9` (nanosecond timestamps).
+pub fn pcapng_interface_block(buf: &mut Vec<u8>, snaplen: u32) {
+    // Options: if_tsresol (code 9, len 1, value 9, 3 pad) then
+    // opt_endofopt — 12 bytes total.
+    let total: u32 = 4 + 4 + 2 + 2 + 4 + 12 + 4;
+    buf.extend_from_slice(&IDB_TYPE.to_le_bytes());
+    buf.extend_from_slice(&total.to_le_bytes());
+    buf.extend_from_slice(&1u16.to_le_bytes()); // LINKTYPE_ETHERNET
+    buf.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    buf.extend_from_slice(&snaplen.to_le_bytes());
+    buf.extend_from_slice(&9u16.to_le_bytes()); // if_tsresol
+    buf.extend_from_slice(&1u16.to_le_bytes()); // option length
+    buf.extend_from_slice(&[9, 0, 0, 0]); // 10^-9 s + padding
+    buf.extend_from_slice(&0u16.to_le_bytes()); // opt_endofopt
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.extend_from_slice(&total.to_le_bytes());
+}
+
+/// Appends an Enhanced Packet Block for interface 0. The 64-bit
+/// timestamp is `ts_ns` verbatim (the IDB declared nanosecond
+/// resolution).
+pub fn pcapng_packet_block(
+    buf: &mut Vec<u8>,
+    ts_ns: u64,
+    wire_len: u32,
+    data: &[u8],
+    snaplen: u32,
+) {
+    let incl = (data.len() as u32).min(snaplen);
+    let pad = (4 - (incl as usize % 4)) % 4;
+    let total: u32 = 4 + 4 + 4 + 4 + 4 + 4 + 4 + incl + pad as u32 + 4;
+    buf.extend_from_slice(&EPB_TYPE.to_le_bytes());
+    buf.extend_from_slice(&total.to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes()); // interface id
+    buf.extend_from_slice(&((ts_ns >> 32) as u32).to_le_bytes());
+    buf.extend_from_slice(&(ts_ns as u32).to_le_bytes());
+    buf.extend_from_slice(&incl.to_le_bytes());
+    buf.extend_from_slice(&wire_len.to_le_bytes());
+    buf.extend_from_slice(&data[..incl as usize]);
+    buf.extend_from_slice(&[0u8; 3][..pad]);
+    buf.extend_from_slice(&total.to_le_bytes());
+}
+
+/// A parsed pcapng file (the subset this crate writes).
+#[derive(Debug)]
+pub struct PcapngFile {
+    /// Snap length declared by the interface block.
+    pub snaplen: u32,
+    /// Timestamp resolution exponent (9 = nanoseconds).
+    pub tsresol: u8,
+    /// The packets, timestamps normalized to nanoseconds.
+    pub packets: Vec<Packet>,
+}
+
+/// Parses a little-endian pcapng byte stream strictly: every block's
+/// leading and trailing lengths must agree, the first block must be an
+/// SHB, and packets must follow an IDB. Unknown block types are
+/// skipped (per the spec), so files from other writers still parse as
+/// long as they are little-endian.
+///
+/// # Errors
+/// Returns a description of the first structural violation.
+pub fn read_pcapng(bytes: &[u8]) -> Result<PcapngFile, String> {
+    let u32_at = |off: usize| -> Result<u32, String> {
+        bytes
+            .get(off..off + 4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .ok_or_else(|| format!("truncated at byte {off}"))
+    };
+    let mut off = 0usize;
+    let mut snaplen = 0u32;
+    let mut tsresol = 6u8; // pcapng default: microseconds
+    let mut saw_shb = false;
+    let mut saw_idb = false;
+    let mut packets = Vec::new();
+    while off < bytes.len() {
+        let btype = u32_at(off)?;
+        let blen = u32_at(off + 4)? as usize;
+        if blen < 12 || !blen.is_multiple_of(4) {
+            return Err(format!("block at {off}: bad length {blen}"));
+        }
+        if off + blen > bytes.len() {
+            return Err(format!("block at {off}: length {blen} overruns file"));
+        }
+        let trailer = u32_at(off + blen - 4)? as usize;
+        if trailer != blen {
+            return Err(format!(
+                "block at {off}: trailing length {trailer} != leading {blen}"
+            ));
+        }
+        let body = &bytes[off + 8..off + blen - 4];
+        match btype {
+            SHB_TYPE => {
+                if body.len() < 16 {
+                    return Err("SHB too short".into());
+                }
+                let magic = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+                if magic != BYTE_ORDER_MAGIC {
+                    return Err(format!("SHB byte-order magic {magic:#010x}"));
+                }
+                saw_shb = true;
+            }
+            IDB_TYPE => {
+                if !saw_shb {
+                    return Err("IDB before SHB".into());
+                }
+                if body.len() < 8 {
+                    return Err("IDB too short".into());
+                }
+                snaplen = u32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+                // Walk options for if_tsresol.
+                let mut opt = 8usize;
+                while opt + 4 <= body.len() {
+                    let code = u16::from_le_bytes([body[opt], body[opt + 1]]);
+                    let olen = u16::from_le_bytes([body[opt + 2], body[opt + 3]]) as usize;
+                    if code == 0 {
+                        break;
+                    }
+                    if code == 9 && olen == 1 {
+                        tsresol = body[opt + 4];
+                    }
+                    opt += 4 + olen + (4 - olen % 4) % 4;
+                }
+                saw_idb = true;
+            }
+            EPB_TYPE => {
+                if !saw_idb {
+                    return Err("EPB before IDB".into());
+                }
+                if body.len() < 20 {
+                    return Err("EPB too short".into());
+                }
+                let ts_high = u32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+                let ts_low = u32::from_le_bytes([body[8], body[9], body[10], body[11]]);
+                let incl = u32::from_le_bytes([body[12], body[13], body[14], body[15]]) as usize;
+                let orig = u32::from_le_bytes([body[16], body[17], body[18], body[19]]);
+                if 20 + incl > body.len() {
+                    return Err(format!(
+                        "EPB at {off}: captured length {incl} overruns block"
+                    ));
+                }
+                let ticks = (u64::from(ts_high) << 32) | u64::from(ts_low);
+                let ts_ns = match tsresol {
+                    9 => ticks,
+                    6 => ticks.saturating_mul(1_000),
+                    r => return Err(format!("unsupported if_tsresol {r}")),
+                };
+                packets.push(Packet {
+                    ts_ns,
+                    wire_len: orig,
+                    data: Bytes::copy_from_slice(&body[20..20 + incl]),
+                });
+            }
+            _ => {} // unknown block: skip
+        }
+        off += blen;
+    }
+    if !saw_shb {
+        return Err("no section header block".into());
+    }
+    Ok(PcapngFile {
+        snaplen,
+        tsresol,
+        packets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Packet> {
+        vec![
+            Packet::new(0, vec![0xaa; 60]),
+            Packet::new(1_500_000_123, vec![0xbb; 61]), // odd length: exercises padding
+            Packet::new(u64::from(u32::MAX) + 7, vec![0xcc; 1500]), // ts_high != 0
+        ]
+    }
+
+    #[test]
+    fn pcapng_roundtrip_preserves_packets_and_nanoseconds() {
+        let mut buf = Vec::new();
+        FileFormat::Pcapng.encode_header(&mut buf, 65_535);
+        for p in sample() {
+            FileFormat::Pcapng.encode_packet(&mut buf, p.ts_ns, p.wire_len, &p.data, 65_535);
+        }
+        let f = read_pcapng(&buf).unwrap();
+        assert_eq!(f.snaplen, 65_535);
+        assert_eq!(f.tsresol, 9);
+        assert_eq!(f.packets, sample());
+    }
+
+    #[test]
+    fn golden_pcapng_header_bytes() {
+        // Byte-for-byte golden of the SHB + IDB preamble: 28-byte SHB
+        // (version 1.0, unknown section length) then a 32-byte IDB
+        // (Ethernet, if_tsresol = 9). Any change to this layout is a
+        // file-format break and must be deliberate.
+        let mut buf = Vec::new();
+        FileFormat::Pcapng.encode_header(&mut buf, 65_535);
+        #[rustfmt::skip]
+        let golden: [u8; 60] = [
+            // SHB
+            0x0a, 0x0d, 0x0d, 0x0a, // block type
+            0x1c, 0x00, 0x00, 0x00, // total length = 28
+            0x4d, 0x3c, 0x2b, 0x1a, // byte-order magic
+            0x01, 0x00, 0x00, 0x00, // version 1.0
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // section length unknown
+            0x1c, 0x00, 0x00, 0x00, // total length = 28
+            // IDB
+            0x01, 0x00, 0x00, 0x00, // block type
+            0x20, 0x00, 0x00, 0x00, // total length = 32
+            0x01, 0x00, 0x00, 0x00, // LINKTYPE_ETHERNET + reserved
+            0xff, 0xff, 0x00, 0x00, // snaplen = 65535
+            0x09, 0x00, 0x01, 0x00, // if_tsresol option header
+            0x09, 0x00, 0x00, 0x00, // value 9 (nanoseconds) + padding
+            0x00, 0x00, 0x00, 0x00, // opt_endofopt
+            0x20, 0x00, 0x00, 0x00, // total length = 32
+        ];
+        assert_eq!(buf, golden);
+    }
+
+    #[test]
+    fn pcapng_snaplen_truncates_but_keeps_wire_len() {
+        let mut buf = Vec::new();
+        FileFormat::Pcapng.encode_header(&mut buf, 96);
+        FileFormat::Pcapng.encode_packet(&mut buf, 5, 1500, &[7u8; 1500], 96);
+        let f = read_pcapng(&buf).unwrap();
+        assert_eq!(f.packets[0].data.len(), 96);
+        assert_eq!(f.packets[0].wire_len, 1500);
+    }
+
+    #[test]
+    fn pcapng_blocks_are_4_byte_aligned() {
+        for len in [0usize, 1, 2, 3, 4, 61, 1499] {
+            let mut buf = Vec::new();
+            pcapng_packet_block(&mut buf, 1, len as u32, &vec![1u8; len], 65_535);
+            assert_eq!(buf.len() % 4, 0, "payload length {len}");
+            let declared = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+            assert_eq!(declared, buf.len(), "payload length {len}");
+        }
+    }
+
+    #[test]
+    fn pcap_leg_parses_with_the_savefile_reader() {
+        let mut buf = Vec::new();
+        FileFormat::Pcap.encode_header(&mut buf, 65_535);
+        for p in sample() {
+            FileFormat::Pcap.encode_packet(&mut buf, p.ts_ns, p.wire_len, &p.data, 65_535);
+        }
+        let sf = pcap::savefile::read_file(&buf[..]).unwrap();
+        assert_eq!(sf.precision, pcap::savefile::Precision::Nanos);
+        assert_eq!(sf.packets, sample());
+    }
+
+    #[test]
+    fn reader_rejects_structural_corruption() {
+        let mut buf = Vec::new();
+        FileFormat::Pcapng.encode_header(&mut buf, 65_535);
+        // Mismatched trailer.
+        let n = buf.len();
+        buf[n - 1] ^= 0xff;
+        assert!(read_pcapng(&buf).unwrap_err().contains("trailing length"));
+        // EPB with no preceding section.
+        let mut orphan = Vec::new();
+        pcapng_packet_block(&mut orphan, 0, 4, &[1, 2, 3, 4], 65_535);
+        assert!(read_pcapng(&orphan).is_err());
+    }
+
+    #[test]
+    fn reader_skips_unknown_blocks() {
+        let mut buf = Vec::new();
+        FileFormat::Pcapng.encode_header(&mut buf, 65_535);
+        // A custom block (type 0x0BAD) between header and packet.
+        buf.extend_from_slice(&0x0BADu32.to_le_bytes());
+        buf.extend_from_slice(&16u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        buf.extend_from_slice(&16u32.to_le_bytes());
+        FileFormat::Pcapng.encode_packet(&mut buf, 9, 4, &[1, 2, 3, 4], 65_535);
+        let f = read_pcapng(&buf).unwrap();
+        assert_eq!(f.packets.len(), 1);
+        assert_eq!(f.packets[0].ts_ns, 9);
+    }
+}

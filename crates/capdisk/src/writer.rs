@@ -1,0 +1,309 @@
+//! The rotating, double-buffered file writer behind one disk-sink
+//! writer thread.
+//!
+//! Encoding and I/O are strictly separated: packets are encoded into an
+//! in-memory batch buffer ([`RotatingWriter::push_packet`]) and the
+//! whole buffer is handed to the OS with **one** `write` call at
+//! [`RotatingWriter::commit_batch`] — never one syscall per packet.
+//! Two buffers alternate between the "filling" and "just written"
+//! roles, so a batch's allocation is warm when its turn comes around
+//! again and neither buffer is ever reallocated in steady state.
+//!
+//! Rotation happens only at batch boundaries: when the current file has
+//! exceeded [`RotationPolicy::max_file_bytes`] or has been open longer
+//! than [`RotationPolicy::max_file_duration`], `commit_batch` closes it
+//! and the next batch opens `<prefix>-NNNN.<ext>` with a fresh format
+//! header. Every emitted file is therefore self-contained and
+//! independently parseable.
+
+use crate::format::FileFormat;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// When to close the current file and open the next.
+#[derive(Debug, Clone, Copy)]
+pub struct RotationPolicy {
+    /// Rotate once a file's payload reaches this size. `u64::MAX`
+    /// disables size rotation.
+    pub max_file_bytes: u64,
+    /// Rotate once a file has been open this long. `None` disables
+    /// time rotation.
+    pub max_file_duration: Option<Duration>,
+}
+
+impl Default for RotationPolicy {
+    fn default() -> Self {
+        RotationPolicy {
+            max_file_bytes: 1 << 30, // 1 GiB
+            max_file_duration: None,
+        }
+    }
+}
+
+/// A rotating capture-file writer (one per disk-sink writer thread).
+#[derive(Debug)]
+pub struct RotatingWriter {
+    dir: PathBuf,
+    prefix: String,
+    format: FileFormat,
+    snaplen: u32,
+    policy: RotationPolicy,
+    file: Option<File>,
+    file_bytes: u64,
+    file_opened: Instant,
+    seq: u32,
+    /// Double buffer: `bufs[active]` is filling, the other was last
+    /// written and keeps its capacity warm for the swap.
+    bufs: [Vec<u8>; 2],
+    active: usize,
+    files: Vec<PathBuf>,
+    written_packets: u64,
+    written_bytes: u64,
+}
+
+impl RotatingWriter {
+    /// Creates the output directory (if needed) and an idle writer. No
+    /// file is opened until the first non-empty batch commits.
+    pub fn new(
+        dir: &Path,
+        prefix: &str,
+        format: FileFormat,
+        snaplen: u32,
+        policy: RotationPolicy,
+    ) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(RotatingWriter {
+            dir: dir.to_path_buf(),
+            prefix: prefix.to_string(),
+            format,
+            snaplen,
+            policy,
+            file: None,
+            file_bytes: 0,
+            file_opened: Instant::now(),
+            seq: 0,
+            bufs: [Vec::with_capacity(1 << 16), Vec::with_capacity(1 << 16)],
+            active: 0,
+            files: Vec::new(),
+            written_packets: 0,
+            written_bytes: 0,
+        })
+    }
+
+    /// Encodes one packet into the current batch buffer. No I/O.
+    pub fn push_packet(&mut self, ts_ns: u64, wire_len: u32, data: &[u8]) {
+        self.format.encode_packet(
+            &mut self.bufs[self.active],
+            ts_ns,
+            wire_len,
+            data,
+            self.snaplen,
+        );
+        self.written_packets += 1;
+    }
+
+    /// Bytes staged in the current batch buffer.
+    pub fn staged_bytes(&self) -> usize {
+        self.bufs[self.active].len()
+    }
+
+    /// Writes the staged batch with a single `write` call, swaps
+    /// buffers, and rotates if the policy says so. Returns the bytes
+    /// written (including any file header opened for this batch); 0 for
+    /// an empty batch.
+    pub fn commit_batch(&mut self) -> io::Result<u64> {
+        if self.bufs[self.active].is_empty() {
+            return Ok(0);
+        }
+        let mut batch_bytes = 0u64;
+        if self.file.is_none() {
+            batch_bytes += self.open_next()?;
+        }
+        let file = self.file.as_mut().expect("opened above");
+        let buf = &self.bufs[self.active];
+        file.write_all(buf)?;
+        batch_bytes += buf.len() as u64;
+        self.file_bytes += buf.len() as u64;
+        self.written_bytes += buf.len() as u64;
+        self.bufs[self.active].clear();
+        self.active ^= 1;
+        let expired = self
+            .policy
+            .max_file_duration
+            .is_some_and(|d| self.file_opened.elapsed() >= d);
+        if self.file_bytes >= self.policy.max_file_bytes || expired {
+            self.close_current()?;
+        }
+        Ok(batch_bytes)
+    }
+
+    fn open_next(&mut self) -> io::Result<u64> {
+        let path = self.dir.join(format!(
+            "{}-{:04}.{}",
+            self.prefix,
+            self.seq,
+            self.format.extension()
+        ));
+        self.seq += 1;
+        let mut file = File::create(&path)?;
+        let mut header = Vec::with_capacity(64);
+        self.format.encode_header(&mut header, self.snaplen);
+        file.write_all(&header)?;
+        self.file = Some(file);
+        self.file_bytes = header.len() as u64;
+        self.file_opened = Instant::now();
+        self.written_bytes += header.len() as u64;
+        self.files.push(path);
+        Ok(header.len() as u64)
+    }
+
+    fn close_current(&mut self) -> io::Result<()> {
+        if let Some(mut f) = self.file.take() {
+            f.flush()?;
+        }
+        self.file_bytes = 0;
+        Ok(())
+    }
+
+    /// Flushes any staged batch and closes the current file.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.commit_batch()?;
+        self.close_current()
+    }
+
+    /// Paths of every file opened so far, in order.
+    pub fn files(&self) -> &[PathBuf] {
+        &self.files
+    }
+
+    /// Packets encoded so far.
+    pub fn written_packets(&self) -> u64 {
+        self.written_packets
+    }
+
+    /// File-format bytes written so far (headers + records).
+    pub fn written_bytes(&self) -> u64 {
+        self.written_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::read_pcapng;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("capdisk-writer-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn one_write_per_batch_and_valid_files() {
+        let dir = tmpdir("batch");
+        let mut w = RotatingWriter::new(
+            &dir,
+            "cap",
+            FileFormat::Pcapng,
+            65_535,
+            RotationPolicy::default(),
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            w.push_packet(i * 1_000, 64, &[i as u8; 64]);
+        }
+        assert!(w.staged_bytes() > 0);
+        let bytes = w.commit_batch().unwrap();
+        assert!(bytes > 0);
+        w.finish().unwrap();
+        assert_eq!(w.files().len(), 1);
+        let f = read_pcapng(&std::fs::read(&w.files()[0]).unwrap()).unwrap();
+        assert_eq!(f.packets.len(), 100);
+        assert_eq!(f.packets[7].ts_ns, 7_000);
+        assert_eq!(w.written_packets(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn size_rotation_splits_into_self_contained_files() {
+        let dir = tmpdir("rotate");
+        let mut w = RotatingWriter::new(
+            &dir,
+            "cap",
+            FileFormat::Pcapng,
+            65_535,
+            RotationPolicy {
+                max_file_bytes: 4_096,
+                max_file_duration: None,
+            },
+        )
+        .unwrap();
+        // ~200 bytes per packet, batches of 10 → rotation every ~2 batches.
+        for batch in 0..12u64 {
+            for i in 0..10u64 {
+                w.push_packet(batch * 100 + i, 180, &[1u8; 180]);
+            }
+            w.commit_batch().unwrap();
+        }
+        w.finish().unwrap();
+        assert!(w.files().len() >= 2, "{} files", w.files().len());
+        let mut total = 0usize;
+        for path in w.files() {
+            let f = read_pcapng(&std::fs::read(path).unwrap())
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert!(!f.packets.is_empty(), "{} is empty", path.display());
+            total += f.packets.len();
+        }
+        assert_eq!(total, 120, "no packet lost across rotations");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn time_rotation_fires() {
+        let dir = tmpdir("time");
+        let mut w = RotatingWriter::new(
+            &dir,
+            "cap",
+            FileFormat::Pcap,
+            65_535,
+            RotationPolicy {
+                max_file_bytes: u64::MAX,
+                max_file_duration: Some(Duration::from_millis(1)),
+            },
+        )
+        .unwrap();
+        w.push_packet(1, 60, &[0u8; 60]);
+        w.commit_batch().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        w.push_packet(2, 60, &[0u8; 60]);
+        w.commit_batch().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        w.push_packet(3, 60, &[0u8; 60]);
+        w.finish().unwrap();
+        assert!(w.files().len() >= 2, "{} files", w.files().len());
+        for path in w.files() {
+            let sf = pcap::savefile::read_file(&std::fs::read(path).unwrap()[..]).unwrap();
+            assert!(!sf.packets.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_run_creates_no_files() {
+        let dir = tmpdir("empty");
+        let mut w = RotatingWriter::new(
+            &dir,
+            "cap",
+            FileFormat::Pcapng,
+            65_535,
+            RotationPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(w.commit_batch().unwrap(), 0);
+        w.finish().unwrap();
+        assert!(w.files().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -72,5 +72,6 @@ pub use buddy::BuddyGroup;
 pub use chunk::{ChunkId, ChunkMeta, ChunkState};
 pub use config::{ConfigError, WireCapConfig, WireCapConfigBuilder};
 pub use engine::WireCapEngine;
+pub use live::{ChunkLens, LiveChunk, LiveConsumer, LiveWireCap};
 pub use pool::RingBufferPool;
 pub use spsc::{BatchRing, MAX_BATCH};

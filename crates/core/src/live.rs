@@ -210,6 +210,18 @@ impl LiveWireCap {
         }
     }
 
+    /// A [`ChunkLens`]: a thread-safe handle that can view any
+    /// [`LiveChunk`]'s packets and account disk-sink telemetry from
+    /// threads that are not the queue's consumer. The capture-to-disk
+    /// subsystem's writer threads hold one of these; the corresponding
+    /// [`LiveConsumer`] stays with the drainer thread that owns
+    /// recycling.
+    pub fn chunk_lens(&self) -> ChunkLens {
+        ChunkLens {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// A consumer handle for queue `q` (the application side).
     pub fn consumer(&self, q: usize) -> LiveConsumer {
         assert!(q < self.shared.rings.len());
@@ -555,6 +567,49 @@ fn flush(shared: &Shared, st: &mut CaptureState) {
     }
 }
 
+/// A thread-safe read lens over a running engine's arenas and disk-side
+/// telemetry, independent of any per-queue consumer.
+///
+/// [`LiveConsumer`] is deliberately single-threaded (it owns the SPSC
+/// consumer end and the recycle path), but the capture-to-disk
+/// subsystem splits work across a drainer thread (owns the consumer)
+/// and a writer thread (encodes packets to the file). The writer only
+/// needs to *read* chunk payloads and bump the `disk` counter shard —
+/// exactly what this handle exposes. Borrow rules still hold: a
+/// [`ChunkView`] borrows the [`LiveChunk`], so the chunk cannot be
+/// recycled (moved back to the drainer) while a view is alive.
+#[derive(Clone)]
+pub struct ChunkLens {
+    shared: Arc<Shared>,
+}
+
+impl ChunkLens {
+    /// Borrows the packets of `chunk` from its home arena — same
+    /// semantics as [`LiveConsumer::view`], usable from any thread.
+    pub fn view<'a>(&'a self, chunk: &'a LiveChunk) -> ChunkView<'a> {
+        self.shared.arenas[chunk.home()].view(&chunk.seal)
+    }
+
+    /// The engine's queue count.
+    pub fn queues(&self) -> usize {
+        self.shared.rings.len()
+    }
+
+    /// Queue `q`'s disk-sink counter shard (multi-writer counters; the
+    /// disk subsystem fires them per chunk or batch, never per packet).
+    pub fn disk(&self, q: usize) -> &telemetry::DiskSide {
+        &self.shared.tel.queue(q).disk
+    }
+}
+
+impl std::fmt::Debug for ChunkLens {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkLens")
+            .field("queues", &self.queues())
+            .finish()
+    }
+}
+
 /// The application-side handle for one queue: takes chunk handles,
 /// borrows their packets through [`ChunkView`], and recycles the slots.
 pub struct LiveConsumer {
@@ -703,6 +758,33 @@ impl LiveConsumer {
 
 impl Drop for LiveConsumer {
     fn drop(&mut self) {
+        // A consumer departing mid-run (early shutdown, panic unwind)
+        // must not strand chunks it already popped off the rings: the
+        // slots would never return to their home pools and the capture
+        // side would bleed capacity. Every pending or inboxed chunk
+        // goes home here, its packets accounted as delivery drops —
+        // captured, popped, but never handed to an application. (Chunks
+        // still *on* the rings are not ours to recycle; a successor
+        // consumer on this queue finds them there.)
+        let mut undelivered = 0u64;
+        for chunk in self.pending.take().into_iter().chain(self.inbox.drain(..)) {
+            undelivered += chunk.len() as u64;
+            let home = chunk.home();
+            self.shared.tel.queue(home).app.recycled_chunks.add(1);
+            let mut seal = chunk.seal;
+            while let Err(back) = self.shared.recycle[home].push(seal) {
+                seal = back;
+                std::thread::yield_now();
+            }
+        }
+        if undelivered > 0 {
+            self.shared
+                .tel
+                .queue(self.q)
+                .cap
+                .delivery_drop_packets
+                .add(undelivered);
+        }
         self.flush_tally();
     }
 }

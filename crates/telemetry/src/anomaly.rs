@@ -11,7 +11,11 @@
 //!   delivery pressure is building;
 //! * **offload storm** — buddies are absorbing chunks faster than a
 //!   configured rate, the §4 signature of a pathologically skewed RSS
-//!   split.
+//!   split;
+//! * **disk writer falling behind** — the capture-to-disk sink is
+//!   shedding packets (its bounded handoff ring overflowed): the
+//!   capture-and-save workload of §4 is degrading gracefully instead
+//!   of losing packets silently.
 //!
 //! Detection is hysteretic: a condition must hold for
 //! [`AnomalyConfig::sustain_samples`] consecutive samples to fire, and
@@ -34,6 +38,9 @@ pub struct AnomalyConfig {
     pub queue_depth_limit: Option<u64>,
     /// Fire when the offload rate exceeds this many chunks/s.
     pub offload_storm_cps: Option<f64>,
+    /// Fire when the disk sink sheds packets faster than this
+    /// (packets/s) — the "writer falling behind" episode.
+    pub disk_drop_pps: Option<f64>,
     /// Consecutive violating samples required to fire.
     pub sustain_samples: u32,
     /// Consecutive clean samples required to re-arm after firing.
@@ -46,6 +53,7 @@ impl Default for AnomalyConfig {
             drop_rate_spike: Some(0.01),
             queue_depth_limit: None,
             offload_storm_cps: None,
+            disk_drop_pps: Some(1.0),
             sustain_samples: 2,
             clear_samples: 2,
         }
@@ -76,6 +84,13 @@ pub enum Anomaly {
         /// Configured threshold (chunks/s).
         limit: f64,
     },
+    /// The disk writer fell behind and the sink shed packets.
+    WriterBehind {
+        /// Observed disk-drop rate (packets/s).
+        pps: f64,
+        /// Configured threshold (packets/s).
+        limit: f64,
+    },
 }
 
 impl fmt::Display for Anomaly {
@@ -89,6 +104,12 @@ impl fmt::Display for Anomaly {
             }
             Anomaly::OffloadStorm { cps, limit } => {
                 write!(f, "offload storm: {cps:.0} > {limit:.0} chunks/s")
+            }
+            Anomaly::WriterBehind { pps, limit } => {
+                write!(
+                    f,
+                    "disk writer falling behind: shedding {pps:.0} > {limit:.0} packets/s"
+                )
             }
         }
     }
@@ -159,6 +180,14 @@ impl AnomalyDetector {
                 });
             }
         }
+        if let Some(limit) = self.cfg.disk_drop_pps {
+            if r.disk_drop_pps > limit {
+                return Some(Anomaly::WriterBehind {
+                    pps: r.disk_drop_pps,
+                    limit,
+                });
+            }
+        }
         None
     }
 
@@ -219,6 +248,7 @@ mod tests {
             drop_rate_spike: Some(0.05),
             queue_depth_limit: None,
             offload_storm_cps: None,
+            disk_drop_pps: None,
             sustain_samples: 3,
             clear_samples: 2,
         })
@@ -267,6 +297,7 @@ mod tests {
             drop_rate_spike: None,
             queue_depth_limit: Some(10),
             offload_storm_cps: None,
+            disk_drop_pps: None,
             sustain_samples: 1,
             clear_samples: 1,
         });
@@ -285,6 +316,7 @@ mod tests {
             drop_rate_spike: None,
             queue_depth_limit: None,
             offload_storm_cps: Some(100.0),
+            disk_drop_pps: None,
             sustain_samples: 1,
             clear_samples: 1,
         });
@@ -294,5 +326,34 @@ mod tests {
         };
         assert!(matches!(d.observe(&r), Some(Anomaly::OffloadStorm { .. })));
         assert!(format!("{}", d.violation(&r).unwrap()).contains("offload storm"));
+    }
+
+    #[test]
+    fn writer_behind_condition_fires() {
+        let mut d = AnomalyDetector::new(AnomalyConfig {
+            drop_rate_spike: None,
+            queue_depth_limit: None,
+            offload_storm_cps: None,
+            disk_drop_pps: Some(10.0),
+            sustain_samples: 1,
+            clear_samples: 1,
+        });
+        let calm = Rates {
+            disk_drop_pps: 0.0,
+            ..Default::default()
+        };
+        assert!(d.observe(&calm).is_none(), "no drops, no episode");
+        let behind = Rates {
+            disk_drop_pps: 2_500.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            d.observe(&behind),
+            Some(Anomaly::WriterBehind {
+                pps: 2_500.0,
+                limit: 10.0
+            })
+        );
+        assert!(format!("{}", d.violation(&behind).unwrap()).contains("disk writer falling behind"));
     }
 }

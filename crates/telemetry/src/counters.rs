@@ -157,6 +157,25 @@ pub struct PeerSide {
     pub offloaded_in_chunks: Counter,
 }
 
+/// Counters written by the capture-to-disk subsystem (`capdisk`): the
+/// per-queue drainer and writer threads. These threads fire once per
+/// chunk or per write batch — never per packet — so plain multi-writer
+/// [`Counter::add`] is cheap enough and keeps the shard safe no matter
+/// how the sink splits work across its threads.
+#[derive(Debug, Default)]
+pub struct DiskSide {
+    /// Packets encoded into a capture file and handed to the OS.
+    pub disk_written_packets: Counter,
+    /// Packets discarded because the disk writer fell behind (the
+    /// bounded handoff ring was full) — the explicit graceful-
+    /// degradation drop, never a silent stall of the capture path.
+    pub disk_drop_packets: Counter,
+    /// File-format bytes written (headers + records), post-encoding.
+    pub disk_written_bytes: Counter,
+    /// Capture files opened (rotations create new ones).
+    pub disk_files: Counter,
+}
+
 /// All counters for one queue, one cache line per writer role.
 #[derive(Debug, Default)]
 pub struct QueueCounters {
@@ -166,6 +185,8 @@ pub struct QueueCounters {
     pub app: CacheAligned<DeliverySide>,
     /// Buddy-peer shard.
     pub peer: CacheAligned<PeerSide>,
+    /// Capture-to-disk shard (zero unless a disk sink is attached).
+    pub disk: CacheAligned<DiskSide>,
     /// High-watermark of this queue's capture-queue depth. Multi-writer
     /// (`fetch_max` from whoever pushes onto the queue), so it gets its
     /// own cache line rather than riding in a single-writer shard.
@@ -199,6 +220,8 @@ impl QueueCounters {
             recycled_chunks: self.app.0.recycled_chunks.get(),
             offloaded_in_chunks: self.peer.0.offloaded_in_chunks.get(),
             offloaded_out_chunks: cap.offloaded_out_chunks.get(),
+            disk_written_packets: self.disk.0.disk_written_packets.get(),
+            disk_drop_packets: self.disk.0.disk_drop_packets.get(),
             capture_queue_len: 0,
             capture_queue_watermark: self.capture_queue_watermark.get(),
             free_chunks: 0,

@@ -396,6 +396,7 @@ mod tests {
                 drop_rate_spike: Some(0.05),
                 queue_depth_limit: None,
                 offload_storm_cps: None,
+                disk_drop_pps: None,
                 sustain_samples: 2,
                 clear_samples: 2,
             }),

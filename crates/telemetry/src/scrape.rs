@@ -12,10 +12,14 @@
 //!
 //! Built on nothing but `std::net::TcpListener`: one acceptor thread,
 //! non-blocking accept with a short sleep so shutdown is prompt, one
-//! snapshot per request. Scrapes are reader-side only — the hot path
-//! never notices them. This is deliberately *not* a general HTTP
-//! server: requests beyond a line + headers are ignored, keep-alive is
-//! not offered, and responses close the connection.
+//! snapshot per request. Each accepted connection is served on a
+//! short-lived worker thread, so one stalled or slow client can never
+//! hold the accept loop hostage — `/healthz` stays responsive while a
+//! misbehaving scraper waits out its read timeout. Scrapes are
+//! reader-side only — the hot path never notices them. This is
+//! deliberately *not* a general HTTP server: requests beyond a line +
+//! headers are ignored, keep-alive is not offered, and responses close
+//! the connection.
 
 use crate::sampler::{Observable, SamplerCore};
 use std::io::{Read, Write};
@@ -65,8 +69,24 @@ impl ScrapeServer {
                 while !stop_flag.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
-                            if serve_one(stream, observer.as_ref(), sampler.as_deref()).is_ok() {
-                                served_ctr.fetch_add(1, Ordering::Relaxed);
+                            // Serve on a short-lived worker so a slow
+                            // or stalled client only ties up its own
+                            // thread (bounded by the per-connection
+                            // timeouts), never the accept loop.
+                            let obs = Arc::clone(&observer);
+                            let smp = sampler.clone();
+                            let ctr = Arc::clone(&served_ctr);
+                            let spawned = std::thread::Builder::new()
+                                .name("wirecap-scrape-conn".into())
+                                .spawn(move || {
+                                    if serve_one(stream, obs.as_ref(), smp.as_deref()).is_ok() {
+                                        ctr.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                });
+                            if let Err(e) = spawned {
+                                // Out of threads: degrade, don't die —
+                                // the next accept tries again.
+                                eprintln!("wirecap telemetry: scrape worker spawn: {e}");
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -98,11 +118,17 @@ impl ScrapeServer {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Stops and joins the acceptor thread (idempotent).
+    /// Stops and joins the acceptor thread (idempotent). In-flight
+    /// worker threads finish on their own, bounded by the
+    /// per-connection timeouts.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
-            t.join().expect("scrape thread panicked");
+            // A panicking acceptor must not take the engine down with
+            // it from Drop — log and move on.
+            if t.join().is_err() {
+                eprintln!("wirecap telemetry: scrape acceptor thread panicked");
+            }
         }
     }
 }
@@ -138,10 +164,20 @@ fn serve_one(
             write_response(&mut stream, 200, "application/json", &body)
         }
         "/series.json" => match sampler {
-            Some(core) => {
-                let body = series_json(core);
-                write_response(&mut stream, 200, "application/json", &body)
-            }
+            Some(core) => match series_json(core) {
+                Ok(body) => write_response(&mut stream, 200, "application/json", &body),
+                Err(e) => {
+                    // Serialization failure is a server bug worth a
+                    // status code, not a panic in a worker thread.
+                    eprintln!("wirecap telemetry: series serialization: {e}");
+                    write_response(
+                        &mut stream,
+                        500,
+                        "text/plain",
+                        "series serialization failed\n",
+                    )
+                }
+            },
             None => write_response(&mut stream, 404, "text/plain", "no sampler attached\n"),
         },
         "/healthz" => write_response(&mut stream, 200, "text/plain", "ok\n"),
@@ -150,14 +186,14 @@ fn serve_one(
 }
 
 /// The `/series.json` document: retained samples plus derived rates.
-fn series_json(core: &SamplerCore) -> String {
+fn series_json(core: &SamplerCore) -> Result<String, serde_json::JsonError> {
     let doc = SeriesDoc {
         samples: core.samples(),
         anomalies: core.anomalies(),
         series: core.series(),
         rates: core.rates(),
     };
-    serde_json::to_string_pretty(&doc).expect("series serializes") + "\n"
+    Ok(serde_json::to_string_pretty(&doc)? + "\n")
 }
 
 #[derive(serde::Serialize)]
@@ -206,6 +242,7 @@ fn write_response(
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
+        500 => "Internal Server Error",
         _ => "Not Found",
     };
     let head = format!(
@@ -297,6 +334,31 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"series\""), "{body}");
         assert!(body.contains("\"captured_pps\""), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn slow_client_does_not_delay_healthz() {
+        let mut server = ScrapeServer::bind("127.0.0.1:0", Arc::new(Fixed), None).unwrap();
+        let addr = server.addr();
+        // A deliberately slow client: connects, sends nothing, and
+        // holds the connection open. Before per-connection workers,
+        // this parked the single accept loop inside serve_one's 500 ms
+        // read timeout and every other request queued behind it.
+        let stalled: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        // Give the acceptor a beat to accept the stalled connections
+        // so they are genuinely in-flight, not still in the backlog.
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        let (status, ok) = get(addr, "/healthz");
+        let elapsed = t0.elapsed();
+        assert_eq!(status, 200);
+        assert_eq!(ok, "ok\n");
+        assert!(
+            elapsed < Duration::from_millis(50),
+            "healthz took {elapsed:?} behind stalled clients"
+        );
+        drop(stalled);
         server.stop();
     }
 }

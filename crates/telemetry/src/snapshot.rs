@@ -48,6 +48,12 @@ pub struct QueueTelemetry {
     pub offloaded_in_chunks: u64,
     /// Chunks this queue placed on buddies.
     pub offloaded_out_chunks: u64,
+    /// Packets written to capture files by the disk sink (0 when no
+    /// sink is attached).
+    pub disk_written_packets: u64,
+    /// Packets dropped because the disk writer fell behind — the
+    /// capture-to-disk subsystem's explicit graceful-degradation drop.
+    pub disk_drop_packets: u64,
     /// Gauge: chunks currently waiting on this queue's capture queue.
     pub capture_queue_len: u64,
     /// High-watermark of `capture_queue_len` since engine start (the
@@ -97,6 +103,8 @@ impl QueueTelemetry {
         self.recycled_chunks += other.recycled_chunks;
         self.offloaded_in_chunks += other.offloaded_in_chunks;
         self.offloaded_out_chunks += other.offloaded_out_chunks;
+        self.disk_written_packets += other.disk_written_packets;
+        self.disk_drop_packets += other.disk_drop_packets;
         self.capture_queue_len += other.capture_queue_len;
         self.capture_queue_watermark = self
             .capture_queue_watermark
@@ -183,7 +191,7 @@ impl EngineSnapshot {
         type HistField = (&'static str, fn(&QueueTelemetry) -> &HistogramSnapshot);
         let mut out = String::new();
         let engine = self.engine.replace('"', "'");
-        let counters: [Field; 13] = [
+        let counters: [Field; 15] = [
             ("offered_packets", |t| t.offered_packets),
             ("captured_packets", |t| t.captured_packets),
             ("delivered_packets", |t| t.delivered_packets),
@@ -197,6 +205,8 @@ impl EngineSnapshot {
             ("recycled_chunks", |t| t.recycled_chunks),
             ("offloaded_in_chunks", |t| t.offloaded_in_chunks),
             ("offloaded_out_chunks", |t| t.offloaded_out_chunks),
+            ("disk_written_packets", |t| t.disk_written_packets),
+            ("disk_drop_packets", |t| t.disk_drop_packets),
         ];
         for (name, get) in counters {
             let _ = writeln!(out, "# TYPE wirecap_{name}_total counter");
@@ -272,6 +282,8 @@ mod tests {
         q0.capture_drop_packets = 7;
         q0.nic_drop_packets = 3;
         q0.delivery_drop_packets = 2;
+        q0.disk_written_packets = 80;
+        q0.disk_drop_packets = 8;
         q0.chunk_fill.count = 2;
         q0.chunk_fill.sum = 90;
         q0.chunk_fill.max = 64;
@@ -322,6 +334,9 @@ mod tests {
         assert!(text.contains("wirecap_chunk_fill_sum{engine=\"test\",queue=\"0\"} 90"));
         // Cumulative buckets end at the total count.
         assert!(text.contains("le=\"128\"} 2"));
+        assert!(text.contains("# TYPE wirecap_disk_drop_packets_total counter"));
+        assert!(text.contains("wirecap_disk_written_packets_total{engine=\"test\",queue=\"0\"} 80"));
+        assert!(text.contains("wirecap_disk_drop_packets_total{engine=\"test\",queue=\"0\"} 8"));
         assert!(text.contains("# TYPE wirecap_capture_queue_watermark gauge"));
         assert!(text.contains("wirecap_capture_queue_watermark{engine=\"test\",queue=\"0\"} 5"));
         assert!(text.contains("# TYPE wirecap_latency_ns histogram"));

@@ -39,6 +39,8 @@ pub struct SeriesSample {
     pub sealed_chunks: u64,
     /// Total chunks placed on buddies so far.
     pub offloaded_chunks: u64,
+    /// Total packets the disk sink dropped so far (writer fell behind).
+    pub disk_drop_packets: u64,
     /// Gauge: chunks waiting on all capture queues combined.
     pub capture_queue_len: u64,
     /// Gauge: deepest single capture queue at the sample instant.
@@ -61,6 +63,7 @@ impl SeriesSample {
             s.drop_packets += q.capture_drop_packets + q.delivery_drop_packets + q.nic_drop_packets;
             s.sealed_chunks += q.sealed_chunks;
             s.offloaded_chunks += q.offloaded_out_chunks;
+            s.disk_drop_packets += q.disk_drop_packets;
             s.capture_queue_len += q.capture_queue_len;
             s.capture_queue_max_len = s.capture_queue_max_len.max(q.capture_queue_len);
             s.free_chunks += q.free_chunks;
@@ -95,6 +98,9 @@ pub struct Rates {
     /// Fraction of this interval's sealed chunks that were offloaded;
     /// 0 when no chunk was sealed.
     pub offload_rate: f64,
+    /// Disk-sink drop rate, packets/s — nonzero only while the disk
+    /// writer is falling behind the capture stream.
+    pub disk_drop_pps: f64,
     /// Deepest single capture queue at the interval's end sample — the
     /// high-watermark signal the anomaly detector compares against the
     /// offload threshold.
@@ -118,6 +124,7 @@ pub fn rates_between(prev: &SeriesSample, next: &SeriesSample) -> Option<Rates> 
     let drops = d(prev.drop_packets, next.drop_packets);
     let sealed = d(prev.sealed_chunks, next.sealed_chunks);
     let offloaded = d(prev.offloaded_chunks, next.offloaded_chunks);
+    let disk_drops = d(prev.disk_drop_packets, next.disk_drop_packets);
     let seen = captured + drops;
     Some(Rates {
         dt_ns,
@@ -136,6 +143,7 @@ pub fn rates_between(prev: &SeriesSample, next: &SeriesSample) -> Option<Rates> 
         } else {
             offloaded as f64 / sealed as f64
         },
+        disk_drop_pps: disk_drops as f64 / secs,
         queue_depth_peak: next.capture_queue_max_len.max(prev.capture_queue_max_len),
     })
 }

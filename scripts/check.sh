@@ -54,6 +54,27 @@ awk '
     }
 ' BENCH_hotpath.json
 
+echo "==> disk-writer encode overhead budget (<= 60% at the largest M)"
+# The capdisk writer thread pcapng-encodes every payload byte, so its
+# overhead over the stamped path is necessarily large; the budget only
+# guards against the encode path regressing into pathological territory
+# (it runs on a dedicated writer thread, not the capture hot path).
+awk '
+    /"m":/               { m = $2 + 0 }
+    /"disk_writer_overhead":/ { sub(/,$/, "", $2); ov[m] = $2 + 0; if (m > max_m) max_m = m }
+    END {
+        if (max_m == 0) { print "FAIL: no disk_writer_overhead entries"; exit 1 }
+        printf "    m=%d disk_writer_overhead=%.2f%%\n", max_m, ov[max_m] * 100
+        if (ov[max_m] > 0.60) {
+            printf "FAIL: disk writer encode overhead %.2f%% > 60%% at m=%d\n", ov[max_m] * 100, max_m
+            exit 1
+        }
+    }
+' BENCH_hotpath.json
+
+echo "==> capture-to-disk smoke (conservation + rotation + degradation)"
+cargo test -q --test capture_to_disk
+
 echo "==> scrape endpoint + sampler escape hatch (live run)"
 # Covers both ends of the env contract: endpoint live during a real
 # threaded capture run, and engines still building/running with the

@@ -36,6 +36,8 @@ const QUEUE_FIELDS: &[&str] = &[
     "recycled_chunks",
     "offloaded_in_chunks",
     "offloaded_out_chunks",
+    "disk_written_packets",
+    "disk_drop_packets",
     "capture_queue_len",
     "capture_queue_watermark",
     "free_chunks",
