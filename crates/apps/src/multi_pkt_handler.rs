@@ -16,10 +16,12 @@
 
 use crate::pkt_handler::PktHandler;
 use nicsim::livenic::LiveNic;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
-use wirecap::WireCapConfig;
+use wirecap::{BuddyGroup, PoolWorkerReport, WireCapConfig};
 
 /// Results from one pkt_handler thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +83,66 @@ pub fn run(nic: Arc<LiveNic>, cfg: WireCapConfig, x: u32) -> Vec<HandlerReport> 
     reports
 }
 
+/// Results from one pooled `multi_pkt_handler` run.
+#[derive(Debug, Clone)]
+pub struct PooledReport {
+    /// Packets the handlers processed (across all workers).
+    pub processed: u64,
+    /// Packets that matched the filter.
+    pub matched: u64,
+    /// Chunks that moved between workers by stealing.
+    pub stolen_chunks: u64,
+    /// Per-worker accounting from the pool.
+    pub workers: Vec<PoolWorkerReport>,
+}
+
+/// Runs a work-stealing [`wirecap::ConsumerPool`] of `workers` threads
+/// over *all* queues of a live WireCAP engine until the NIC stops —
+/// the multi-core variant of [`run`] (DESIGN.md §4.11).
+///
+/// Where [`run`] binds one thread to each queue (and a skewed flow mix
+/// leaves most of them idle), the pool lets any worker steal sealed
+/// chunks from a hot queue's backlog, so delivery throughput follows
+/// the worker count rather than the flow distribution. Each worker
+/// thread keeps its own [`PktHandler`] (the BPF filter program is
+/// compiled once per worker, not per chunk).
+pub fn run_pooled(nic: Arc<LiveNic>, cfg: WireCapConfig, x: u32, workers: usize) -> PooledReport {
+    let queues = nic.queue_count();
+    let cap = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::single(queues));
+    let group = BuddyGroup::all(queues);
+    let processed = Arc::new(AtomicU64::new(0));
+    let matched = Arc::new(AtomicU64::new(0));
+    let pool = {
+        let processed = Arc::clone(&processed);
+        let matched = Arc::clone(&matched);
+        cap.consumer_pool(&group, workers, move |d| {
+            thread_local! {
+                static HANDLER: RefCell<Option<PktHandler>> = const { RefCell::new(None) };
+            }
+            HANDLER.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                let handler = slot.get_or_insert_with(|| PktHandler::paper(x));
+                let mut m = 0u64;
+                for pkt in d.view().iter() {
+                    if handler.handle_bytes(pkt.data) {
+                        m += 1;
+                    }
+                }
+                processed.fetch_add(d.len() as u64, Ordering::Relaxed);
+                matched.fetch_add(m, Ordering::Relaxed);
+            });
+        })
+    };
+    let reports = pool.join();
+    cap.shutdown();
+    PooledReport {
+        processed: processed.load(Ordering::Relaxed),
+        matched: matched.load(Ordering::Relaxed),
+        stolen_chunks: reports.iter().map(|r| r.stolen_chunks).sum(),
+        workers: reports,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +180,44 @@ mod tests {
         assert_eq!(processed, 1000);
         assert_eq!(matched, 1000); // every packet matches the paper filter
         assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn pooled_run_processes_everything_under_skew() {
+        let nic = LiveNic::new(2, 4096);
+        let injector = {
+            let nic = Arc::clone(&nic);
+            std::thread::spawn(move || {
+                let mut b = PacketBuilder::new();
+                // One flow: everything lands on a single queue, the
+                // worst case for per-queue consumers and the case the
+                // pool exists for.
+                let flow = FlowKey::udp(
+                    Ipv4Addr::new(131, 225, 2, 9),
+                    7_777,
+                    Ipv4Addr::new(8, 8, 8, 8),
+                    53,
+                );
+                for i in 0..1000u64 {
+                    let pkt = b.build_packet(i * 1_000, &flow, 100).unwrap();
+                    while nic.inject(pkt.clone()).is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+                nic.stop();
+            })
+        };
+        let mut cfg = WireCapConfig::basic(64, 32, 0);
+        cfg.capture_timeout_ns = 1_000_000;
+        let report = run_pooled(Arc::clone(&nic), cfg, 3, 2);
+        injector.join().unwrap();
+        assert_eq!(report.processed, 1000);
+        assert_eq!(report.matched, 1000);
+        assert_eq!(report.workers.len(), 2);
+        assert_eq!(
+            report.workers.iter().map(|r| r.packets).sum::<u64>(),
+            1000,
+            "worker reports disagree with handler counts"
+        );
     }
 }

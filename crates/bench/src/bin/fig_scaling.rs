@@ -1,0 +1,108 @@
+//! `fig_scaling` — multi-core delivery scaling: consumer pools vs. the
+//! one-consumer-per-queue baseline (DESIGN.md §4.11, EXPERIMENTS.md).
+//!
+//! Sweeps worker counts × queue counts over the skewed single-flow
+//! workload of [`bench::scaling`] and reports aggregate delivered pps.
+//! The per-queue baseline pins delivery to exactly one thread per
+//! queue (idle ones busy-yield); the pooled rows run a
+//! [`wirecap::ConsumerPool`] with chunk stealing and adaptive parking
+//! over the same queues. Conservation is asserted inside every data
+//! point before its rate is reported.
+//!
+//! `--small` runs the single 2-queue/2-worker point plus its baseline
+//! (the CI smoke configuration `scripts/check.sh` uses).
+
+use bench::scaling::{baseline_point, pooled_point, ScalingPoint, FRAME, WORK_PASSES};
+use bench::{write_json, write_table, Opts};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Doc {
+    benchmark: String,
+    frame_bytes: usize,
+    work_passes: usize,
+    packets_per_point: u64,
+    points: Vec<ScalingPoint>,
+    /// Pooled pps at the largest queues/workers point divided by the
+    /// same-queue-count per-queue baseline — the headline number
+    /// (`scripts/check.sh` gates the 4q/4w variant at ≥ 1.5×).
+    pool_speedup: f64,
+    speedup_queues: usize,
+    speedup_workers: usize,
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let packets: u64 = if opts.small { 60_000 } else { 400_000 };
+    let (queue_counts, worker_counts): (Vec<usize>, Vec<usize>) = if opts.small {
+        (vec![2], vec![2])
+    } else {
+        (vec![1, 2, 4], vec![1, 2, 4])
+    };
+
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    for &q in &queue_counts {
+        eprintln!("fig_scaling: per-queue baseline, {q} queue(s), {packets} packets");
+        points.push(baseline_point(q, packets));
+        for &w in &worker_counts {
+            eprintln!("fig_scaling: pooled, {q} queue(s) x {w} worker(s), {packets} packets");
+            points.push(pooled_point(q, w, packets));
+        }
+    }
+
+    let gate_q = *queue_counts.last().expect("non-empty sweep");
+    let gate_w = *worker_counts.last().expect("non-empty sweep");
+    let baseline_pps = points
+        .iter()
+        .find(|p| p.mode == "per_queue" && p.queues == gate_q)
+        .expect("baseline point present")
+        .pps;
+    let pooled_pps = points
+        .iter()
+        .find(|p| p.mode == "pooled" && p.queues == gate_q && p.workers == gate_w)
+        .expect("pooled point present")
+        .pps;
+    let pool_speedup = pooled_pps / baseline_pps;
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.mode.to_string(),
+                p.queues.to_string(),
+                p.workers.to_string(),
+                format!("{:.0}", p.pps),
+                format!("{:.3}", p.elapsed_s),
+                p.stolen_chunks.to_string(),
+                p.worker_parks.to_string(),
+            ]
+        })
+        .collect();
+    write_table(
+        &opts.out,
+        "fig_scaling",
+        &format!(
+            "Aggregate delivered pps, skewed single-flow traffic \
+             ({packets} packets, {FRAME}B frames, work x{WORK_PASSES}); \
+             pooled {gate_q}q/{gate_w}w vs per-queue baseline: {pool_speedup:.2}x"
+        ),
+        &[
+            "mode", "queues", "workers", "pps", "seconds", "stolen", "parks",
+        ],
+        &rows,
+    );
+    write_json(
+        &opts.out,
+        "fig_scaling",
+        &Doc {
+            benchmark: "multi-core delivery scaling: consumer pool vs per-queue consumers".into(),
+            frame_bytes: FRAME,
+            work_passes: WORK_PASSES,
+            packets_per_point: packets,
+            points,
+            pool_speedup,
+            speedup_queues: gate_q,
+            speedup_workers: gate_w,
+        },
+    );
+}

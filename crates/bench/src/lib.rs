@@ -14,6 +14,7 @@
 //! | `fig13` | Fig. 13 — packet forwarding |
 //! | `fig14` | Fig. 14 — two-NIC scalability under bus saturation |
 //! | `tab2`  | Table 2 — qualitative engine comparison |
+//! | `fig_scaling` | beyond the paper — pooled vs. per-queue delivery scaling (DESIGN.md §4.11) |
 //! | `fig_all` | everything above, writing `results/` |
 //!
 //! Every binary prints the same rows/series the paper reports and writes
@@ -35,6 +36,7 @@ use std::path::{Path, PathBuf};
 
 pub mod experiments;
 pub mod fig14_model;
+pub mod scaling;
 
 /// Command-line options shared by all figure binaries.
 #[derive(Debug, Clone)]

@@ -25,6 +25,6 @@ pub mod format;
 pub mod sink;
 pub mod writer;
 
-pub use format::{read_pcapng, FileFormat, PcapngFile};
+pub use format::{read_pcapng, EpbTemplate, FileFormat, PcapngFile};
 pub use sink::{DiskReport, DiskSink, DiskSinkConfig, QueueDiskReport, SinkMode};
 pub use writer::{RotatingWriter, RotationPolicy};

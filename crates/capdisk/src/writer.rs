@@ -16,7 +16,7 @@
 //! header. Every emitted file is therefore self-contained and
 //! independently parseable.
 
-use crate::format::FileFormat;
+use crate::format::{pcap_record_into, pcap_record_len, EpbTemplate, FileFormat};
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -49,14 +49,22 @@ pub struct RotatingWriter {
     prefix: String,
     format: FileFormat,
     snaplen: u32,
+    /// Precomputed EPB header for the pcapng hot path: built once per
+    /// writer, patched per packet instead of reassembled.
+    epb: Option<EpbTemplate>,
     policy: RotationPolicy,
     file: Option<File>,
     file_bytes: u64,
     file_opened: Instant,
     seq: u32,
     /// Double buffer: `bufs[active]` is filling, the other was last
-    /// written and keeps its capacity warm for the swap.
+    /// written and keeps its capacity warm for the swap. Each buffer
+    /// is fixed-size zero-initialized storage addressed through its
+    /// `staged` cursor (grown only when a batch outruns it), so
+    /// encoding a packet is pure slice stores with no per-packet
+    /// `Vec` length/capacity bookkeeping.
     bufs: [Vec<u8>; 2],
+    staged: [usize; 2],
     active: usize,
     files: Vec<PathBuf>,
     written_packets: u64,
@@ -79,12 +87,14 @@ impl RotatingWriter {
             prefix: prefix.to_string(),
             format,
             snaplen,
+            epb: (format == FileFormat::Pcapng).then(|| EpbTemplate::new(snaplen)),
             policy,
             file: None,
             file_bytes: 0,
             file_opened: Instant::now(),
             seq: 0,
-            bufs: [Vec::with_capacity(1 << 16), Vec::with_capacity(1 << 16)],
+            bufs: [vec![0u8; 1 << 16], vec![0u8; 1 << 16]],
+            staged: [0, 0],
             active: 0,
             files: Vec::new(),
             written_packets: 0,
@@ -92,21 +102,37 @@ impl RotatingWriter {
         })
     }
 
+    /// Carves the next `len` bytes out of the active batch buffer,
+    /// doubling the storage on the rare batch that outruns it.
+    fn record_slice(&mut self, len: usize) -> &mut [u8] {
+        let buf = &mut self.bufs[self.active];
+        let start = self.staged[self.active];
+        let end = start + len;
+        if end > buf.len() {
+            buf.resize((buf.len() * 2).max(end), 0);
+        }
+        self.staged[self.active] = end;
+        &mut buf[start..end]
+    }
+
     /// Encodes one packet into the current batch buffer. No I/O.
     pub fn push_packet(&mut self, ts_ns: u64, wire_len: u32, data: &[u8]) {
-        self.format.encode_packet(
-            &mut self.bufs[self.active],
-            ts_ns,
-            wire_len,
-            data,
-            self.snaplen,
-        );
+        match self.epb {
+            Some(tmpl) => {
+                let rec = self.record_slice(tmpl.encoded_len(data.len()));
+                tmpl.encode_into(rec, ts_ns, wire_len, data);
+            }
+            None => {
+                let rec = self.record_slice(pcap_record_len(data.len(), self.snaplen));
+                pcap_record_into(rec, ts_ns, wire_len, data);
+            }
+        }
         self.written_packets += 1;
     }
 
     /// Bytes staged in the current batch buffer.
     pub fn staged_bytes(&self) -> usize {
-        self.bufs[self.active].len()
+        self.staged[self.active]
     }
 
     /// Writes the staged batch with a single `write` call, swaps
@@ -114,7 +140,8 @@ impl RotatingWriter {
     /// written (including any file header opened for this batch); 0 for
     /// an empty batch.
     pub fn commit_batch(&mut self) -> io::Result<u64> {
-        if self.bufs[self.active].is_empty() {
+        let staged = self.staged[self.active];
+        if staged == 0 {
             return Ok(0);
         }
         let mut batch_bytes = 0u64;
@@ -122,12 +149,11 @@ impl RotatingWriter {
             batch_bytes += self.open_next()?;
         }
         let file = self.file.as_mut().expect("opened above");
-        let buf = &self.bufs[self.active];
-        file.write_all(buf)?;
-        batch_bytes += buf.len() as u64;
-        self.file_bytes += buf.len() as u64;
-        self.written_bytes += buf.len() as u64;
-        self.bufs[self.active].clear();
+        file.write_all(&self.bufs[self.active][..staged])?;
+        batch_bytes += staged as u64;
+        self.file_bytes += staged as u64;
+        self.written_bytes += staged as u64;
+        self.staged[self.active] = 0;
         self.active ^= 1;
         let expired = self
             .policy

@@ -71,6 +71,22 @@ impl BuddyGroup {
         self.members.contains(&queue)
     }
 
+    /// The queues worker `worker` of a `workers`-wide consumer pool
+    /// owns: the members at positions ≡ `worker` (mod `workers`).
+    /// Shards are disjoint, cover the whole group, and differ in size
+    /// by at most one queue; with `workers > members` the extra
+    /// workers own nothing and live off stealing alone.
+    pub fn worker_shard(&self, worker: usize, workers: usize) -> Vec<usize> {
+        assert!(workers > 0, "a pool needs at least one worker");
+        self.members
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % workers == worker % workers)
+            .map(|(_, q)| q)
+            .collect()
+    }
+
     /// The offloading decision for a chunk captured on `from`:
     /// given each queue's capture-queue length (`lens[q]`) and shared
     /// capacity, returns the buddy to place the chunk on — `from` itself
@@ -260,6 +276,22 @@ mod tests {
             let g = BuddyGroup::all(4).with_policy(policy);
             assert_eq!(g.place_seq(2, &[0, 0, 10, 0], 100, 0.6, 7), 2, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn worker_shards_partition_the_group() {
+        let g = BuddyGroup::new(vec![2, 5, 7, 9, 11]);
+        let shards: Vec<Vec<usize>> = (0..3).map(|w| g.worker_shard(w, 3)).collect();
+        assert_eq!(shards[0], vec![2, 9]);
+        assert_eq!(shards[1], vec![5, 11]);
+        assert_eq!(shards[2], vec![7]);
+        let mut all: Vec<usize> = shards.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![2, 5, 7, 9, 11], "disjoint and covering");
+        // More workers than members: the surplus owns nothing.
+        assert!(g.worker_shard(6, 7).is_empty());
+        // One worker owns everything.
+        assert_eq!(g.worker_shard(0, 1), vec![2, 5, 7, 9, 11]);
     }
 
     #[test]

@@ -34,6 +34,20 @@ pub struct WireCapConfig {
     /// core after offloading ("a degraded CPU efficiency caused by a loss
     /// of the core affinity", §5b). 1.0 = no penalty.
     pub offload_penalty: f64,
+    /// Adaptive polling (live engine): idle rounds a capture or pool
+    /// worker thread busy-spins before it starts yielding.
+    pub spin_iters: u32,
+    /// Adaptive polling: idle rounds spent yielding (after the spin
+    /// stage) before the thread parks on a wakeup gate.
+    pub yield_iters: u32,
+    /// Adaptive polling: upper bound on one parked wait, in
+    /// nanoseconds. Parks are always timeout-bounded so a missed
+    /// wakeup costs at most this long.
+    pub park_timeout_ns: u64,
+    /// Pin live capture threads (core = queue index) and pool workers
+    /// (cores after the capture threads) with `sched_setaffinity`.
+    /// A no-op on platforms without it.
+    pub pin_threads: bool,
     /// The application model (one `pkt_handler` thread per queue).
     pub app: AppModel,
 }
@@ -52,6 +66,13 @@ impl WireCapConfig {
             // that packets never linger in the ring at quiet queues.
             capture_timeout_ns: 10_000_000,
             offload_penalty: 0.97,
+            // Adaptive-polling ladder: ~a short burst of spins for
+            // lowest wakeup latency, a few yields to let co-scheduled
+            // threads run, then 1 ms bounded parks.
+            spin_iters: 256,
+            yield_iters: 64,
+            park_timeout_ns: 1_000_000,
+            pin_threads: false,
             app: AppModel {
                 cpu: CpuModel::default(),
                 x,
@@ -272,6 +293,32 @@ impl WireCapConfigBuilder {
         self
     }
 
+    /// Idle rounds of busy-spinning before the adaptive poller starts
+    /// yielding (live capture + pool worker threads).
+    pub fn spin_iters(mut self, iters: u32) -> Self {
+        self.cfg.spin_iters = iters;
+        self
+    }
+
+    /// Idle rounds of yielding before the adaptive poller parks.
+    pub fn yield_iters(mut self, iters: u32) -> Self {
+        self.cfg.yield_iters = iters;
+        self
+    }
+
+    /// Upper bound on one parked wait, in nanoseconds.
+    pub fn park_timeout_ns(mut self, ns: u64) -> Self {
+        self.cfg.park_timeout_ns = ns;
+        self
+    }
+
+    /// Pin capture threads and pool workers to cores
+    /// (`sched_setaffinity`; no-op where unavailable).
+    pub fn pin_threads(mut self, pin: bool) -> Self {
+        self.cfg.pin_threads = pin;
+        self
+    }
+
     /// BPF repetitions x per packet in the application model.
     pub fn bpf_repetitions(mut self, x: u32) -> Self {
         self.cfg.app.x = x;
@@ -400,7 +447,27 @@ mod tests {
         assert_eq!(b.r, basic.r);
         assert_eq!(b.ring_size, basic.ring_size);
         assert_eq!(b.capture_timeout_ns, basic.capture_timeout_ns);
+        assert_eq!(b.spin_iters, basic.spin_iters);
+        assert_eq!(b.yield_iters, basic.yield_iters);
+        assert_eq!(b.park_timeout_ns, basic.park_timeout_ns);
+        assert_eq!(b.pin_threads, basic.pin_threads);
         assert_eq!(b.name(), basic.name());
+    }
+
+    #[test]
+    fn builder_sets_polling_and_pinning() {
+        let cfg = WireCapConfig::builder()
+            .spin_iters(10)
+            .yield_iters(5)
+            .park_timeout_ns(500_000)
+            .pin_threads(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.spin_iters, 10);
+        assert_eq!(cfg.yield_iters, 5);
+        assert_eq!(cfg.park_timeout_ns, 500_000);
+        assert!(cfg.pin_threads);
+        assert!(!WireCapConfig::basic(64, 32, 0).pin_threads);
     }
 
     #[test]

@@ -50,9 +50,10 @@
 //! ```
 
 #![deny(missing_docs)]
-// Unsafe code is denied everywhere except the two audited hot-path
-// modules ([`arena`] and [`spsc`]), which opt back in with module-level
-// `#[allow(unsafe_code)]` around a safe public API.
+// Unsafe code is denied everywhere except the audited hot-path modules
+// ([`arena`], [`spsc`], and [`steal`]'s deque/affinity internals),
+// which opt back in with module-level `#[allow(unsafe_code)]` around a
+// safe public API.
 #![deny(unsafe_code)]
 
 pub mod arena;
@@ -63,6 +64,7 @@ pub mod engine;
 pub mod live;
 pub mod pool;
 pub mod spsc;
+pub mod steal;
 pub mod steering;
 pub mod tx;
 pub mod workqueue;
@@ -75,3 +77,7 @@ pub use engine::WireCapEngine;
 pub use live::{ChunkLens, LiveChunk, LiveConsumer, LiveWireCap};
 pub use pool::RingBufferPool;
 pub use spsc::{BatchRing, MAX_BATCH};
+pub use steal::{
+    pin_to_core, steal_deque, AdaptivePoller, ConsumerPool, DequeOwner, DequeStealer, IdleStep,
+    PoolDelivery, PoolHandler, PoolWorkerReport, Steal, WakeupGate,
+};

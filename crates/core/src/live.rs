@@ -36,9 +36,10 @@
 //! design works as a concurrent artifact.
 
 use crate::arena::{ChunkArena, ChunkView, FreeSlot, SealedSlot};
-use crate::buddy::BuddyGroups;
+use crate::buddy::{BuddyGroup, BuddyGroups};
 use crate::config::{WireCapConfig, CELL_BYTES};
 use crate::spsc::{BatchRing, MAX_BATCH};
+use crate::steal::{available_cores, pin_to_core, AdaptivePoller, ConsumerPool, WakeupGate};
 use crossbeam::queue::ArrayQueue;
 use netproto::Packet;
 use nicsim::livenic::LiveNic;
@@ -61,9 +62,9 @@ const NIC_POP_BATCH: usize = 256;
 /// [`LiveConsumer::view`].
 #[derive(Debug)]
 pub struct LiveChunk {
-    seal: SealedSlot,
-    home: u32,
-    offloaded: bool,
+    pub(crate) seal: SealedSlot,
+    pub(crate) home: u32,
+    pub(crate) offloaded: bool,
 }
 
 impl LiveChunk {
@@ -88,20 +89,27 @@ impl LiveChunk {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     /// `rings[target][producer]`: the SPSC batch ring carrying chunks
     /// captured by `producer` to `target`'s consumers.
-    rings: Vec<Vec<BatchRing<LiveChunk>>>,
+    pub(crate) rings: Vec<Vec<BatchRing<LiveChunk>>>,
     /// Per-home-queue recycle queues carrying sealed slots back to the
     /// capture thread. Capacity R; can never be full.
-    recycle: Vec<ArrayQueue<SealedSlot>>,
+    pub(crate) recycle: Vec<ArrayQueue<SealedSlot>>,
     /// Per-queue cell arenas; all payload bytes live here.
-    arenas: Vec<Arc<ChunkArena>>,
+    pub(crate) arenas: Vec<Arc<ChunkArena>>,
     /// All counters, histograms and the event tracer — sharded by
     /// writer role per queue (see `telemetry::QueueCounters`), so the
     /// capture thread, the consumers, and offloading buddies each write
     /// their own cache line and never false-share on the hot path.
-    tel: Registry,
+    pub(crate) tel: Registry,
+    /// Woken whenever a capture thread publishes chunks or closes its
+    /// rings; pool workers park here when their queues go quiet.
+    pub(crate) delivery_gate: WakeupGate,
+    /// Woken at shutdown; capture threads park here when the NIC is
+    /// idle (NIC arrivals are invisible to the gate, so capture parks
+    /// are bounded by the adaptive poller's park timeout).
+    pub(crate) capture_gate: WakeupGate,
 }
 
 /// The live WireCAP engine: per-queue capture threads over a live NIC.
@@ -163,6 +171,8 @@ impl LiveWireCap {
             recycle: (0..queues).map(|_| ArrayQueue::new(cfg.r)).collect(),
             arenas,
             tel: Registry::new(queues),
+            delivery_gate: WakeupGate::new(),
+            capture_gate: WakeupGate::new(),
         });
         if std::env::var_os("WIRECAP_TELEMETRY_DUMP").is_some() {
             dump::install_sigusr1();
@@ -220,6 +230,30 @@ impl LiveWireCap {
         ChunkLens {
             shared: Arc::clone(&self.shared),
         }
+    }
+
+    /// Starts a [`ConsumerPool`]: `workers` threads consuming the
+    /// queues of `group` with chunk-granularity work stealing between
+    /// them and adaptive polling when idle (DESIGN.md §4.11). The pool
+    /// must be the group's *only* consumer — do not also attach
+    /// [`LiveConsumer`]s to its queues. `handler` runs once per
+    /// delivered chunk, on whichever worker drained or stole it; the
+    /// pool recycles the chunk home when the handler returns.
+    ///
+    /// Join order at end-of-run: stop the NIC, [`ConsumerPool::join`]
+    /// *after* [`Self::shutdown`] has closed the rings — or simply join
+    /// the pool once `shutdown` returns.
+    pub fn consumer_pool<F>(&self, group: &BuddyGroup, workers: usize, handler: F) -> ConsumerPool
+    where
+        F: Fn(crate::steal::PoolDelivery<'_>) + Send + Sync + 'static,
+    {
+        ConsumerPool::spawn(
+            Arc::clone(&self.shared),
+            self.cfg,
+            group,
+            workers,
+            Arc::new(handler),
+        )
     }
 
     /// A consumer handle for queue `q` (the application side).
@@ -296,6 +330,9 @@ impl LiveWireCap {
     /// `WIRECAP_TELEMETRY_DUMP` is set.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Parked capture threads notice the flag immediately instead of
+        // waiting out their bounded park timeout.
+        self.shared.capture_gate.notify();
         for t in self.threads.drain(..) {
             t.join().expect("capture thread panicked");
         }
@@ -370,9 +407,15 @@ fn capture_thread(
     stop: Arc<AtomicBool>,
     free: Vec<FreeSlot>,
 ) {
+    if cfg.pin_threads {
+        // Capture thread q on core q; pool workers map onto the cores
+        // after the capture threads (see `ConsumerPool::spawn`).
+        pin_to_core(q % available_cores());
+    }
     let queues = shared.rings.len();
     let queue = nic.queue(q);
     let arena = Arc::clone(&shared.arenas[q]);
+    let mut poller = AdaptivePoller::from_config(&cfg);
     let mut st = CaptureState {
         q,
         free,
@@ -393,8 +436,25 @@ fn capture_thread(
 
         let mut progressed = false;
         loop {
+            // Backpressure: never pop more packets than the chunks on
+            // hand can absorb. When the pool is exhausted the excess
+            // stays in the NIC ring — where the hardware's own drop
+            // accounting (wire/nic drops) owns the loss — instead of
+            // being popped and immediately discarded as capture drops.
+            // Consumers notify the capture gate on recycle, so a parked
+            // capture thread resumes draining as soon as slots return.
+            if st.current.is_none() && st.free.is_empty() {
+                while let Some(seal) = shared.recycle[q].pop() {
+                    st.free.push(arena.release(seal));
+                }
+                if st.free.is_empty() {
+                    break;
+                }
+            }
+            let room =
+                st.current.as_ref().map_or(0, |s| cfg.m - s.filled()) + st.free.len() * cfg.m;
             pkt_buf.clear();
-            if queue.pop_batch(&mut pkt_buf, NIC_POP_BATCH) == 0 {
+            if queue.pop_batch(&mut pkt_buf, NIC_POP_BATCH.min(room)) == 0 {
                 break;
             }
             progressed = true;
@@ -453,12 +513,17 @@ fn capture_thread(
             flush(&shared, &mut st);
         }
 
-        if !progressed {
+        if progressed {
+            poller.reset();
+        } else {
             // Queue 0's capture thread doubles as the SIGUSR1 servant:
             // it renders the dump off the hot path, only when idle.
             if q == 0 && dump::take_dump_request() {
                 dump::dump_snapshot(&engine_snapshot(&shared, &nic, &cfg));
             }
+            // Ticket before the stop check: a shutdown() notify after
+            // this point turns the park into an immediate return.
+            let ticket = shared.capture_gate.ticket();
             let ending = stop.load(Ordering::SeqCst) || (nic.is_stopped() && queue.depth() == 0);
             if ending {
                 // Close semantics: flush the in-progress chunk without
@@ -476,9 +541,21 @@ fn capture_thread(
                 for target in 0..queues {
                     shared.rings[target][q].close();
                 }
+                // Parked consumers must observe the closes promptly.
+                shared.delivery_gate.notify();
                 return;
             }
-            std::thread::yield_now();
+            // Adaptive idling: spin → yield → bounded park. NIC
+            // arrivals cannot notify the gate, so parks are bounded by
+            // the park timeout — and, while a non-empty partial chunk
+            // is held, by its remaining capture-timeout budget, so the
+            // partial-delivery deadline is never overslept.
+            let max_park = if st.current.as_ref().is_some_and(|s| !s.is_empty()) {
+                timeout.saturating_sub(st.chunk_started.elapsed())
+            } else {
+                Duration::MAX
+            };
+            poller.idle_capped(&shared.capture_gate, ticket, max_park);
         }
     }
 }
@@ -555,6 +632,7 @@ fn wall_ns() -> u64 {
 fn flush(shared: &Shared, st: &mut CaptureState) {
     let q = st.q;
     let cap = &shared.tel.queue(q).cap;
+    let mut published = false;
     for (target, staged) in st.outbox.iter_mut().enumerate() {
         while !staged.is_empty() {
             let pushed = shared.rings[target][q].push_batch(staged);
@@ -562,8 +640,14 @@ fn flush(shared: &Shared, st: &mut CaptureState) {
                 std::thread::yield_now();
             } else {
                 cap.batch_size.record(pushed as u64);
+                published = true;
             }
         }
+    }
+    if published {
+        // One cheap notify per flush (a relaxed load when nobody is
+        // parked) wakes pool workers parked on the delivery gate.
+        shared.delivery_gate.notify();
     }
 }
 
@@ -753,6 +837,9 @@ impl LiveConsumer {
             seal = back;
             std::thread::yield_now();
         }
+        // A capture thread parked on pool exhaustion resumes as soon as
+        // a slot comes home (cheap when nobody is parked).
+        self.shared.capture_gate.notify();
     }
 }
 
@@ -776,6 +863,7 @@ impl Drop for LiveConsumer {
                 seal = back;
                 std::thread::yield_now();
             }
+            self.shared.capture_gate.notify();
         }
         if undelivered > 0 {
             self.shared

@@ -134,6 +134,14 @@ mod imp {
             if max == 0 {
                 return 0;
             }
+            // Empty fast path: a consumer polling many quiet rings (the
+            // pool workers scan every producer ring of every owned
+            // queue) skips the guard CAS entirely. Racy in its favor
+            // only — a concurrent push after this check is caught on
+            // the next poll round.
+            if self.is_empty() {
+                return 0;
+            }
             lock(&self.pop_guard);
             let head = self.head.load(Ordering::Relaxed);
             let tail = self.tail.load(Ordering::Acquire);

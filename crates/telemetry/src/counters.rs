@@ -149,6 +149,53 @@ impl Watermark {
     }
 }
 
+/// A last-value gauge updated with relaxed stores — safe with any
+/// number of writers (last write wins; gauges are instantaneous
+/// readings, not accumulations).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes the current reading (relaxed store).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Last published reading (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Counters written by consumer-pool workers (`wirecap::steal`). Any
+/// worker may touch any group queue's shard — a thief charges the
+/// victim chunk's home queue — so everything here is multi-writer:
+/// plain fetch-add [`Counter`]s (fired per chunk, never per packet)
+/// and a last-value [`Gauge`].
+#[derive(Debug, Default)]
+pub struct PoolSide {
+    /// Chunks a pool worker primarily responsible for this queue took
+    /// from other workers' deques.
+    pub steal_in_chunks: Counter,
+    /// Chunks homed on this queue that a non-owning worker stole.
+    pub steal_out_chunks: Counter,
+    /// Packets inside those stolen chunks.
+    pub stolen_packets: Counter,
+    /// Times this queue's primary pool worker parked on the delivery
+    /// gate (adaptive polling reached the park stage).
+    pub worker_parks: Counter,
+    /// Occupancy of the primary worker's local steal deque, published
+    /// after each ring drain.
+    pub steal_queue_len: Gauge,
+}
+
 /// Counters written by *other* queues' capture threads (buddy
 /// placements land here).
 #[derive(Debug, Default)]
@@ -187,6 +234,8 @@ pub struct QueueCounters {
     pub peer: CacheAligned<PeerSide>,
     /// Capture-to-disk shard (zero unless a disk sink is attached).
     pub disk: CacheAligned<DiskSide>,
+    /// Consumer-pool shard (zero unless a `ConsumerPool` is attached).
+    pub pool: CacheAligned<PoolSide>,
     /// High-watermark of this queue's capture-queue depth. Multi-writer
     /// (`fetch_max` from whoever pushes onto the queue), so it gets its
     /// own cache line rather than riding in a single-writer shard.
@@ -222,6 +271,11 @@ impl QueueCounters {
             offloaded_out_chunks: cap.offloaded_out_chunks.get(),
             disk_written_packets: self.disk.0.disk_written_packets.get(),
             disk_drop_packets: self.disk.0.disk_drop_packets.get(),
+            steal_in_chunks: self.pool.0.steal_in_chunks.get(),
+            steal_out_chunks: self.pool.0.steal_out_chunks.get(),
+            stolen_packets: self.pool.0.stolen_packets.get(),
+            worker_parks: self.pool.0.worker_parks.get(),
+            steal_queue_len: self.pool.0.steal_queue_len.get(),
             capture_queue_len: 0,
             capture_queue_watermark: self.capture_queue_watermark.get(),
             free_chunks: 0,

@@ -48,7 +48,9 @@ pub mod timeseries;
 pub mod trace;
 
 pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector};
-pub use counters::{CaptureSide, Counter, DeliverySide, DiskSide, PeerSide, QueueCounters};
+pub use counters::{
+    CaptureSide, Counter, DeliverySide, DiskSide, Gauge, PeerSide, PoolSide, QueueCounters,
+};
 pub use flight::{FlightEvent, FlightRecord};
 pub use hist::{HistogramSnapshot, Log2Histogram, BUCKETS};
 pub use pipeline::{PipelineConfig, TelemetryPipeline};

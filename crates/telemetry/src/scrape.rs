@@ -12,30 +12,52 @@
 //!
 //! Built on nothing but `std::net::TcpListener`: one acceptor thread,
 //! non-blocking accept with a short sleep so shutdown is prompt, one
-//! snapshot per request. Each accepted connection is served on a
-//! short-lived worker thread, so one stalled or slow client can never
-//! hold the accept loop hostage — `/healthz` stays responsive while a
-//! misbehaving scraper waits out its read timeout. Scrapes are
-//! reader-side only — the hot path never notices them. This is
-//! deliberately *not* a general HTTP server: requests beyond a line +
-//! headers are ignored, keep-alive is not offered, and responses close
-//! the connection.
+//! snapshot per request. Accepted connections go through a bounded
+//! queue to a **fixed pool** of worker threads ([`WORKER_THREADS`] of
+//! them), so a stalled or slow client only ties up one worker — never
+//! the accept loop — and a burst of N clients costs N queue slots, not
+//! N thread spawns. When the queue is full the connection is dropped
+//! and counted ([`ScrapeServer::rejected`]): shedding scrapes is
+//! always preferable to unbounded thread growth next to a capture hot
+//! path. Scrapes are reader-side only — the hot path never notices
+//! them. This is deliberately *not* a general HTTP server: requests
+//! beyond a line + headers are ignored, keep-alive is not offered, and
+//! responses close the connection.
 
 use crate::sampler::{Observable, SamplerCore};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Fixed number of connection-serving worker threads. Sized so a
+/// handful of stalled clients (each parked inside its 500 ms read
+/// timeout) still leaves free workers for a liveness probe.
+pub const WORKER_THREADS: usize = 6;
+
+/// Accepted connections waiting for a worker. Beyond this the acceptor
+/// sheds new connections instead of queueing them.
+const CONN_QUEUE_LIMIT: usize = 128;
+
+/// The acceptor→worker handoff: a bounded FIFO of accepted streams.
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
 /// A running scrape endpoint. Dropping (or [`ScrapeServer::stop`])
-/// shuts the acceptor down and joins it.
+/// shuts the acceptor and worker pool down and joins them.
 pub struct ScrapeServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
-    thread: Option<JoinHandle<()>>,
+    rejected: Arc<AtomicU64>,
+    peak_active: Arc<AtomicU64>,
+    conns: Arc<ConnQueue>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ScrapeServer {
@@ -43,6 +65,7 @@ impl std::fmt::Debug for ScrapeServer {
         f.debug_struct("ScrapeServer")
             .field("addr", &self.addr)
             .field("served", &self.served.load(Ordering::Relaxed))
+            .field("rejected", &self.rejected.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -61,50 +84,100 @@ impl ScrapeServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
+        let rejected = Arc::new(AtomicU64::new(0));
+        let peak_active = Arc::new(AtomicU64::new(0));
+        let active = Arc::new(AtomicU64::new(0));
+        let conns = Arc::new(ConnQueue {
+            queue: Mutex::new(VecDeque::with_capacity(CONN_QUEUE_LIMIT)),
+            available: Condvar::new(),
+        });
+        let mut threads = Vec::with_capacity(WORKER_THREADS + 1);
+
+        // The fixed worker pool: each thread loops pop → serve. The
+        // pool size never changes, no matter how many clients connect.
+        for w in 0..WORKER_THREADS {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let observer = Arc::clone(&observer);
+            let sampler = sampler.clone();
+            let served = Arc::clone(&served);
+            let active = Arc::clone(&active);
+            let peak_active = Arc::clone(&peak_active);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("wirecap-scrape-{w}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let mut q = conns.queue.lock().expect("scrape queue poisoned");
+                            loop {
+                                if stop.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                                if let Some(s) = q.pop_front() {
+                                    break s;
+                                }
+                                // Timeout-bounded wait so a missed
+                                // notification can never strand the
+                                // worker past shutdown.
+                                let (guard, _) = conns
+                                    .available
+                                    .wait_timeout(q, Duration::from_millis(50))
+                                    .expect("scrape queue poisoned");
+                                q = guard;
+                            }
+                        };
+                        let now = active.fetch_add(1, Ordering::Relaxed) + 1;
+                        peak_active.fetch_max(now, Ordering::Relaxed);
+                        if serve_one(stream, observer.as_ref(), sampler.as_deref()).is_ok() {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        active.fetch_sub(1, Ordering::Relaxed);
+                    })
+                    .expect("spawning scrape worker thread"),
+            );
+        }
+
         let stop_flag = Arc::clone(&stop);
-        let served_ctr = Arc::clone(&served);
-        let thread = std::thread::Builder::new()
-            .name("wirecap-scrape".into())
-            .spawn(move || {
-                while !stop_flag.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            // Serve on a short-lived worker so a slow
-                            // or stalled client only ties up its own
-                            // thread (bounded by the per-connection
-                            // timeouts), never the accept loop.
-                            let obs = Arc::clone(&observer);
-                            let smp = sampler.clone();
-                            let ctr = Arc::clone(&served_ctr);
-                            let spawned = std::thread::Builder::new()
-                                .name("wirecap-scrape-conn".into())
-                                .spawn(move || {
-                                    if serve_one(stream, obs.as_ref(), smp.as_deref()).is_ok() {
-                                        ctr.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                });
-                            if let Err(e) = spawned {
-                                // Out of threads: degrade, don't die —
-                                // the next accept tries again.
-                                eprintln!("wirecap telemetry: scrape worker spawn: {e}");
+        let conns_in = Arc::clone(&conns);
+        let rejected_ctr = Arc::clone(&rejected);
+        threads.push(
+            std::thread::Builder::new()
+                .name("wirecap-scrape".into())
+                .spawn(move || {
+                    while !stop_flag.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let mut q = conns_in.queue.lock().expect("scrape queue poisoned");
+                                if q.len() >= CONN_QUEUE_LIMIT {
+                                    // Shed: dropping the stream resets
+                                    // the connection. Better a failed
+                                    // scrape than unbounded backlog.
+                                    rejected_ctr.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    q.push_back(stream);
+                                    conns_in.available.notify_one();
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(e) => {
+                                eprintln!("wirecap telemetry: scrape accept: {e}");
+                                std::thread::sleep(Duration::from_millis(50));
                             }
                         }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(e) => {
-                            eprintln!("wirecap telemetry: scrape accept: {e}");
-                            std::thread::sleep(Duration::from_millis(50));
-                        }
                     }
-                }
-            })
-            .expect("spawning scrape thread");
+                })
+                .expect("spawning scrape thread"),
+        );
         Ok(ScrapeServer {
             addr,
             stop,
             served,
-            thread: Some(thread),
+            rejected,
+            peak_active,
+            conns,
+            threads,
         })
     }
 
@@ -118,16 +191,35 @@ impl ScrapeServer {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Stops and joins the acceptor thread (idempotent). In-flight
-    /// worker threads finish on their own, bounded by the
-    /// per-connection timeouts.
+    /// Connections shed because the bounded queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Size of the fixed worker pool — the hard cap on threads serving
+    /// connections, regardless of client count.
+    pub fn worker_threads(&self) -> usize {
+        WORKER_THREADS
+    }
+
+    /// High-water mark of connections being served at once. Can never
+    /// exceed [`ScrapeServer::worker_threads`].
+    pub fn peak_active(&self) -> u64 {
+        self.peak_active.load(Ordering::Relaxed)
+    }
+
+    /// Stops and joins the acceptor and worker threads (idempotent).
+    /// An in-flight request finishes on its own worker first, bounded
+    /// by the per-connection timeouts; queued-but-unserved connections
+    /// are dropped.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            // A panicking acceptor must not take the engine down with
-            // it from Drop — log and move on.
+        self.conns.available.notify_all();
+        for t in self.threads.drain(..) {
+            // A panicking thread must not take the engine down with it
+            // from Drop — log and move on.
             if t.join().is_err() {
-                eprintln!("wirecap telemetry: scrape acceptor thread panicked");
+                eprintln!("wirecap telemetry: scrape thread panicked");
             }
         }
     }
@@ -359,6 +451,33 @@ mod tests {
             "healthz took {elapsed:?} behind stalled clients"
         );
         drop(stalled);
+        server.stop();
+    }
+
+    #[test]
+    fn client_burst_is_bounded_by_the_worker_pool() {
+        // 64 simultaneous clients must not mean 64 serving threads:
+        // the fixed pool serves them from the bounded queue, and the
+        // high-water mark of concurrent serving can never exceed the
+        // pool size.
+        let mut server = ScrapeServer::bind("127.0.0.1:0", Arc::new(Fixed), None).unwrap();
+        let addr = server.addr();
+        let clients: Vec<_> = (0..64)
+            .map(|_| std::thread::spawn(move || get(addr, "/healthz")))
+            .collect();
+        for c in clients {
+            let (status, body) = c.join().unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, "ok\n");
+        }
+        assert_eq!(server.worker_threads(), WORKER_THREADS);
+        assert!(
+            server.peak_active() <= WORKER_THREADS as u64,
+            "{} connections served concurrently with a {WORKER_THREADS}-thread pool",
+            server.peak_active()
+        );
+        assert_eq!(server.served(), 64);
+        assert_eq!(server.rejected(), 0, "the queue holds a 64-client burst");
         server.stop();
     }
 }

@@ -54,6 +54,19 @@ pub struct QueueTelemetry {
     /// Packets dropped because the disk writer fell behind — the
     /// capture-to-disk subsystem's explicit graceful-degradation drop.
     pub disk_drop_packets: u64,
+    /// Chunks this queue's primary pool worker stole from other
+    /// workers' deques (0 when no `ConsumerPool` is attached).
+    pub steal_in_chunks: u64,
+    /// Chunks homed on this queue that other pool workers stole.
+    pub steal_out_chunks: u64,
+    /// Packets inside chunks stolen from this queue
+    /// (`Σ steal_in_chunks == Σ steal_out_chunks` engine-wide).
+    pub stolen_packets: u64,
+    /// Times this queue's primary pool worker parked on the delivery
+    /// gate (adaptive polling reached the park stage).
+    pub worker_parks: u64,
+    /// Gauge: occupancy of the primary pool worker's steal deque.
+    pub steal_queue_len: u64,
     /// Gauge: chunks currently waiting on this queue's capture queue.
     pub capture_queue_len: u64,
     /// High-watermark of `capture_queue_len` since engine start (the
@@ -105,6 +118,11 @@ impl QueueTelemetry {
         self.offloaded_out_chunks += other.offloaded_out_chunks;
         self.disk_written_packets += other.disk_written_packets;
         self.disk_drop_packets += other.disk_drop_packets;
+        self.steal_in_chunks += other.steal_in_chunks;
+        self.steal_out_chunks += other.steal_out_chunks;
+        self.stolen_packets += other.stolen_packets;
+        self.worker_parks += other.worker_parks;
+        self.steal_queue_len += other.steal_queue_len;
         self.capture_queue_len += other.capture_queue_len;
         self.capture_queue_watermark = self
             .capture_queue_watermark
@@ -191,7 +209,7 @@ impl EngineSnapshot {
         type HistField = (&'static str, fn(&QueueTelemetry) -> &HistogramSnapshot);
         let mut out = String::new();
         let engine = self.engine.replace('"', "'");
-        let counters: [Field; 15] = [
+        let counters: [Field; 19] = [
             ("offered_packets", |t| t.offered_packets),
             ("captured_packets", |t| t.captured_packets),
             ("delivered_packets", |t| t.delivered_packets),
@@ -207,6 +225,10 @@ impl EngineSnapshot {
             ("offloaded_out_chunks", |t| t.offloaded_out_chunks),
             ("disk_written_packets", |t| t.disk_written_packets),
             ("disk_drop_packets", |t| t.disk_drop_packets),
+            ("steal_in_chunks", |t| t.steal_in_chunks),
+            ("steal_out_chunks", |t| t.steal_out_chunks),
+            ("stolen_packets", |t| t.stolen_packets),
+            ("worker_parks", |t| t.worker_parks),
         ];
         for (name, get) in counters {
             let _ = writeln!(out, "# TYPE wirecap_{name}_total counter");
@@ -219,7 +241,8 @@ impl EngineSnapshot {
                 );
             }
         }
-        let gauges: [Field; 5] = [
+        let gauges: [Field; 6] = [
+            ("steal_queue_len", |t| t.steal_queue_len),
             ("capture_queue_len", |t| t.capture_queue_len),
             ("capture_queue_watermark", |t| t.capture_queue_watermark),
             ("free_chunks", |t| t.free_chunks),
@@ -284,6 +307,11 @@ mod tests {
         q0.delivery_drop_packets = 2;
         q0.disk_written_packets = 80;
         q0.disk_drop_packets = 8;
+        q0.steal_in_chunks = 4;
+        q0.steal_out_chunks = 4;
+        q0.stolen_packets = 40;
+        q0.worker_parks = 2;
+        q0.steal_queue_len = 3;
         q0.chunk_fill.count = 2;
         q0.chunk_fill.sum = 90;
         q0.chunk_fill.max = 64;
@@ -337,6 +365,10 @@ mod tests {
         assert!(text.contains("# TYPE wirecap_disk_drop_packets_total counter"));
         assert!(text.contains("wirecap_disk_written_packets_total{engine=\"test\",queue=\"0\"} 80"));
         assert!(text.contains("wirecap_disk_drop_packets_total{engine=\"test\",queue=\"0\"} 8"));
+        assert!(text.contains("# TYPE wirecap_steal_out_chunks_total counter"));
+        assert!(text.contains("wirecap_stolen_packets_total{engine=\"test\",queue=\"0\"} 40"));
+        assert!(text.contains("# TYPE wirecap_steal_queue_len gauge"));
+        assert!(text.contains("wirecap_steal_queue_len{engine=\"test\",queue=\"0\"} 3"));
         assert!(text.contains("# TYPE wirecap_capture_queue_watermark gauge"));
         assert!(text.contains("wirecap_capture_queue_watermark{engine=\"test\",queue=\"0\"} 5"));
         assert!(text.contains("# TYPE wirecap_latency_ns histogram"));

@@ -11,6 +11,14 @@
 //! Exceeded like a real router, and "transmits" survivors into NIC2,
 //! where a receiver validates every forwarded frame.
 //!
+//! Forwarding is stateless per packet, which makes it the textbook
+//! client for the work-stealing [`wirecap::ConsumerPool`] (DESIGN.md
+//! §4.11): instead of binding one middlebox thread to each ingress
+//! queue, a pool of workers serves *all* queues, stealing sealed
+//! chunks from whichever queue RSS happens to favour. Each worker
+//! keeps its own `Middlebox` and scratch buffer in thread-local
+//! storage, so the hot loop stays allocation- and lock-free.
+//!
 //! Run with:
 //! ```sh
 //! cargo run --release --example middlebox_forwarder
@@ -19,11 +27,13 @@
 use apps::forwarder::{Middlebox, Verdict};
 use netproto::{FlowKey, PacketBuilder};
 use nicsim::livenic::LiveNic;
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
-use wirecap::WireCapConfig;
+use wirecap::{BuddyGroup, WireCapConfig};
 
 fn main() {
     // NIC1 faces the traffic source; NIC2 faces the next hop.
@@ -33,45 +43,59 @@ fn main() {
     cfg.capture_timeout_ns = 2_000_000;
     let engine = LiveWireCap::start(Arc::clone(&nic1), cfg, BuddyGroups::single(2));
 
-    // Middlebox threads: one per NIC1 queue.
-    let workers: Vec<_> = (0..2)
-        .map(|q| {
-            let mut consumer = engine.consumer(q);
-            let egress = Arc::clone(&nic2);
-            std::thread::spawn(move || {
-                let mut mb = Middlebox::new();
-                // One scratch buffer for the whole stream: frames are
-                // inspected/modified straight off the borrowed chunk
-                // view, with no per-packet allocation on this side.
-                let mut scratch = Vec::new();
-                while let Some(chunk) = consumer.next_chunk() {
-                    for pkt in consumer.view(&chunk).iter() {
-                        let verdict = mb.process_slice(pkt.data, &mut scratch);
-                        if verdict == Verdict::TtlExpired {
-                            // A real router answers with ICMP Time
-                            // Exceeded toward the sender.
-                            let _reply = mb
-                                .time_exceeded_reply(pkt.data)
-                                .expect("IPv4 frame quotes cleanly");
-                        } else {
-                            // Transmit owns its frame: the one copy out
-                            // of the scratch buffer happens here.
-                            let out = netproto::Packet {
-                                ts_ns: pkt.ts_ns,
-                                wire_len: pkt.wire_len,
-                                data: bytes::Bytes::copy_from_slice(&scratch),
-                            };
-                            while egress.inject(out.clone()).is_none() {
-                                std::thread::yield_now();
-                            }
+    // The middlebox: a pool of two workers over both NIC1 queues.
+    // Whichever queue the traffic lands on, both workers process it —
+    // chunk stealing replaces static queue ownership.
+    let forwarded_ctr = Arc::new(AtomicU64::new(0));
+    let expired_ctr = Arc::new(AtomicU64::new(0));
+    let icmp_ctr = Arc::new(AtomicU64::new(0));
+    let pool = {
+        let egress = Arc::clone(&nic2);
+        let forwarded_ctr = Arc::clone(&forwarded_ctr);
+        let expired_ctr = Arc::clone(&expired_ctr);
+        let icmp_ctr = Arc::clone(&icmp_ctr);
+        engine.consumer_pool(&BuddyGroup::all(2), 2, move |d| {
+            thread_local! {
+                // One middlebox + scratch buffer per worker thread:
+                // frames are inspected/modified straight off the
+                // borrowed chunk view, with no per-packet allocation.
+                static MB: RefCell<(Middlebox, Vec<u8>)> =
+                    RefCell::new((Middlebox::new(), Vec::new()));
+            }
+            MB.with(|cell| {
+                let mut cell = cell.borrow_mut();
+                let (mb, scratch) = &mut *cell;
+                let mut forwarded = 0u64;
+                let mut expired = 0u64;
+                for pkt in d.view().iter() {
+                    let verdict = mb.process_slice(pkt.data, scratch);
+                    if verdict == Verdict::TtlExpired {
+                        // A real router answers with ICMP Time
+                        // Exceeded toward the sender.
+                        let _reply = mb
+                            .time_exceeded_reply(pkt.data)
+                            .expect("IPv4 frame quotes cleanly");
+                        expired += 1;
+                    } else {
+                        // Transmit owns its frame: the one copy out
+                        // of the scratch buffer happens here.
+                        let out = netproto::Packet {
+                            ts_ns: pkt.ts_ns,
+                            wire_len: pkt.wire_len,
+                            data: bytes::Bytes::copy_from_slice(scratch),
+                        };
+                        while egress.inject(out.clone()).is_none() {
+                            std::thread::yield_now();
                         }
+                        forwarded += 1;
                     }
-                    consumer.recycle(chunk);
                 }
-                (mb.forwarded, mb.expired, mb.icmp_sent)
-            })
+                forwarded_ctr.fetch_add(forwarded, Ordering::Relaxed);
+                expired_ctr.fetch_add(expired, Ordering::Relaxed);
+                icmp_ctr.fetch_add(expired, Ordering::Relaxed);
+            });
         })
-        .collect();
+    };
 
     // The next hop: drain NIC2 and validate every forwarded frame.
     let receiver = {
@@ -131,21 +155,24 @@ fn main() {
     }
     nic1.stop();
 
-    let mut forwarded = 0u64;
-    let mut expired = 0u64;
-    let mut icmp_sent = 0u64;
-    for w in workers {
-        let (f, e, i) = w.join().expect("middlebox thread");
-        forwarded += f;
-        expired += e;
-        icmp_sent += i;
-    }
+    let reports = pool.join();
+    let forwarded = forwarded_ctr.load(Ordering::Relaxed);
+    let expired = expired_ctr.load(Ordering::Relaxed);
+    let icmp_sent = icmp_ctr.load(Ordering::Relaxed);
+    let stolen: u64 = reports.iter().map(|r| r.stolen_chunks).sum();
     nic2.stop();
     let received = receiver.join().expect("receiver thread");
     engine.shutdown();
 
     println!("ingress  : {total} packets ({expiring} arriving with TTL 1)");
     println!("forwarded: {forwarded}  expired: {expired}  ICMP time-exceeded sent: {icmp_sent}");
+    for r in &reports {
+        println!(
+            "worker {} : {} packets in {} chunks ({} stolen)",
+            r.worker, r.packets, r.chunks, r.stolen_chunks
+        );
+    }
+    println!("pool     : {stolen} chunks moved between workers by stealing");
     println!("egress   : {received} validated frames at the next hop");
     assert_eq!(expired, expiring);
     assert_eq!(icmp_sent, expiring, "every expiry answered with ICMP");

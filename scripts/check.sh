@@ -54,23 +54,62 @@ awk '
     }
 ' BENCH_hotpath.json
 
-echo "==> disk-writer encode overhead budget (<= 60% at the largest M)"
-# The capdisk writer thread pcapng-encodes every payload byte, so its
-# overhead over the stamped path is necessarily large; the budget only
-# guards against the encode path regressing into pathological territory
-# (it runs on a dedicated writer thread, not the capture hot path).
+echo "==> disk-writer encode overhead budget (<= 30% at m=1, <= 50% at the largest M)"
+# The capdisk writer encodes pcapng through a precomputed EPB header
+# template into cursor-addressed batch storage (pure slice stores, no
+# per-packet Vec bookkeeping). At m=1 the stamped baseline does
+# comparable per-packet work, so the encode's instruction cost shows
+# directly and is gated tight. At large M the baseline runs at memory
+# speed without ever reading payload bytes, while the encode must
+# stream every payload through the batch buffer — the ratio floors
+# near 40% on pure memory traffic (see EXPERIMENTS.md, known
+# deviations), so the large-M ceiling only guards against regressing
+# back toward the old field-by-field encoder.
 awk '
     /"m":/               { m = $2 + 0 }
-    /"disk_writer_overhead":/ { sub(/,$/, "", $2); ov[m] = $2 + 0; if (m > max_m) max_m = m }
+    /"disk_writer_overhead":/ {
+        sub(/,$/, "", $2); ov[m] = $2 + 0
+        if (m > max_m) max_m = m
+        if (min_m == 0 || m < min_m) min_m = m
+    }
     END {
         if (max_m == 0) { print "FAIL: no disk_writer_overhead entries"; exit 1 }
-        printf "    m=%d disk_writer_overhead=%.2f%%\n", max_m, ov[max_m] * 100
-        if (ov[max_m] > 0.60) {
-            printf "FAIL: disk writer encode overhead %.2f%% > 60%% at m=%d\n", ov[max_m] * 100, max_m
+        printf "    m=%d disk_writer_overhead=%.2f%%  m=%d disk_writer_overhead=%.2f%%\n", \
+            min_m, ov[min_m] * 100, max_m, ov[max_m] * 100
+        if (ov[min_m] > 0.30) {
+            printf "FAIL: disk writer encode overhead %.2f%% > 30%% at m=%d\n", ov[min_m] * 100, min_m
+            exit 1
+        }
+        if (ov[max_m] > 0.50) {
+            printf "FAIL: disk writer encode overhead %.2f%% > 50%% at m=%d\n", ov[max_m] * 100, max_m
             exit 1
         }
     }
 ' BENCH_hotpath.json
+
+echo "==> consumer pool speedup gate (>= 1.5x single consumer at 4q/4w)"
+# The work-stealing pool must beat a single consumer on the same
+# skewed workload by overlapping the blocking per-chunk I/O stage
+# (DESIGN.md section 4.11). Conservation is asserted inside the bench.
+awk '
+    /"pool_speedup":/ { sub(/,$/, "", $2); speedup = $2 + 0; seen = 1 }
+    END {
+        if (!seen) { print "FAIL: no pool_speedup entry in BENCH_hotpath.json"; exit 1 }
+        printf "    pool_speedup=%.2fx\n", speedup
+        if (speedup < 1.5) {
+            printf "FAIL: consumer pool speedup %.2fx < 1.5x\n", speedup
+            exit 1
+        }
+    }
+' BENCH_hotpath.json
+
+echo "==> work-stealing conservation smoke (two-thread steal + forced stop)"
+cargo test -q --release --test steal_conservation
+
+echo "==> multi-core delivery scaling point (2 workers, small)"
+# Writes to a scratch directory so the full-scale results/ artifacts
+# referenced by EXPERIMENTS.md are not clobbered by the smoke run.
+cargo run -q --release -p bench --bin fig_scaling -- --small --out target/check-scaling
 
 echo "==> capture-to-disk smoke (conservation + rotation + degradation)"
 cargo test -q --test capture_to_disk

@@ -38,6 +38,11 @@ const QUEUE_FIELDS: &[&str] = &[
     "offloaded_out_chunks",
     "disk_written_packets",
     "disk_drop_packets",
+    "steal_in_chunks",
+    "steal_out_chunks",
+    "stolen_packets",
+    "worker_parks",
+    "steal_queue_len",
     "capture_queue_len",
     "capture_queue_watermark",
     "free_chunks",
