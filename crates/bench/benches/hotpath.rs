@@ -833,7 +833,35 @@ fn bench_hotpath(c: &mut Criterion) {
         consumer_pool.stolen_chunks
     );
 
-    write_json(&results, consumer_pool, n_packets, rounds);
+    // Single-hot-queue entry (DESIGN.md §4.12): all load on one queue,
+    // COREC-style concurrent claim-mode workers overlapping the
+    // blocking per-chunk stage with no republish-through-the-owner
+    // middleman. The gate compares claim-mode worker counts against
+    // each other: `scripts/check.sh` gates `hotq_speedup` at ≥ 1.5×.
+    let hotq_workers = 4usize;
+    let hotq_packets: u64 = if quick() { 40_000 } else { 150_000 };
+    eprintln!("hotpath single_hot_queue: 1 queue, 1 vs {hotq_workers} workers, {hotq_packets} packets per mode");
+    let hotq_one = scaling::concurrent_point(1, 1, hotq_packets, false);
+    let hotq_many = scaling::concurrent_point(1, hotq_workers, hotq_packets, false);
+    let single_hot_queue = SingleHotQueueEntry {
+        workers: hotq_workers,
+        packets: hotq_packets,
+        one_worker_pps: hotq_one.pps,
+        many_worker_pps: hotq_many.pps,
+        hotq_speedup: hotq_many.pps / hotq_one.pps,
+        claim_contention: hotq_many.claim_contention,
+    };
+    eprintln!(
+        "hotpath single_hot_queue: 1w {:.0} p/s, {}w {:.0} p/s, speedup {:.2}x \
+         ({} claim races lost)",
+        single_hot_queue.one_worker_pps,
+        single_hot_queue.workers,
+        single_hot_queue.many_worker_pps,
+        single_hot_queue.hotq_speedup,
+        single_hot_queue.claim_contention
+    );
+
+    write_json(&results, consumer_pool, single_hot_queue, n_packets, rounds);
 }
 
 struct HotpathResult {
@@ -878,6 +906,19 @@ struct ConsumerPoolEntry {
     stolen_chunks: u64,
 }
 
+/// Single-hot-queue scaling: COREC-style concurrent claim-mode workers
+/// draining one queue, N workers vs 1. Gated at `hotq_speedup >= 1.5`
+/// by `scripts/check.sh`.
+#[derive(serde::Serialize)]
+struct SingleHotQueueEntry {
+    workers: usize,
+    packets: u64,
+    one_worker_pps: f64,
+    many_worker_pps: f64,
+    hotq_speedup: f64,
+    claim_contention: u64,
+}
+
 #[derive(serde::Serialize)]
 struct Doc {
     benchmark: String,
@@ -887,11 +928,13 @@ struct Doc {
     rounds: usize,
     results: Vec<Entry>,
     consumer_pool: ConsumerPoolEntry,
+    single_hot_queue: SingleHotQueueEntry,
 }
 
 fn write_json(
     results: &[HotpathResult],
     consumer_pool: ConsumerPoolEntry,
+    single_hot_queue: SingleHotQueueEntry,
     n_packets: usize,
     rounds: usize,
 ) {
@@ -917,6 +960,7 @@ fn write_json(
             })
             .collect(),
         consumer_pool,
+        single_hot_queue,
     };
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -53,8 +53,10 @@ pub const CHUNK_IO_US: u64 = 100;
 /// One measured configuration of the sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct ScalingPoint {
-    /// `"per_queue"` (one `LiveConsumer` thread per queue) or
-    /// `"pooled"` (one `ConsumerPool` over all queues).
+    /// `"per_queue"` (one `LiveConsumer` thread per queue), `"pooled"`
+    /// (one work-stealing `ConsumerPool` over all queues),
+    /// `"concurrent"` (COREC-style claim-based pool, DESIGN.md §4.12),
+    /// or `"concurrent_ordered"` (same, with in-order delivery).
     pub mode: &'static str,
     /// Receive queues on the NIC.
     pub queues: usize,
@@ -70,6 +72,8 @@ pub struct ScalingPoint {
     pub stolen_chunks: u64,
     /// Times pool workers parked on the delivery gate.
     pub worker_parks: u64,
+    /// Claim CAS races lost by concurrent-mode workers (0 elsewhere).
+    pub claim_contention: u64,
 }
 
 /// The per-packet work function: `WORK_PASSES` xor-folds over the
@@ -186,19 +190,48 @@ pub fn baseline_point(queues: usize, packets: u64) -> ScalingPoint {
         pps: delivered as f64 / elapsed,
         stolen_chunks: 0,
         worker_parks: 0,
+        claim_contention: 0,
     }
 }
 
 /// Runs the pooled configuration: a `ConsumerPool` of `workers` threads
 /// over all queues, with stealing and adaptive parking.
 pub fn pooled_point(queues: usize, workers: usize, packets: u64) -> ScalingPoint {
+    pool_point_with("pooled", engine_config(), queues, workers, packets)
+}
+
+/// Runs the concurrent-claim configuration (DESIGN.md §4.12): every
+/// pool worker claims sealed chunks straight off the same queues'
+/// shared claim streams, so even a single hot queue is drained by all
+/// `workers` threads at once. `in_order` additionally re-serializes
+/// delivery per home queue through the bounded reorder buffer.
+pub fn concurrent_point(
+    queues: usize,
+    workers: usize,
+    packets: u64,
+    in_order: bool,
+) -> ScalingPoint {
+    let mut cfg = engine_config();
+    cfg.concurrent_queue = true;
+    cfg.in_order = in_order;
+    let mode = if in_order {
+        "concurrent_ordered"
+    } else {
+        "concurrent"
+    };
+    pool_point_with(mode, cfg, queues, workers, packets)
+}
+
+fn pool_point_with(
+    mode: &'static str,
+    cfg: WireCapConfig,
+    queues: usize,
+    workers: usize,
+    packets: u64,
+) -> ScalingPoint {
     let traffic = skewed_traffic(packets);
     let nic = LiveNic::new(queues, 4096);
-    let engine = LiveWireCap::start(
-        Arc::clone(&nic),
-        engine_config(),
-        BuddyGroups::single(queues),
-    );
+    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::single(queues));
     let group = wirecap::BuddyGroup::all(queues);
     let acc = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
@@ -228,7 +261,7 @@ pub fn pooled_point(queues: usize, workers: usize, packets: u64) -> ScalingPoint
     let delivered: u64 = reports.iter().map(|r| r.packets).sum();
     assert_eq!(delivered, packets, "pool delivered every packet");
     ScalingPoint {
-        mode: "pooled",
+        mode,
         queues,
         workers,
         packets,
@@ -236,6 +269,7 @@ pub fn pooled_point(queues: usize, workers: usize, packets: u64) -> ScalingPoint
         pps: delivered as f64 / elapsed,
         stolen_chunks: reports.iter().map(|r| r.stolen_chunks).sum(),
         worker_parks: reports.iter().map(|r| r.parks).sum(),
+        claim_contention: snap.queues.iter().map(|q| q.claim_contention).sum(),
     }
 }
 
@@ -251,5 +285,18 @@ mod tests {
         let p = pooled_point(2, 2, 20_000);
         assert_eq!(p.packets, 20_000);
         assert!(p.pps > 0.0);
+    }
+
+    #[test]
+    fn concurrent_modes_conserve_and_report_rates() {
+        let c = concurrent_point(1, 2, 20_000, false);
+        assert_eq!(c.packets, 20_000);
+        assert!(c.pps > 0.0);
+        assert_eq!(c.mode, "concurrent");
+        assert_eq!(c.stolen_chunks, 0, "claim mode never steals");
+        let o = concurrent_point(1, 2, 20_000, true);
+        assert_eq!(o.packets, 20_000);
+        assert!(o.pps > 0.0);
+        assert_eq!(o.mode, "concurrent_ordered");
     }
 }

@@ -48,6 +48,20 @@ pub struct WireCapConfig {
     /// (cores after the capture threads) with `sched_setaffinity`.
     /// A no-op on platforms without it.
     pub pin_threads: bool,
+    /// COREC-style concurrent single-queue consumption (DESIGN.md
+    /// §4.12): sealed chunks are published to lock-free per-queue
+    /// claim queues and any `ConsumerPool` worker may claim from any
+    /// member queue, so one scorching queue is drained by many cores.
+    /// Incompatible with per-queue [`LiveConsumer`] handles; delivery
+    /// order within a queue is unspecified unless `in_order` is set.
+    ///
+    /// [`LiveConsumer`]: ../live/struct.LiveConsumer.html
+    pub concurrent_queue: bool,
+    /// In-order delivery for concurrent consumption: chunks are
+    /// sequence-stamped at seal time and a fixed-capacity per-queue
+    /// reorder buffer re-serializes delivery in strictly increasing
+    /// sequence order. Requires `concurrent_queue`.
+    pub in_order: bool,
     /// The application model (one `pkt_handler` thread per queue).
     pub app: AppModel,
 }
@@ -73,6 +87,8 @@ impl WireCapConfig {
             yield_iters: 64,
             park_timeout_ns: 1_000_000,
             pin_threads: false,
+            concurrent_queue: false,
+            in_order: false,
             app: AppModel {
                 cpu: CpuModel::default(),
                 x,
@@ -123,6 +139,9 @@ impl WireCapConfig {
         }
         if !(0.0..=1.0).contains(&self.offload_penalty) || self.offload_penalty == 0.0 {
             return Err(ConfigError::InvalidPenalty(self.offload_penalty));
+        }
+        if self.in_order && !self.concurrent_queue {
+            return Err(ConfigError::InOrderRequiresConcurrent);
         }
         Ok(())
     }
@@ -197,6 +216,9 @@ pub enum ConfigError {
     InvalidThreshold(f64),
     /// The offload CPU-efficiency penalty must lie in (0, 1].
     InvalidPenalty(f64),
+    /// In-order delivery re-serializes the concurrent claim stream, so
+    /// it is meaningless without `concurrent_queue`.
+    InOrderRequiresConcurrent,
 }
 
 impl fmt::Display for ConfigError {
@@ -215,6 +237,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidPenalty(p) => {
                 write!(f, "offload penalty {p} must be in (0, 1]")
+            }
+            ConfigError::InOrderRequiresConcurrent => {
+                write!(f, "in_order delivery requires concurrent_queue")
             }
         }
     }
@@ -316,6 +341,22 @@ impl WireCapConfigBuilder {
     /// (`sched_setaffinity`; no-op where unavailable).
     pub fn pin_threads(mut self, pin: bool) -> Self {
         self.cfg.pin_threads = pin;
+        self
+    }
+
+    /// COREC-style concurrent single-queue consumption: pool workers
+    /// claim sealed chunks from lock-free per-queue claim queues
+    /// instead of each queue having one drainer (DESIGN.md §4.12).
+    pub fn concurrent_queue(mut self, on: bool) -> Self {
+        self.cfg.concurrent_queue = on;
+        self
+    }
+
+    /// In-order delivery for concurrent consumption (requires
+    /// [`concurrent_queue`](Self::concurrent_queue); validated at
+    /// [`build`](Self::build)).
+    pub fn in_order(mut self, on: bool) -> Self {
+        self.cfg.in_order = on;
         self
     }
 
@@ -468,6 +509,24 @@ mod tests {
         assert_eq!(cfg.park_timeout_ns, 500_000);
         assert!(cfg.pin_threads);
         assert!(!WireCapConfig::basic(64, 32, 0).pin_threads);
+    }
+
+    #[test]
+    fn concurrent_queue_knobs() {
+        let cfg = WireCapConfig::builder()
+            .concurrent_queue(true)
+            .in_order(true)
+            .build()
+            .unwrap();
+        assert!(cfg.concurrent_queue);
+        assert!(cfg.in_order);
+        assert!(!WireCapConfig::basic(64, 32, 0).concurrent_queue);
+        assert!(!WireCapConfig::basic(64, 32, 0).in_order);
+        // In-order without concurrent claiming is meaningless.
+        assert_eq!(
+            WireCapConfig::builder().in_order(true).build().unwrap_err(),
+            ConfigError::InOrderRequiresConcurrent
+        );
     }
 
     #[test]

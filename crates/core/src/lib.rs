@@ -51,14 +51,15 @@
 
 #![deny(missing_docs)]
 // Unsafe code is denied everywhere except the audited hot-path modules
-// ([`arena`], [`spsc`], and [`steal`]'s deque/affinity internals),
-// which opt back in with module-level `#[allow(unsafe_code)]` around a
-// safe public API.
+// ([`arena`], [`spsc`], [`claim`], and [`steal`]'s deque/affinity
+// internals), which opt back in with module-level
+// `#[allow(unsafe_code)]` around a safe public API.
 #![deny(unsafe_code)]
 
 pub mod arena;
 pub mod buddy;
 pub mod chunk;
+pub mod claim;
 pub mod config;
 pub mod engine;
 pub mod live;
@@ -72,6 +73,7 @@ pub mod workqueue;
 pub use arena::{ChunkArena, ChunkView, PacketRef};
 pub use buddy::BuddyGroup;
 pub use chunk::{ChunkId, ChunkMeta, ChunkState};
+pub use claim::{Claim, ClaimQueue, ReorderBuffer};
 pub use config::{ConfigError, WireCapConfig, WireCapConfigBuilder};
 pub use engine::WireCapEngine;
 pub use live::{ChunkLens, LiveChunk, LiveConsumer, LiveWireCap};

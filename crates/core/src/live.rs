@@ -37,6 +37,7 @@
 
 use crate::arena::{ChunkArena, ChunkView, FreeSlot, SealedSlot};
 use crate::buddy::{BuddyGroup, BuddyGroups};
+use crate::claim::{ClaimQueue, ReorderBuffer};
 use crate::config::{WireCapConfig, CELL_BYTES};
 use crate::spsc::{BatchRing, MAX_BATCH};
 use crate::steal::{available_cores, pin_to_core, AdaptivePoller, ConsumerPool, WakeupGate};
@@ -65,6 +66,10 @@ pub struct LiveChunk {
     pub(crate) seal: SealedSlot,
     pub(crate) home: u32,
     pub(crate) offloaded: bool,
+    /// Seal-order sequence number within the home queue, stamped by the
+    /// home capture thread (monotonic from 0 per queue). Drives the
+    /// in-order reorder buffer; informational otherwise.
+    pub(crate) seq: u64,
 }
 
 impl LiveChunk {
@@ -86,6 +91,13 @@ impl LiveChunk {
     /// Whether the offloading policy moved it off its home queue.
     pub fn offloaded(&self) -> bool {
         self.offloaded
+    }
+
+    /// Seal-order sequence number within the home queue (monotonic from
+    /// 0 per queue). In in-order concurrent mode delivery follows this
+    /// ordering exactly.
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 }
 
@@ -110,6 +122,17 @@ pub(crate) struct Shared {
     /// idle (NIC arrivals are invisible to the gate, so capture parks
     /// are bounded by the adaptive poller's park timeout).
     pub(crate) capture_gate: WakeupGate,
+    /// Concurrent single-queue consumption (DESIGN.md §4.12): one
+    /// lock-free claim queue per *target* queue, replacing the SPSC
+    /// rings as the delivery path when `cfg.concurrent_queue` is set.
+    /// Every capture thread is a producer on every target's queue
+    /// (buddy offload crosses queues), so each is sized to hold every
+    /// chunk in existence (`queues × R`) and closed by producer
+    /// countdown.
+    pub(crate) claims: Option<Vec<ClaimQueue<LiveChunk>>>,
+    /// In-order mode: one reorder buffer per *home* queue (capacity R)
+    /// re-serializing claimed chunks by seal sequence.
+    pub(crate) reorder: Option<Vec<ReorderBuffer<LiveChunk>>>,
 }
 
 /// The live WireCAP engine: per-queue capture threads over a live NIC.
@@ -173,6 +196,13 @@ impl LiveWireCap {
             tel: Registry::new(queues),
             delivery_gate: WakeupGate::new(),
             capture_gate: WakeupGate::new(),
+            claims: cfg.concurrent_queue.then(|| {
+                (0..queues)
+                    .map(|_| ClaimQueue::new(queues * cfg.r, queues))
+                    .collect()
+            }),
+            reorder: (cfg.concurrent_queue && cfg.in_order)
+                .then(|| (0..queues).map(|_| ReorderBuffer::new(cfg.r)).collect()),
         });
         if std::env::var_os("WIRECAP_TELEMETRY_DUMP").is_some() {
             dump::install_sigusr1();
@@ -257,7 +287,17 @@ impl LiveWireCap {
     }
 
     /// A consumer handle for queue `q` (the application side).
+    ///
+    /// # Panics
+    ///
+    /// In concurrent single-queue mode (`cfg.concurrent_queue`) the
+    /// claim queues are the only delivery path — attach a
+    /// [`Self::consumer_pool`] instead.
     pub fn consumer(&self, q: usize) -> LiveConsumer {
+        assert!(
+            !self.cfg.concurrent_queue,
+            "concurrent_queue mode delivers through consumer_pool(), not per-queue consumers"
+        );
         assert!(q < self.shared.rings.len());
         let queues = self.shared.rings.len();
         LiveConsumer {
@@ -356,6 +396,12 @@ fn queue_telemetry(
     let mut t = shared.tel.snapshot_queue(q);
     nic.queue(q).fill_telemetry(&mut t);
     t.capture_queue_len = shared.rings[q].iter().map(|r| r.len() as u64).sum();
+    if let Some(claims) = shared.claims.as_ref() {
+        t.capture_queue_len += claims[q].len() as u64;
+    }
+    if let Some(reorder) = shared.reorder.as_ref() {
+        t.reorder_occupancy = reorder[q].len();
+    }
     // The watermark is also advanced by readers: every snapshot (and so
     // every sampler tick) folds the current depth in, which covers
     // basic mode, where the capture path makes no placement decisions.
@@ -390,6 +436,9 @@ struct CaptureState {
     outbox: Vec<Vec<LiveChunk>>,
     /// Scratch for buddy placement decisions.
     lens: Vec<usize>,
+    /// Next seal-order sequence number (per home queue, monotonic
+    /// from 0) stamped onto every sealed chunk.
+    next_seq: u64,
     /// Seal stamp for the current NIC poll batch: read once per poll,
     /// shared by every chunk sealed within it. The ceiling is one clock
     /// read per chunk; amortizing over the poll batch keeps the stamp
@@ -423,6 +472,7 @@ fn capture_thread(
         chunk_started: Instant::now(),
         outbox: (0..queues).map(|_| Vec::new()).collect(),
         lens: Vec::with_capacity(queues),
+        next_seq: 0,
         now_ns: clock::mono_ns(),
     };
     let mut pkt_buf: Vec<Packet> = Vec::with_capacity(NIC_POP_BATCH);
@@ -541,6 +591,14 @@ fn capture_thread(
                 for target in 0..queues {
                     shared.rings[target][q].close();
                 }
+                // Concurrent mode: this thread is a producer on every
+                // target's claim queue; count it out of each so pool
+                // workers can observe end-of-stream.
+                if let Some(claims) = shared.claims.as_ref() {
+                    for claim in claims {
+                        claim.producer_done();
+                    }
+                }
                 // Parked consumers must observe the closes promptly.
                 shared.delivery_gate.notify();
                 return;
@@ -612,10 +670,13 @@ fn stage(
             );
         }
     }
+    let seq = st.next_seq;
+    st.next_seq += 1;
     st.outbox[target].push(LiveChunk {
         seal,
         home: q as u32,
         offloaded: target != q,
+        seq,
     });
 }
 
@@ -629,10 +690,33 @@ fn wall_ns() -> u64 {
 
 /// Publishes every staged chunk. Each ring is per-producer with capacity
 /// ≥ R, and at most R chunks homed here exist, so the loop always drains.
+/// In concurrent single-queue mode the claim queues replace the rings;
+/// each is sized `queues × R` (every chunk in existence fits), so the
+/// defensive full-queue spin can never engage.
 fn flush(shared: &Shared, st: &mut CaptureState) {
     let q = st.q;
     let cap = &shared.tel.queue(q).cap;
     let mut published = false;
+    if let Some(claims) = shared.claims.as_ref() {
+        for (target, staged) in st.outbox.iter_mut().enumerate() {
+            if staged.is_empty() {
+                continue;
+            }
+            cap.batch_size.record(staged.len() as u64);
+            published = true;
+            for chunk in staged.drain(..) {
+                let mut item = chunk;
+                while let Err(back) = claims[target].push(item) {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        if published {
+            shared.delivery_gate.notify();
+        }
+        return;
+    }
     for (target, staged) in st.outbox.iter_mut().enumerate() {
         while !staged.is_empty() {
             let pushed = shared.rings[target][q].push_batch(staged);

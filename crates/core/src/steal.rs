@@ -30,9 +30,19 @@
 //! returns to `recycle[chunk.home()]`. `ChunkLens`/capdisk drainers are
 //! unaffected because stealing happens after chunks leave the rings,
 //! never inside another consumer's inbox.
+//!
+//! With `cfg.concurrent_queue` the pool switches delivery models
+//! entirely: instead of per-worker deques fed by per-queue rings,
+//! every worker claims sealed chunks straight off the group's shared
+//! [`ClaimQueue`]s (COREC-style concurrent single-queue consumption,
+//! DESIGN.md §4.12), so even one scorching queue is drained by all N
+//! workers at once. A lost claim CAS feeds the `claim_contention`
+//! counter and the poller's cheap [`AdaptivePoller::lost_race`] reset
+//! instead of restarting the full spin→yield→park ladder.
 
 use crate::arena::ChunkView;
 use crate::buddy::BuddyGroup;
+use crate::claim::{Claim, ClaimQueue, ReorderBuffer};
 use crate::config::WireCapConfig;
 use crate::live::{LiveChunk, Shared};
 use crate::spsc::MAX_BATCH;
@@ -408,6 +418,21 @@ impl AdaptivePoller {
         self.idle_rounds = 0;
     }
 
+    /// A claim (or steal) CAS race was lost: work exists, a peer just
+    /// took it. Re-spinning from zero would burn the full spin budget
+    /// re-contending the same cache line, so jump straight to the
+    /// yield stage — and pin there: contention alone never escalates
+    /// to a park, only a truly empty stream may. With a zero yield
+    /// budget this instead holds one round short of the park stage.
+    pub fn lost_race(&mut self) {
+        let hi = self
+            .spin_iters
+            .saturating_add(self.yield_iters)
+            .saturating_sub(1);
+        let lo = self.spin_iters.min(hi);
+        self.idle_rounds = self.idle_rounds.clamp(lo, hi.max(lo));
+    }
+
     /// One idle round with the park timeout capped at `max_park`
     /// (capture threads holding a non-empty partial chunk cap the park
     /// at the remaining capture timeout so the partial-delivery
@@ -534,6 +559,13 @@ impl<'a> PoolDelivery<'a> {
     pub fn stolen(&self) -> bool {
         self.stolen
     }
+
+    /// Seal-order sequence number within the chunk's home queue. In
+    /// in-order concurrent mode, deliveries for one home queue carry
+    /// strictly increasing values.
+    pub fn seq(&self) -> u64 {
+        self.chunk.seq()
+    }
 }
 
 impl std::fmt::Debug for PoolDelivery<'_> {
@@ -613,9 +645,16 @@ impl ConsumerPool {
         for &q in group.members() {
             assert!(q < queues, "group queue {q} out of range");
         }
+        let concurrent = shared.claims.is_some();
         // Size each deque to every chunk that exists across the group:
-        // an owner push can then never find the deque full.
-        let deque_cap = (group.members().len().max(1)) * cfg.r;
+        // an owner push can then never find the deque full. Concurrent
+        // mode claims straight off the shared queues and never touches
+        // the deques, so keep them token-sized.
+        let deque_cap = if concurrent {
+            2
+        } else {
+            (group.members().len().max(1)) * cfg.r
+        };
         let mut owners = Vec::with_capacity(workers);
         let mut stealers = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -645,7 +684,14 @@ impl ConsumerPool {
                 };
                 std::thread::Builder::new()
                     .name(format!("wirecap-pool-{w}"))
-                    .spawn(move || worker_loop(ctx, deque))
+                    .spawn(move || {
+                        if ctx.shared.claims.is_some() {
+                            drop(deque);
+                            concurrent_worker_loop(ctx)
+                        } else {
+                            worker_loop(ctx, deque)
+                        }
+                    })
                     .expect("spawning pool worker")
             })
             .collect();
@@ -903,6 +949,162 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
     report
 }
 
+/// COREC-style worker loop: every worker claims sealed chunks straight
+/// off the group's shared [`ClaimQueue`]s, so N workers drain even a
+/// single hot queue concurrently. No deques and no stealing — the
+/// claim CAS *is* the load balancer — so `Σ steal_in == Σ steal_out ==
+/// 0` holds trivially in this mode.
+fn concurrent_worker_loop(ctx: WorkerCtx) -> PoolWorkerReport {
+    if let Some(core) = ctx.pin_core {
+        pin_to_core(core);
+    }
+    let mut report = PoolWorkerReport {
+        worker: ctx.worker,
+        ..Default::default()
+    };
+    let mut poller = AdaptivePoller::from_config(&ctx.cfg);
+    let claims = ctx
+        .shared
+        .claims
+        .as_deref()
+        .expect("concurrent worker loop without claim queues");
+    let reorder = ctx.shared.reorder.as_deref();
+    let primary = ctx.owned.first().copied();
+    let members = ctx.members.len();
+    loop {
+        // Forced stop: drain every member claim queue home as delivery
+        // drops, then sweep the reorder buffers for stranded chunks.
+        // Each worker runs this sweep *after* its own last insert, so a
+        // chunk it parked behind a gap is reclaimed by its own sweep
+        // even if the other workers swept earlier.
+        if ctx.stop.load(Ordering::SeqCst) {
+            stop_drain_concurrent(&ctx, claims, reorder);
+            break;
+        }
+
+        let mut claimed = false;
+        let mut contended = false;
+        for i in 0..members {
+            // Rotate the scan start per worker so N workers don't all
+            // hammer the same queue's claim cursor first.
+            let q = ctx.members[(ctx.worker + i) % members];
+            for _ in 0..PROCESS_BURST {
+                match claims[q].try_claim() {
+                    Claim::Claimed(chunk) => {
+                        claimed = true;
+                        deliver_claimed(&ctx, &mut report, reorder, chunk);
+                    }
+                    Claim::Contended => {
+                        ctx.shared.tel.queue(q).pool.claim_contention.inc();
+                        contended = true;
+                        break;
+                    }
+                    Claim::Empty => break,
+                }
+            }
+        }
+        if claimed {
+            poller.reset();
+            continue;
+        }
+        if contended {
+            // Lost the claim race only: work exists and a peer has it.
+            // Skip the spin budget (re-spinning re-contends the same
+            // cursor line) but never park from contention alone.
+            poller.lost_race();
+            let ticket = ctx.shared.delivery_gate.ticket();
+            poller.idle(&ctx.shared.delivery_gate, ticket);
+            continue;
+        }
+
+        // Ticket before the end-of-stream check, as in worker_loop: a
+        // publish after this point turns the park into a no-op.
+        let ticket = ctx.shared.delivery_gate.ticket();
+        let drained = ctx
+            .members
+            .iter()
+            .all(|&q| claims[q].is_closed() && claims[q].is_empty())
+            && reorder.is_none_or(|ro| ctx.members.iter().all(|&q| ro[q].is_empty()));
+        if drained {
+            // Any chunk a peer has claimed but not yet delivered is
+            // that peer's to deliver (or, in in-order mode, to insert
+            // and pump — the inserting worker always pumps, so no gap
+            // survives a natural end-of-stream).
+            break;
+        }
+        if poller.idle(&ctx.shared.delivery_gate, ticket) == IdleStep::Parked {
+            report.parks += 1;
+            if let Some(pq) = primary {
+                ctx.shared.tel.queue(pq).pool.worker_parks.inc();
+            }
+        }
+    }
+    report
+}
+
+/// Delivers one claimed chunk: straight to the handler in unordered
+/// mode, or through the home queue's reorder buffer in in-order mode.
+fn deliver_claimed(
+    ctx: &WorkerCtx,
+    report: &mut PoolWorkerReport,
+    reorder: Option<&[ReorderBuffer<LiveChunk>]>,
+    chunk: LiveChunk,
+) {
+    let Some(ro) = reorder else {
+        process_chunk(ctx, report, chunk, false);
+        return;
+    };
+    // Claimed after stop was raised: drop instead of parking it in the
+    // reorder buffer — ordering is void during teardown, and the stop
+    // sweep may already have passed this buffer.
+    if ctx.stop.load(Ordering::SeqCst) {
+        drop_chunk(&ctx.shared, chunk);
+        return;
+    }
+    let buf = &ro[chunk.home()];
+    let home = chunk.home();
+    buf.insert(chunk.seq(), chunk);
+    let delivered = buf.pump(|_seq, c| process_chunk(ctx, report, c, false));
+    ctx.shared
+        .tel
+        .queue(home)
+        .pool
+        .reorder_occupancy
+        .set(buf.len());
+    if delivered > 0 {
+        // Wake peers whose end-of-stream check waits on the reorder
+        // buffers draining.
+        ctx.shared.delivery_gate.notify();
+    }
+}
+
+/// Forced-stop sweep for concurrent mode: claim-drain every member
+/// queue, then reclaim anything stranded behind a gap in the reorder
+/// buffers. Everything goes home as a delivery drop.
+fn stop_drain_concurrent(
+    ctx: &WorkerCtx,
+    claims: &[ClaimQueue<LiveChunk>],
+    reorder: Option<&[ReorderBuffer<LiveChunk>]>,
+) {
+    for &q in &ctx.members {
+        loop {
+            match claims[q].try_claim() {
+                Claim::Claimed(chunk) => drop_chunk(&ctx.shared, chunk),
+                Claim::Contended => std::hint::spin_loop(),
+                Claim::Empty => break,
+            }
+        }
+    }
+    if let Some(ro) = reorder {
+        for &q in &ctx.members {
+            for chunk in ro[q].take_stranded() {
+                drop_chunk(&ctx.shared, chunk);
+            }
+            ctx.shared.tel.queue(q).pool.reorder_occupancy.set(0);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1050,6 +1252,45 @@ mod tests {
             ]
         );
         p.reset();
+        assert_eq!(p.idle(&gate, gate.ticket()), IdleStep::Spun);
+    }
+
+    #[test]
+    fn lost_race_skips_spin_but_never_parks() {
+        let gate = WakeupGate::new();
+        let mut p = AdaptivePoller::new(4, 2, 1_000_000);
+        // From a fresh reset a lost race jumps straight past the spin
+        // budget into the yield stage.
+        p.lost_race();
+        assert_eq!(p.idle(&gate, gate.ticket()), IdleStep::Yielded);
+        // Repeated lost races hold the poller at the yield stage:
+        // contention alone must never escalate to a park.
+        for _ in 0..10 {
+            p.lost_race();
+            assert_eq!(p.idle(&gate, gate.ticket()), IdleStep::Yielded);
+        }
+        // From deep in the park stage a lost race drops *back* to
+        // yield — work clearly exists, parking would add latency.
+        p.reset();
+        for _ in 0..20 {
+            p.idle(&gate, gate.ticket());
+        }
+        p.lost_race();
+        assert_eq!(p.idle(&gate, gate.ticket()), IdleStep::Yielded);
+        // Real progress still resets to the spin stage.
+        p.reset();
+        assert_eq!(p.idle(&gate, gate.ticket()), IdleStep::Spun);
+    }
+
+    #[test]
+    fn lost_race_with_zero_yield_budget_stays_short_of_park() {
+        let gate = WakeupGate::new();
+        let mut p = AdaptivePoller::new(2, 0, 1_000_000);
+        // No yield stage to land in: hold one round short of the park
+        // threshold so a contended worker still never parks.
+        p.lost_race();
+        assert_eq!(p.idle(&gate, gate.ticket()), IdleStep::Spun);
+        p.lost_race();
         assert_eq!(p.idle(&gate, gate.ticket()), IdleStep::Spun);
     }
 

@@ -191,9 +191,18 @@ pub struct PoolSide {
     /// Times this queue's primary pool worker parked on the delivery
     /// gate (adaptive polling reached the park stage).
     pub worker_parks: Counter,
+    /// Claim CAS races lost on this queue's claim queue (concurrent
+    /// single-queue mode): a worker targeted a published chunk but
+    /// another worker claimed it first. High rates mean workers are
+    /// piling onto one queue faster than chunks seal.
+    pub claim_contention: Counter,
     /// Occupancy of the primary worker's local steal deque, published
     /// after each ring drain.
     pub steal_queue_len: Gauge,
+    /// Chunks parked in this queue's in-order reorder buffer, published
+    /// by the engine at snapshot time (0 unless in-order concurrent
+    /// mode is active).
+    pub reorder_occupancy: Gauge,
 }
 
 /// Counters written by *other* queues' capture threads (buddy
@@ -275,7 +284,9 @@ impl QueueCounters {
             steal_out_chunks: self.pool.0.steal_out_chunks.get(),
             stolen_packets: self.pool.0.stolen_packets.get(),
             worker_parks: self.pool.0.worker_parks.get(),
+            claim_contention: self.pool.0.claim_contention.get(),
             steal_queue_len: self.pool.0.steal_queue_len.get(),
+            reorder_occupancy: self.pool.0.reorder_occupancy.get(),
             capture_queue_len: 0,
             capture_queue_watermark: self.capture_queue_watermark.get(),
             free_chunks: 0,

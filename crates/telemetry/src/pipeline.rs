@@ -7,8 +7,22 @@
 //! # use std::sync::Arc;
 //! # use telemetry::pipeline::TelemetryPipeline;
 //! # use telemetry::sampler::Observable;
-//! # fn observer() -> Arc<dyn Observable> { unimplemented!() }
-//! let pipeline = TelemetryPipeline::start_from_env("my-engine", observer());
+//! # use telemetry::{EngineSnapshot, QueueTelemetry};
+//! // Anything that can produce an `EngineSnapshot` is observable —
+//! // real engines expose such an observer handle directly.
+//! struct MyEngine;
+//! impl Observable for MyEngine {
+//!     fn snapshot(&self) -> EngineSnapshot {
+//!         EngineSnapshot {
+//!             engine: "my-engine".into(),
+//!             queues: vec![QueueTelemetry::empty(0)],
+//!             copies: Default::default(),
+//!             latency: Default::default(),
+//!         }
+//!     }
+//! }
+//! let observer: Arc<dyn Observable> = Arc::new(MyEngine);
+//! let pipeline = TelemetryPipeline::start_from_env("my-engine", observer);
 //! // … run …
 //! drop(pipeline); // stops sampler + endpoint
 //! ```

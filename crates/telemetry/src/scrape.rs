@@ -476,6 +476,14 @@ mod tests {
             "{} connections served concurrently with a {WORKER_THREADS}-thread pool",
             server.peak_active()
         );
+        // A client unblocks when `serve_one` finishes writing its
+        // response, just before the worker bumps `served` — so the last
+        // increments can still be in flight when the joins above
+        // return. Give the counters a bounded beat to settle.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.served() < 64 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         assert_eq!(server.served(), 64);
         assert_eq!(server.rejected(), 0, "the queue holds a 64-client burst");
         server.stop();

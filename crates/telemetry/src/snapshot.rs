@@ -65,8 +65,14 @@ pub struct QueueTelemetry {
     /// Times this queue's primary pool worker parked on the delivery
     /// gate (adaptive polling reached the park stage).
     pub worker_parks: u64,
+    /// Claim CAS races lost on this queue's claim queue (0 unless
+    /// concurrent single-queue mode is active).
+    pub claim_contention: u64,
     /// Gauge: occupancy of the primary pool worker's steal deque.
     pub steal_queue_len: u64,
+    /// Gauge: chunks parked in this queue's in-order reorder buffer
+    /// (0 unless in-order concurrent mode is active).
+    pub reorder_occupancy: u64,
     /// Gauge: chunks currently waiting on this queue's capture queue.
     pub capture_queue_len: u64,
     /// High-watermark of `capture_queue_len` since engine start (the
@@ -122,7 +128,9 @@ impl QueueTelemetry {
         self.steal_out_chunks += other.steal_out_chunks;
         self.stolen_packets += other.stolen_packets;
         self.worker_parks += other.worker_parks;
+        self.claim_contention += other.claim_contention;
         self.steal_queue_len += other.steal_queue_len;
+        self.reorder_occupancy += other.reorder_occupancy;
         self.capture_queue_len += other.capture_queue_len;
         self.capture_queue_watermark = self
             .capture_queue_watermark
@@ -209,7 +217,7 @@ impl EngineSnapshot {
         type HistField = (&'static str, fn(&QueueTelemetry) -> &HistogramSnapshot);
         let mut out = String::new();
         let engine = self.engine.replace('"', "'");
-        let counters: [Field; 19] = [
+        let counters: [Field; 20] = [
             ("offered_packets", |t| t.offered_packets),
             ("captured_packets", |t| t.captured_packets),
             ("delivered_packets", |t| t.delivered_packets),
@@ -229,6 +237,7 @@ impl EngineSnapshot {
             ("steal_out_chunks", |t| t.steal_out_chunks),
             ("stolen_packets", |t| t.stolen_packets),
             ("worker_parks", |t| t.worker_parks),
+            ("claim_contention", |t| t.claim_contention),
         ];
         for (name, get) in counters {
             let _ = writeln!(out, "# TYPE wirecap_{name}_total counter");
@@ -241,8 +250,9 @@ impl EngineSnapshot {
                 );
             }
         }
-        let gauges: [Field; 6] = [
+        let gauges: [Field; 7] = [
             ("steal_queue_len", |t| t.steal_queue_len),
+            ("reorder_occupancy", |t| t.reorder_occupancy),
             ("capture_queue_len", |t| t.capture_queue_len),
             ("capture_queue_watermark", |t| t.capture_queue_watermark),
             ("free_chunks", |t| t.free_chunks),
@@ -311,7 +321,9 @@ mod tests {
         q0.steal_out_chunks = 4;
         q0.stolen_packets = 40;
         q0.worker_parks = 2;
+        q0.claim_contention = 6;
         q0.steal_queue_len = 3;
+        q0.reorder_occupancy = 2;
         q0.chunk_fill.count = 2;
         q0.chunk_fill.sum = 90;
         q0.chunk_fill.max = 64;
@@ -369,6 +381,10 @@ mod tests {
         assert!(text.contains("wirecap_stolen_packets_total{engine=\"test\",queue=\"0\"} 40"));
         assert!(text.contains("# TYPE wirecap_steal_queue_len gauge"));
         assert!(text.contains("wirecap_steal_queue_len{engine=\"test\",queue=\"0\"} 3"));
+        assert!(text.contains("# TYPE wirecap_claim_contention_total counter"));
+        assert!(text.contains("wirecap_claim_contention_total{engine=\"test\",queue=\"0\"} 6"));
+        assert!(text.contains("# TYPE wirecap_reorder_occupancy gauge"));
+        assert!(text.contains("wirecap_reorder_occupancy{engine=\"test\",queue=\"0\"} 2"));
         assert!(text.contains("# TYPE wirecap_capture_queue_watermark gauge"));
         assert!(text.contains("wirecap_capture_queue_watermark{engine=\"test\",queue=\"0\"} 5"));
         assert!(text.contains("# TYPE wirecap_latency_ns histogram"));

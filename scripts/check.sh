@@ -103,6 +103,41 @@ awk '
     }
 ' BENCH_hotpath.json
 
+echo "==> single-hot-queue speedup gate (>= 1.5x, 1q/4w vs 1q/1w, claim mode)"
+# Work stealing republishes every chunk of a hot queue through the
+# owning worker's deque; the COREC-style concurrent claim mode drains
+# it with no middleman and must scale with the worker count
+# (DESIGN.md section 4.12). Conservation is asserted in the bench.
+awk '
+    /"hotq_speedup":/ { sub(/,$/, "", $2); speedup = $2 + 0; seen = 1 }
+    END {
+        if (!seen) { print "FAIL: no hotq_speedup entry in BENCH_hotpath.json"; exit 1 }
+        printf "    hotq_speedup=%.2fx\n", speedup
+        if (speedup < 1.5) {
+            printf "FAIL: single-hot-queue speedup %.2fx < 1.5x\n", speedup
+            exit 1
+        }
+    }
+' BENCH_hotpath.json
+
+echo "==> BENCH_hotpath.json gated-entry completeness"
+# Every key a gate above reads must be present: a refactor that drops
+# one from the benchmark output must fail here, not silently skip its
+# gate on the next edit.
+for key in latency_overhead disk_writer_overhead pool_speedup hotq_speedup; do
+    if ! grep -q "\"$key\":" BENCH_hotpath.json; then
+        echo "FAIL: BENCH_hotpath.json is missing gated entry \"$key\"" >&2
+        exit 1
+    fi
+done
+echo "    all gated keys present"
+
+echo "==> claim CAS protocol: exhaustive two-thread interleavings"
+cargo test -q --release --test claim_interleavings
+
+echo "==> in-order claim conservation (reorder buffer + forced stop)"
+cargo test -q --release --test inorder_conservation
+
 echo "==> work-stealing conservation smoke (two-thread steal + forced stop)"
 cargo test -q --release --test steal_conservation
 

@@ -42,7 +42,9 @@ const QUEUE_FIELDS: &[&str] = &[
     "steal_out_chunks",
     "stolen_packets",
     "worker_parks",
+    "claim_contention",
     "steal_queue_len",
+    "reorder_occupancy",
     "capture_queue_len",
     "capture_queue_watermark",
     "free_chunks",
