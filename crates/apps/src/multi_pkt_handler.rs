@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::{BuddyGroup, PoolWorkerReport, WireCapConfig};
 
 /// Results from one pkt_handler thread.
@@ -46,7 +47,11 @@ pub fn run(nic: Arc<LiveNic>, cfg: WireCapConfig, x: u32) -> Vec<HandlerReport> 
     } else {
         BuddyGroups::isolated(queues)
     };
-    let cap = LiveWireCap::start(Arc::clone(&nic), cfg, groups);
+    let cap = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(groups)
+        .start();
     let workers: Vec<_> = (0..queues)
         .map(|q| {
             let mut consumer = cap.consumer(q);
@@ -108,7 +113,11 @@ pub struct PooledReport {
 /// compiled once per worker, not per chunk).
 pub fn run_pooled(nic: Arc<LiveNic>, cfg: WireCapConfig, x: u32, workers: usize) -> PooledReport {
     let queues = nic.queue_count();
-    let cap = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::single(queues));
+    let cap = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::single(queues))
+        .start();
     let group = BuddyGroup::all(queues);
     let processed = Arc::new(AtomicU64::new(0));
     let matched = Arc::new(AtomicU64::new(0));

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use telemetry::EngineSnapshot;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 /// Outcome of one capture(-and-save) run.
@@ -73,7 +74,11 @@ pub fn run(nic: Arc<LiveNic>, cfg: WireCapConfig, sink: SinkMode) -> SaveOutcome
     } else {
         BuddyGroups::isolated(queues)
     };
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, groups);
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(groups)
+        .start();
     let (delivered, disk) = match sink {
         SinkMode::Disk(cfg) => {
             let sink = DiskSink::attach(&engine, &cfg).expect("creating capture directory");

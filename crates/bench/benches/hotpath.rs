@@ -22,11 +22,14 @@ use bench::scaling;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use crossbeam::queue::ArrayQueue;
 use netproto::{FlowKey, Packet, PacketBuilder};
+use nicsim::livenic::LiveNic;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Instant;
 use telemetry::{clock, kind, EventTracer, QueueCounters};
 use wirecap::arena::{ChunkArena, FreeSlot};
 use wirecap::spsc::{BatchRing, MAX_BATCH};
+use wirecap::{BackendQueue, CaptureBackend, LoopbackBackend, NicSimBackend, NicSimQueue, RxFrame};
 
 /// Chunks per pool in both pipelines (the paper's R).
 const R: usize = 64;
@@ -574,6 +577,94 @@ fn disk_writer_path(
     (consumed, bytes)
 }
 
+/// Packets moved per NIC hop in the dispatch benchmark — the engine's
+/// `NIC_POP_BATCH`, so the vtable cost is amortized exactly as the
+/// capture thread amortizes it.
+const DISPATCH_BATCH: usize = 256;
+
+/// Static-dispatch half of the `backend_dispatch` pair: refill one NIC
+/// queue, drain it through the monomorphized
+/// [`NicSimQueue::poll_batch_mono`] (the shape the capture loop had
+/// before the `CaptureBackend` trait), landing every frame in an arena
+/// cell. Returns (packets, bytes) consumed.
+fn dispatch_mono(
+    pkts: &[Packet],
+    backend: &NicSimBackend,
+    queue: &NicSimQueue,
+    arena: &ChunkArena,
+    free: &mut Vec<FreeSlot>,
+) -> (u64, u64) {
+    let mut consumed = 0u64;
+    let mut bytes = 0u64;
+    let mut current = free.pop().expect("R slots free at start");
+    for batch in pkts.chunks(DISPATCH_BATCH) {
+        let landed = backend.inject_batch(batch);
+        debug_assert_eq!(landed as usize, batch.len());
+        let polled = queue.poll_batch_mono(batch.len(), |frame: RxFrame<'_>| {
+            if !arena.write_packet(&mut current, frame.ts_ns, frame.wire_len, frame.data) {
+                unreachable!("sealed before full");
+            }
+            consumed += 1;
+            bytes += frame.data.len() as u64;
+            if current.filled() == arena.m() {
+                let next = free.pop().expect("released slots refill the freelist");
+                let full = std::mem::replace(&mut current, next);
+                free.push(arena.release(arena.seal(full)));
+            }
+        });
+        debug_assert_eq!(polled, batch.len());
+    }
+    if current.filled() > 0 {
+        free.push(arena.release(arena.seal(current)));
+    } else {
+        free.push(current);
+    }
+    (consumed, bytes)
+}
+
+/// Dynamic-dispatch half: byte-identical sink work, but the queue is
+/// held as `Arc<dyn BackendQueue>` exactly as `capture_thread` holds it
+/// — one virtual `poll_batch` (with a `&mut dyn FnMut` sink) and one
+/// virtual `recycle` per batch. Measured against [`dispatch_mono`];
+/// `scripts/check.sh` gates `backend_dispatch_overhead` at ≤ 2%.
+fn dispatch_dyn(
+    pkts: &[Packet],
+    backend: &NicSimBackend,
+    queue: &Arc<dyn BackendQueue>,
+    arena: &ChunkArena,
+    free: &mut Vec<FreeSlot>,
+) -> (u64, u64) {
+    let mut consumed = 0u64;
+    let mut bytes = 0u64;
+    let mut current = free.pop().expect("R slots free at start");
+    for batch in pkts.chunks(DISPATCH_BATCH) {
+        let landed = backend.inject_batch(batch);
+        debug_assert_eq!(landed as usize, batch.len());
+        let polled = queue
+            .poll_batch(batch.len(), &mut |frame: RxFrame<'_>| {
+                if !arena.write_packet(&mut current, frame.ts_ns, frame.wire_len, frame.data) {
+                    unreachable!("sealed before full");
+                }
+                consumed += 1;
+                bytes += frame.data.len() as u64;
+                if current.filled() == arena.m() {
+                    let next = free.pop().expect("released slots refill the freelist");
+                    let full = std::mem::replace(&mut current, next);
+                    free.push(arena.release(arena.seal(full)));
+                }
+            })
+            .expect("nicsim poll is infallible");
+        debug_assert_eq!(polled, batch.len());
+        queue.recycle(polled).expect("nicsim recycle is infallible");
+    }
+    if current.filled() > 0 {
+        free.push(arena.release(arena.seal(current)));
+    } else {
+        free.push(current);
+    }
+    (consumed, bytes)
+}
+
 /// Times `f` over `rounds` passes of `n_packets` and returns the
 /// median-round packets/s. The median (not the mean over the whole
 /// wall-clock span) keeps one preempted round from dragging the
@@ -833,6 +924,55 @@ fn bench_hotpath(c: &mut Criterion) {
         consumer_pool.stolen_chunks
     );
 
+    // Backend-dispatch entry (DESIGN.md §4.13): the price of holding
+    // the NIC behind `Arc<dyn BackendQueue>` on the capture hot path —
+    // virtual poll + recycle per 256-packet batch against the
+    // monomorphized pre-trait loop, identical arena-write sink work.
+    // `scripts/check.sh` gates `backend_dispatch_overhead` at ≤ 2%.
+    let dispatch_m = 16usize;
+    let nic = LiveNic::new(1, DISPATCH_BATCH * 4);
+    let backend = NicSimBackend::new(Arc::clone(&nic));
+    let mono_q = backend.mono_queue(0);
+    let dyn_q: Arc<dyn BackendQueue> = backend.queue(0);
+    let (dispatch_arena, dispatch_free) = ChunkArena::with_slots(R, dispatch_m, FRAME);
+    let (mono_pps, dyn_pps, dispatch_overhead) = {
+        let free_cell = std::cell::RefCell::new(dispatch_free);
+        measure_pair(
+            || {
+                dispatch_mono(
+                    &pkts,
+                    &backend,
+                    &mono_q,
+                    &dispatch_arena,
+                    &mut free_cell.borrow_mut(),
+                )
+            },
+            || {
+                dispatch_dyn(
+                    &pkts,
+                    &backend,
+                    &dyn_q,
+                    &dispatch_arena,
+                    &mut free_cell.borrow_mut(),
+                )
+            },
+            n_packets,
+            pair_rounds,
+        )
+    };
+    let backend_dispatch = BackendDispatchEntry {
+        m: dispatch_m,
+        batch: DISPATCH_BATCH,
+        mono_pps,
+        dyn_pps,
+        backend_dispatch_overhead: dispatch_overhead,
+    };
+    eprintln!(
+        "hotpath backend_dispatch: mono {mono_pps:.0} p/s, dyn {dyn_pps:.0} p/s, \
+         overhead {:.2}%",
+        dispatch_overhead * 100.0
+    );
+
     // Single-hot-queue entry (DESIGN.md §4.12): all load on one queue,
     // COREC-style concurrent claim-mode workers overlapping the
     // blocking per-chunk stage with no republish-through-the-owner
@@ -861,7 +1001,14 @@ fn bench_hotpath(c: &mut Criterion) {
         single_hot_queue.claim_contention
     );
 
-    write_json(&results, consumer_pool, single_hot_queue, n_packets, rounds);
+    write_json(
+        &results,
+        consumer_pool,
+        single_hot_queue,
+        backend_dispatch,
+        n_packets,
+        rounds,
+    );
 }
 
 struct HotpathResult {
@@ -919,6 +1066,20 @@ struct SingleHotQueueEntry {
     claim_contention: u64,
 }
 
+/// Static vs dynamic backend dispatch on the capture hot path: the
+/// monomorphized `NicSimQueue::poll_batch_mono` loop against the same
+/// loop through `Arc<dyn BackendQueue>` (virtual poll + recycle per
+/// batch). Gated at `backend_dispatch_overhead <= 0.02` by
+/// `scripts/check.sh`.
+#[derive(serde::Serialize)]
+struct BackendDispatchEntry {
+    m: usize,
+    batch: usize,
+    mono_pps: f64,
+    dyn_pps: f64,
+    backend_dispatch_overhead: f64,
+}
+
 #[derive(serde::Serialize)]
 struct Doc {
     benchmark: String,
@@ -929,12 +1090,14 @@ struct Doc {
     results: Vec<Entry>,
     consumer_pool: ConsumerPoolEntry,
     single_hot_queue: SingleHotQueueEntry,
+    backend_dispatch: BackendDispatchEntry,
 }
 
 fn write_json(
     results: &[HotpathResult],
     consumer_pool: ConsumerPoolEntry,
     single_hot_queue: SingleHotQueueEntry,
+    backend_dispatch: BackendDispatchEntry,
     n_packets: usize,
     rounds: usize,
 ) {
@@ -961,6 +1124,7 @@ fn write_json(
             .collect(),
         consumer_pool,
         single_hot_queue,
+        backend_dispatch,
     };
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

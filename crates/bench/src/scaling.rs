@@ -35,6 +35,7 @@ use std::time::Instant;
 use telemetry::EngineSnapshot;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 /// Payload bytes per packet.
@@ -141,11 +142,11 @@ fn assert_conserved(snap: &EngineSnapshot, offered: u64) {
 pub fn baseline_point(queues: usize, packets: u64) -> ScalingPoint {
     let traffic = skewed_traffic(packets);
     let nic = LiveNic::new(queues, 4096);
-    let engine = LiveWireCap::start(
-        Arc::clone(&nic),
-        engine_config(),
-        BuddyGroups::single(queues),
-    );
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(engine_config())
+        .groups(BuddyGroups::single(queues))
+        .start();
     let start = Instant::now();
     let consumers: Vec<_> = (0..queues)
         .map(|q| {
@@ -231,7 +232,11 @@ fn pool_point_with(
 ) -> ScalingPoint {
     let traffic = skewed_traffic(packets);
     let nic = LiveNic::new(queues, 4096);
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::single(queues));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::single(queues))
+        .start();
     let group = wirecap::BuddyGroup::all(queues);
     let acc = Arc::new(AtomicU64::new(0));
     let start = Instant::now();

@@ -176,7 +176,8 @@ struct WriteOutcome {
 
 /// A running capture-to-disk sink over every queue of a live engine.
 ///
-/// Attach once after [`LiveWireCap::start`]; the sink's drainers become
+/// Attach once after `LiveWireCap::builder().….start()`; the sink's
+/// drainers become
 /// the queues' consumers. Call [`DiskSink::wait`] after the NIC stops
 /// (the capture streams must end for the drainers to exit) and before
 /// `engine.shutdown()`.

@@ -10,6 +10,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -45,11 +46,11 @@ fn full_speed_sink_conserves_and_parses() {
     let dir = tmpdir("fullspeed");
     let queues = 2;
     let nic = LiveNic::new(queues, 4096);
-    let engine = LiveWireCap::start(
-        Arc::clone(&nic),
-        engine_cfg(),
-        BuddyGroups::isolated(queues),
-    );
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(engine_cfg())
+        .groups(BuddyGroups::isolated(queues))
+        .start();
     let mut cfg = DiskSinkConfig::new(&dir);
     cfg.rotation = RotationPolicy {
         max_file_bytes: 64 << 10,
@@ -92,7 +93,11 @@ fn full_speed_sink_conserves_and_parses() {
 fn throttled_writer_sheds_but_accounts_every_packet() {
     let dir = tmpdir("throttled");
     let nic = LiveNic::new(1, 8192);
-    let engine = LiveWireCap::start(Arc::clone(&nic), engine_cfg(), BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(engine_cfg())
+        .groups(BuddyGroups::isolated(1))
+        .start();
     let mut cfg = DiskSinkConfig::new(&dir);
     cfg.handoff_chunks = 2;
     cfg.max_write_bps = Some(200_000); // ~200 KB/s: far below the offered load
@@ -133,7 +138,11 @@ fn throttled_writer_sheds_but_accounts_every_packet() {
 fn pcap_format_leg_writes_savefile_compatible_files() {
     let dir = tmpdir("pcapleg");
     let nic = LiveNic::new(1, 4096);
-    let engine = LiveWireCap::start(Arc::clone(&nic), engine_cfg(), BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(engine_cfg())
+        .groups(BuddyGroups::isolated(1))
+        .start();
     let mut cfg = DiskSinkConfig::new(&dir);
     cfg.format = FileFormat::Pcap;
     let sink = DiskSink::attach(&engine, &cfg).unwrap();

@@ -57,6 +57,7 @@
 #![deny(unsafe_code)]
 
 pub mod arena;
+pub mod backend;
 pub mod buddy;
 pub mod chunk;
 pub mod claim;
@@ -71,6 +72,10 @@ pub mod tx;
 pub mod workqueue;
 
 pub use arena::{ChunkArena, ChunkView, PacketRef};
+pub use backend::{
+    BackendError, BackendQueue, CaptureBackend, LiveWireCapBuilder, LoopbackBackend, NicSimBackend,
+    NicSimQueue, QueueAccounting, RxFrame,
+};
 pub use buddy::BuddyGroup;
 pub use chunk::{ChunkId, ChunkMeta, ChunkState};
 pub use claim::{Claim, ClaimQueue, ReorderBuffer};

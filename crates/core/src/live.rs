@@ -1,12 +1,18 @@
 //! The live (real-thread) WireCAP engine.
 //!
 //! Runs the ring-buffer-pool and buddy-group mechanisms on OS threads
-//! against a [`nicsim::livenic::LiveNic`], with real packets. One capture
-//! thread per receive queue performs the capture/recycle/offload work;
+//! against any [`CaptureBackend`] (DESIGN.md §4.13) — the in-memory
+//! [`nicsim::livenic::LiveNic`] behind the
+//! [`crate::backend::NicSimBackend`] adapter, or the `shmring`
+//! descriptor-ring backend — with real packets. One capture thread per
+//! receive queue performs the capture/recycle/offload work;
 //! application threads consume chunks through [`LiveConsumer`], which
 //! also implements [`pcap::PacketSource`] so ordinary pcap-style programs
 //! run on top unchanged — the paper's Libpcap-compatibility claim,
 //! demonstrated end-to-end in the examples.
+//!
+//! Construction goes through [`LiveWireCap::builder`]; the positional
+//! [`LiveWireCap::start`] survives one PR as a deprecated shim.
 //!
 //! # Hot path
 //!
@@ -36,6 +42,7 @@
 //! design works as a concurrent artifact.
 
 use crate::arena::{ChunkArena, ChunkView, FreeSlot, SealedSlot};
+use crate::backend::{CaptureBackend, LiveWireCapBuilder, NicSimBackend};
 use crate::buddy::{BuddyGroup, BuddyGroups};
 use crate::claim::{ClaimQueue, ReorderBuffer};
 use crate::config::{WireCapConfig, CELL_BYTES};
@@ -135,9 +142,10 @@ pub(crate) struct Shared {
     pub(crate) reorder: Option<Vec<ReorderBuffer<LiveChunk>>>,
 }
 
-/// The live WireCAP engine: per-queue capture threads over a live NIC.
+/// The live WireCAP engine: per-queue capture threads over any
+/// [`CaptureBackend`].
 pub struct LiveWireCap {
-    nic: Arc<LiveNic>,
+    backend: Arc<dyn CaptureBackend>,
     cfg: WireCapConfig,
 
     shared: Arc<Shared>,
@@ -154,13 +162,13 @@ pub struct LiveWireCap {
 /// extends the engine's lifetime.
 struct LiveObserver {
     shared: Arc<Shared>,
-    nic: Arc<LiveNic>,
+    backend: Arc<dyn CaptureBackend>,
     cfg: WireCapConfig,
 }
 
 impl Observable for LiveObserver {
     fn snapshot(&self) -> EngineSnapshot {
-        engine_snapshot(&self.shared, &self.nic, &self.cfg)
+        engine_snapshot(&self.shared, self.backend.as_ref(), &self.cfg)
     }
 
     fn trace_events(&self) -> Vec<TraceEvent> {
@@ -169,13 +177,45 @@ impl Observable for LiveObserver {
 }
 
 impl LiveWireCap {
+    /// A [`LiveWireCapBuilder`]: the way to construct a live engine
+    /// over any backend.
+    ///
+    /// ```ignore
+    /// let engine = LiveWireCap::builder()
+    ///     .backend(NicSimBackend::new(Arc::clone(&nic)))
+    ///     .config(cfg)
+    ///     .groups(groups)
+    ///     .start();
+    /// ```
+    pub fn builder() -> LiveWireCapBuilder {
+        LiveWireCapBuilder::default()
+    }
+
     /// Starts capture threads for every queue of `nic`.
     ///
     /// `groups` is the buddy-group partition; pass
     /// [`BuddyGroups::isolated`] for basic mode.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use LiveWireCap::builder().backend(NicSimBackend::new(nic)).config(cfg).groups(groups).start()"
+    )]
     pub fn start(nic: Arc<LiveNic>, cfg: WireCapConfig, groups: BuddyGroups) -> Self {
+        Self::builder()
+            .backend(NicSimBackend::new(nic))
+            .config(cfg)
+            .groups(groups)
+            .start()
+    }
+
+    /// Starts capture threads for every queue of `backend`. Called by
+    /// [`LiveWireCapBuilder::start`].
+    pub(crate) fn start_with(
+        backend: Arc<dyn CaptureBackend>,
+        cfg: WireCapConfig,
+        groups: BuddyGroups,
+    ) -> Self {
         cfg.validate().expect("invalid WireCAP configuration");
-        let queues = nic.queue_count();
+        let queues = backend.queue_count();
         let mut arenas = Vec::with_capacity(queues);
         let mut freelists = Vec::with_capacity(queues);
         for _ in 0..queues {
@@ -220,7 +260,7 @@ impl LiveWireCap {
             &cfg.name(),
             Arc::new(LiveObserver {
                 shared: Arc::clone(&shared),
-                nic: Arc::clone(&nic),
+                backend: Arc::clone(&backend),
                 cfg,
             }),
             pcfg,
@@ -230,18 +270,18 @@ impl LiveWireCap {
             .into_iter()
             .enumerate()
             .map(|(q, free)| {
-                let nic = Arc::clone(&nic);
+                let backend = Arc::clone(&backend);
                 let shared = Arc::clone(&shared);
                 let stop = Arc::clone(&stop);
                 let group = groups.group_of(q).cloned();
                 std::thread::Builder::new()
                     .name(format!("wirecap-capture-{q}"))
-                    .spawn(move || capture_thread(q, nic, shared, cfg, group, stop, free))
+                    .spawn(move || capture_thread(q, backend, shared, cfg, group, stop, free))
                     .expect("spawning capture thread")
             })
             .collect();
         LiveWireCap {
-            nic,
+            backend,
             cfg,
             shared,
             threads,
@@ -318,9 +358,9 @@ impl LiveWireCap {
         &self.cfg
     }
 
-    /// The NIC this engine captures from.
-    pub fn nic(&self) -> &Arc<LiveNic> {
-        &self.nic
+    /// The backend this engine captures from.
+    pub fn backend(&self) -> &Arc<dyn CaptureBackend> {
+        &self.backend
     }
 
     /// Full telemetry snapshot for queue `q` — the same
@@ -329,12 +369,12 @@ impl LiveWireCap {
     /// may disagree by a few in-flight packets while capture threads
     /// run.
     pub fn telemetry(&self, q: usize) -> QueueTelemetry {
-        queue_telemetry(&self.shared, &self.nic, &self.cfg, q)
+        queue_telemetry(&self.shared, self.backend.as_ref(), &self.cfg, q)
     }
 
     /// Full engine snapshot in the unified schema (JSON / Prometheus).
     pub fn snapshot(&self) -> EngineSnapshot {
-        engine_snapshot(&self.shared, &self.nic, &self.cfg)
+        engine_snapshot(&self.shared, self.backend.as_ref(), &self.cfg)
     }
 
     /// The telemetry registry (counters + event tracer). Enable the
@@ -348,7 +388,7 @@ impl LiveWireCap {
     pub fn observer(&self) -> Arc<dyn Observable> {
         Arc::new(LiveObserver {
             shared: Arc::clone(&self.shared),
-            nic: Arc::clone(&self.nic),
+            backend: Arc::clone(&self.backend),
             cfg: self.cfg,
         })
     }
@@ -389,12 +429,14 @@ impl LiveWireCap {
 /// NIC-side accounting and the engine-owned gauges.
 fn queue_telemetry(
     shared: &Shared,
-    nic: &LiveNic,
+    backend: &dyn CaptureBackend,
     cfg: &WireCapConfig,
     q: usize,
 ) -> QueueTelemetry {
     let mut t = shared.tel.snapshot_queue(q);
-    nic.queue(q).fill_telemetry(&mut t);
+    // NIC-side accounting flows through the one fold in
+    // `BackendQueue::fill_telemetry`, the same for every backend.
+    backend.queue(q).fill_telemetry(&mut t);
     t.capture_queue_len = shared.rings[q].iter().map(|r| r.len() as u64).sum();
     if let Some(claims) = shared.claims.as_ref() {
         t.capture_queue_len += claims[q].len() as u64;
@@ -416,11 +458,15 @@ fn queue_telemetry(
 }
 
 /// Builds the engine-wide snapshot in the unified schema.
-fn engine_snapshot(shared: &Shared, nic: &LiveNic, cfg: &WireCapConfig) -> EngineSnapshot {
+fn engine_snapshot(
+    shared: &Shared,
+    backend: &dyn CaptureBackend,
+    cfg: &WireCapConfig,
+) -> EngineSnapshot {
     EngineSnapshot {
         engine: cfg.name(),
         queues: (0..shared.rings.len())
-            .map(|q| queue_telemetry(shared, nic, cfg, q))
+            .map(|q| queue_telemetry(shared, backend, cfg, q))
             .collect(),
         copies: sim::stats::CopyMeter::default(),
         latency: sim::stats::LatencyStats::new(),
@@ -449,7 +495,7 @@ struct CaptureState {
 
 fn capture_thread(
     q: usize,
-    nic: Arc<LiveNic>,
+    backend: Arc<dyn CaptureBackend>,
     shared: Arc<Shared>,
     cfg: WireCapConfig,
     group: Option<crate::buddy::BuddyGroup>,
@@ -462,7 +508,7 @@ fn capture_thread(
         pin_to_core(q % available_cores());
     }
     let queues = shared.rings.len();
-    let queue = nic.queue(q);
+    let queue = backend.queue(q);
     let arena = Arc::clone(&shared.arenas[q]);
     let mut poller = AdaptivePoller::from_config(&cfg);
     let mut st = CaptureState {
@@ -475,9 +521,12 @@ fn capture_thread(
         next_seq: 0,
         now_ns: clock::mono_ns(),
     };
-    let mut pkt_buf: Vec<Packet> = Vec::with_capacity(NIC_POP_BATCH);
     let timeout = Duration::from_nanos(cfg.capture_timeout_ns);
     let cap = &shared.tel.queue(q).cap;
+    // Set when the backend returns a fatal poll/recycle error: the
+    // queue then closes through the normal flush path (DESIGN.md
+    // §4.13), so conservation holds over everything captured.
+    let mut backend_dead = false;
     loop {
         // Recycle first: returned slots replenish the local freelist.
         while let Some(seal) = shared.recycle[q].pop() {
@@ -485,12 +534,12 @@ fn capture_thread(
         }
 
         let mut progressed = false;
-        loop {
-            // Backpressure: never pop more packets than the chunks on
+        while !backend_dead {
+            // Backpressure: never poll more packets than the chunks on
             // hand can absorb. When the pool is exhausted the excess
-            // stays in the NIC ring — where the hardware's own drop
+            // stays in the backend's ring — where the NIC-side drop
             // accounting (wire/nic drops) owns the loss — instead of
-            // being popped and immediately discarded as capture drops.
+            // being polled and immediately discarded as capture drops.
             // Consumers notify the capture gate on recycle, so a parked
             // capture thread resumes draining as soon as slots return.
             if st.current.is_none() && st.free.is_empty() {
@@ -503,19 +552,21 @@ fn capture_thread(
             }
             let room =
                 st.current.as_ref().map_or(0, |s| cfg.m - s.filled()) + st.free.len() * cfg.m;
-            pkt_buf.clear();
-            if queue.pop_batch(&mut pkt_buf, NIC_POP_BATCH.min(room)) == 0 {
-                break;
-            }
-            progressed = true;
-            // One clock read per poll batch stamps every chunk sealed
-            // in it (see `CaptureState::now_ns`).
-            st.now_ns = clock::mono_ns();
-            // Counter writes are batched: one relaxed add per NIC batch
+            // Counter writes are batched: one relaxed add per poll batch
             // (≤ NIC_POP_BATCH packets), not one per packet.
             let mut captured_batch = 0u64;
             let mut dropped_batch = 0u64;
-            for pkt in pkt_buf.drain(..) {
+            let mut stamped = false;
+            // The backend lends each frame to this sink for the duration
+            // of the call; the sink copies it into an arena cell, so the
+            // frame's backing slot is free to recycle right after.
+            let polled = queue.poll_batch(NIC_POP_BATCH.min(room), &mut |frame| {
+                if !stamped {
+                    // One clock read per non-empty poll batch stamps
+                    // every chunk sealed in it (`CaptureState::now_ns`).
+                    st.now_ns = clock::mono_ns();
+                    stamped = true;
+                }
                 if st.current.is_none() {
                     // Claim a chunk; drain the recycle queue before
                     // declaring the pool exhausted.
@@ -531,25 +582,50 @@ fn capture_thread(
                         }
                         None => {
                             dropped_batch += 1;
-                            continue;
+                            return;
                         }
                     }
                 }
                 let slot = st.current.as_mut().expect("claimed above");
-                arena.write_packet(slot, pkt.ts_ns, pkt.wire_len, &pkt.data);
+                arena.write_packet(slot, frame.ts_ns, frame.wire_len, frame.data);
                 captured_batch += 1;
                 if slot.filled() == cfg.m {
                     let full = st.current.take().expect("slot just filled");
                     stage(&shared, &cfg, group.as_ref(), &arena, full, &mut st);
                 }
+            });
+            let polled = match polled {
+                Ok(n) => n,
+                Err(e) => {
+                    // Contract: a backend errors *before* lending any
+                    // frame in the failing call, so there is nothing to
+                    // count or recycle here.
+                    eprintln!("wirecap: queue {q} backend poll failed, closing queue: {e}");
+                    backend_dead = true;
+                    break;
+                }
+            };
+            if polled == 0 {
+                break;
             }
+            progressed = true;
             if captured_batch > 0 {
                 cap.captured_packets.add_local(captured_batch);
             }
             if dropped_batch > 0 {
                 cap.capture_drop_packets.add_local(dropped_batch);
             }
+            // Return the batch's backing slots (the RDT advance). The
+            // frames are in the arena — or counted as capture drops —
+            // either way their ring slots are done.
+            if let Err(e) = queue.recycle(polled) {
+                eprintln!("wirecap: queue {q} backend recycle failed, closing queue: {e}");
+                backend_dead = true;
+            }
             flush(&shared, &mut st);
+            if backend_dead {
+                break;
+            }
         }
 
         // Timeout partial delivery.
@@ -569,12 +645,14 @@ fn capture_thread(
             // Queue 0's capture thread doubles as the SIGUSR1 servant:
             // it renders the dump off the hot path, only when idle.
             if q == 0 && dump::take_dump_request() {
-                dump::dump_snapshot(&engine_snapshot(&shared, &nic, &cfg));
+                dump::dump_snapshot(&engine_snapshot(&shared, backend.as_ref(), &cfg));
             }
             // Ticket before the stop check: a shutdown() notify after
             // this point turns the park into an immediate return.
             let ticket = shared.capture_gate.ticket();
-            let ending = stop.load(Ordering::SeqCst) || (nic.is_stopped() && queue.depth() == 0);
+            let ending = stop.load(Ordering::SeqCst)
+                || backend_dead
+                || (backend.is_stopped() && queue.depth() == 0);
             if ending {
                 // Close semantics: flush the in-progress chunk without
                 // waiting for the timeout, then close our rings.
@@ -585,6 +663,32 @@ fn capture_thread(
                         cap.partial_chunks.inc_local();
                         st.now_ns = clock::mono_ns();
                         stage(&shared, &cfg, group.as_ref(), &arena, last, &mut st);
+                    }
+                }
+                // A forced stop can strand frames the backend already
+                // received (they raced in after this thread's last
+                // empty poll): nobody will ever poll them again, so
+                // drain and count them as capture drops — `offered ==
+                // captured + capture_drops + nic_drops` must survive a
+                // non-graceful shutdown. Bounded by ring capacity so a
+                // still-live producer cannot wedge teardown.
+                if !backend_dead {
+                    let mut budget = queue.accounting().ring_capacity as usize + NIC_POP_BATCH;
+                    let mut stranded = 0u64;
+                    while budget > 0 {
+                        match queue.poll_batch(NIC_POP_BATCH.min(budget), &mut |_| {}) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                stranded += n as u64;
+                                budget -= n;
+                                if queue.recycle(n).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if stranded > 0 {
+                        cap.capture_drop_packets.add_local(stranded);
                     }
                 }
                 flush(&shared, &mut st);
@@ -1030,10 +1134,18 @@ mod tests {
         cfg
     }
 
+    fn start(nic: &Arc<LiveNic>, cfg: WireCapConfig, groups: BuddyGroups) -> LiveWireCap {
+        LiveWireCap::builder()
+            .backend(NicSimBackend::new(Arc::clone(nic)))
+            .config(cfg)
+            .groups(groups)
+            .start()
+    }
+
     #[test]
     fn live_capture_delivers_everything() {
         let nic = LiveNic::new(2, 4096);
-        let cap = LiveWireCap::start(Arc::clone(&nic), test_cfg(), BuddyGroups::isolated(2));
+        let cap = start(&nic, test_cfg(), BuddyGroups::isolated(2));
         let consumers: Vec<_> = (0..2)
             .map(|q| {
                 let mut c = cap.consumer(q);
@@ -1062,7 +1174,7 @@ mod tests {
     #[test]
     fn views_expose_the_captured_bytes_without_copying() {
         let nic = LiveNic::new(1, 4096);
-        let cap = LiveWireCap::start(Arc::clone(&nic), test_cfg(), BuddyGroups::isolated(1));
+        let cap = start(&nic, test_cfg(), BuddyGroups::isolated(1));
         let injected = packets(64);
         for p in &injected {
             nic.inject(p.clone()).unwrap();
@@ -1095,7 +1207,7 @@ mod tests {
         use pcap::capture::Capture;
         use pcap::PacketSource as _;
         let nic = LiveNic::new(1, 4096);
-        let cap = LiveWireCap::start(Arc::clone(&nic), test_cfg(), BuddyGroups::isolated(1));
+        let cap = start(&nic, test_cfg(), BuddyGroups::isolated(1));
         let consumer = cap.consumer(0);
         let handle = std::thread::spawn(move || {
             let mut pcap_cap = Capture::new(consumer);
@@ -1123,7 +1235,7 @@ mod tests {
     #[test]
     fn partial_timeout_fires_on_stragglers() {
         let nic = LiveNic::new(1, 128);
-        let cap = LiveWireCap::start(Arc::clone(&nic), test_cfg(), BuddyGroups::isolated(1));
+        let cap = start(&nic, test_cfg(), BuddyGroups::isolated(1));
         // 10 packets: far less than M = 64, so only the timeout path can
         // deliver them.
         for p in packets(10) {
@@ -1153,7 +1265,7 @@ mod tests {
     #[test]
     fn latency_samples_cover_every_recycled_chunk() {
         let nic = LiveNic::new(1, 4096);
-        let cap = LiveWireCap::start(Arc::clone(&nic), test_cfg(), BuddyGroups::isolated(1));
+        let cap = start(&nic, test_cfg(), BuddyGroups::isolated(1));
         for p in packets(640) {
             while nic.inject(p.clone()).is_none() {
                 std::thread::yield_now();

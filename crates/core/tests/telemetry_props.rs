@@ -18,6 +18,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 /// One randomized live run; returns the per-queue telemetry.
@@ -45,7 +46,11 @@ fn run_live(
         BuddyGroups::isolated(queues)
     };
     let nic = LiveNic::new(queues, nic_capacity);
-    let cap = LiveWireCap::start(Arc::clone(&nic), cfg, groups);
+    let cap = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(groups)
+        .start();
     let consumers: Vec<_> = (0..queues)
         .map(|q| {
             let mut c = cap.consumer(q);

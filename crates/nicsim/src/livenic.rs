@@ -69,21 +69,14 @@ impl LiveQueue {
     }
 
     /// Ring capacity in packets.
+    ///
+    /// NIC-side accounting no longer folds into telemetry here: every
+    /// backend reports raw counts through
+    /// `wirecap::backend::BackendQueue::accounting`, and the one
+    /// field-by-field copy lives in that trait's `fill_telemetry` — so
+    /// no backend can skew the offered/dropped bookkeeping.
     pub fn capacity(&self) -> usize {
         self.ring.capacity()
-    }
-
-    /// Copies this queue's NIC-side accounting into a telemetry
-    /// snapshot: offered = received + dropped, NIC drops, and the ring
-    /// occupancy gauges.
-    pub fn fill_telemetry(&self, t: &mut telemetry::QueueTelemetry) {
-        let received = self.received();
-        let dropped = self.dropped();
-        t.offered_packets = received + dropped;
-        t.nic_drop_packets = dropped;
-        let used = self.depth() as u64;
-        t.ring_used = used;
-        t.ring_ready = (self.capacity() as u64).saturating_sub(used);
     }
 }
 

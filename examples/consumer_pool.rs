@@ -31,6 +31,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::{BuddyGroup, WireCapConfig};
 
 const QUEUES: usize = 4;
@@ -80,7 +81,11 @@ fn inject_skewed(nic: &Arc<LiveNic>) {
 /// One consumer thread bound to each queue.
 fn per_queue_run() -> (u64, f64) {
     let nic = LiveNic::new(QUEUES, 4096);
-    let engine = LiveWireCap::start(Arc::clone(&nic), config(), BuddyGroups::single(QUEUES));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(config())
+        .groups(BuddyGroups::single(QUEUES))
+        .start();
     let start = Instant::now();
     let consumers: Vec<_> = (0..QUEUES)
         .map(|q| {
@@ -108,7 +113,11 @@ fn per_queue_run() -> (u64, f64) {
 /// A pool of workers over all queues, stealing and parking adaptively.
 fn pooled_run() -> (u64, u64, u64, f64) {
     let nic = LiveNic::new(QUEUES, 4096);
-    let engine = LiveWireCap::start(Arc::clone(&nic), config(), BuddyGroups::single(QUEUES));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(config())
+        .groups(BuddyGroups::single(QUEUES))
+        .start();
     let group = BuddyGroup::all(QUEUES);
     let delivered = Arc::new(AtomicU64::new(0));
     let start = Instant::now();

@@ -26,6 +26,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 const QUEUES: usize = 4;
@@ -34,7 +35,11 @@ fn main() {
     let nic = LiveNic::new(QUEUES, 8192);
     let mut cfg = WireCapConfig::advanced(64, 128, 0.6, 0); // 8k-packet pools
     cfg.capture_timeout_ns = 2_000_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::single(QUEUES));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::single(QUEUES))
+        .start();
 
     // Analysis threads: pkt_handler + a port-scan detector counting
     // distinct destination ports per source address.

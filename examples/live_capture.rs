@@ -24,6 +24,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 const QUEUES: usize = 3;
@@ -32,7 +33,11 @@ fn main() {
     let nic = LiveNic::new(QUEUES, 4096);
     let mut cfg = WireCapConfig::basic(64, 48, 0);
     cfg.capture_timeout_ns = 2_000_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(QUEUES));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::isolated(QUEUES))
+        .start();
 
     // One consumer thread per queue, all feeding a single writer.
     let (tx, rx) = mpsc::channel::<Packet>();

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::{BuddyGroup, WireCapConfig};
 
 fn main() {
@@ -41,7 +42,11 @@ fn main() {
     let nic2 = LiveNic::new(2, 8192);
     let mut cfg = WireCapConfig::advanced(64, 64, 0.6, 0).forwarding();
     cfg.capture_timeout_ns = 2_000_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic1), cfg, BuddyGroups::single(2));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic1)))
+        .config(cfg)
+        .groups(BuddyGroups::single(2))
+        .start();
 
     // The middlebox: a pool of two workers over both NIC1 queues.
     // Whichever queue the traffic lands on, both workers process it —

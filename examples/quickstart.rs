@@ -23,6 +23,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 fn main() {
@@ -31,7 +32,11 @@ fn main() {
     let nic = LiveNic::new(1, 4096);
     let mut cfg = WireCapConfig::basic(64, 32, 0);
     cfg.capture_timeout_ns = 2_000_000; // flush partial chunks after 2 ms
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::isolated(1))
+        .start();
 
     // 2. The application side: a pcap capture over the queue-0 consumer,
     // filtered with the paper's own expression.

@@ -120,17 +120,43 @@ awk '
     }
 ' BENCH_hotpath.json
 
+echo "==> backend dispatch overhead budget (<= 2%, mono vs dyn trait calls)"
+# The engine reaches its queues through Arc<dyn BackendQueue> (the
+# CaptureBackend abstraction, DESIGN.md section 4.13). The dynamic
+# dispatch plus per-frame callback indirection must stay within 2% of
+# the monomorphized nicsim path, or the trait boundary has grown a
+# real per-packet cost.
+awk '
+    /"backend_dispatch_overhead":/ { sub(/,$/, "", $2); ov = $2 + 0; seen = 1 }
+    END {
+        if (!seen) { print "FAIL: no backend_dispatch_overhead entry in BENCH_hotpath.json"; exit 1 }
+        printf "    backend_dispatch_overhead=%.2f%%\n", ov * 100
+        if (ov > 0.02) {
+            printf "FAIL: backend dispatch overhead %.2f%% > 2%%\n", ov * 100
+            exit 1
+        }
+    }
+' BENCH_hotpath.json
+
 echo "==> BENCH_hotpath.json gated-entry completeness"
 # Every key a gate above reads must be present: a refactor that drops
 # one from the benchmark output must fail here, not silently skip its
 # gate on the next edit.
-for key in latency_overhead disk_writer_overhead pool_speedup hotq_speedup; do
+for key in latency_overhead disk_writer_overhead pool_speedup hotq_speedup backend_dispatch_overhead; do
     if ! grep -q "\"$key\":" BENCH_hotpath.json; then
         echo "FAIL: BENCH_hotpath.json is missing gated entry \"$key\"" >&2
         exit 1
     fi
 done
 echo "    all gated keys present"
+
+echo "==> backend conformance suite (nicsim + shmring, release)"
+# Both CaptureBackend implementations must pass the identical
+# conservation, zero-allocation, and teardown contracts — the suites
+# iterate over [nicsim, shmring] internally and label failures by
+# backend name.
+cargo test -q --release --test engine_conformance
+cargo test -q --release --test offload_conservation
 
 echo "==> claim CAS protocol: exhaustive two-thread interleavings"
 cargo test -q --release --test claim_interleavings

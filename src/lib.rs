@@ -9,6 +9,7 @@ pub use engines;
 pub use netproto;
 pub use nicsim;
 pub use pcap;
+pub use shmring;
 pub use sim;
 pub use traffic;
 pub use wirecap;

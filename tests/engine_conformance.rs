@@ -139,3 +139,198 @@ fn names_are_distinct_and_stable() {
         "duplicate engine names: {names:?}"
     );
 }
+
+/// Live-backend conformance: the real-thread engine behind every
+/// [`wirecap::CaptureBackend`] must honor the same contracts — the
+/// conservation laws, the zero-copy hot path, and clean teardown —
+/// whether frames come from `nicsim`'s owned-packet rings or from
+/// `shmring`'s shared-memory descriptor rings.
+mod live_backends {
+    use netproto::{FlowKey, PacketBuilder};
+    use nicsim::livenic::LiveNic;
+    use shmring::ShmRingNic;
+    use std::net::Ipv4Addr;
+    use std::sync::{Arc, Mutex};
+    use wirecap::arena::arena_allocations;
+    use wirecap::buddy::BuddyGroups;
+    use wirecap::live::LiveWireCap;
+    use wirecap::{CaptureBackend, LoopbackBackend, NicSimBackend, WireCapConfig};
+
+    /// Serializes the live tests in this binary: `arena_allocations()`
+    /// is a global counter, so the zero-copy assertion must not race
+    /// another live engine's start.
+    static LIVE: Mutex<()> = Mutex::new(());
+
+    /// Every loopback-capable backend, same geometry. A new conformant
+    /// backend earns its row here and nowhere else.
+    fn backends(queues: usize, depth: usize) -> Vec<Arc<dyn LoopbackBackend>> {
+        vec![
+            NicSimBackend::new(LiveNic::new(queues, depth)) as Arc<dyn LoopbackBackend>,
+            ShmRingNic::new(queues, depth) as Arc<dyn LoopbackBackend>,
+        ]
+    }
+
+    fn live_cfg() -> WireCapConfig {
+        let mut cfg = WireCapConfig::basic(64, 32, 0);
+        cfg.capture_timeout_ns = 1_500_000;
+        cfg
+    }
+
+    fn flow(i: u16) -> FlowKey {
+        FlowKey::udp(
+            Ipv4Addr::new(131, 225, 2, (i % 200) as u8 + 1),
+            9_000 + i,
+            Ipv4Addr::new(10, 0, 0, 1),
+            443,
+        )
+    }
+
+    fn inject_flows(backend: &dyn LoopbackBackend, n: u16) {
+        let mut b = PacketBuilder::new();
+        for i in 0..n {
+            let pkt = b.build_packet(u64::from(i), &flow(i), 128).unwrap();
+            while backend.inject(pkt.clone()).is_none() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_laws_hold_on_every_backend() {
+        let _live = LIVE.lock().unwrap_or_else(|e| e.into_inner());
+        for backend in backends(2, 4096) {
+            let name = backend.name();
+            let upcast: Arc<dyn CaptureBackend> = backend.clone();
+            let engine = LiveWireCap::builder()
+                .backend(upcast)
+                .config(live_cfg())
+                .groups(BuddyGroups::isolated(2))
+                .start();
+            let consumers: Vec<_> = (0..2)
+                .map(|q| {
+                    let mut c = engine.consumer(q);
+                    std::thread::spawn(move || {
+                        let mut n = 0u64;
+                        while let Some(chunk) = c.next_chunk() {
+                            n += chunk.len() as u64;
+                            c.recycle(chunk);
+                        }
+                        n
+                    })
+                })
+                .collect();
+            inject_flows(backend.as_ref(), 3_000);
+            backend.stop().expect("stop backend");
+            let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            let t = engine.snapshot().total();
+            engine.shutdown();
+            // offered folds in wire-side drops from the retried injects;
+            // net of those, every packet that landed was offered once.
+            assert_eq!(t.offered_packets - t.nic_drop_packets, 3_000, "{name}");
+            assert_eq!(t.captured_packets + t.capture_drop_packets, 3_000, "{name}");
+            assert_eq!(
+                t.delivered_packets + t.delivery_drop_packets,
+                t.captured_packets,
+                "{name}"
+            );
+            assert_eq!(consumed, t.captured_packets, "{name}");
+            assert_eq!(t.recycled_chunks, t.sealed_chunks, "{name}");
+        }
+    }
+
+    #[test]
+    fn hot_path_allocates_no_arena_buffers_on_any_backend() {
+        let _live = LIVE.lock().unwrap_or_else(|e| e.into_inner());
+        for backend in backends(1, 4096) {
+            let name = backend.name();
+            let upcast: Arc<dyn CaptureBackend> = backend.clone();
+            let engine = LiveWireCap::builder()
+                .backend(upcast)
+                .config(live_cfg())
+                .groups(BuddyGroups::isolated(1))
+                .start();
+            // All arena buffers exist as of here; capture and view-based
+            // consumption must not add any, no matter the backend.
+            let baseline = arena_allocations();
+            let mut b = PacketBuilder::new();
+            let mut c = engine.consumer(0);
+            let mut consumed = 0u64;
+            let mut bytes_seen = 0u64;
+            for i in 0..2_048u64 {
+                let pkt = b.build_packet(i, &flow(7), 128).unwrap();
+                while backend.inject(pkt.clone()).is_none() {
+                    std::thread::yield_now();
+                }
+                // Drain as we go so the small pool never exhausts.
+                while let Some(chunk) = c.try_chunk() {
+                    for p in c.view(&chunk).iter() {
+                        bytes_seen += p.data.len() as u64;
+                    }
+                    consumed += chunk.len() as u64;
+                    c.recycle(chunk);
+                }
+            }
+            backend.stop().expect("stop backend");
+            while let Some(chunk) = c.next_chunk() {
+                for p in c.view(&chunk).iter() {
+                    bytes_seen += p.data.len() as u64;
+                }
+                consumed += chunk.len() as u64;
+                c.recycle(chunk);
+            }
+            let dropped = engine.telemetry(0).capture_drop_packets;
+            engine.shutdown();
+            assert_eq!(consumed + dropped, 2_048, "{name}");
+            assert_eq!(bytes_seen, consumed * 128, "{name}");
+            assert_eq!(
+                arena_allocations(),
+                baseline,
+                "{name}: the hot path must not allocate arena buffers"
+            );
+        }
+    }
+
+    #[test]
+    fn teardown_joins_cleanly_and_reports_stopped() {
+        let _live = LIVE.lock().unwrap_or_else(|e| e.into_inner());
+        for backend in backends(2, 1024) {
+            let name = backend.name();
+            let upcast: Arc<dyn CaptureBackend> = backend.clone();
+            let engine = LiveWireCap::builder()
+                .backend(upcast)
+                .config(live_cfg())
+                .groups(BuddyGroups::isolated(2))
+                .start();
+            let consumers: Vec<_> = (0..2)
+                .map(|q| {
+                    let mut c = engine.consumer(q);
+                    std::thread::spawn(move || {
+                        let mut n = 0u64;
+                        while let Some(chunk) = c.next_chunk() {
+                            n += chunk.len() as u64;
+                            c.recycle(chunk);
+                        }
+                        n
+                    })
+                })
+                .collect();
+            inject_flows(backend.as_ref(), 500);
+            backend.stop().expect("stop backend");
+            assert!(backend.is_stopped(), "{name}");
+            // Stop is idempotent, and a late inject must not panic (the
+            // frame may land or drop; either is conformant).
+            backend.stop().expect("second stop");
+            let mut b = PacketBuilder::new();
+            let _ = backend.inject(b.build_packet(9_999, &flow(9), 64).unwrap());
+            let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            let t = engine.snapshot().total();
+            engine.shutdown();
+            assert_eq!(consumed, t.captured_packets, "{name}");
+            assert!(
+                t.captured_packets + t.capture_drop_packets >= 500,
+                "{name}: teardown lost pre-stop packets"
+            );
+            assert_eq!(t.recycled_chunks, t.sealed_chunks, "{name}");
+        }
+    }
+}

@@ -31,6 +31,7 @@ use std::time::Duration;
 use telemetry::EngineSnapshot;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::{PoolWorkerReport, WireCapConfig};
 
 /// One concurrent-claim pool run. `stall_us > 0` makes the handler
@@ -54,7 +55,11 @@ fn run_concurrent(
     cfg.in_order = in_order;
     let groups = BuddyGroups::single(queues);
     let group = groups.group_of(0).cloned().expect("queue 0 grouped");
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, groups);
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(groups)
+        .start();
 
     let handled = Arc::new(AtomicU64::new(0));
     // Last sequence number the handler saw per home queue (u64::MAX =

@@ -10,6 +10,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 fn cfg() -> WireCapConfig {
@@ -37,7 +38,11 @@ fn inject_flows(nic: &Arc<LiveNic>, n: u16, dst_last: u8) {
 #[test]
 fn multi_queue_capture_accounts_every_packet() {
     let nic = LiveNic::new(4, 4096);
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg(), BuddyGroups::isolated(4));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg())
+        .groups(BuddyGroups::isolated(4))
+        .start();
     let consumers: Vec<_> = (0..4)
         .map(|q| {
             let mut c = engine.consumer(q);
@@ -89,7 +94,11 @@ fn offloading_moves_chunks_in_live_mode() {
     let nic = LiveNic::new(2, 8192);
     let mut config = WireCapConfig::advanced(64, 32, 0.0, 0);
     config.capture_timeout_ns = 1_500_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic), config, BuddyGroups::single(2));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(config)
+        .groups(BuddyGroups::single(2))
+        .start();
 
     // A consumer on each queue; queue 0's consumer is deliberately slow.
     let fast = {
@@ -146,7 +155,11 @@ fn overload_produces_bounded_loss_accounting() {
     let nic = LiveNic::new(1, 256);
     let mut config = WireCapConfig::basic(64, 17, 0); // pool = 1088 pkts
     config.capture_timeout_ns = 50_000_000; // effectively never
-    let engine = LiveWireCap::start(Arc::clone(&nic), config, BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(config)
+        .groups(BuddyGroups::isolated(1))
+        .start();
 
     let mut b = PacketBuilder::new();
     let flow = FlowKey::udp(
@@ -192,7 +205,11 @@ fn overload_produces_bounded_loss_accounting() {
 #[test]
 fn multiple_consumers_share_one_queue() {
     let nic = LiveNic::new(1, 8192);
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg(), BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg())
+        .groups(BuddyGroups::isolated(1))
+        .start();
     let consumers: Vec<_> = (0..3)
         .map(|_| {
             let mut c = engine.consumer(0);
@@ -240,7 +257,11 @@ fn multiple_consumers_share_one_queue() {
 fn app_level_steering_over_live_capture() {
     use wirecap::steering::AppSteering;
     let nic = LiveNic::new(2, 8192);
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg(), BuddyGroups::isolated(2));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg())
+        .groups(BuddyGroups::isolated(2))
+        .start();
     let steering = AppSteering::new(16, 4096);
     let dispatchers: Vec<_> = (0..2)
         .map(|q| {

@@ -32,23 +32,43 @@ use netproto::{FlowKey, PacketBuilder};
 use nicsim::livenic::LiveNic;
 use proptest::prelude::*;
 use proptest::test_runner::ProptestConfig;
+use shmring::ShmRingNic;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 use telemetry::EngineSnapshot;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
-use wirecap::WireCapConfig;
+use wirecap::{CaptureBackend, LoopbackBackend, NicSimBackend, WireCapConfig};
+
+/// Both loopback-capable backends, same two-queue geometry: the offload
+/// conservation laws are a property of the engine, not of where frames
+/// come from.
+fn backends() -> Vec<Arc<dyn LoopbackBackend>> {
+    vec![
+        NicSimBackend::new(LiveNic::new(2, 8192)) as Arc<dyn LoopbackBackend>,
+        ShmRingNic::new(2, 8192) as Arc<dyn LoopbackBackend>,
+    ]
+}
 
 /// One randomized run: `total` packets of a single flow, the offload
 /// target's consumer exiting after `early_chunks` chunks, and the home
 /// queue's consumer slowed by `busy_sleep_us` per chunk (backlog
 /// pressure that makes offloading fire). Returns the final snapshot.
-fn run_interleaving(total: u64, early_chunks: usize, busy_sleep_us: u64) -> EngineSnapshot {
-    let nic = LiveNic::new(2, 8192);
+fn run_interleaving(
+    backend: Arc<dyn LoopbackBackend>,
+    total: u64,
+    early_chunks: usize,
+    busy_sleep_us: u64,
+) -> EngineSnapshot {
     let mut cfg = WireCapConfig::advanced(32, 40, 0.2, 0);
     cfg.capture_timeout_ns = 1_000_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::single(2));
+    let upcast: Arc<dyn CaptureBackend> = backend.clone();
+    let engine = LiveWireCap::builder()
+        .backend(upcast)
+        .config(cfg)
+        .groups(BuddyGroups::single(2))
+        .start();
 
     // A single flow RSS-hashes every packet to one queue; learn which
     // from the first injection so the test is independent of the hash.
@@ -61,7 +81,7 @@ fn run_interleaving(total: u64, early_chunks: usize, busy_sleep_us: u64) -> Engi
     );
     let first = b.build_packet(0, &flow, 120).unwrap();
     let busy = loop {
-        match nic.inject(first.clone()) {
+        match backend.inject(first.clone()) {
             Some(q) => break q,
             None => std::thread::yield_now(),
         }
@@ -98,7 +118,7 @@ fn run_interleaving(total: u64, early_chunks: usize, busy_sleep_us: u64) -> Engi
     };
 
     let injector = {
-        let nic = Arc::clone(&nic);
+        let backend = Arc::clone(&backend);
         std::thread::spawn(move || {
             let mut b = PacketBuilder::new();
             let flow = FlowKey::udp(
@@ -109,11 +129,11 @@ fn run_interleaving(total: u64, early_chunks: usize, busy_sleep_us: u64) -> Engi
             );
             for i in 1..total {
                 let pkt = b.build_packet(i * 1_000, &flow, 120).unwrap();
-                while nic.inject(pkt.clone()).is_none() {
+                while backend.inject(pkt.clone()).is_none() {
                     std::thread::yield_now();
                 }
             }
-            nic.stop();
+            backend.stop().expect("stop backend");
         })
     };
 
@@ -164,15 +184,17 @@ proptest! {
 
     /// Conservation holds across randomized early-shutdown
     /// interleavings: any exit point of the target's consumer, any
-    /// backlog pressure on the home queue.
+    /// backlog pressure on the home queue, on every backend.
     #[test]
     fn offload_accounting_survives_early_consumer_exit(
         total in 1_500u64..5_000,
         early_chunks in 0usize..12,
         busy_sleep_us in 0u64..200,
     ) {
-        let snap = run_interleaving(total, early_chunks, busy_sleep_us);
-        assert_conserved(&snap, total);
+        for backend in backends() {
+            let snap = run_interleaving(backend, total, early_chunks, busy_sleep_us);
+            assert_conserved(&snap, total);
+        }
     }
 }
 
@@ -182,8 +204,14 @@ proptest! {
 /// path and the stranded-chunk rescue).
 #[test]
 fn offloads_fire_and_survive_target_consumer_exit() {
-    let snap = run_interleaving(6_000, 2, 300);
-    assert_conserved(&snap, 6_000);
-    let out: u64 = snap.queues.iter().map(|q| q.offloaded_out_chunks).sum();
-    assert!(out > 0, "scenario failed to trigger offloading: {snap:?}");
+    for backend in backends() {
+        let name = backend.name();
+        let snap = run_interleaving(backend, 6_000, 2, 300);
+        assert_conserved(&snap, 6_000);
+        let out: u64 = snap.queues.iter().map(|q| q.offloaded_out_chunks).sum();
+        assert!(
+            out > 0,
+            "{name}: scenario failed to trigger offloading: {snap:?}"
+        );
+    }
 }

@@ -33,6 +33,7 @@ use std::time::Duration;
 use telemetry::EngineSnapshot;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::{steal_deque, PoolWorkerReport, Steal, WireCapConfig};
 
 /// Deterministic two-thread deque exercise: the owner pushes and pops
@@ -100,7 +101,11 @@ fn run_pool(
     cfg.capture_timeout_ns = 1_000_000;
     let groups = BuddyGroups::single(queues);
     let group = groups.group_of(0).cloned().expect("queue 0 grouped");
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, groups);
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(groups)
+        .start();
 
     let handled = Arc::new(AtomicU64::new(0));
     let pool = {

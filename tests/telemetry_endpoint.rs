@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use wirecap::buddy::BuddyGroups;
 use wirecap::live::LiveWireCap;
+use wirecap::NicSimBackend;
 use wirecap::WireCapConfig;
 
 /// Serializes tests that mutate the `WIRECAP_TELEMETRY_*` environment.
@@ -89,7 +90,11 @@ fn scrape_endpoint_serves_a_live_run() {
     let nic = LiveNic::new(1, 4096);
     let mut cfg = WireCapConfig::basic(64, 32, 0);
     cfg.capture_timeout_ns = 1_500_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::isolated(1))
+        .start();
     let addr = engine
         .telemetry_addr()
         .expect("WIRECAP_TELEMETRY_LISTEN was set");
@@ -176,7 +181,11 @@ fn sampler_escape_hatch_still_captures_and_serves() {
     let nic = LiveNic::new(1, 4096);
     let mut cfg = WireCapConfig::basic(64, 32, 0);
     cfg.capture_timeout_ns = 1_500_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::isolated(1))
+        .start();
     let addr = engine.telemetry_addr().expect("endpoint without sampler");
 
     let consumer = {
@@ -212,7 +221,11 @@ fn no_telemetry_env_means_no_endpoint() {
     let nic = LiveNic::new(1, 1024);
     let mut cfg = WireCapConfig::basic(64, 32, 0);
     cfg.capture_timeout_ns = 1_500_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::isolated(1))
+        .start();
     assert!(engine.telemetry_addr().is_none(), "inert env, no endpoint");
     nic.stop();
     engine.shutdown();

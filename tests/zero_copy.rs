@@ -90,11 +90,16 @@ fn live_view_consumption_allocates_no_arena_buffers() {
     use wirecap::arena::arena_allocations;
     use wirecap::buddy::BuddyGroups;
     use wirecap::live::LiveWireCap;
+    use wirecap::NicSimBackend;
 
     let nic = LiveNic::new(1, 4096);
     let mut cfg = WireCapConfig::basic(64, 32, 0);
     cfg.capture_timeout_ns = 1_500_000;
-    let engine = LiveWireCap::start(Arc::clone(&nic), cfg, BuddyGroups::isolated(1));
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::isolated(1))
+        .start();
     // All arena buffers exist as of here; capture and consumption must
     // not add any (other tests run concurrently and may build their own
     // arenas, so the counter is compared across this engine's threads
