@@ -23,10 +23,11 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use crossbeam::queue::ArrayQueue;
 use netproto::{FlowKey, Packet, PacketBuilder};
 use nicsim::livenic::LiveNic;
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Instant;
-use telemetry::{clock, kind, EventTracer, QueueCounters};
+use telemetry::{clock, kind, EventTracer, QueueCounters, SpanRecord, SpanRing, SpanStamps};
 use wirecap::arena::{ChunkArena, FreeSlot};
 use wirecap::spsc::{BatchRing, MAX_BATCH};
 use wirecap::{BackendQueue, CaptureBackend, LoopbackBackend, NicSimBackend, NicSimQueue, RxFrame};
@@ -409,6 +410,205 @@ fn stamped_path(
     (consumed, bytes)
 }
 
+/// 1-in-N spans at the rate a production config would run.
+const SPAN_SAMPLE_N: u64 = 64;
+
+/// The stamped pipeline plus 1-in-[`SPAN_SAMPLE_N`] span tracing:
+/// every N-th sealed chunk carries a [`SpanStamps`] through the
+/// pipeline (seal + publish stamps shared with the batch clock read),
+/// and its delivery completes a [`SpanRecord`] — per-stage computation,
+/// five `Log2Histogram` records, and one mutex-guarded [`SpanRing`]
+/// push. Measured against [`stamped_path`] to bound what enabling
+/// `span_sample_n` costs on top of latency metering: the
+/// `span_tracing` entry in `BENCH_hotpath.json`, gated at ≤ 3% by
+/// `scripts/check.sh`.
+fn spans_path(
+    pkts: &[Packet],
+    arena: &ChunkArena,
+    free: &mut Vec<FreeSlot>,
+    ring: &BatchRing<wirecap::arena::SealedSlot>,
+    tel: &QueueCounters,
+    tracer: &EventTracer,
+    spans: &SpanRing,
+) -> (u64, u64) {
+    let mut consumed = 0u64;
+    let mut bytes = 0u64;
+    let mut staged = Vec::with_capacity(MAX_BATCH);
+    let mut popped = Vec::with_capacity(MAX_BATCH);
+    // Sampled chunks in flight, keyed by seal sequence. The SPSC ring
+    // preserves order single-threaded, so matching is front-of-queue.
+    let mut pending: VecDeque<(u64, SpanStamps)> = VecDeque::new();
+    let mut seal_seq = 0u64;
+    let mut deliver_seq = 0u64;
+    let drain = |free: &mut Vec<FreeSlot>,
+                 popped: &mut Vec<wirecap::arena::SealedSlot>,
+                 consumed: &mut u64,
+                 bytes: &mut u64,
+                 pending: &mut VecDeque<(u64, SpanStamps)>,
+                 deliver_seq: &mut u64| {
+        let mut delivered = 0u64;
+        let mut recycled = 0u64;
+        loop {
+            popped.clear();
+            if ring.pop_batch(popped, MAX_BATCH) == 0 {
+                break;
+            }
+            let delivered_ns = clock::mono_ns();
+            for seal in popped.drain(..) {
+                for p in arena.view(&seal).iter() {
+                    delivered += 1;
+                    *bytes += p.data.len() as u64;
+                }
+                let sealed_ns = seal.sealed_ns();
+                if sealed_ns > 0 {
+                    tel.app
+                        .latency_ns
+                        .record(delivered_ns.saturating_sub(sealed_ns));
+                }
+                if pending.front().is_some_and(|(s, _)| *s == *deliver_seq) {
+                    let (s, mut st) = pending.pop_front().expect("front checked");
+                    // Per-queue consumer convention: acquisition and
+                    // delivery collapse onto the batch delivery stamp.
+                    st.acquire_started_ns = delivered_ns;
+                    st.acquired_ns = delivered_ns;
+                    st.deliver_start_ns = delivered_ns;
+                    st.deliver_end_ns = delivered_ns;
+                    let rec = SpanRecord::from_stamps(
+                        0,
+                        s,
+                        arena.m() as u32,
+                        None,
+                        false,
+                        &st,
+                        delivered_ns,
+                    );
+                    tel.app.stage_backend_ns.record(rec.stage_backend_ns);
+                    tel.app.stage_queue_wait_ns.record(rec.stage_queue_wait_ns);
+                    tel.app.stage_claim_ns.record(rec.stage_claim_ns);
+                    tel.app.stage_reorder_ns.record(rec.stage_reorder_ns);
+                    tel.app.stage_deliver_ns.record(rec.stage_deliver_ns);
+                    spans.push(rec);
+                }
+                *deliver_seq += 1;
+                recycled += 1;
+                free.push(arena.release(seal));
+            }
+        }
+        *consumed += delivered;
+        if recycled > 0 {
+            tel.app.delivered_packets.add(delivered);
+            tel.app.recycled_chunks.add(recycled);
+        }
+    };
+    const NIC_POP_BATCH: usize = 256;
+    let mut current = free.pop().expect("R slots free at start");
+    for batch in pkts.chunks(NIC_POP_BATCH) {
+        let now_ns = clock::mono_ns();
+        for pkt in batch {
+            if !arena.write_packet(&mut current, pkt.ts_ns, pkt.wire_len, &pkt.data) {
+                unreachable!("sealed before full");
+            }
+            if current.filled() == arena.m() {
+                let fill = current.filled() as u64;
+                tel.cap.sealed_chunks.inc_local();
+                tel.cap.chunk_fill.record(fill);
+                if tracer.is_enabled() {
+                    tracer.record(0, 0, kind::CAPTURE, 0, 0, fill);
+                }
+                if seal_seq.is_multiple_of(SPAN_SAMPLE_N) {
+                    pending.push_back((
+                        seal_seq,
+                        SpanStamps {
+                            sealed_ns: now_ns,
+                            published_ns: now_ns,
+                            ..Default::default()
+                        },
+                    ));
+                }
+                seal_seq += 1;
+                staged.push(arena.seal_at(current, now_ns));
+                if staged.len() == MAX_BATCH {
+                    while !staged.is_empty() {
+                        let pushed = ring.push_batch(&mut staged);
+                        if pushed == 0 {
+                            drain(
+                                free,
+                                &mut popped,
+                                &mut consumed,
+                                &mut bytes,
+                                &mut pending,
+                                &mut deliver_seq,
+                            );
+                        } else {
+                            tel.cap.batch_size.record(pushed as u64);
+                        }
+                    }
+                }
+                if free.is_empty() {
+                    drain(
+                        free,
+                        &mut popped,
+                        &mut consumed,
+                        &mut bytes,
+                        &mut pending,
+                        &mut deliver_seq,
+                    );
+                }
+                current = free.pop().expect("drain refilled the freelist");
+            }
+        }
+        tel.cap.captured_packets.add_local(batch.len() as u64);
+    }
+    let view_len = current.filled();
+    if view_len > 0 {
+        tel.cap.sealed_chunks.inc_local();
+        tel.cap.partial_chunks.inc_local();
+        tel.cap.chunk_fill.record(view_len as u64);
+        let seal = arena.seal_at(current, clock::mono_ns());
+        let mut delivered = 0u64;
+        for p in arena.view(&seal).iter() {
+            delivered += 1;
+            bytes += p.data.len() as u64;
+        }
+        let sealed_ns = seal.sealed_ns();
+        if sealed_ns > 0 {
+            tel.app
+                .latency_ns
+                .record(clock::mono_ns().saturating_sub(sealed_ns));
+        }
+        consumed += delivered;
+        tel.app.delivered_packets.add(delivered);
+        tel.app.recycled_chunks.add(1);
+        free.push(arena.release(seal));
+    } else {
+        free.push(current);
+    }
+    while !staged.is_empty() {
+        let pushed = ring.push_batch(&mut staged);
+        if pushed == 0 {
+            drain(
+                free,
+                &mut popped,
+                &mut consumed,
+                &mut bytes,
+                &mut pending,
+                &mut deliver_seq,
+            );
+        } else {
+            tel.cap.batch_size.record(pushed as u64);
+        }
+    }
+    drain(
+        free,
+        &mut popped,
+        &mut consumed,
+        &mut bytes,
+        &mut pending,
+        &mut deliver_seq,
+    );
+    (consumed, bytes)
+}
+
 /// The stamped pipeline plus the capture-to-disk writer's encode work:
 /// every delivered packet is serialized as a pcapng Enhanced Packet
 /// Block into a reused batch buffer, with one simulated commit (and one
@@ -697,12 +897,16 @@ fn measure(mut f: impl FnMut() -> (u64, u64), n_packets: usize, rounds: usize) -
 /// of the same round run back-to-back under (nearly) the same load, so
 /// sustained slowdowns cancel in the ratio and the median discards the
 /// rounds where a spike hit only one side.
+/// Returns `(pps_a, pps_b, overhead_clamped, overhead_raw)`: the raw
+/// value keeps its sign so the JSON shows when a delta sits below the
+/// noise floor (slightly negative) rather than silently reading as a
+/// true zero; the clamped value is what the gates consume.
 fn measure_pair(
     mut a: impl FnMut() -> (u64, u64),
     mut b: impl FnMut() -> (u64, u64),
     n_packets: usize,
     rounds: usize,
-) -> (f64, f64, f64) {
+) -> (f64, f64, f64, f64) {
     black_box(a());
     black_box(b());
     let mut best_a = f64::INFINITY;
@@ -724,14 +928,17 @@ fn measure_pair(
         ratios.push(time_a / time_b);
     }
     ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite round times"));
-    // Clamp at zero: when the delta under test is below the noise floor
-    // the median ratio can land a hair past 1.0, and a "negative
-    // overhead" would only confuse the gates and the JSON readers.
-    let overhead = (1.0 - ratios[ratios.len() / 2]).max(0.0);
+    // Clamp at zero for the gates: when the delta under test is below
+    // the noise floor the median ratio can land a hair past 1.0, and a
+    // "negative overhead" would only confuse the gate thresholds. The
+    // raw signed value rides along so the JSON distinguishes "truly
+    // zero" from "lost in the noise".
+    let raw = 1.0 - ratios[ratios.len() / 2];
     (
         n_packets as f64 / best_a,
         n_packets as f64 / best_b,
-        overhead,
+        raw.max(0.0),
+        raw,
     )
 }
 
@@ -762,9 +969,9 @@ fn bench_hotpath(c: &mut Criterion) {
         let tracer = EventTracer::new(1024);
 
         let seed_pps = measure(|| seed_path(&pkts, m, &nic, &chunks), n_packets, rounds);
-        let (batched_pps, telemetry_pps, telemetry_overhead) = {
+        let (batched_pps, telemetry_pps, telemetry_overhead, telemetry_overhead_raw) = {
             let free_cell = std::cell::RefCell::new(std::mem::take(&mut free));
-            let (b, t, o) = measure_pair(
+            let r = measure_pair(
                 || batched_path(&pkts, &arena, &mut free_cell.borrow_mut(), &ring),
                 || {
                     telemetry_path(
@@ -780,14 +987,14 @@ fn bench_hotpath(c: &mut Criterion) {
                 pair_rounds,
             );
             free = free_cell.into_inner();
-            (b, t, o)
+            r
         };
         // Latency stamping is measured against the telemetry baseline
         // (not the bare batched path): the 5% budget in check.sh bounds
         // what the *stamp itself* adds to an already-instrumented loop.
-        let (_, latency_stamping_pps, latency_overhead) = {
+        let (_, latency_stamping_pps, latency_overhead, latency_overhead_raw) = {
             let free_cell = std::cell::RefCell::new(std::mem::take(&mut free));
-            let (t, s, o) = measure_pair(
+            let r = measure_pair(
                 || {
                     telemetry_path(
                         &pkts,
@@ -812,15 +1019,49 @@ fn bench_hotpath(c: &mut Criterion) {
                 pair_rounds,
             );
             free = free_cell.into_inner();
-            (t, s, o)
+            r
+        };
+        // Span tracing is measured against the stamped baseline: the
+        // 3% budget in check.sh bounds what 1-in-N lifecycle spans add
+        // to an already latency-metered loop.
+        let spans_ring = SpanRing::with_capacity(1024);
+        let (_, span_tracing_pps, span_tracing_overhead, span_tracing_overhead_raw) = {
+            let free_cell = std::cell::RefCell::new(std::mem::take(&mut free));
+            let r = measure_pair(
+                || {
+                    stamped_path(
+                        &pkts,
+                        &arena,
+                        &mut free_cell.borrow_mut(),
+                        &ring,
+                        &tel,
+                        &tracer,
+                    )
+                },
+                || {
+                    spans_path(
+                        &pkts,
+                        &arena,
+                        &mut free_cell.borrow_mut(),
+                        &ring,
+                        &tel,
+                        &tracer,
+                        &spans_ring,
+                    )
+                },
+                n_packets,
+                pair_rounds,
+            );
+            free = free_cell.into_inner();
+            r
         };
         // The disk-writer encode is measured against the stamped
         // baseline: the extra cost is exactly what the capdisk writer
         // thread adds (pcapng encode + batched commit bookkeeping).
         let mut enc: Vec<u8> = vec![0u8; 64 << 10];
-        let (_, disk_writer_pps, disk_writer_overhead) = {
+        let (_, disk_writer_pps, disk_writer_overhead, disk_writer_overhead_raw) = {
             let free_cell = std::cell::RefCell::new(std::mem::take(&mut free));
-            let (s, d, o) = measure_pair(
+            let r = measure_pair(
                 || {
                     stamped_path(
                         &pkts,
@@ -846,17 +1087,19 @@ fn bench_hotpath(c: &mut Criterion) {
                 pair_rounds,
             );
             free = free_cell.into_inner();
-            (s, d, o)
+            r
         };
         let speedup = batched_pps / seed_pps;
         eprintln!(
             "hotpath M={m:>2}: seed {seed_pps:>12.0} p/s, batched {batched_pps:>12.0} p/s, \
              speedup {speedup:.2}x, telemetry {telemetry_pps:>12.0} p/s \
              (overhead {:.2}%), stamped {latency_stamping_pps:>12.0} p/s \
-             (latency overhead {:.2}%), disk writer {disk_writer_pps:>12.0} p/s \
+             (latency overhead {:.2}%), spans {span_tracing_pps:>12.0} p/s \
+             (span overhead {:.2}%), disk writer {disk_writer_pps:>12.0} p/s \
              (encode overhead {:.2}%)",
             telemetry_overhead * 100.0,
             latency_overhead * 100.0,
+            span_tracing_overhead * 100.0,
             disk_writer_overhead * 100.0
         );
         results.push(HotpathResult {
@@ -866,10 +1109,16 @@ fn bench_hotpath(c: &mut Criterion) {
             speedup,
             telemetry_pps,
             telemetry_overhead,
+            telemetry_overhead_raw,
             latency_stamping_pps,
             latency_overhead,
+            latency_overhead_raw,
+            span_tracing_pps,
+            span_tracing_overhead,
+            span_tracing_overhead_raw,
             disk_writer_pps,
             disk_writer_overhead,
+            disk_writer_overhead_raw,
         });
 
         // Criterion display entries over the same closures.
@@ -886,6 +1135,9 @@ fn bench_hotpath(c: &mut Criterion) {
         });
         g.bench_function("latency_stamping", |b| {
             b.iter(|| stamped_path(&pkts, &arena, &mut free, &ring, &tel, &tracer))
+        });
+        g.bench_function("span_tracing", |b| {
+            b.iter(|| spans_path(&pkts, &arena, &mut free, &ring, &tel, &tracer, &spans_ring))
         });
         g.bench_function("disk_writer_encode", |b| {
             b.iter(|| disk_writer_path(&pkts, &arena, &mut free, &ring, &tel, &tracer, &mut enc))
@@ -935,7 +1187,7 @@ fn bench_hotpath(c: &mut Criterion) {
     let mono_q = backend.mono_queue(0);
     let dyn_q: Arc<dyn BackendQueue> = backend.queue(0);
     let (dispatch_arena, dispatch_free) = ChunkArena::with_slots(R, dispatch_m, FRAME);
-    let (mono_pps, dyn_pps, dispatch_overhead) = {
+    let (mono_pps, dyn_pps, dispatch_overhead, dispatch_overhead_raw) = {
         let free_cell = std::cell::RefCell::new(dispatch_free);
         measure_pair(
             || {
@@ -966,6 +1218,7 @@ fn bench_hotpath(c: &mut Criterion) {
         mono_pps,
         dyn_pps,
         backend_dispatch_overhead: dispatch_overhead,
+        backend_dispatch_overhead_raw: dispatch_overhead_raw,
     };
     eprintln!(
         "hotpath backend_dispatch: mono {mono_pps:.0} p/s, dyn {dyn_pps:.0} p/s, \
@@ -1018,10 +1271,16 @@ struct HotpathResult {
     speedup: f64,
     telemetry_pps: f64,
     telemetry_overhead: f64,
+    telemetry_overhead_raw: f64,
     latency_stamping_pps: f64,
     latency_overhead: f64,
+    latency_overhead_raw: f64,
+    span_tracing_pps: f64,
+    span_tracing_overhead: f64,
+    span_tracing_overhead_raw: f64,
     disk_writer_pps: f64,
     disk_writer_overhead: f64,
+    disk_writer_overhead_raw: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -1032,10 +1291,16 @@ struct Entry {
     speedup: f64,
     telemetry_pps: f64,
     telemetry_overhead: f64,
+    telemetry_overhead_raw: f64,
     latency_stamping_pps: f64,
     latency_overhead: f64,
+    latency_overhead_raw: f64,
+    span_tracing_pps: f64,
+    span_tracing_overhead: f64,
+    span_tracing_overhead_raw: f64,
     disk_writer_pps: f64,
     disk_writer_overhead: f64,
+    disk_writer_overhead_raw: f64,
 }
 
 /// Multi-core delivery scaling: pooled workers (with stealing and
@@ -1078,6 +1343,7 @@ struct BackendDispatchEntry {
     mono_pps: f64,
     dyn_pps: f64,
     backend_dispatch_overhead: f64,
+    backend_dispatch_overhead_raw: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -1116,10 +1382,16 @@ fn write_json(
                 speedup: r.speedup,
                 telemetry_pps: r.telemetry_pps,
                 telemetry_overhead: r.telemetry_overhead,
+                telemetry_overhead_raw: r.telemetry_overhead_raw,
                 latency_stamping_pps: r.latency_stamping_pps,
                 latency_overhead: r.latency_overhead,
+                latency_overhead_raw: r.latency_overhead_raw,
+                span_tracing_pps: r.span_tracing_pps,
+                span_tracing_overhead: r.span_tracing_overhead,
+                span_tracing_overhead_raw: r.span_tracing_overhead_raw,
                 disk_writer_pps: r.disk_writer_pps,
                 disk_writer_overhead: r.disk_writer_overhead,
+                disk_writer_overhead_raw: r.disk_writer_overhead_raw,
             })
             .collect(),
         consumer_pool,

@@ -270,7 +270,7 @@ fn spawn_drainer(
                     consumer.recycle(back);
                     recycled += 1;
                 }
-                let Some(chunk) = consumer.try_chunk() else {
+                let Some(mut chunk) = consumer.try_chunk() else {
                     if consumer.is_done() {
                         break;
                     }
@@ -278,6 +278,12 @@ fn spawn_drainer(
                     continue;
                 };
                 delivered += chunk.len() as u64;
+                // Span-sampled chunk: the push below transfers ownership
+                // to the writer — the disk stage opens here and closes
+                // at the write commit (see `spawn_writer`).
+                if chunk.is_sampled() {
+                    chunk.stamp_disk_handoff(telemetry::clock::mono_ns());
+                }
                 match handoff.push(chunk) {
                     Ok(()) => handed += 1,
                     Err(chunk) => {
@@ -335,10 +341,14 @@ fn spawn_writer(
             let mut files_accounted = 0usize;
             let mut dropped = 0u64;
             let mut io_error: Option<io::Error> = None;
+            // Chunks popped this round, held until after the commit so
+            // sampled ones can be stamped with the write instant (the
+            // batch is bounded by WRITE_BATCH_CHUNKS, so holding them
+            // delays recycling by at most one commit).
+            let mut batch: Vec<LiveChunk> = Vec::with_capacity(WRITE_BATCH_CHUNKS);
             loop {
                 let mut batch_packets = 0u64;
-                let mut popped = 0usize;
-                while popped < WRITE_BATCH_CHUNKS {
+                while batch.len() < WRITE_BATCH_CHUNKS {
                     let Some(chunk) = handoff.pop() else { break };
                     if io_error.is_none() {
                         // Zero-copy encode: the view borrows the chunk,
@@ -356,15 +366,9 @@ fn spawn_writer(
                         dropped += n;
                         disk.disk_drop_packets.add(n);
                     }
-                    let mut back = chunk;
-                    // The return ring is sized for every slot in the
-                    // engine, so this succeeds; spin defensively.
-                    while let Err(c) = returns.push(back) {
-                        back = c;
-                        std::thread::yield_now();
-                    }
-                    popped += 1;
+                    batch.push(chunk);
                 }
+                let popped = batch.len();
                 if batch_packets > 0 {
                     match writer.commit_batch() {
                         Ok(bytes) => {
@@ -386,7 +390,30 @@ fn spawn_writer(
                             io_error = Some(e);
                         }
                     }
-                } else if popped == 0 {
+                }
+                // Close the disk stage on sampled chunks (one lazy
+                // clock read per batch; this thread is the disk
+                // shard's single histogram writer) and hand everything
+                // back for recycling.
+                let mut commit_ns = 0u64;
+                for mut chunk in batch.drain(..) {
+                    if chunk.is_sampled() {
+                        if commit_ns == 0 {
+                            commit_ns = telemetry::clock::mono_ns();
+                        }
+                        if let Some(stage_ns) = chunk.stamp_disk_write(commit_ns) {
+                            disk.stage_disk_ns.record(stage_ns);
+                        }
+                    }
+                    let mut back = chunk;
+                    // The return ring is sized for every slot in the
+                    // engine, so this succeeds; spin defensively.
+                    while let Err(c) = returns.push(back) {
+                        back = c;
+                        std::thread::yield_now();
+                    }
+                }
+                if popped == 0 && batch_packets == 0 {
                     if done.load(Ordering::Acquire) && handoff.is_empty() {
                         break;
                     }

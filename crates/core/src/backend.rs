@@ -205,8 +205,8 @@ pub trait LoopbackBackend: CaptureBackend {
     }
 }
 
-/// Builds a [`LiveWireCap`] from any backend — the replacement for the
-/// old positional `LiveWireCap::start(nic, cfg, groups)`.
+/// Builds a [`LiveWireCap`] from any backend — the only way to
+/// construct a live engine.
 ///
 /// ```
 /// use nicsim::livenic::LiveNic;

@@ -62,6 +62,12 @@ pub struct WireCapConfig {
     /// reorder buffer re-serializes delivery in strictly increasing
     /// sequence order. Requires `concurrent_queue`.
     pub in_order: bool,
+    /// Span-tracing sample rate: 1-in-N chunks per queue get a full
+    /// lifecycle span (seal → publish → claim → deliver → recycle,
+    /// DESIGN.md §4.14). `0` disables span tracing entirely — no
+    /// clock reads, no per-stage histograms, no worker time-state
+    /// profiling. `1` traces every chunk.
+    pub span_sample_n: u32,
     /// The application model (one `pkt_handler` thread per queue).
     pub app: AppModel,
 }
@@ -89,6 +95,7 @@ impl WireCapConfig {
             pin_threads: false,
             concurrent_queue: false,
             in_order: false,
+            span_sample_n: 0,
             app: AppModel {
                 cpu: CpuModel::default(),
                 x,
@@ -360,6 +367,15 @@ impl WireCapConfigBuilder {
         self
     }
 
+    /// Span-tracing sample rate: trace the full lifecycle of 1-in-`n`
+    /// chunks per queue (0 = off, the default; 1 = every chunk). Sampled
+    /// spans feed the per-stage latency histograms, the worker
+    /// time-state profiler and the `/trace.json` Chrome-trace export.
+    pub fn span_sample_n(mut self, n: u32) -> Self {
+        self.cfg.span_sample_n = n;
+        self
+    }
+
     /// BPF repetitions x per packet in the application model.
     pub fn bpf_repetitions(mut self, x: u32) -> Self {
         self.cfg.app.x = x;
@@ -520,6 +536,15 @@ mod tests {
             .unwrap();
         assert!(cfg.concurrent_queue);
         assert!(cfg.in_order);
+        assert_eq!(cfg.span_sample_n, 0, "span tracing defaults off");
+        assert_eq!(
+            WireCapConfig::builder()
+                .span_sample_n(64)
+                .build()
+                .unwrap()
+                .span_sample_n,
+            64
+        );
         assert!(!WireCapConfig::basic(64, 32, 0).concurrent_queue);
         assert!(!WireCapConfig::basic(64, 32, 0).in_order);
         // In-order without concurrent claiming is meaningless.

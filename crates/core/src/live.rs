@@ -11,8 +11,7 @@
 //! run on top unchanged — the paper's Libpcap-compatibility claim,
 //! demonstrated end-to-end in the examples.
 //!
-//! Construction goes through [`LiveWireCap::builder`]; the positional
-//! [`LiveWireCap::start`] survives one PR as a deprecated shim.
+//! Construction goes through [`LiveWireCap::builder`].
 //!
 //! # Hot path
 //!
@@ -42,7 +41,7 @@
 //! design works as a concurrent artifact.
 
 use crate::arena::{ChunkArena, ChunkView, FreeSlot, SealedSlot};
-use crate::backend::{CaptureBackend, LiveWireCapBuilder, NicSimBackend};
+use crate::backend::{CaptureBackend, LiveWireCapBuilder};
 use crate::buddy::{BuddyGroup, BuddyGroups};
 use crate::claim::{ClaimQueue, ReorderBuffer};
 use crate::config::{WireCapConfig, CELL_BYTES};
@@ -50,7 +49,6 @@ use crate::spsc::{BatchRing, MAX_BATCH};
 use crate::steal::{available_cores, pin_to_core, AdaptivePoller, ConsumerPool, WakeupGate};
 use crossbeam::queue::ArrayQueue;
 use netproto::Packet;
-use nicsim::livenic::LiveNic;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -58,7 +56,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use telemetry::{
     clock, dump, kind, EngineSnapshot, Observable, PipelineConfig, QueueTelemetry, Registry,
-    TelemetryPipeline, TraceEvent,
+    SpanRecord, SpanStamps, TelemetryPipeline, TraceEvent,
 };
 
 /// Packets pulled from the NIC queue per batch.
@@ -77,6 +75,11 @@ pub struct LiveChunk {
     /// home capture thread (monotonic from 0 per queue). Drives the
     /// in-order reorder buffer; informational otherwise.
     pub(crate) seq: u64,
+    /// Lifecycle span stamps (DESIGN.md §4.14), `Some` on the 1-in-N
+    /// chunks the span sampler picked. The stamps travel inside the
+    /// chunk because the chunk is owned by exactly one thread at every
+    /// stage — plain `u64`s, no atomics, no allocation.
+    pub(crate) span: Option<SpanStamps>,
 }
 
 impl LiveChunk {
@@ -105,6 +108,32 @@ impl LiveChunk {
     /// ordering exactly.
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// True when the span sampler picked this chunk (1-in-N per queue,
+    /// DESIGN.md §4.14).
+    pub fn is_sampled(&self) -> bool {
+        self.span.is_some()
+    }
+
+    /// Stamps the disk-handoff instant — the drainer → writer ownership
+    /// transfer in the capture-to-disk subsystem — on a sampled chunk.
+    /// No-op when the chunk is unsampled.
+    pub fn stamp_disk_handoff(&mut self, now_ns: u64) {
+        if let Some(span) = self.span.as_mut() {
+            span.disk_handoff_ns = now_ns;
+        }
+    }
+
+    /// Stamps the disk write-commit instant on a sampled chunk and
+    /// returns the handoff → commit duration for the caller to record
+    /// into its disk shard's `stage_disk_ns` histogram. `None` when the
+    /// chunk is unsampled.
+    pub fn stamp_disk_write(&mut self, now_ns: u64) -> Option<u64> {
+        self.span.as_mut().map(|span| {
+            span.disk_write_ns = now_ns;
+            now_ns.saturating_sub(span.disk_handoff_ns)
+        })
     }
 }
 
@@ -174,6 +203,10 @@ impl Observable for LiveObserver {
     fn trace_events(&self) -> Vec<TraceEvent> {
         self.shared.tel.tracer().events()
     }
+
+    fn spans(&self) -> Vec<SpanRecord> {
+        self.shared.tel.spans().records()
+    }
 }
 
 impl LiveWireCap {
@@ -189,22 +222,6 @@ impl LiveWireCap {
     /// ```
     pub fn builder() -> LiveWireCapBuilder {
         LiveWireCapBuilder::default()
-    }
-
-    /// Starts capture threads for every queue of `nic`.
-    ///
-    /// `groups` is the buddy-group partition; pass
-    /// [`BuddyGroups::isolated`] for basic mode.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use LiveWireCap::builder().backend(NicSimBackend::new(nic)).config(cfg).groups(groups).start()"
-    )]
-    pub fn start(nic: Arc<LiveNic>, cfg: WireCapConfig, groups: BuddyGroups) -> Self {
-        Self::builder()
-            .backend(NicSimBackend::new(nic))
-            .config(cfg)
-            .groups(groups)
-            .start()
     }
 
     /// Starts capture threads for every queue of `backend`. Called by
@@ -468,6 +485,7 @@ fn engine_snapshot(
         queues: (0..shared.rings.len())
             .map(|q| queue_telemetry(shared, backend, cfg, q))
             .collect(),
+        workers: shared.tel.worker_telemetry(),
         copies: sim::stats::CopyMeter::default(),
         latency: sim::stats::LatencyStats::new(),
     }
@@ -776,11 +794,23 @@ fn stage(
     }
     let seq = st.next_seq;
     st.next_seq += 1;
+    // Span sampling (DESIGN.md §4.14): the seal-order sequence number
+    // picks 1-in-N chunks per queue — one branch and no extra state on
+    // the unsampled path. The seal stamp reuses the poll-batch clock
+    // read; later stages stamp at their own ownership transfers.
+    let span =
+        (cfg.span_sample_n > 0 && seq.is_multiple_of(u64::from(cfg.span_sample_n))).then(|| {
+            SpanStamps {
+                sealed_ns: st.now_ns,
+                ..Default::default()
+            }
+        });
     st.outbox[target].push(LiveChunk {
         seal,
         home: q as u32,
         offloaded: target != q,
         seq,
+        span,
     });
 }
 
@@ -801,6 +831,20 @@ fn flush(shared: &Shared, st: &mut CaptureState) {
     let q = st.q;
     let cap = &shared.tel.queue(q).cap;
     let mut published = false;
+    // Publish stamp for sampled chunks: one lazy clock read per flush,
+    // shared by every sampled chunk in it (mirrors the poll-batch seal
+    // stamp). Zero clock reads when nothing in the flush is sampled.
+    let mut publish_ns = 0u64;
+    for staged in st.outbox.iter_mut() {
+        for chunk in staged.iter_mut() {
+            if let Some(span) = chunk.span.as_mut() {
+                if publish_ns == 0 {
+                    publish_ns = clock::mono_ns();
+                }
+                span.published_ns = publish_ns;
+            }
+        }
+    }
     if let Some(claims) = shared.claims.as_ref() {
         for (target, staged) in st.outbox.iter_mut().enumerate() {
             if staged.is_empty() {
@@ -935,7 +979,21 @@ impl LiveConsumer {
         if got {
             // One clock read per batch stamps the delivery moment for
             // every chunk just popped (see `delivered_ns`).
-            self.delivered_ns.set(clock::mono_ns());
+            let now = clock::mono_ns();
+            self.delivered_ns.set(now);
+            // Span convention for the per-queue consumer: the pop *is*
+            // acquisition *and* delivery (there is no claim contention
+            // and the handler runs inline), so the claim, reorder and
+            // deliver stages collapse to zero and the stage sum equals
+            // the end-to-end latency exactly.
+            for chunk in self.scratch.iter_mut() {
+                if let Some(span) = chunk.span.as_mut() {
+                    span.acquire_started_ns = now;
+                    span.acquired_ns = now;
+                    span.deliver_start_ns = now;
+                    span.deliver_end_ns = now;
+                }
+            }
         }
         self.inbox.extend(self.scratch.drain(..));
         got
@@ -1006,6 +1064,31 @@ impl LiveConsumer {
                 .app
                 .latency_ns
                 .record(self.delivered_ns.get().saturating_sub(sealed_ns));
+        }
+        // Sampled chunk: decompose the same interval into stages and
+        // retire the span (this consumer is the single writer of its
+        // queue's delivery shard, same discipline as `latency_ns`).
+        // Chunks that took the disk leg are recycled after the write
+        // commit, so the span end extends to the write stamp — keeping
+        // the stage sum ≤ end-to-end even when the delivery stamp is
+        // stale by then.
+        if let Some(span) = chunk.span {
+            let rec = SpanRecord::from_stamps(
+                chunk.home,
+                chunk.seq,
+                chunk.len() as u32,
+                None,
+                false,
+                &span,
+                self.delivered_ns.get().max(span.disk_write_ns),
+            );
+            let app = &self.shared.tel.queue(self.q).app;
+            app.stage_backend_ns.record(rec.stage_backend_ns);
+            app.stage_queue_wait_ns.record(rec.stage_queue_wait_ns);
+            app.stage_claim_ns.record(rec.stage_claim_ns);
+            app.stage_reorder_ns.record(rec.stage_reorder_ns);
+            app.stage_deliver_ns.record(rec.stage_deliver_ns);
+            self.shared.tel.spans().push(rec);
         }
         let tracer = self.shared.tel.tracer();
         if tracer.is_enabled() {
@@ -1110,7 +1193,9 @@ impl pcap::PacketSource for LiveConsumer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::NicSimBackend;
     use netproto::{FlowKey, PacketBuilder};
+    use nicsim::livenic::LiveNic;
     use std::net::Ipv4Addr;
 
     fn packets(n: u16) -> Vec<Packet> {

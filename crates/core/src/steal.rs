@@ -50,7 +50,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use telemetry::clock;
+use telemetry::{clock, SpanRecord, WorkerState, WorkerTimeState};
 
 /// Chunks a pool worker takes from its own deque per drain/process
 /// round, bounding the latency between ring drains.
@@ -742,11 +742,69 @@ impl Drop for ConsumerPool {
     }
 }
 
+/// Charges wall time to one pool worker's time-state buckets
+/// (`telemetry::WorkerState`, DESIGN.md §4.14). Constructed only when
+/// span tracing is on, so the unprofiled hot path pays nothing — not
+/// even the clock reads.
+struct WorkerProfiler {
+    state: Arc<WorkerState>,
+    last_ns: u64,
+}
+
+impl WorkerProfiler {
+    fn new(state: Arc<WorkerState>) -> Self {
+        WorkerProfiler {
+            state,
+            last_ns: clock::mono_ns(),
+        }
+    }
+
+    /// Charges the wall time since the previous charge to state `s`.
+    fn charge(&mut self, s: WorkerTimeState) {
+        let now = clock::mono_ns();
+        self.state.account(s, now.saturating_sub(self.last_ns));
+        self.last_ns = now;
+    }
+
+    /// Charges an idle step to its matching bucket.
+    fn charge_idle(&mut self, step: IdleStep) {
+        self.charge(match step {
+            IdleStep::Spun => WorkerTimeState::Spin,
+            IdleStep::Yielded => WorkerTimeState::Yield,
+            IdleStep::Parked => WorkerTimeState::Park,
+        });
+    }
+}
+
+/// Builds a worker's profiler when span tracing is enabled.
+fn profiler_for(ctx: &WorkerCtx) -> Option<WorkerProfiler> {
+    (ctx.cfg.span_sample_n > 0)
+        .then(|| WorkerProfiler::new(ctx.shared.tel.register_worker(ctx.worker as u32)))
+}
+
 /// Processes one chunk: hands it to the handler, closes the latency
 /// interval, recycles the slot home, and tallies delivery telemetry.
-fn process_chunk(ctx: &WorkerCtx, report: &mut PoolWorkerReport, chunk: LiveChunk, stolen: bool) {
+fn process_chunk(
+    ctx: &WorkerCtx,
+    report: &mut PoolWorkerReport,
+    mut chunk: LiveChunk,
+    stolen: bool,
+) {
     let home = chunk.home();
     let len = chunk.len() as u64;
+    // Sampled chunk: the handler call is the deliver stage. The
+    // acquisition stamps may already be set (claim CAS or ring drain);
+    // anything unset collapses to this instant.
+    if let Some(span) = chunk.span.as_mut() {
+        let now = clock::mono_ns();
+        if span.acquire_started_ns == 0 {
+            span.acquire_started_ns = now;
+        }
+        if span.acquired_ns == 0 {
+            span.acquired_ns = now;
+        }
+        span.deliver_start_ns = now;
+    }
     {
         let view = ctx.shared.arenas[home].view(&chunk.seal);
         (ctx.handler)(PoolDelivery {
@@ -755,6 +813,9 @@ fn process_chunk(ctx: &WorkerCtx, report: &mut PoolWorkerReport, chunk: LiveChun
             worker: ctx.worker,
             stolen,
         });
+    }
+    if let Some(span) = chunk.span.as_mut() {
+        span.deliver_end_ns = clock::mono_ns();
     }
     report.chunks += 1;
     report.packets += len;
@@ -777,6 +838,29 @@ fn process_chunk(ctx: &WorkerCtx, report: &mut PoolWorkerReport, chunk: LiveChun
                 .latency_ns
                 .record(clock::mono_ns().saturating_sub(sealed_ns));
         }
+    }
+    // Sampled chunk: decompose the interval into stages (same shard
+    // discipline as `latency_ns`) and retire the span to the shared
+    // ring, which is lock-protected and safe from any worker.
+    if let Some(span) = chunk.span {
+        let rec = SpanRecord::from_stamps(
+            chunk.home,
+            chunk.seq,
+            len as u32,
+            Some(ctx.worker as u32),
+            stolen,
+            &span,
+            span.deliver_end_ns,
+        );
+        if let Some(&pq) = ctx.owned.first() {
+            let app = &ctx.shared.tel.queue(pq).app;
+            app.stage_backend_ns.record(rec.stage_backend_ns);
+            app.stage_queue_wait_ns.record(rec.stage_queue_wait_ns);
+            app.stage_claim_ns.record(rec.stage_claim_ns);
+            app.stage_reorder_ns.record(rec.stage_reorder_ns);
+            app.stage_deliver_ns.record(rec.stage_deliver_ns);
+        }
+        ctx.shared.tel.spans().push(rec);
     }
     recycle_home(&ctx.shared, chunk);
 }
@@ -818,6 +902,7 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
     let producers = ctx.shared.rings.len();
     // The gauge shard this worker publishes its deque occupancy to.
     let primary = ctx.owned.first().copied();
+    let mut prof = profiler_for(&ctx);
     loop {
         // Forced stop preempts further processing: everything still
         // queued for this worker — its owned queues' rings and its own
@@ -849,12 +934,28 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
                 }
             }
         }
+        // The drain is the acquisition start for sampled chunks: from
+        // here until a worker pops them for processing they wait in
+        // the deque (or a thief's hands) — the claim stage. One lazy
+        // clock read covers the whole drained batch.
+        let mut drain_ns = 0u64;
+        for chunk in scratch.iter_mut() {
+            if let Some(span) = chunk.span.as_mut() {
+                if drain_ns == 0 {
+                    drain_ns = clock::mono_ns();
+                }
+                span.acquire_started_ns = drain_ns;
+            }
+        }
         for chunk in scratch.drain(..) {
             if let Err(back) = deque.push(chunk) {
                 // Sized to every chunk in existence, so this is
                 // unreachable; process inline rather than lose a chunk.
                 process_chunk(&ctx, &mut report, back, false);
             }
+        }
+        if let Some(p) = prof.as_mut() {
+            p.charge(WorkerTimeState::Claim);
         }
         if let Some(pq) = primary {
             ctx.shared
@@ -875,6 +976,9 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
                 }
                 None => break,
             }
+        }
+        if let Some(p) = prof.as_mut() {
+            p.charge(WorkerTimeState::Deliver);
         }
 
         // 3. Own queues quiet: steal the oldest chunk from a busy
@@ -914,6 +1018,9 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
                     Steal::Empty => continue,
                 }
             }
+            if let Some(p) = prof.as_mut() {
+                p.charge(WorkerTimeState::Steal);
+            }
         }
 
         if progressed {
@@ -936,10 +1043,17 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
             // every worker drains its own deque before exiting.
             break;
         }
-        if poller.idle(&ctx.shared.delivery_gate, ticket) == IdleStep::Parked {
+        let step = poller.idle(&ctx.shared.delivery_gate, ticket);
+        if let Some(p) = prof.as_mut() {
+            p.charge_idle(step);
+        }
+        if step == IdleStep::Parked {
             report.parks += 1;
-            if let Some(pq) = primary {
-                ctx.shared.tel.queue(pq).pool.worker_parks.inc();
+            // Every queue this worker services loses its consumer for
+            // the park's duration, so each owned queue's shard counts
+            // it (see `PoolSide::worker_parks`).
+            for &q in &ctx.owned {
+                ctx.shared.tel.queue(q).pool.worker_parks.inc();
             }
         }
     }
@@ -969,8 +1083,8 @@ fn concurrent_worker_loop(ctx: WorkerCtx) -> PoolWorkerReport {
         .as_deref()
         .expect("concurrent worker loop without claim queues");
     let reorder = ctx.shared.reorder.as_deref();
-    let primary = ctx.owned.first().copied();
     let members = ctx.members.len();
+    let mut prof = profiler_for(&ctx);
     loop {
         // Forced stop: drain every member claim queue home as delivery
         // drops, then sweep the reorder buffers for stranded chunks.
@@ -990,8 +1104,17 @@ fn concurrent_worker_loop(ctx: WorkerCtx) -> PoolWorkerReport {
             let q = ctx.members[(ctx.worker + i) % members];
             for _ in 0..PROCESS_BURST {
                 match claims[q].try_claim() {
-                    Claim::Claimed(chunk) => {
+                    Claim::Claimed(mut chunk) => {
                         claimed = true;
+                        // The winning CAS is the whole acquisition in
+                        // concurrent mode (the claim stage is the CAS
+                        // itself); reorder-buffer dwell then lands in
+                        // the reorder stage.
+                        if let Some(span) = chunk.span.as_mut() {
+                            let now = clock::mono_ns();
+                            span.acquire_started_ns = now;
+                            span.acquired_ns = now;
+                        }
                         deliver_claimed(&ctx, &mut report, reorder, chunk);
                     }
                     Claim::Contended => {
@@ -1003,6 +1126,15 @@ fn concurrent_worker_loop(ctx: WorkerCtx) -> PoolWorkerReport {
                 }
             }
         }
+        if let Some(p) = prof.as_mut() {
+            // The claim scan delivers inline, so a round that claimed
+            // anything is deliver time; an empty round is claim time.
+            p.charge(if claimed {
+                WorkerTimeState::Deliver
+            } else {
+                WorkerTimeState::Claim
+            });
+        }
         if claimed {
             poller.reset();
             continue;
@@ -1013,7 +1145,10 @@ fn concurrent_worker_loop(ctx: WorkerCtx) -> PoolWorkerReport {
             // cursor line) but never park from contention alone.
             poller.lost_race();
             let ticket = ctx.shared.delivery_gate.ticket();
-            poller.idle(&ctx.shared.delivery_gate, ticket);
+            let step = poller.idle(&ctx.shared.delivery_gate, ticket);
+            if let Some(p) = prof.as_mut() {
+                p.charge_idle(step);
+            }
             continue;
         }
 
@@ -1032,10 +1167,16 @@ fn concurrent_worker_loop(ctx: WorkerCtx) -> PoolWorkerReport {
             // survives a natural end-of-stream).
             break;
         }
-        if poller.idle(&ctx.shared.delivery_gate, ticket) == IdleStep::Parked {
+        let step = poller.idle(&ctx.shared.delivery_gate, ticket);
+        if let Some(p) = prof.as_mut() {
+            p.charge_idle(step);
+        }
+        if step == IdleStep::Parked {
             report.parks += 1;
-            if let Some(pq) = primary {
-                ctx.shared.tel.queue(pq).pool.worker_parks.inc();
+            // As in `worker_loop`: every owned queue's shard counts
+            // the park, not just the first one.
+            for &q in &ctx.owned {
+                ctx.shared.tel.queue(q).pool.worker_parks.inc();
             }
         }
     }

@@ -109,6 +109,7 @@ pub trait CaptureEngine {
         EngineSnapshot {
             engine: self.name(),
             queues: (0..self.queues()).map(|q| self.telemetry(q)).collect(),
+            workers: Vec::new(),
             copies: self.copies(),
             latency: self.latency(),
         }

@@ -122,6 +122,21 @@ pub struct DeliverySide {
     /// recycle, recorded once per chunk by the consumer (single
     /// writer, so [`Log2Histogram::record`]'s load+store path is safe).
     pub latency_ns: Log2Histogram,
+    /// Span decomposition of `latency_ns`, recorded only for *sampled*
+    /// chunks (`span_sample_n`, see [`crate::spans`]): seal → ring
+    /// publish (capture-side residency).
+    pub stage_backend_ns: Log2Histogram,
+    /// Sampled-span stage: ring publish → winning acquisition attempt
+    /// (time waiting in the delivery ring / steal deque).
+    pub stage_queue_wait_ns: Log2Histogram,
+    /// Sampled-span stage: acquisition attempt → ownership (the
+    /// claim-CAS window in concurrent mode; ~0 on pop/steal paths).
+    pub stage_claim_ns: Log2Histogram,
+    /// Sampled-span stage: ownership → delivery start (reorder-buffer
+    /// residency in in-order mode).
+    pub stage_reorder_ns: Log2Histogram,
+    /// Sampled-span stage: delivery start → end (handler time).
+    pub stage_deliver_ns: Log2Histogram,
 }
 
 /// A running maximum updated with `fetch_max` — safe with any number
@@ -188,8 +203,12 @@ pub struct PoolSide {
     pub steal_out_chunks: Counter,
     /// Packets inside those stolen chunks.
     pub stolen_packets: Counter,
-    /// Times this queue's primary pool worker parked on the delivery
-    /// gate (adaptive polling reached the park stage).
+    /// Times a pool worker servicing this queue parked on the delivery
+    /// gate (adaptive polling reached the park stage). Every worker
+    /// that *owns* the queue attributes its parks here — a worker
+    /// owning several queues charges each of them, and dedicated
+    /// stealer workers (no owned queues) charge none — so the counter
+    /// is multi-writer like the rest of the shard.
     pub worker_parks: Counter,
     /// Claim CAS races lost on this queue's claim queue (concurrent
     /// single-queue mode): a worker targeted a published chunk but
@@ -230,6 +249,11 @@ pub struct DiskSide {
     pub disk_written_bytes: Counter,
     /// Capture files opened (rotations create new ones).
     pub disk_files: Counter,
+    /// Sampled-span stage (see [`crate::spans`]): drainer handoff →
+    /// write-batch commit, recorded once per sampled chunk by the
+    /// writer thread (single writer per queue, so the load+store
+    /// histogram path is safe).
+    pub stage_disk_ns: Log2Histogram,
 }
 
 /// All counters for one queue, one cache line per writer role.
@@ -263,6 +287,8 @@ impl QueueCounters {
     /// engine to fill in.
     pub fn snapshot(&self, queue: usize) -> QueueTelemetry {
         let cap = &self.cap.0;
+        let latency = self.app.0.latency_ns.snapshot();
+        let p999 = latency.quantile(0.999);
         QueueTelemetry {
             queue,
             offered_packets: cap.offered_packets.get(),
@@ -295,7 +321,14 @@ impl QueueCounters {
             capture_queue_depth: cap.capture_queue_depth.snapshot(),
             chunk_fill: cap.chunk_fill.snapshot(),
             batch_size: cap.batch_size.snapshot(),
-            latency_ns: self.app.0.latency_ns.snapshot(),
+            latency_ns: latency,
+            latency_p999_ns: p999,
+            stage_backend_ns: self.app.0.stage_backend_ns.snapshot(),
+            stage_queue_wait_ns: self.app.0.stage_queue_wait_ns.snapshot(),
+            stage_claim_ns: self.app.0.stage_claim_ns.snapshot(),
+            stage_reorder_ns: self.app.0.stage_reorder_ns.snapshot(),
+            stage_deliver_ns: self.app.0.stage_deliver_ns.snapshot(),
+            stage_disk_ns: self.disk.0.stage_disk_ns.snapshot(),
         }
     }
 }
@@ -338,5 +371,32 @@ mod tests {
         assert_eq!(t.latency_ns.count, 1);
         assert_eq!(t.latency_ns.max, 1500);
         assert_eq!(t.capture_queue_watermark, 9, "watermark keeps the max");
+    }
+
+    #[test]
+    fn snapshot_copies_stage_histograms_and_derives_p999() {
+        let qc = QueueCounters::new();
+        for ns in [100u64, 200, 400, 1 << 20] {
+            qc.app.0.latency_ns.record(ns);
+        }
+        qc.app.0.stage_backend_ns.record(50);
+        qc.app.0.stage_queue_wait_ns.record(60);
+        qc.app.0.stage_claim_ns.record(5);
+        qc.app.0.stage_reorder_ns.record(7);
+        qc.app.0.stage_deliver_ns.record(80);
+        qc.disk.0.stage_disk_ns.record(3000);
+        let t = qc.snapshot(0);
+        assert_eq!(t.stage_backend_ns.count, 1);
+        assert_eq!(t.stage_queue_wait_ns.count, 1);
+        assert_eq!(t.stage_claim_ns.count, 1);
+        assert_eq!(t.stage_reorder_ns.count, 1);
+        assert_eq!(t.stage_deliver_ns.count, 1);
+        assert_eq!(t.stage_disk_ns.count, 1);
+        assert_eq!(
+            t.latency_p999_ns,
+            t.latency_ns.quantile(0.999),
+            "p99.9 scalar mirrors the histogram"
+        );
+        assert!(t.latency_p999_ns >= 1 << 20, "tail sample dominates p99.9");
     }
 }

@@ -15,6 +15,7 @@
 //! second) never collide.
 
 use crate::snapshot::EngineSnapshot;
+use crate::spans::SpanRecord;
 use crate::timeseries::{Rates, SeriesSample};
 use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,10 @@ pub struct FlightRecord {
     /// The frozen event-tracer ring, oldest first (empty when the
     /// tracer was disabled).
     pub events: Vec<FlightEvent>,
+    /// The frozen completed-span ring, oldest first (empty when span
+    /// tracing was off) — the per-stage timeline of the sampled chunks
+    /// around the anomaly, same shape `/trace.json` renders.
+    pub spans: Vec<SpanRecord>,
     /// Full engine snapshot at the trigger instant.
     pub snapshot: EngineSnapshot,
 }
@@ -128,9 +133,18 @@ mod tests {
                 target: 2,
                 info: 40,
             })],
+            spans: vec![SpanRecord {
+                queue: 1,
+                seq: 5,
+                packets: 64,
+                worker: Some(2),
+                stage_deliver_ns: 300,
+                ..Default::default()
+            }],
             snapshot: EngineSnapshot {
                 engine: "test".into(),
                 queues: vec![],
+                workers: vec![],
                 copies: sim::stats::CopyMeter::default(),
                 latency: sim::stats::LatencyStats::new(),
             },
@@ -145,6 +159,8 @@ mod tests {
         assert_eq!(back.series, r.series);
         assert_eq!(back.events, r.events);
         assert_eq!(back.events[0].kind, "offload");
+        assert_eq!(back.spans, r.spans);
+        assert_eq!(back.spans[0].worker, Some(2));
     }
 
     #[test]

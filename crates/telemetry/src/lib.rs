@@ -16,6 +16,10 @@
 //!   (`free → attached → captured → recycled`) and offload decisions
 //!   (which buddy was chosen, and why). Disabled by default; recording
 //!   while disabled is a single relaxed load.
+//! * [`spans`] — sampled per-chunk lifecycle spans: per-stage latency
+//!   decomposition histograms, a worker time-state profiler, and a
+//!   bounded ring of completed spans exportable as Chrome trace-event
+//!   JSON (`/trace.json`, `chrome://tracing` / Perfetto).
 //! * [`QueueTelemetry`] / [`EngineSnapshot`] — the one snapshot schema
 //!   every engine (live, simulated, and the baseline models) returns
 //!   from `CaptureEngine::telemetry(q)`, serializable to JSON and
@@ -44,6 +48,7 @@ pub mod registry;
 pub mod sampler;
 pub mod scrape;
 pub mod snapshot;
+pub mod spans;
 pub mod timeseries;
 pub mod trace;
 
@@ -58,5 +63,9 @@ pub use registry::Registry;
 pub use sampler::{Observable, Sampler, SamplerConfig, SamplerCore, SamplerState};
 pub use scrape::ScrapeServer;
 pub use snapshot::{EngineSnapshot, QueueTelemetry};
+pub use spans::{
+    chrome_trace_json, SpanRecord, SpanRing, SpanStamps, WorkerState, WorkerTelemetry,
+    WorkerTimeState, DEFAULT_SPAN_CAPACITY,
+};
 pub use timeseries::{Rates, SeriesSample, TimeSeriesRing};
 pub use trace::{kind, EventTracer, TraceEvent};

@@ -16,6 +16,7 @@
 //!         EngineSnapshot {
 //!             engine: "my-engine".into(),
 //!             queues: vec![QueueTelemetry::empty(0)],
+//!             workers: Vec::new(),
 //!             copies: Default::default(),
 //!             latency: Default::default(),
 //!         }
@@ -201,6 +202,7 @@ mod tests {
             EngineSnapshot {
                 engine: "pipeline-test".into(),
                 queues: vec![QueueTelemetry::empty(0)],
+                workers: Vec::new(),
                 copies: sim::stats::CopyMeter::default(),
                 latency: sim::stats::LatencyStats::new(),
             }

@@ -1,9 +1,12 @@
 //! Per-engine registry: one [`QueueCounters`] group per queue plus the
-//! shared [`EventTracer`].
+//! shared [`EventTracer`], the completed-span ring and the pool
+//! workers' time-state profiles.
 
 use crate::counters::QueueCounters;
 use crate::snapshot::QueueTelemetry;
+use crate::spans::{SpanRing, WorkerState, WorkerTelemetry};
 use crate::trace::EventTracer;
+use std::sync::{Arc, Mutex};
 
 /// Default number of trace events retained per engine.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
@@ -17,6 +20,8 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
 pub struct Registry {
     queues: Vec<QueueCounters>,
     tracer: EventTracer,
+    spans: SpanRing,
+    workers: Mutex<Vec<Arc<WorkerState>>>,
 }
 
 impl Registry {
@@ -31,6 +36,8 @@ impl Registry {
         Registry {
             queues: (0..queues).map(|_| QueueCounters::new()).collect(),
             tracer: EventTracer::new(trace_capacity),
+            spans: SpanRing::default(),
+            workers: Mutex::new(Vec::new()),
         }
     }
 
@@ -49,6 +56,38 @@ impl Registry {
     #[inline]
     pub fn tracer(&self) -> &EventTracer {
         &self.tracer
+    }
+
+    /// The ring of completed, sampled chunk spans.
+    #[inline]
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// Registers a pool worker's time-state profile and returns the
+    /// shared handle the worker accounts into. Called once per worker
+    /// at pool start.
+    pub fn register_worker(&self, worker: u32) -> Arc<WorkerState> {
+        let state = Arc::new(WorkerState::new(worker));
+        self.workers
+            .lock()
+            .expect("worker list poisoned")
+            .push(Arc::clone(&state));
+        state
+    }
+
+    /// Point-in-time copies of every registered worker's time-state
+    /// buckets, ordered by worker index.
+    pub fn worker_telemetry(&self) -> Vec<WorkerTelemetry> {
+        let mut out: Vec<WorkerTelemetry> = self
+            .workers
+            .lock()
+            .expect("worker list poisoned")
+            .iter()
+            .map(|w| w.snapshot())
+            .collect();
+        out.sort_by_key(|w| w.worker);
+        out
     }
 
     /// Snapshot of queue `q`'s counters; engine-owned gauges are left
@@ -71,5 +110,25 @@ mod tests {
         assert_eq!(r.snapshot_queue(1).captured_packets, 7);
         assert_eq!(r.snapshot_queue(1).queue, 1);
         assert_eq!(r.queue_count(), 2);
+    }
+
+    #[test]
+    fn registry_hosts_span_ring_and_worker_profiles() {
+        use crate::spans::{SpanRecord, WorkerTimeState};
+        let r = Registry::new(1);
+        r.spans().push(SpanRecord {
+            seq: 3,
+            ..Default::default()
+        });
+        assert_eq!(r.spans().records().len(), 1);
+        let w1 = r.register_worker(1);
+        let w0 = r.register_worker(0);
+        w0.account(WorkerTimeState::Spin, 9);
+        w1.account(WorkerTimeState::Park, 4);
+        let t = r.worker_telemetry();
+        assert_eq!(t.len(), 2, "both workers registered");
+        assert_eq!(t[0].worker, 0, "sorted by worker index");
+        assert_eq!(t[0].spin_ns, 9);
+        assert_eq!(t[1].park_ns, 4);
     }
 }

@@ -24,6 +24,7 @@ use crate::anomaly::{AnomalyConfig, AnomalyDetector};
 use crate::clock;
 use crate::flight::{write_flight_record, FlightEvent, FlightRecord};
 use crate::snapshot::EngineSnapshot;
+use crate::spans::SpanRecord;
 use crate::timeseries::{rates_between, Rates, SeriesSample, TimeSeriesRing};
 use crate::trace::TraceEvent;
 use crate::{dump, timeseries};
@@ -43,6 +44,13 @@ pub trait Observable: Send + Sync {
     /// The retained event-tracer ring, oldest first. Engines without a
     /// tracer (or with it disabled) return an empty vector.
     fn trace_events(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// The retained completed-span ring (sampled chunk lifecycles),
+    /// oldest first. Engines without span tracing (or with
+    /// `span_sample_n == 0`) return an empty vector.
+    fn spans(&self) -> Vec<SpanRecord> {
         Vec::new()
     }
 }
@@ -212,6 +220,7 @@ impl SamplerState {
                 .iter()
                 .map(FlightEvent::from)
                 .collect(),
+            spans: self.observer.spans(),
             snapshot: snap,
         };
         match write_flight_record(dir, &record) {
@@ -334,6 +343,7 @@ mod tests {
             EngineSnapshot {
                 engine: "fake".into(),
                 queues: vec![q],
+                workers: Vec::new(),
                 copies: sim::stats::CopyMeter::default(),
                 latency: sim::stats::LatencyStats::new(),
             }
@@ -348,6 +358,15 @@ mod tests {
                 chunk: 3,
                 target: 0,
                 info: 64,
+            }]
+        }
+
+        fn spans(&self) -> Vec<SpanRecord> {
+            vec![SpanRecord {
+                queue: 0,
+                seq: 11,
+                stage_deliver_ns: 500,
+                ..Default::default()
             }]
         }
     }
@@ -421,6 +440,8 @@ mod tests {
         assert!(!record.rates.is_empty());
         assert_eq!(record.events.len(), 1, "tracer ring frozen into record");
         assert_eq!(record.events[0].kind, "capture");
+        assert_eq!(record.spans.len(), 1, "span ring frozen into record");
+        assert_eq!(record.spans[0].seq, 11);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,6 +8,10 @@
 //! * `GET /snapshot.json` — the unified snapshot JSON;
 //! * `GET /series.json` — the sampler's time-series window and derived
 //!   rates (`404` when no sampler is attached);
+//! * `GET /trace.json` — the completed-span ring plus worker
+//!   time-state totals as Chrome trace-event JSON, loadable directly
+//!   in `chrome://tracing` / Perfetto (an empty event array when span
+//!   tracing is off);
 //! * `GET /healthz` — liveness probe.
 //!
 //! Built on nothing but `std::net::TcpListener`: one acceptor thread,
@@ -272,6 +276,14 @@ fn serve_one(
             },
             None => write_response(&mut stream, 404, "text/plain", "no sampler attached\n"),
         },
+        "/trace.json" => {
+            // Always a well-formed Chrome trace-event array — empty
+            // (metadata-only) when span tracing is off — so tooling can
+            // probe the route without knowing the engine's config.
+            let snap = observer.snapshot();
+            let body = crate::spans::chrome_trace_json(&observer.spans(), &snap.workers) + "\n";
+            write_response(&mut stream, 200, "application/json", &body)
+        }
         "/healthz" => write_response(&mut stream, 200, "text/plain", "ok\n"),
         _ => write_response(&mut stream, 404, "text/plain", "not found\n"),
     }
@@ -361,6 +373,7 @@ mod tests {
             EngineSnapshot {
                 engine: "scrape-test".into(),
                 queues: vec![q],
+                workers: Vec::new(),
                 copies: sim::stats::CopyMeter::default(),
                 latency: sim::stats::LatencyStats::new(),
             }
@@ -400,6 +413,19 @@ mod tests {
         assert_eq!(status, 404);
         let (status, _) = get(addr, "/series.json");
         assert_eq!(status, 404, "no sampler attached");
+        let (status, trace) = get(addr, "/trace.json");
+        assert_eq!(status, 200);
+        let parsed: serde::Value = serde_json::from_str(trace.trim()).unwrap();
+        match parsed {
+            serde::Value::Arr(evs) => {
+                for e in &evs {
+                    for key in ["ph", "ts", "pid", "tid"] {
+                        assert!(e.field(key).is_some(), "missing {key}: {e:?}");
+                    }
+                }
+            }
+            other => panic!("trace.json must be an array, got {other:?}"),
+        }
         let (status, ok) = get(addr, "/healthz");
         assert_eq!(status, 200);
         assert_eq!(ok, "ok\n");

@@ -7,6 +7,7 @@
 //! harness and the hotpath bench all emit one schema.
 
 use crate::hist::{bucket_upper_edge, HistogramSnapshot};
+use crate::spans::WorkerTelemetry;
 use serde::{Deserialize, Serialize};
 use sim::stats::{CopyMeter, LatencyStats};
 use sim::DropStats;
@@ -62,8 +63,9 @@ pub struct QueueTelemetry {
     /// Packets inside chunks stolen from this queue
     /// (`Σ steal_in_chunks == Σ steal_out_chunks` engine-wide).
     pub stolen_packets: u64,
-    /// Times this queue's primary pool worker parked on the delivery
-    /// gate (adaptive polling reached the park stage).
+    /// Times a pool worker owning this queue parked on the delivery
+    /// gate (adaptive polling reached the park stage). Every owning
+    /// worker charges its parks to each of its owned queues.
     pub worker_parks: u64,
     /// Claim CAS races lost on this queue's claim queue (0 unless
     /// concurrent single-queue mode is active).
@@ -94,6 +96,27 @@ pub struct QueueTelemetry {
     /// timestamp to its consumption/recycle. One clock read per chunk,
     /// never per packet, so the hot path stays flat (§5c).
     pub latency_ns: HistogramSnapshot,
+    /// p99.9 of `latency_ns` (the bucket upper edge covering the
+    /// 99.9th percentile), derived at snapshot time — the first-class
+    /// tail-latency number the SLO work (ROADMAP item 4) gates on.
+    pub latency_p999_ns: u64,
+    /// Sampled-span stage (see `telemetry::spans`): seal → ring
+    /// publish. Only 1-in-N chunks are sampled, so `count` tracks
+    /// `sealed_chunks / span_sample_n`, not `sealed_chunks`.
+    pub stage_backend_ns: HistogramSnapshot,
+    /// Sampled-span stage: ring publish → winning acquisition attempt.
+    pub stage_queue_wait_ns: HistogramSnapshot,
+    /// Sampled-span stage: acquisition attempt → ownership (claim-CAS
+    /// window).
+    pub stage_claim_ns: HistogramSnapshot,
+    /// Sampled-span stage: ownership → delivery start (reorder-buffer
+    /// residency).
+    pub stage_reorder_ns: HistogramSnapshot,
+    /// Sampled-span stage: delivery start → end (handler time).
+    pub stage_deliver_ns: HistogramSnapshot,
+    /// Sampled-span stage: disk handoff → write-batch commit (0 unless
+    /// a disk sink is attached).
+    pub stage_disk_ns: HistogramSnapshot,
 }
 
 impl QueueTelemetry {
@@ -142,6 +165,15 @@ impl QueueTelemetry {
         self.chunk_fill.merge(&other.chunk_fill);
         self.batch_size.merge(&other.batch_size);
         self.latency_ns.merge(&other.latency_ns);
+        self.stage_backend_ns.merge(&other.stage_backend_ns);
+        self.stage_queue_wait_ns.merge(&other.stage_queue_wait_ns);
+        self.stage_claim_ns.merge(&other.stage_claim_ns);
+        self.stage_reorder_ns.merge(&other.stage_reorder_ns);
+        self.stage_deliver_ns.merge(&other.stage_deliver_ns);
+        self.stage_disk_ns.merge(&other.stage_disk_ns);
+        // The merged tail quantile must come from the merged
+        // distribution, not from adding per-queue quantiles.
+        self.latency_p999_ns = self.latency_ns.quantile(0.999);
     }
 
     /// The figure-code view of this queue's drop accounting.
@@ -180,6 +212,9 @@ pub struct EngineSnapshot {
     pub engine: String,
     /// Per-queue telemetry, indexed by queue.
     pub queues: Vec<QueueTelemetry>,
+    /// Per-pool-worker time-state profiles (empty unless a
+    /// `ConsumerPool` runs with span tracing enabled).
+    pub workers: Vec<WorkerTelemetry>,
     /// Packets/bytes copied outside the zero-copy path.
     pub copies: CopyMeter,
     /// Capture-to-delivery latency distribution.
@@ -250,7 +285,8 @@ impl EngineSnapshot {
                 );
             }
         }
-        let gauges: [Field; 7] = [
+        let gauges: [Field; 8] = [
+            ("latency_p999_ns", |t| t.latency_p999_ns),
             ("steal_queue_len", |t| t.steal_queue_len),
             ("reorder_occupancy", |t| t.reorder_occupancy),
             ("capture_queue_len", |t| t.capture_queue_len),
@@ -270,11 +306,17 @@ impl EngineSnapshot {
                 );
             }
         }
-        let hists: [HistField; 4] = [
+        let hists: [HistField; 10] = [
             ("capture_queue_depth", |t| &t.capture_queue_depth),
             ("chunk_fill", |t| &t.chunk_fill),
             ("batch_size", |t| &t.batch_size),
             ("latency_ns", |t| &t.latency_ns),
+            ("stage_backend_ns", |t| &t.stage_backend_ns),
+            ("stage_queue_wait_ns", |t| &t.stage_queue_wait_ns),
+            ("stage_claim_ns", |t| &t.stage_claim_ns),
+            ("stage_reorder_ns", |t| &t.stage_reorder_ns),
+            ("stage_deliver_ns", |t| &t.stage_deliver_ns),
+            ("stage_disk_ns", |t| &t.stage_disk_ns),
         ];
         for (name, get) in hists {
             let _ = writeln!(out, "# TYPE wirecap_{name} histogram");
@@ -297,6 +339,25 @@ impl EngineSnapshot {
                 );
                 let _ = writeln!(out, "wirecap_{name}_sum{{{labels}}} {}", h.sum);
                 let _ = writeln!(out, "wirecap_{name}_count{{{labels}}} {}", h.count);
+            }
+        }
+        if !self.workers.is_empty() {
+            let _ = writeln!(out, "# TYPE wirecap_worker_state_ns_total counter");
+            for w in &self.workers {
+                for (state, ns) in [
+                    ("spin", w.spin_ns),
+                    ("yield", w.yield_ns),
+                    ("park", w.park_ns),
+                    ("claim", w.claim_ns),
+                    ("deliver", w.deliver_ns),
+                    ("steal", w.steal_ns),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "wirecap_worker_state_ns_total{{engine=\"{engine}\",worker=\"{}\",state=\"{state}\"}} {ns}",
+                        w.worker
+                    );
+                }
             }
         }
         out
@@ -333,9 +394,20 @@ mod tests {
         q0.latency_ns.sum = 1500;
         q0.latency_ns.max = 1500;
         q0.latency_ns.buckets = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        q0.latency_p999_ns = q0.latency_ns.quantile(0.999);
+        q0.stage_deliver_ns.count = 1;
+        q0.stage_deliver_ns.sum = 700;
+        q0.stage_deliver_ns.max = 700;
+        q0.stage_deliver_ns.buckets = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
         EngineSnapshot {
             engine: "test".into(),
             queues: vec![q0, QueueTelemetry::empty(1)],
+            workers: vec![WorkerTelemetry {
+                worker: 0,
+                spin_ns: 11,
+                deliver_ns: 400,
+                ..Default::default()
+            }],
             copies: CopyMeter::default(),
             latency: LatencyStats::default(),
         }
@@ -389,6 +461,18 @@ mod tests {
         assert!(text.contains("wirecap_capture_queue_watermark{engine=\"test\",queue=\"0\"} 5"));
         assert!(text.contains("# TYPE wirecap_latency_ns histogram"));
         assert!(text.contains("wirecap_latency_ns_sum{engine=\"test\",queue=\"0\"} 1500"));
+        assert!(text.contains("# TYPE wirecap_latency_p999_ns gauge"));
+        assert!(text.contains("wirecap_latency_p999_ns{engine=\"test\",queue=\"0\"} 2048"));
+        assert!(text.contains("# TYPE wirecap_stage_deliver_ns histogram"));
+        assert!(text.contains("wirecap_stage_deliver_ns_sum{engine=\"test\",queue=\"0\"} 700"));
+        assert!(text.contains("# TYPE wirecap_stage_disk_ns histogram"));
+        assert!(text.contains("# TYPE wirecap_worker_state_ns_total counter"));
+        assert!(text.contains(
+            "wirecap_worker_state_ns_total{engine=\"test\",worker=\"0\",state=\"spin\"} 11"
+        ));
+        assert!(text.contains(
+            "wirecap_worker_state_ns_total{engine=\"test\",worker=\"0\",state=\"deliver\"} 400"
+        ));
     }
 
     #[test]
@@ -400,5 +484,11 @@ mod tests {
         assert_eq!(total.chunk_fill.count, 2);
         assert_eq!(total.capture_queue_watermark, 5, "watermarks merge as max");
         assert_eq!(total.latency_ns.count, 1);
+        assert_eq!(total.stage_deliver_ns.count, 1, "stage histograms merge");
+        assert_eq!(
+            total.latency_p999_ns,
+            total.latency_ns.quantile(0.999),
+            "merged p99.9 derives from the merged distribution"
+        );
     }
 }

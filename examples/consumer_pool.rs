@@ -18,6 +18,13 @@
 //! [`wirecap::WireCapConfig::builder`]: the spin → yield → park ladder
 //! and optional core pinning.
 //!
+//! The pooled run additionally enables 1-in-16 span tracing
+//! (`span_sample_n`), and at the end exports the sampled chunk
+//! lifecycles plus the worker time-state profile as Chrome trace-event
+//! JSON — load `target/consumer_pool-trace.json` into
+//! <https://ui.perfetto.dev> or `chrome://tracing` to see stolen
+//! chunks land on foreign workers.
+//!
 //! Run with:
 //! ```sh
 //! cargo run --release --example consumer_pool
@@ -55,6 +62,9 @@ fn config() -> WireCapConfig {
         // Set true to pin capture threads and pool workers to cores
         // (`sched_setaffinity`; a no-op where unavailable).
         .pin_threads(false)
+        // Trace every 16th chunk's full lifecycle (seal → publish →
+        // claim → deliver) and profile worker time states; 0 = off.
+        .span_sample_n(16)
         .build()
         .expect("valid configuration")
 }
@@ -135,6 +145,9 @@ fn pooled_run() -> (u64, u64, u64, f64) {
     inject_skewed(&nic);
     let reports = pool.join();
     let elapsed = start.elapsed().as_secs_f64();
+    let observer = engine.observer();
+    let spans = observer.spans();
+    let snap = observer.snapshot();
     engine.shutdown();
     let stolen: u64 = reports.iter().map(|r| r.stolen_chunks).sum();
     let parks: u64 = reports.iter().map(|r| r.parks).sum();
@@ -144,6 +157,52 @@ fn pooled_run() -> (u64, u64, u64, f64) {
             r.worker, r.packets, r.chunks, r.stolen_chunks, r.parks
         );
     }
+
+    // Per-stage latency decomposition of the sampled chunks.
+    let stolen_spans = spans.iter().filter(|s| s.stolen).count();
+    println!(
+        "\n  {} sampled spans ({} on stolen chunks); mean stage times:",
+        spans.len(),
+        stolen_spans
+    );
+    if !spans.is_empty() {
+        let n = spans.len() as u64;
+        let mean = |f: fn(&telemetry::SpanRecord) -> u64| spans.iter().map(f).sum::<u64>() / n;
+        println!(
+            "    backend {:>7} ns | queue-wait {:>9} ns | claim {:>5} ns | \
+             deliver {:>9} ns | end-to-end {:>9} ns",
+            mean(|s| s.stage_backend_ns),
+            mean(|s| s.stage_queue_wait_ns),
+            mean(|s| s.stage_claim_ns),
+            mean(|s| s.stage_deliver_ns),
+            mean(|s| s.end_to_end_ns),
+        );
+    }
+    // Where each worker's wall clock went (the time-state profiler).
+    for w in &snap.workers {
+        let busy = w.claim_ns + w.deliver_ns + w.steal_ns;
+        let idle = w.spin_ns + w.yield_ns + w.park_ns;
+        println!(
+            "  worker {} time: {:>4} ms delivering/claiming/stealing, \
+             {:>4} ms spinning/yielding/parked",
+            w.worker,
+            busy / 1_000_000,
+            idle / 1_000_000
+        );
+    }
+
+    // Export the run as Chrome trace-event JSON for Perfetto.
+    let trace = telemetry::chrome_trace_json(&spans, &snap.workers);
+    let out = std::path::Path::new("target/consumer_pool-trace.json");
+    match std::fs::write(out, trace.as_bytes()) {
+        Ok(()) => println!(
+            "\n  wrote {} ({} bytes) — open in https://ui.perfetto.dev",
+            out.display(),
+            trace.len()
+        ),
+        Err(e) => println!("\n  could not write {}: {e}", out.display()),
+    }
+
     (delivered.load(Ordering::Relaxed), stolen, parks, elapsed)
 }
 

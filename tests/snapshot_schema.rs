@@ -54,6 +54,13 @@ const QUEUE_FIELDS: &[&str] = &[
     "chunk_fill",
     "batch_size",
     "latency_ns",
+    "latency_p999_ns",
+    "stage_backend_ns",
+    "stage_queue_wait_ns",
+    "stage_claim_ns",
+    "stage_reorder_ns",
+    "stage_deliver_ns",
+    "stage_disk_ns",
 ];
 
 fn golden_path() -> std::path::PathBuf {

@@ -173,6 +173,92 @@ fn scrape_endpoint_serves_a_live_run() {
 }
 
 #[test]
+fn trace_json_serves_chrome_trace_events_from_a_live_run() {
+    let _env = ENV_LOCK.lock().unwrap();
+    let _listen = EnvGuard::set("WIRECAP_TELEMETRY_LISTEN", "127.0.0.1:0");
+    let _sample = EnvGuard::set("WIRECAP_TELEMETRY_SAMPLE_MS", "0");
+
+    let nic = LiveNic::new(1, 4096);
+    let cfg = WireCapConfig::builder()
+        .cells(64)
+        .chunks(32)
+        .capture_timeout_ns(1_500_000)
+        .span_sample_n(1) // trace every chunk
+        .build()
+        .unwrap();
+    let engine = LiveWireCap::builder()
+        .backend(NicSimBackend::new(Arc::clone(&nic)))
+        .config(cfg)
+        .groups(BuddyGroups::isolated(1))
+        .start();
+    let addr = engine.telemetry_addr().expect("endpoint requested");
+
+    let consumer = {
+        let mut c = engine.consumer(0);
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while let Some(chunk) = c.next_chunk() {
+                n += chunk.len() as u64;
+                c.recycle(chunk);
+            }
+            n
+        })
+    };
+    inject_flows(&nic, 2_000);
+    nic.stop();
+    assert_eq!(consumer.join().unwrap(), 2_000);
+
+    let (status, trace) = http_get(addr, "/trace.json");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    // Chrome trace-event JSON: an array of objects, every one carrying
+    // ph/ts/pid/tid — the contract chrome://tracing / Perfetto loads.
+    let parsed: serde::Value = serde_json::from_str(trace.trim()).expect("trace.json parses");
+    let events = match parsed {
+        serde::Value::Arr(evs) => evs,
+        other => panic!("trace.json must be an array, got {other:?}"),
+    };
+    let mut complete_events = 0usize;
+    for e in &events {
+        for key in ["ph", "ts", "pid", "tid"] {
+            assert!(e.field(key).is_some(), "missing {key}: {e:?}");
+        }
+        if matches!(e.field("ph"), Some(serde::Value::Str(ph)) if ph == "X") {
+            complete_events += 1;
+            assert!(e.field("dur").is_some(), "complete event without dur");
+        }
+    }
+    assert!(
+        complete_events > 0,
+        "a fully sampled run must emit span events; got {} events",
+        events.len()
+    );
+
+    // The snapshot decomposes the same run per stage.
+    let (status, body) = http_get(addr, "/snapshot.json");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let snap: telemetry::EngineSnapshot = serde_json::from_str(&body).unwrap();
+    let total = snap.total();
+    assert!(
+        total.stage_deliver_ns.count > 0,
+        "per-stage histograms populated when span tracing is on"
+    );
+    assert_eq!(
+        total.latency_ns.count, total.stage_deliver_ns.count,
+        "sample_n = 1 stages every latency sample"
+    );
+
+    // Leave the scraped document where scripts/check.sh validates it
+    // with an external JSON parser.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/check-trace.json");
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out, &trace).ok();
+
+    engine.shutdown();
+}
+
+#[test]
 fn sampler_escape_hatch_still_captures_and_serves() {
     let _env = ENV_LOCK.lock().unwrap();
     let _listen = EnvGuard::set("WIRECAP_TELEMETRY_LISTEN", "127.0.0.1:0");
