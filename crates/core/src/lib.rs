@@ -81,7 +81,7 @@ pub use chunk::{ChunkId, ChunkMeta, ChunkState};
 pub use claim::{Claim, ClaimQueue, ReorderBuffer};
 pub use config::{ConfigError, WireCapConfig, WireCapConfigBuilder};
 pub use engine::WireCapEngine;
-pub use live::{ChunkLens, LiveChunk, LiveConsumer, LiveWireCap};
+pub use live::{ChunkLens, LiveChunk, LiveConsumer, LiveWireCap, RegistryHandle};
 pub use pool::RingBufferPool;
 pub use spsc::{BatchRing, MAX_BATCH};
 pub use steal::{

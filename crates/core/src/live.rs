@@ -400,6 +400,15 @@ impl LiveWireCap {
         &self.shared.tel
     }
 
+    /// A cloneable, owning handle to the same registry. Worker
+    /// closures (which outlive any borrow of the engine) move clones
+    /// across threads and flush per-chunk counter deltas through it.
+    pub fn registry_handle(&self) -> RegistryHandle {
+        RegistryHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// An [`Observable`] handle for external samplers / scrape servers.
     /// Holds only the shared telemetry state, never the threads.
     pub fn observer(&self) -> Arc<dyn Observable> {
@@ -922,6 +931,39 @@ impl std::fmt::Debug for ChunkLens {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChunkLens")
             .field("queues", &self.queues())
+            .finish()
+    }
+}
+
+/// A cloneable, owning handle to a running engine's telemetry
+/// [`Registry`] — the counters-only analogue of [`ChunkLens`].
+///
+/// [`LiveWireCap::registry`] returns a borrow tied to the engine, which
+/// `'static` worker closures cannot hold. This handle keeps the shared
+/// state alive on its own, so pool handlers move a clone into their
+/// closure and flush per-chunk counter deltas from any thread.
+#[derive(Clone)]
+pub struct RegistryHandle {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl RegistryHandle {
+    /// The counter group for queue `q`.
+    #[inline]
+    pub fn queue(&self, q: usize) -> &telemetry::QueueCounters {
+        self.shared.tel.queue(q)
+    }
+
+    /// The full registry (tracer, spans, worker profiles).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.tel
+    }
+}
+
+impl std::fmt::Debug for RegistryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryHandle")
+            .field("queues", &self.shared.tel.queue_count())
             .finish()
     }
 }

@@ -1,0 +1,33 @@
+//! # flowstat — online flow analytics at millions of concurrent flows
+//!
+//! WireCAP's lossless capture only matters if the consumer can do real
+//! per-packet analysis at line rate. This crate is that consumer stage:
+//! per-flow state over the batched `ChunkView` delivery path, following
+//! the cache-conscious designs in "Algorithms and Data Structures to
+//! Accelerate Network Analysis":
+//!
+//! * [`FlowTable`] — a fixed-capacity R-way set-associative flow table
+//!   keyed by the `netproto` IPv4 5-tuple. Each set is exactly one cache
+//!   line (four 32-byte slots), kept in per-set LRU order with eviction
+//!   folding the displaced flow's counts into aggregate eviction
+//!   counters. No allocation ever happens after construction.
+//! * [`TopK`] — a Space-Saving-style heavy-hitter candidate set per
+//!   worker. Because the flow table already holds exact per-flow counts,
+//!   candidates only bank counts lost to table eviction; membership is
+//!   maintained with a rising admission floor and periodic compaction.
+//! * [`FlowSink`] — the per-worker façade the delivery path drives:
+//!   batched two-pass (extract + prefetch, then record) frame ingest and
+//!   delta draining for telemetry.
+//!
+//! The structures are single-writer by design: one `FlowSink` per pool
+//! worker, merged at report time with [`merge_top_k`].
+
+#![deny(missing_docs)]
+
+mod sink;
+mod table;
+mod topk;
+
+pub use sink::{merge_top_k, FlowDeltas, FlowSink, FlowSinkConfig};
+pub use table::{Evicted, FlowTable, PackedFlowKey, Recorded, TableStats, WAYS};
+pub use topk::TopK;

@@ -1,0 +1,286 @@
+//! The per-worker flow-analytics sink driven by the delivery path.
+
+use crate::table::{FlowTable, PackedFlowKey, TableStats};
+use crate::topk::TopK;
+use netproto::FlowKey;
+use std::collections::HashMap;
+
+/// Offer-sampling granularity: beyond the first floor crossing, a flow is
+/// re-offered to the candidate set only on every 256th packet. Candidate
+/// totals are read from the exact table counts at query time, so the
+/// sampling affects *when* a flow becomes a candidate, never its count.
+const OFFER_MASK: u64 = 255;
+
+/// Sizing for a [`FlowSink`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSinkConfig {
+    /// Flow-table slot capacity (default one million entries, 32 MiB).
+    pub table_capacity: usize,
+    /// Heavy-hitter candidates retained per worker.
+    pub topk_capacity: usize,
+}
+
+impl Default for FlowSinkConfig {
+    fn default() -> Self {
+        FlowSinkConfig {
+            table_capacity: 1 << 20,
+            topk_capacity: 1024,
+        }
+    }
+}
+
+/// Counter deltas since the previous drain, for flushing into telemetry
+/// from the delivery loop without rescanning the table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowDeltas {
+    /// Packets recorded (parsed to a flow key).
+    pub packets: u64,
+    /// Bytes recorded.
+    pub bytes: u64,
+    /// Frames that did not parse to an IPv4 5-tuple.
+    pub unparsed: u64,
+    /// Flows displaced by LRU eviction.
+    pub evicted_flows: u64,
+    /// Packets folded into the eviction aggregate.
+    pub evicted_packets: u64,
+    /// Occupied non-matching slots scanned.
+    pub hash_collisions: u64,
+    /// Current live flow count (a level, not a delta).
+    pub occupancy: u64,
+}
+
+/// One worker's flow-analytics state: exact flow table, top-K candidate
+/// tracker, and the scratch buffer for batched two-pass ingest.
+pub struct FlowSink {
+    table: FlowTable,
+    topk: TopK,
+    scratch: Vec<(PackedFlowKey, u64)>,
+    unparsed: u64,
+    drained: FlowDrainMark,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowDrainMark {
+    tracked_packets: u64,
+    tracked_bytes: u64,
+    unparsed: u64,
+    evicted_flows: u64,
+    evicted_packets: u64,
+    hash_collisions: u64,
+}
+
+impl FlowSink {
+    /// Creates a sink; all flow-table storage is allocated here.
+    pub fn new(cfg: FlowSinkConfig) -> Self {
+        FlowSink {
+            table: FlowTable::new(cfg.table_capacity),
+            topk: TopK::new(cfg.topk_capacity),
+            scratch: Vec::with_capacity(1024),
+            unparsed: 0,
+            drained: FlowDrainMark::default(),
+        }
+    }
+
+    /// Records one batch of captured frames (one chunk's worth).
+    ///
+    /// Two passes: the first extracts and packs the 5-tuples while
+    /// prefetching each flow's table set, the second records — by then
+    /// the cache lines are in flight or resident, which is what keeps a
+    /// multi-megabyte table off the per-packet critical path.
+    pub fn record_frames<'a, I>(&mut self, frames: I)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        self.scratch.clear();
+        for f in frames {
+            match netproto::flow_of(f) {
+                Some(flow) => {
+                    let key = PackedFlowKey::from_flow(&flow);
+                    self.table.prefetch(key);
+                    self.scratch.push((key, f.len() as u64));
+                }
+                None => self.unparsed += 1,
+            }
+        }
+        for i in 0..self.scratch.len() {
+            let (key, bytes) = self.scratch[i];
+            self.record(key, bytes);
+        }
+    }
+
+    /// Records one packet for an already-extracted flow key.
+    #[inline]
+    pub fn record(&mut self, key: PackedFlowKey, bytes: u64) {
+        let r = self.table.record(key, bytes);
+        if let Some(ev) = r.evicted {
+            self.topk.note_evicted(ev.key, ev.packets);
+        }
+        if r.packets >= self.topk.floor() && (r.packets == 1 || r.packets & OFFER_MASK == 0) {
+            self.topk.offer(key, &self.table);
+        }
+    }
+
+    /// Counter movement since the last drain, plus current occupancy.
+    pub fn drain_deltas(&mut self) -> FlowDeltas {
+        let s = self.table.stats();
+        let d = FlowDeltas {
+            packets: s.tracked_packets - self.drained.tracked_packets,
+            bytes: s.tracked_bytes - self.drained.tracked_bytes,
+            unparsed: self.unparsed - self.drained.unparsed,
+            evicted_flows: s.evicted_flows - self.drained.evicted_flows,
+            evicted_packets: s.evicted_packets - self.drained.evicted_packets,
+            hash_collisions: s.hash_collisions - self.drained.hash_collisions,
+            occupancy: s.live_flows,
+        };
+        self.drained = FlowDrainMark {
+            tracked_packets: s.tracked_packets,
+            tracked_bytes: s.tracked_bytes,
+            unparsed: self.unparsed,
+            evicted_flows: s.evicted_flows,
+            evicted_packets: s.evicted_packets,
+            hash_collisions: s.hash_collisions,
+        };
+        d
+    }
+
+    /// The flow table (exact live per-flow counts).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// The heavy-hitter candidate tracker.
+    pub fn topk(&self) -> &TopK {
+        &self.topk
+    }
+
+    /// Aggregate table statistics.
+    pub fn stats(&self) -> TableStats {
+        self.table.stats()
+    }
+
+    /// Frames that did not parse to an IPv4 5-tuple.
+    pub fn unparsed(&self) -> u64 {
+        self.unparsed
+    }
+
+    /// This worker's current top `k` flows, strongest first.
+    pub fn top(&self, k: usize) -> Vec<(FlowKey, u64)> {
+        self.topk
+            .top(k, &self.table)
+            .into_iter()
+            .map(|(key, n)| (key.to_flow(), n))
+            .collect()
+    }
+}
+
+/// Merges per-worker trackers into a global top `k`.
+///
+/// The pool spreads one flow's packets across workers, so a candidate's
+/// global count is the sum over *all* workers of its live table count
+/// plus any banked (eviction-folded) count; the candidate universe is the
+/// union of every worker's candidate set. Strongest first, ties broken by
+/// key for determinism.
+pub fn merge_top_k(sinks: &[&FlowSink], k: usize) -> Vec<(FlowKey, u64)> {
+    let mut totals: HashMap<PackedFlowKey, u64> = HashMap::new();
+    for s in sinks {
+        for (key, banked) in s.topk.candidates() {
+            *totals.entry(key).or_insert(0) += banked;
+        }
+    }
+    for (key, total) in totals.iter_mut() {
+        for s in sinks {
+            *total += s.table.lookup(*key).map_or(0, |(p, _)| p);
+        }
+    }
+    let mut out: Vec<(PackedFlowKey, u64)> = totals.into_iter().collect();
+    out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out.into_iter().map(|(key, n)| (key.to_flow(), n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netproto::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn frames(flows: &[(FlowKey, usize)]) -> Vec<Vec<u8>> {
+        let mut b = PacketBuilder::new();
+        let mut out = Vec::new();
+        for (f, n) in flows {
+            for _ in 0..*n {
+                out.push(b.build(f, 128).unwrap());
+            }
+        }
+        out
+    }
+
+    fn flow(n: u8) -> FlowKey {
+        FlowKey::udp(
+            Ipv4Addr::new(131, 225, 2, n),
+            1000 + u16::from(n),
+            Ipv4Addr::new(10, 0, 0, 1),
+            53,
+        )
+    }
+
+    #[test]
+    fn record_frames_counts_and_conserves() {
+        let mut sink = FlowSink::new(FlowSinkConfig {
+            table_capacity: 256,
+            topk_capacity: 16,
+        });
+        let fs = frames(&[(flow(1), 10), (flow(2), 3)]);
+        sink.record_frames(fs.iter().map(|f| f.as_slice()));
+        sink.record_frames([&b"garbage"[..], &[0u8; 64][..]]);
+        let s = sink.stats();
+        assert_eq!(s.tracked_packets, 13);
+        assert_eq!(sink.unparsed(), 2);
+        let live: u64 = sink.table().iter().map(|(_, p, _)| p).sum();
+        assert_eq!(live + s.evicted_packets, s.tracked_packets);
+        assert_eq!(
+            sink.table()
+                .lookup(PackedFlowKey::from_flow(&flow(1)))
+                .map(|(p, _)| p),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn drain_deltas_are_increments() {
+        let mut sink = FlowSink::new(FlowSinkConfig {
+            table_capacity: 64,
+            topk_capacity: 4,
+        });
+        let fs = frames(&[(flow(1), 5)]);
+        sink.record_frames(fs.iter().map(|f| f.as_slice()));
+        let d1 = sink.drain_deltas();
+        assert_eq!(d1.packets, 5);
+        assert_eq!(d1.occupancy, 1);
+        let fs2 = frames(&[(flow(2), 2)]);
+        sink.record_frames(fs2.iter().map(|f| f.as_slice()));
+        let d2 = sink.drain_deltas();
+        assert_eq!(d2.packets, 2);
+        assert_eq!(d2.occupancy, 2);
+        let d3 = sink.drain_deltas();
+        assert_eq!(d3.packets, 0);
+    }
+
+    #[test]
+    fn merge_sums_across_workers() {
+        let cfg = FlowSinkConfig {
+            table_capacity: 1024,
+            topk_capacity: 16,
+        };
+        let mut a = FlowSink::new(cfg);
+        let mut b = FlowSink::new(cfg);
+        // Flow 1 split across both workers, flow 2 only on worker b.
+        let fa = frames(&[(flow(1), 300)]);
+        a.record_frames(fa.iter().map(|f| f.as_slice()));
+        let fb = frames(&[(flow(1), 200), (flow(2), 400)]);
+        b.record_frames(fb.iter().map(|f| f.as_slice()));
+        let top = merge_top_k(&[&a, &b], 2);
+        assert_eq!(top[0], (flow(1), 500));
+        assert_eq!(top[1], (flow(2), 400));
+    }
+}

@@ -1,0 +1,425 @@
+//! The R-way set-associative flow table.
+//!
+//! Layout follows the cache-conscious flow-cache design: the table is an
+//! array of *sets*, each set exactly one 128-byte cache line holding
+//! [`WAYS`] 32-byte slots. A flow hashes to one set and can only live in
+//! that set's slots (open addressing within the line), so a lookup costs
+//! one line fill no matter how many million flows are resident. Slots
+//! within a set are kept in LRU order — slot 0 is the most recently used —
+//! by rotating on access; eviction takes the last slot and folds its
+//! counts into the aggregate eviction counters, preserving the invariant
+//!
+//! ```text
+//! Σ live per-flow packets + evicted_packets == tracked_packets
+//! ```
+
+use netproto::{FlowKey, Protocol};
+use std::net::Ipv4Addr;
+
+/// Associativity: slots per set. Four 32-byte slots fill one 128-byte
+/// cache line exactly.
+pub const WAYS: usize = 4;
+
+/// A flow key packed into two words for slot storage and hashing.
+///
+/// `k0` holds the source and destination IPv4 addresses; `k1` holds the
+/// ports and protocol number in its low 40 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PackedFlowKey {
+    /// `src_ip << 32 | dst_ip`.
+    pub k0: u64,
+    /// `src_port << 24 | dst_port << 8 | proto`.
+    pub k1: u64,
+}
+
+impl PackedFlowKey {
+    /// Packs a `netproto` flow key.
+    pub fn from_flow(f: &FlowKey) -> Self {
+        PackedFlowKey {
+            k0: (u64::from(u32::from(f.src_ip)) << 32) | u64::from(u32::from(f.dst_ip)),
+            k1: (u64::from(f.src_port) << 24)
+                | (u64::from(f.dst_port) << 8)
+                | u64::from(f.proto.number()),
+        }
+    }
+
+    /// Unpacks back into a `netproto` flow key.
+    pub fn to_flow(self) -> FlowKey {
+        FlowKey {
+            src_ip: Ipv4Addr::from((self.k0 >> 32) as u32),
+            dst_ip: Ipv4Addr::from(self.k0 as u32),
+            src_port: (self.k1 >> 24) as u16,
+            dst_port: (self.k1 >> 8) as u16,
+            proto: Protocol::from_number(self.k1 as u8),
+        }
+    }
+}
+
+/// One resident flow: key words plus exact packet/byte counts. 32 bytes.
+///
+/// `tags` stores `k1 << 1 | 1`, so a zeroed slot (`tags == 0`) is
+/// unambiguously empty — `k1 == 0` is a valid (if degenerate) flow.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    k0: u64,
+    tags: u64,
+    packets: u64,
+    bytes: u64,
+}
+
+impl Slot {
+    #[inline]
+    fn occupied(&self) -> bool {
+        self.tags != 0
+    }
+
+    #[inline]
+    fn key(&self) -> PackedFlowKey {
+        PackedFlowKey {
+            k0: self.k0,
+            k1: self.tags >> 1,
+        }
+    }
+}
+
+/// One cache line of slots, LRU-ordered front to back (empties at the
+/// back).
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(align(128))]
+struct Set {
+    slots: [Slot; WAYS],
+}
+
+/// The result of recording one packet into the table.
+#[derive(Debug, Clone, Copy)]
+pub struct Recorded {
+    /// The flow's live packet count after this record.
+    pub packets: u64,
+    /// The flow displaced to make room, if the set was full.
+    pub evicted: Option<Evicted>,
+}
+
+/// A flow displaced from a full set, with its accumulated counts.
+#[derive(Debug, Clone, Copy)]
+pub struct Evicted {
+    /// The displaced flow's key.
+    pub key: PackedFlowKey,
+    /// Packets the flow had accumulated.
+    pub packets: u64,
+    /// Bytes the flow had accumulated.
+    pub bytes: u64,
+}
+
+/// Aggregate table statistics (all monotonic except `live_flows`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Flows currently resident.
+    pub live_flows: u64,
+    /// Total slot capacity.
+    pub capacity: u64,
+    /// Packets recorded since construction.
+    pub tracked_packets: u64,
+    /// Bytes recorded since construction.
+    pub tracked_bytes: u64,
+    /// Flows displaced by per-set LRU eviction.
+    pub evicted_flows: u64,
+    /// Packets belonging to evicted flows (folded at eviction time).
+    pub evicted_packets: u64,
+    /// Bytes belonging to evicted flows.
+    pub evicted_bytes: u64,
+    /// Occupied non-matching slots scanned during lookups — the cost of
+    /// flows colliding into the same set.
+    pub hash_collisions: u64,
+}
+
+/// Fixed-capacity set-associative flow table. See the module docs for the
+/// layout; all storage is allocated in [`FlowTable::new`] and never grows.
+pub struct FlowTable {
+    sets: Box<[Set]>,
+    mask: u64,
+    live: u64,
+    tracked_packets: u64,
+    tracked_bytes: u64,
+    evicted_flows: u64,
+    evicted_packets: u64,
+    evicted_bytes: u64,
+    hash_collisions: u64,
+}
+
+impl FlowTable {
+    /// Creates a table with at least `capacity` slots (rounded up so the
+    /// set count is a power of two). A million-entry table is 32 MiB.
+    pub fn new(capacity: usize) -> Self {
+        let sets = capacity.div_ceil(WAYS).next_power_of_two().max(1);
+        FlowTable {
+            sets: vec![Set::default(); sets].into_boxed_slice(),
+            mask: sets as u64 - 1,
+            live: 0,
+            tracked_packets: 0,
+            tracked_bytes: 0,
+            evicted_flows: 0,
+            evicted_packets: 0,
+            evicted_bytes: 0,
+            hash_collisions: 0,
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * WAYS
+    }
+
+    /// Flows currently resident.
+    pub fn len(&self) -> usize {
+        self.live as usize
+    }
+
+    /// True when no flows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    fn hash(key: PackedFlowKey) -> u64 {
+        // splitmix-style avalanche over both key words; the high bits feed
+        // the set index after masking.
+        let mut h = key.k0 ^ key.k1.rotate_left(25);
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^ (h >> 32)
+    }
+
+    /// Prefetches the set `key` hashes to. Issued a batch ahead of
+    /// [`FlowTable::record`] it hides the DRAM latency of cold sets.
+    #[inline]
+    pub fn prefetch(&self, key: PackedFlowKey) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let idx = (Self::hash(key) & self.mask) as usize;
+            // Safety: the pointer is a live in-bounds reference cast for
+            // the intrinsic; prefetch reads nothing and writes nothing
+            // architecturally.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch(
+                    (&self.sets[idx] as *const Set).cast::<i8>(),
+                    core::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = key;
+        }
+    }
+
+    /// Records one packet of `bytes` bytes for `key`: bump on hit, insert
+    /// on miss, LRU-evict when the set is full. O(WAYS), no allocation.
+    pub fn record(&mut self, key: PackedFlowKey, bytes: u64) -> Recorded {
+        self.tracked_packets += 1;
+        self.tracked_bytes += bytes;
+        let idx = (Self::hash(key) & self.mask) as usize;
+        let set = &mut self.sets[idx].slots;
+        let tags = (key.k1 << 1) | 1;
+
+        for i in 0..WAYS {
+            if set[i].k0 == key.k0 && set[i].tags == tags {
+                set[i].packets += 1;
+                set[i].bytes += bytes;
+                let packets = set[i].packets;
+                self.hash_collisions += i as u64;
+                // Move to front: the hit slot becomes MRU.
+                set[..=i].rotate_right(1);
+                return Recorded {
+                    packets,
+                    evicted: None,
+                };
+            }
+        }
+
+        let occupied = set.iter().filter(|s| s.occupied()).count();
+        self.hash_collisions += occupied as u64;
+        let mut evicted = None;
+        if occupied == WAYS {
+            let victim = set[WAYS - 1];
+            self.evicted_flows += 1;
+            self.evicted_packets += victim.packets;
+            self.evicted_bytes += victim.bytes;
+            evicted = Some(Evicted {
+                key: victim.key(),
+                packets: victim.packets,
+                bytes: victim.bytes,
+            });
+            set.rotate_right(1);
+        } else {
+            self.live += 1;
+            // Empties sit at the back, so set[occupied] is free; rotating
+            // the prefix keeps the LRU order of the occupied slots.
+            set[..=occupied].rotate_right(1);
+        }
+        set[0] = Slot {
+            k0: key.k0,
+            tags,
+            packets: 1,
+            bytes,
+        };
+        Recorded {
+            packets: 1,
+            evicted,
+        }
+    }
+
+    /// Looks up a flow's live counts without touching the LRU order.
+    pub fn lookup(&self, key: PackedFlowKey) -> Option<(u64, u64)> {
+        let idx = (Self::hash(key) & self.mask) as usize;
+        let tags = (key.k1 << 1) | 1;
+        self.sets[idx]
+            .slots
+            .iter()
+            .find(|s| s.k0 == key.k0 && s.tags == tags)
+            .map(|s| (s.packets, s.bytes))
+    }
+
+    /// Iterates all resident flows as `(key, packets, bytes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PackedFlowKey, u64, u64)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.slots.iter())
+            .filter(|s| s.occupied())
+            .map(|s| (s.key(), s.packets, s.bytes))
+    }
+
+    /// Aggregate statistics snapshot.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            live_flows: self.live,
+            capacity: self.capacity() as u64,
+            tracked_packets: self.tracked_packets,
+            tracked_bytes: self.tracked_bytes,
+            evicted_flows: self.evicted_flows,
+            evicted_packets: self.evicted_packets,
+            evicted_bytes: self.evicted_bytes,
+            hash_collisions: self.hash_collisions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(n: u64) -> PackedFlowKey {
+        PackedFlowKey {
+            k0: n.wrapping_mul(0x1234_5678_9abc_def1),
+            k1: (n.wrapping_mul(31) ^ 0xbeef) & 0xff_ffff_ffff,
+        }
+    }
+
+    #[test]
+    fn slot_and_set_sizes_match_the_cache_line() {
+        assert_eq!(std::mem::size_of::<Slot>(), 32);
+        assert_eq!(std::mem::size_of::<Set>(), 128);
+        assert_eq!(std::mem::align_of::<Set>(), 128);
+    }
+
+    #[test]
+    fn packed_key_roundtrips() {
+        let f = FlowKey::tcp(
+            Ipv4Addr::new(131, 225, 2, 3),
+            65535,
+            Ipv4Addr::new(10, 0, 0, 1),
+            1,
+        );
+        assert_eq!(PackedFlowKey::from_flow(&f).to_flow(), f);
+        let u = FlowKey::udp(
+            Ipv4Addr::new(255, 255, 255, 255),
+            0,
+            Ipv4Addr::new(0, 0, 0, 0),
+            65535,
+        );
+        assert_eq!(PackedFlowKey::from_flow(&u).to_flow(), u);
+    }
+
+    #[test]
+    fn hit_bumps_and_miss_inserts() {
+        let mut t = FlowTable::new(64);
+        assert_eq!(t.record(key(1), 100).packets, 1);
+        assert_eq!(t.record(key(1), 100).packets, 2);
+        assert_eq!(t.record(key(2), 50).packets, 1);
+        assert_eq!(t.lookup(key(1)), Some((2, 200)));
+        assert_eq!(t.lookup(key(2)), Some((1, 50)));
+        assert_eq!(t.lookup(key(3)), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two_sets() {
+        assert_eq!(FlowTable::new(1).capacity(), 4);
+        assert_eq!(FlowTable::new(5).capacity(), 8);
+        assert_eq!(FlowTable::new(1_000_000).capacity(), (1 << 18) * WAYS);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_way() {
+        // A 1-set table: insert WAYS flows, touch the first again, then
+        // insert one more — the victim must be the least recently used,
+        // not the first inserted.
+        let mut t = FlowTable::new(WAYS);
+        let keys: Vec<PackedFlowKey> = (0..=WAYS as u64).map(key).collect();
+        for k in &keys[..WAYS] {
+            t.record(*k, 10);
+        }
+        t.record(keys[0], 10); // keys[0] is now MRU; keys[1] is LRU.
+        let r = t.record(keys[WAYS], 10);
+        let ev = r.evicted.expect("full set must evict");
+        assert_eq!(ev.key, keys[1]);
+        assert_eq!(ev.packets, 1);
+        assert_eq!(t.lookup(keys[0]), Some((2, 20)));
+        assert_eq!(t.lookup(keys[1]), None);
+        let s = t.stats();
+        assert_eq!(s.evicted_flows, 1);
+        assert_eq!(s.evicted_packets, 1);
+        assert_eq!(s.evicted_bytes, 10);
+    }
+
+    proptest! {
+        /// The conservation invariant: live per-flow packet sums plus the
+        /// eviction aggregate always equal the tracked total, no matter
+        /// the key mix or table pressure.
+        #[test]
+        fn conservation_under_pressure(
+            ops in proptest::collection::vec((0u64..400, 40u64..1500), 1..4000),
+            capacity in 1usize..64,
+        ) {
+            let mut t = FlowTable::new(capacity);
+            for (k, b) in &ops {
+                t.record(key(*k), *b);
+            }
+            let s = t.stats();
+            prop_assert_eq!(s.tracked_packets, ops.len() as u64);
+            let live_packets: u64 = t.iter().map(|(_, p, _)| p).sum();
+            let live_bytes: u64 = t.iter().map(|(_, _, b)| b).sum();
+            prop_assert_eq!(live_packets + s.evicted_packets, s.tracked_packets);
+            prop_assert_eq!(live_bytes + s.evicted_bytes, s.tracked_bytes);
+            prop_assert_eq!(t.len() as u64, s.live_flows);
+            prop_assert!(t.len() <= t.capacity());
+        }
+
+        /// With no eviction pressure the table is an exact counter.
+        #[test]
+        fn exact_without_eviction(ops in proptest::collection::vec(0u64..100, 1..2000)) {
+            let mut t = FlowTable::new(100 * WAYS * 4);
+            let mut reference = std::collections::HashMap::new();
+            for k in &ops {
+                t.record(key(*k), 64);
+                *reference.entry(*k).or_insert(0u64) += 1;
+            }
+            if t.stats().evicted_flows == 0 {
+                for (k, n) in &reference {
+                    prop_assert_eq!(t.lookup(key(*k)), Some((*n, *n * 64)));
+                }
+            }
+        }
+    }
+}

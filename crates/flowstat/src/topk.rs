@@ -1,0 +1,200 @@
+//! Space-Saving-style top-K heavy-hitter candidate tracking.
+//!
+//! The classic Space-Saving sketch keeps (key, count) pairs and does a
+//! min-replacement per unmatched packet. Here the flow table already
+//! holds *exact* per-flow counts, so the tracker only needs to maintain a
+//! bounded candidate *set* plus counts banked from table evictions:
+//!
+//! * a flow is **offered** when its table count crosses the admission
+//!   floor (sampled on count milestones, so the hot path adds only a
+//!   compare per packet);
+//! * when the candidate set reaches twice its capacity it **compacts**:
+//!   the top `cap` candidates by total count survive and the floor rises
+//!   to the smallest surviving count, Misra-Gries style;
+//! * a candidate evicted from the flow table **banks** its count so
+//!   nothing is lost across table churn.
+//!
+//! A candidate's total count is `banked + live table count`; with no
+//! table evictions it is exact, which is what makes top-K across the
+//! candidate union exact for true elephants.
+
+use crate::table::{FlowTable, PackedFlowKey};
+use std::collections::HashMap;
+
+/// Per-worker top-K candidate tracker. See the module docs.
+pub struct TopK {
+    cap: usize,
+    floor: u64,
+    banked: HashMap<PackedFlowKey, u64>,
+}
+
+impl TopK {
+    /// Creates a tracker that retains at least `cap` candidates (memory
+    /// bound: `2 * cap` map entries between compactions).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        TopK {
+            cap,
+            floor: 1,
+            banked: HashMap::with_capacity(2 * cap + 1),
+        }
+    }
+
+    /// The current admission floor: flows below this table count are not
+    /// worth offering. Monotonically non-decreasing.
+    #[inline]
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Candidate count currently retained.
+    pub fn len(&self) -> usize {
+        self.banked.len()
+    }
+
+    /// True when no candidates are retained.
+    pub fn is_empty(&self) -> bool {
+        self.banked.is_empty()
+    }
+
+    /// Offers a flow whose table count crossed the floor. Idempotent for
+    /// existing candidates (their banked count is preserved); compacts
+    /// against `table` when the set overflows.
+    pub fn offer(&mut self, key: PackedFlowKey, table: &FlowTable) {
+        self.banked.entry(key).or_insert(0);
+        if self.banked.len() > 2 * self.cap {
+            self.compact(table);
+        }
+    }
+
+    /// Banks the counts of a candidate displaced from the flow table so
+    /// its history survives table churn. No-op for non-candidates.
+    pub fn note_evicted(&mut self, key: PackedFlowKey, packets: u64) {
+        if let Some(b) = self.banked.get_mut(&key) {
+            *b += packets;
+        }
+    }
+
+    /// Total count of one candidate: banked plus live table count.
+    fn total(&self, key: PackedFlowKey, table: &FlowTable) -> u64 {
+        self.banked.get(&key).copied().unwrap_or(0) + table.lookup(key).map_or(0, |(p, _)| p)
+    }
+
+    /// Drops the weakest candidates, keeping the strongest `cap` and
+    /// raising the floor to the smallest surviving total.
+    fn compact(&mut self, table: &FlowTable) {
+        let mut totals: Vec<(PackedFlowKey, u64, u64)> = self
+            .banked
+            .iter()
+            .map(|(k, b)| (*k, self.total(*k, table), *b))
+            .collect();
+        // Sort by total descending, key ascending for determinism.
+        totals.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        totals.truncate(self.cap);
+        if let Some(&(_, weakest, _)) = totals.last() {
+            self.floor = self.floor.max(weakest);
+        }
+        self.banked.clear();
+        for (k, _, b) in totals {
+            self.banked.insert(k, b);
+        }
+    }
+
+    /// The top `k` candidates by total count, strongest first (ties broken
+    /// by key for determinism).
+    pub fn top(&self, k: usize, table: &FlowTable) -> Vec<(PackedFlowKey, u64)> {
+        let mut totals: Vec<(PackedFlowKey, u64)> = self
+            .banked
+            .keys()
+            .map(|key| (*key, self.total(*key, table)))
+            .collect();
+        totals.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        totals.truncate(k);
+        totals
+    }
+
+    /// Iterates the candidate keys with their banked (table-evicted)
+    /// counts.
+    pub fn candidates(&self) -> impl Iterator<Item = (PackedFlowKey, u64)> + '_ {
+        self.banked.iter().map(|(k, b)| (*k, *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> PackedFlowKey {
+        PackedFlowKey {
+            k0: n.wrapping_mul(0x9e37_79b9),
+            k1: n & 0xff_ffff_ffff,
+        }
+    }
+
+    #[test]
+    fn exact_top_k_without_table_eviction() {
+        let mut table = FlowTable::new(4096);
+        let mut topk = TopK::new(16);
+        // 200 mice with 1-5 packets, 8 elephants with 1000+.
+        for m in 0..200u64 {
+            for _ in 0..=(m % 5) {
+                let r = table.record(key(m), 64);
+                if r.packets >= topk.floor() {
+                    topk.offer(key(m), &table);
+                }
+            }
+        }
+        for e in 1000..1008u64 {
+            for _ in 0..1000 + e {
+                let r = table.record(key(e), 1500);
+                if r.packets >= topk.floor() {
+                    topk.offer(key(e), &table);
+                }
+            }
+        }
+        let top = topk.top(8, &table);
+        let got: Vec<PackedFlowKey> = top.iter().map(|t| t.0).collect();
+        let mut want: Vec<PackedFlowKey> = (1000..1008u64).map(key).collect();
+        // Strongest first: elephant 1007 has the most packets.
+        want.sort_by_key(|k| std::cmp::Reverse(table.lookup(*k).unwrap().0));
+        assert_eq!(got, want);
+        assert_eq!(top[0].1, 2007);
+    }
+
+    #[test]
+    fn compaction_bounds_memory_and_raises_floor() {
+        let mut table = FlowTable::new(1 << 16);
+        let mut topk = TopK::new(8);
+        for n in 0..10_000u64 {
+            table.record(key(n), 64);
+            topk.offer(key(n), &table);
+        }
+        assert!(topk.len() <= 16, "len = {}", topk.len());
+        assert!(topk.floor() >= 1);
+    }
+
+    #[test]
+    fn banked_counts_survive_table_eviction() {
+        let mut table = FlowTable::new(4);
+        let mut topk = TopK::new(4);
+        // Make one flow a candidate, then evict it via set pressure.
+        for _ in 0..10 {
+            table.record(key(7), 100);
+        }
+        topk.offer(key(7), &table);
+        let mut evicted = false;
+        for n in 0..64u64 {
+            let r = table.record(key(n), 10);
+            if let Some(ev) = r.evicted {
+                topk.note_evicted(ev.key, ev.packets);
+                if ev.key == key(7) {
+                    evicted = true;
+                }
+            }
+        }
+        assert!(evicted, "flow 7 should have been displaced");
+        let top = topk.top(1, &table);
+        assert_eq!(top[0].0, key(7));
+        assert!(top[0].1 >= 10, "banked count lost: {}", top[0].1);
+    }
+}

@@ -2,13 +2,18 @@
 
 /// Incrementally computes the 16-bit ones'-complement Internet checksum.
 ///
-/// The accumulator keeps the running 32-bit sum; call [`Checksum::finish`]
-/// to fold and complement it. Data fed in multiple calls behaves exactly
-/// like one contiguous buffer, provided each call except the last passes an
-/// even number of bytes (header fields are naturally even-sized).
+/// The accumulator keeps the running sum in a `u64`: a `u32` accumulator
+/// overflows (panicking in debug builds, folding wrongly in release) once
+/// roughly 128 KiB of all-ones bytes have been fed, which jumbo captures
+/// and pseudo-header sums over large segments can reach. `u64` holds
+/// 2^48 bytes of worst-case input, far beyond any frame. Call
+/// [`Checksum::finish`] to fold the end-around carries to fixpoint and
+/// complement. Data fed in multiple calls behaves exactly like one
+/// contiguous buffer, provided each call except the last passes an even
+/// number of bytes (header fields are naturally even-sized).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Checksum {
-    sum: u32,
+    sum: u64,
 }
 
 impl Checksum {
@@ -21,16 +26,16 @@ impl Checksum {
     pub fn add_bytes(&mut self, data: &[u8]) {
         let mut chunks = data.chunks_exact(2);
         for c in &mut chunks {
-            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+            self.sum += u64::from(u16::from_be_bytes([c[0], c[1]]));
         }
         if let [last] = chunks.remainder() {
-            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+            self.sum += u64::from(u16::from_be_bytes([*last, 0]));
         }
     }
 
     /// Feeds a big-endian 16-bit word.
     pub fn add_u16(&mut self, v: u16) {
-        self.sum += u32::from(v);
+        self.sum += u64::from(v);
     }
 
     /// Feeds a big-endian 32-bit word (as two 16-bit words).
@@ -39,7 +44,8 @@ impl Checksum {
         self.add_u16(v as u16);
     }
 
-    /// Folds the carries and returns the ones'-complement checksum.
+    /// Folds the end-around carries to fixpoint and returns the
+    /// ones'-complement checksum.
     pub fn finish(mut self) -> u16 {
         while self.sum >> 16 != 0 {
             self.sum = (self.sum & 0xffff) + (self.sum >> 16);
@@ -129,5 +135,58 @@ mod tests {
     #[test]
     fn all_zeros_checksums_to_ffff() {
         assert_eq!(checksum(&[0u8; 20]), 0xffff);
+    }
+
+    /// Regression: 256 KiB of 0xff sums to ~8.6e9, which overflows a u32
+    /// accumulator (debug panic / wrong fold in release). The worst case
+    /// must still fold to the correct ones'-complement value.
+    #[test]
+    fn large_all_ones_buffer_does_not_overflow() {
+        let data = vec![0xffu8; 256 * 1024];
+        // Every word is 0xffff; in ones'-complement arithmetic the sum of
+        // any number of 0xffff words folds back to 0xffff, so the
+        // complement is 0.
+        assert_eq!(checksum(&data), 0);
+        assert!(verify(&data));
+    }
+
+    /// Naive reference: fold the end-around carry after every word, so the
+    /// accumulator never exceeds 17 bits and cannot overflow.
+    fn reference_checksum(data: &[u8]) -> u16 {
+        let mut sum: u32 = 0;
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        if let [last] = chunks.remainder() {
+            sum += u32::from(u16::from_be_bytes([*last, 0]));
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn matches_reference_on_random_buffers(
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..4096),
+        ) {
+            // Covers odd lengths: the vec length ranges over 0..4096.
+            proptest::prop_assert_eq!(checksum(&data), reference_checksum(&data));
+        }
+
+        #[test]
+        fn split_point_is_irrelevant(
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 2..2048),
+            split in 0usize..1024,
+        ) {
+            // Incremental use must equal one contiguous pass as long as the
+            // first part is even-length.
+            let split = (split * 2).min(data.len());
+            let mut c = Checksum::new();
+            c.add_bytes(&data[..split]);
+            c.add_bytes(&data[split..]);
+            proptest::prop_assert_eq!(c.finish(), checksum(&data));
+        }
     }
 }

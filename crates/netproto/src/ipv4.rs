@@ -31,6 +31,39 @@ impl<'a> Ipv4Header<'a> {
         if total_len < header_len {
             return Err(Error::Malformed);
         }
+        // A total length beyond the captured bytes means the datagram was
+        // cut short (snapped capture or a lying header). Reject it here
+        // instead of letting `payload()` silently truncate to the buffer;
+        // callers that deal in deliberately-truncated datagrams (ICMP
+        // error quotes) use `parse_prefix`.
+        if total_len > buf.len() {
+            return Err(Error::Truncated);
+        }
+        Ok(Ipv4Header { buf, header_len })
+    }
+
+    /// Parses a possibly-truncated IPv4 datagram prefix: the full header
+    /// must be present, but the total-length field may exceed the buffer.
+    ///
+    /// This is for bytes that are *known* to be cut short — ICMP error
+    /// bodies quote only the original header plus 8 payload bytes, and
+    /// snap-length captures clip long datagrams. `payload()` is then
+    /// explicitly clamped to the captured bytes.
+    pub fn parse_prefix(buf: &'a [u8]) -> Result<Self> {
+        if buf.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if buf[0] >> 4 != 4 {
+            return Err(Error::Malformed);
+        }
+        let header_len = usize::from(buf[0] & 0x0f) * 4;
+        if header_len < MIN_HEADER_LEN || buf.len() < header_len {
+            return Err(Error::Malformed);
+        }
+        let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if total_len < header_len {
+            return Err(Error::Malformed);
+        }
         Ok(Ipv4Header { buf, header_len })
     }
 
@@ -95,7 +128,9 @@ impl<'a> Ipv4Header<'a> {
     }
 
     /// Payload slice, bounded by the total-length field (Ethernet padding
-    /// after the IP datagram is excluded).
+    /// after the IP datagram is excluded). `parse` guarantees the total
+    /// length fits the buffer; for `parse_prefix` headers the slice is
+    /// clamped to the captured bytes.
     pub fn payload(&self) -> &'a [u8] {
         let end = usize::from(self.total_len()).min(self.buf.len());
         &self.buf[self.header_len..end]
@@ -198,6 +233,15 @@ mod tests {
         buf[15] ^= 0xff;
         let h = Ipv4Header::parse(&buf).unwrap();
         assert!(!h.checksum_ok());
+    }
+
+    #[test]
+    fn parse_rejects_total_len_beyond_buffer() {
+        let mut buf = [0u8; 28];
+        emit(&mut buf, &fields()).unwrap();
+        // Claim 20 + 40 bytes of datagram while only 28 are captured.
+        buf[2..4].copy_from_slice(&60u16.to_be_bytes());
+        assert_eq!(Ipv4Header::parse(&buf).unwrap_err(), Error::Truncated);
     }
 
     #[test]

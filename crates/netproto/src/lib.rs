@@ -37,7 +37,7 @@ pub mod vlan;
 pub use builder::PacketBuilder;
 pub use flow::{FlowKey, Protocol};
 pub use packet::Packet;
-pub use parse::{parse_frame, ParsedPacket};
+pub use parse::{flow_of, parse_frame, ParsedPacket};
 
 /// Errors produced while parsing protocol headers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +61,13 @@ impl core::fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// The error type returned by every parse path in this crate.
+///
+/// Alias of [`Error`], named for call sites that only ever see the parsing
+/// half of the crate: captured bytes go in, a typed `ParseError` comes out,
+/// never a panic.
+pub type ParseError = Error;
 
 /// Convenience result alias for this crate.
 pub type Result<T> = core::result::Result<T, Error>;

@@ -5,7 +5,15 @@ use crate::flow::{FlowKey, Protocol};
 use crate::ipv4::Ipv4Header;
 use crate::tcp::TcpHeader;
 use crate::udp::UdpHeader;
-use crate::Result;
+use crate::vlan::{VlanTag, TAG_LEN, TPID};
+use crate::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// The 802.1ad (QinQ) service-tag TPID; the inner tag uses [`TPID`].
+const TPID_QINQ: u16 = 0x88a8;
+
+/// How many stacked 802.1Q tags `parse_frame` will traverse (QinQ depth).
+const MAX_VLAN_TAGS: usize = 2;
 
 /// Network-layer classification of a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +36,9 @@ pub struct ParsedPacket {
     pub src_mac: MacAddr,
     /// Destination MAC address.
     pub dst_mac: MacAddr,
+    /// VLAN identifier of the innermost 802.1Q tag, if the frame was
+    /// tagged (the customer tag on QinQ trunks).
+    pub vlan: Option<u16>,
     /// Network-layer protocol.
     pub network: NetworkLayer,
     /// IPv4 5-tuple, when the frame is IPv4 with a TCP/UDP payload
@@ -39,14 +50,47 @@ pub struct ParsedPacket {
 
 /// Parses an Ethernet frame into a [`ParsedPacket`] summary.
 ///
+/// Up to `MAX_VLAN_TAGS` stacked 802.1Q/802.1ad tags are traversed, so
+/// tagged trunk-port captures classify like their untagged payloads.
 /// Parsing stops gracefully at the first unsupported layer: an IPv6 or ARP
-/// frame still yields a summary, just without a flow key.
+/// frame still yields a summary, just without a flow key. Malformed or
+/// truncated bytes produce a typed [`Error`], never a panic.
 pub fn parse_frame(buf: &[u8]) -> Result<ParsedPacket> {
     let eth = EthernetFrame::parse(buf)?;
+
+    // Walk stacked VLAN tags. Each tag shifts the effective EtherType and
+    // payload 4 bytes deeper into the frame; `off` tracks the EtherType
+    // position (first tag's TPID sits where the EtherType would be).
+    let mut off = crate::ethernet::HEADER_LEN - 2;
+    let mut ethertype = eth.ethertype();
+    let mut vlan = None;
+    for _ in 0..MAX_VLAN_TAGS {
+        match ethertype.value() {
+            TPID => {
+                let tag = VlanTag::parse(&buf[off..])?;
+                vlan = Some(tag.vid);
+                ethertype = tag.inner_ethertype;
+            }
+            TPID_QINQ => {
+                // 802.1ad service tag: same TCI layout, different TPID.
+                if buf.len() < off + TAG_LEN + 2 {
+                    return Err(Error::Truncated);
+                }
+                let tci = u16::from_be_bytes([buf[off + 2], buf[off + 3]]);
+                vlan = Some(tci & 0x0fff);
+                ethertype = EtherType::from_value(u16::from_be_bytes([buf[off + 4], buf[off + 5]]));
+            }
+            _ => break,
+        }
+        off += TAG_LEN;
+    }
+    let payload = &buf[off + 2..];
+
     let mut out = ParsedPacket {
         src_mac: eth.src(),
         dst_mac: eth.dst(),
-        network: match eth.ethertype() {
+        vlan,
+        network: match ethertype {
             EtherType::Ipv4 => NetworkLayer::Ipv4,
             EtherType::Ipv6 => NetworkLayer::Ipv6,
             EtherType::Arp => NetworkLayer::Arp,
@@ -58,7 +102,7 @@ pub fn parse_frame(buf: &[u8]) -> Result<ParsedPacket> {
     if out.network != NetworkLayer::Ipv4 {
         return Ok(out);
     }
-    let ip = Ipv4Header::parse(eth.payload())?;
+    let ip = Ipv4Header::parse(payload)?;
     let proto = Protocol::from_number(ip.protocol());
     match proto {
         Protocol::Tcp => {
@@ -97,6 +141,68 @@ pub fn parse_frame(buf: &[u8]) -> Result<ParsedPacket> {
     Ok(out)
 }
 
+/// Extracts just the IPv4 5-tuple from a frame, skipping everything the
+/// flow-analytics hot path does not need (MACs, checksum math, payload
+/// views).
+///
+/// Traverses up to `MAX_VLAN_TAGS` stacked 802.1Q/802.1ad tags, then
+/// reads the 5-tuple straight out of the IPv4/transport headers with
+/// nothing but bounds checks. Returns `None` for anything that is not a
+/// well-formed IPv4 frame — never panics, regardless of input bytes.
+pub fn flow_of(buf: &[u8]) -> Option<FlowKey> {
+    if buf.len() < crate::ethernet::HEADER_LEN {
+        return None;
+    }
+    let mut off = crate::ethernet::HEADER_LEN - 2;
+    let mut ethertype = u16::from_be_bytes([buf[off], buf[off + 1]]);
+    for _ in 0..MAX_VLAN_TAGS {
+        if ethertype != TPID && ethertype != TPID_QINQ {
+            break;
+        }
+        off += TAG_LEN;
+        if buf.len() < off + 2 {
+            return None;
+        }
+        ethertype = u16::from_be_bytes([buf[off], buf[off + 1]]);
+    }
+    if ethertype != 0x0800 {
+        return None;
+    }
+    let ip = &buf[off + 2..];
+    if ip.len() < crate::ipv4::MIN_HEADER_LEN || ip[0] >> 4 != 4 {
+        return None;
+    }
+    let header_len = usize::from(ip[0] & 0x0f) * 4;
+    let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+    if header_len < crate::ipv4::MIN_HEADER_LEN || total_len < header_len || total_len > ip.len() {
+        return None;
+    }
+    let proto = ip[9];
+    let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+    let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+    let (src_port, dst_port) = match proto {
+        // TCP needs a 20-byte header, UDP an 8-byte one; the ports are the
+        // first four bytes of either.
+        6 if total_len >= header_len + 20 => (
+            u16::from_be_bytes([ip[header_len], ip[header_len + 1]]),
+            u16::from_be_bytes([ip[header_len + 2], ip[header_len + 3]]),
+        ),
+        17 if total_len >= header_len + 8 => (
+            u16::from_be_bytes([ip[header_len], ip[header_len + 1]]),
+            u16::from_be_bytes([ip[header_len + 2], ip[header_len + 3]]),
+        ),
+        6 | 17 => return None,
+        _ => (0, 0),
+    };
+    Some(FlowKey {
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        proto: Protocol::from_number(proto),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +222,7 @@ mod tests {
         let p = parse_frame(&f).unwrap();
         assert_eq!(p.network, NetworkLayer::Ipv4);
         assert_eq!(p.flow, Some(flow));
+        assert_eq!(p.vlan, None);
         // 128 - 14 (eth) - 20 (ip) - 8 (udp)
         assert_eq!(p.payload_len, Some(86));
     }
@@ -146,5 +253,74 @@ mod tests {
     #[test]
     fn truncated_frame_is_an_error() {
         assert!(parse_frame(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn vlan_tagged_frame_classifies_like_untagged() {
+        let flow = FlowKey::udp(
+            Ipv4Addr::new(131, 225, 2, 3),
+            7000,
+            Ipv4Addr::new(10, 1, 2, 3),
+            8000,
+        );
+        let mut b = PacketBuilder::new();
+        let f = b.build(&flow, 128).unwrap();
+        let tagged = crate::vlan::tag_frame(&f, 3, false, 42).unwrap();
+        let p = parse_frame(&tagged).unwrap();
+        assert_eq!(p.network, NetworkLayer::Ipv4);
+        assert_eq!(p.flow, Some(flow));
+        assert_eq!(p.vlan, Some(42));
+        assert_eq!(flow_of(&tagged), Some(flow));
+    }
+
+    #[test]
+    fn qinq_double_tagged_frame_traverses_both_tags() {
+        let flow = FlowKey::tcp(
+            Ipv4Addr::new(172, 16, 0, 1),
+            1,
+            Ipv4Addr::new(172, 16, 0, 2),
+            2,
+        );
+        let mut b = PacketBuilder::new();
+        let f = b.build(&flow, 96).unwrap();
+        // Inner customer tag (0x8100), then outer service tag (0x88a8).
+        let inner = crate::vlan::tag_frame(&f, 0, false, 7).unwrap();
+        let mut outer = crate::vlan::tag_frame(&inner, 0, false, 100).unwrap();
+        outer[12..14].copy_from_slice(&TPID_QINQ.to_be_bytes());
+        let p = parse_frame(&outer).unwrap();
+        assert_eq!(p.flow, Some(flow));
+        // Innermost tag wins: the customer VID.
+        assert_eq!(p.vlan, Some(7));
+        assert_eq!(flow_of(&outer), Some(flow));
+    }
+
+    #[test]
+    fn flow_of_matches_parse_frame() {
+        let mut b = PacketBuilder::new();
+        for (flow, len) in [
+            (
+                FlowKey::udp(Ipv4Addr::new(1, 2, 3, 4), 10, Ipv4Addr::new(5, 6, 7, 8), 20),
+                60,
+            ),
+            (
+                FlowKey::tcp(
+                    Ipv4Addr::new(131, 225, 0, 9),
+                    443,
+                    Ipv4Addr::new(9, 8, 7, 6),
+                    55000,
+                ),
+                1500,
+            ),
+        ] {
+            let f = b.build(&flow, len).unwrap();
+            assert_eq!(flow_of(&f), parse_frame(&f).unwrap().flow);
+        }
+    }
+
+    #[test]
+    fn flow_of_rejects_garbage() {
+        assert_eq!(flow_of(&[]), None);
+        assert_eq!(flow_of(&[0u8; 13]), None);
+        assert_eq!(flow_of(&[0xffu8; 64]), None);
     }
 }

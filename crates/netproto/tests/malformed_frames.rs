@@ -1,0 +1,75 @@
+//! Fuzz-style pinning of the netproto parse paths: captured bytes are
+//! attacker-controlled, so every parser reachable from a raw frame must
+//! return a typed `ParseError` on garbage — never panic, never index out
+//! of bounds.
+
+use netproto::{flow_of, parse_frame, PacketBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte slices (including empty and odd-length) through the
+    /// full classification path.
+    #[test]
+    fn parse_frame_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_frame(&data);
+        let _ = flow_of(&data);
+    }
+
+    /// Arbitrary bytes through each header parser directly.
+    #[test]
+    fn header_parsers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = netproto::ethernet::EthernetFrame::parse(&data);
+        let _ = netproto::vlan::VlanTag::parse(&data);
+        let _ = netproto::ipv4::Ipv4Header::parse(&data).map(|h| h.payload().len());
+        let _ = netproto::ipv6::Ipv6Header::parse(&data).map(|h| h.payload().len());
+        let _ = netproto::tcp::TcpHeader::parse(&data).map(|h| h.payload().len());
+        let _ = netproto::udp::UdpHeader::parse(&data).map(|h| h.payload().len());
+        let _ = netproto::arp::ArpMessage::parse(&data);
+        let _ = netproto::icmp::IcmpMessage::parse(&data);
+    }
+
+    /// Well-formed frames truncated at every possible length: the parse
+    /// must either succeed on a consistent prefix or fail typed, and the
+    /// fast extractor must agree with the full parser about the flow.
+    #[test]
+    fn truncated_real_frames_fail_typed(
+        cut in 0usize..200,
+        src_port in 1u16..u16::MAX,
+        dst_port in 1u16..u16::MAX,
+        tcp in any::<bool>(),
+    ) {
+        use std::net::Ipv4Addr;
+        let flow = if tcp {
+            netproto::FlowKey::tcp(Ipv4Addr::new(131, 225, 2, 3), src_port,
+                                   Ipv4Addr::new(10, 0, 0, 1), dst_port)
+        } else {
+            netproto::FlowKey::udp(Ipv4Addr::new(131, 225, 2, 3), src_port,
+                                   Ipv4Addr::new(10, 0, 0, 1), dst_port)
+        };
+        let frame = PacketBuilder::new().build(&flow, 200).unwrap();
+        let cut = cut.min(frame.len());
+        let prefix = &frame[..cut];
+        match parse_frame(prefix) {
+            Ok(p) => prop_assert_eq!(p.flow, flow_of(prefix)),
+            Err(_) => prop_assert_eq!(flow_of(prefix), None),
+        }
+        // The full frame always parses and the extractors agree.
+        let full = parse_frame(&frame).unwrap();
+        prop_assert_eq!(full.flow, Some(flow));
+        prop_assert_eq!(flow_of(&frame), Some(flow));
+    }
+
+    /// Bit-flipped well-formed frames: corruption anywhere in the header
+    /// stack must never panic.
+    #[test]
+    fn bitflipped_frames_never_panic(pos in 0usize..128, bit in 0u8..8) {
+        use std::net::Ipv4Addr;
+        let flow = netproto::FlowKey::udp(
+            Ipv4Addr::new(192, 0, 2, 1), 5000, Ipv4Addr::new(198, 51, 100, 2), 53);
+        let mut frame = PacketBuilder::new().build(&flow, 128).unwrap();
+        let pos = pos.min(frame.len() - 1);
+        frame[pos] ^= 1 << bit;
+        let _ = parse_frame(&frame);
+        let _ = flow_of(&frame);
+    }
+}

@@ -224,6 +224,27 @@ pub struct PoolSide {
     pub reorder_occupancy: Gauge,
 }
 
+/// Counters written by the flow-analytics stage (`flowstat` sinks
+/// running inside pool workers). Any worker may process any queue's
+/// chunks — a thief charges the chunk's home queue — so everything here
+/// is multi-writer: fetch-add [`Counter`]s flushed once per chunk (the
+/// sink batches per-packet movement into deltas), never per packet.
+#[derive(Debug, Default)]
+pub struct FlowSide {
+    /// Packets recorded into a flow table (parsed to an IPv4 5-tuple).
+    pub flow_tracked_packets: Counter,
+    /// Flows displaced by per-set LRU eviction.
+    pub flow_evicted_flows: Counter,
+    /// Packets folded into the eviction aggregate when their flow was
+    /// displaced (live per-flow sums + this == `flow_tracked_packets`).
+    pub flow_evicted_packets: Counter,
+    /// Occupied non-matching slots scanned during table lookups.
+    pub flow_hash_collisions: Counter,
+    /// Live flows resident across this queue's processing workers,
+    /// published after each chunk.
+    pub flow_table_occupancy: Gauge,
+}
+
 /// Counters written by *other* queues' capture threads (buddy
 /// placements land here).
 #[derive(Debug, Default)]
@@ -269,6 +290,8 @@ pub struct QueueCounters {
     pub disk: CacheAligned<DiskSide>,
     /// Consumer-pool shard (zero unless a `ConsumerPool` is attached).
     pub pool: CacheAligned<PoolSide>,
+    /// Flow-analytics shard (zero unless a flow sink is attached).
+    pub flow: CacheAligned<FlowSide>,
     /// High-watermark of this queue's capture-queue depth. Multi-writer
     /// (`fetch_max` from whoever pushes onto the queue), so it gets its
     /// own cache line rather than riding in a single-writer shard.
@@ -311,8 +334,13 @@ impl QueueCounters {
             stolen_packets: self.pool.0.stolen_packets.get(),
             worker_parks: self.pool.0.worker_parks.get(),
             claim_contention: self.pool.0.claim_contention.get(),
+            flow_tracked_packets: self.flow.0.flow_tracked_packets.get(),
+            flow_evicted_flows: self.flow.0.flow_evicted_flows.get(),
+            flow_evicted_packets: self.flow.0.flow_evicted_packets.get(),
+            flow_hash_collisions: self.flow.0.flow_hash_collisions.get(),
             steal_queue_len: self.pool.0.steal_queue_len.get(),
             reorder_occupancy: self.pool.0.reorder_occupancy.get(),
+            flow_table_occupancy: self.flow.0.flow_table_occupancy.get(),
             capture_queue_len: 0,
             capture_queue_watermark: self.capture_queue_watermark.get(),
             free_chunks: 0,

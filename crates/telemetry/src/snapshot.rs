@@ -70,11 +70,24 @@ pub struct QueueTelemetry {
     /// Claim CAS races lost on this queue's claim queue (0 unless
     /// concurrent single-queue mode is active).
     pub claim_contention: u64,
+    /// Packets recorded into a flow table by the flow-analytics stage
+    /// (0 unless a flow sink is attached).
+    pub flow_tracked_packets: u64,
+    /// Flows displaced from the flow table by per-set LRU eviction.
+    pub flow_evicted_flows: u64,
+    /// Packets folded into the flow-table eviction aggregate (live
+    /// per-flow sums + this == `flow_tracked_packets`).
+    pub flow_evicted_packets: u64,
+    /// Occupied non-matching flow-table slots scanned during lookups.
+    pub flow_hash_collisions: u64,
     /// Gauge: occupancy of the primary pool worker's steal deque.
     pub steal_queue_len: u64,
     /// Gauge: chunks parked in this queue's in-order reorder buffer
     /// (0 unless in-order concurrent mode is active).
     pub reorder_occupancy: u64,
+    /// Gauge: live flows resident in the flow tables of this queue's
+    /// processing workers (0 unless a flow sink is attached).
+    pub flow_table_occupancy: u64,
     /// Gauge: chunks currently waiting on this queue's capture queue.
     pub capture_queue_len: u64,
     /// High-watermark of `capture_queue_len` since engine start (the
@@ -152,8 +165,13 @@ impl QueueTelemetry {
         self.stolen_packets += other.stolen_packets;
         self.worker_parks += other.worker_parks;
         self.claim_contention += other.claim_contention;
+        self.flow_tracked_packets += other.flow_tracked_packets;
+        self.flow_evicted_flows += other.flow_evicted_flows;
+        self.flow_evicted_packets += other.flow_evicted_packets;
+        self.flow_hash_collisions += other.flow_hash_collisions;
         self.steal_queue_len += other.steal_queue_len;
         self.reorder_occupancy += other.reorder_occupancy;
+        self.flow_table_occupancy += other.flow_table_occupancy;
         self.capture_queue_len += other.capture_queue_len;
         self.capture_queue_watermark = self
             .capture_queue_watermark
@@ -252,7 +270,7 @@ impl EngineSnapshot {
         type HistField = (&'static str, fn(&QueueTelemetry) -> &HistogramSnapshot);
         let mut out = String::new();
         let engine = self.engine.replace('"', "'");
-        let counters: [Field; 20] = [
+        let counters: [Field; 24] = [
             ("offered_packets", |t| t.offered_packets),
             ("captured_packets", |t| t.captured_packets),
             ("delivered_packets", |t| t.delivered_packets),
@@ -273,6 +291,10 @@ impl EngineSnapshot {
             ("stolen_packets", |t| t.stolen_packets),
             ("worker_parks", |t| t.worker_parks),
             ("claim_contention", |t| t.claim_contention),
+            ("flow_tracked_packets", |t| t.flow_tracked_packets),
+            ("flow_evicted_flows", |t| t.flow_evicted_flows),
+            ("flow_evicted_packets", |t| t.flow_evicted_packets),
+            ("flow_hash_collisions", |t| t.flow_hash_collisions),
         ];
         for (name, get) in counters {
             let _ = writeln!(out, "# TYPE wirecap_{name}_total counter");
@@ -285,10 +307,11 @@ impl EngineSnapshot {
                 );
             }
         }
-        let gauges: [Field; 8] = [
+        let gauges: [Field; 9] = [
             ("latency_p999_ns", |t| t.latency_p999_ns),
             ("steal_queue_len", |t| t.steal_queue_len),
             ("reorder_occupancy", |t| t.reorder_occupancy),
+            ("flow_table_occupancy", |t| t.flow_table_occupancy),
             ("capture_queue_len", |t| t.capture_queue_len),
             ("capture_queue_watermark", |t| t.capture_queue_watermark),
             ("free_chunks", |t| t.free_chunks),
@@ -383,8 +406,13 @@ mod tests {
         q0.stolen_packets = 40;
         q0.worker_parks = 2;
         q0.claim_contention = 6;
+        q0.flow_tracked_packets = 88;
+        q0.flow_evicted_flows = 1;
+        q0.flow_evicted_packets = 4;
+        q0.flow_hash_collisions = 9;
         q0.steal_queue_len = 3;
         q0.reorder_occupancy = 2;
+        q0.flow_table_occupancy = 12;
         q0.chunk_fill.count = 2;
         q0.chunk_fill.sum = 90;
         q0.chunk_fill.max = 64;
@@ -457,6 +485,12 @@ mod tests {
         assert!(text.contains("wirecap_claim_contention_total{engine=\"test\",queue=\"0\"} 6"));
         assert!(text.contains("# TYPE wirecap_reorder_occupancy gauge"));
         assert!(text.contains("wirecap_reorder_occupancy{engine=\"test\",queue=\"0\"} 2"));
+        assert!(text.contains("# TYPE wirecap_flow_tracked_packets_total counter"));
+        assert!(text.contains("wirecap_flow_tracked_packets_total{engine=\"test\",queue=\"0\"} 88"));
+        assert!(text.contains("wirecap_flow_evicted_packets_total{engine=\"test\",queue=\"0\"} 4"));
+        assert!(text.contains("wirecap_flow_hash_collisions_total{engine=\"test\",queue=\"0\"} 9"));
+        assert!(text.contains("# TYPE wirecap_flow_table_occupancy gauge"));
+        assert!(text.contains("wirecap_flow_table_occupancy{engine=\"test\",queue=\"0\"} 12"));
         assert!(text.contains("# TYPE wirecap_capture_queue_watermark gauge"));
         assert!(text.contains("wirecap_capture_queue_watermark{engine=\"test\",queue=\"0\"} 5"));
         assert!(text.contains("# TYPE wirecap_latency_ns histogram"));
@@ -483,6 +517,8 @@ mod tests {
         assert_eq!(total.offered_packets, 100);
         assert_eq!(total.chunk_fill.count, 2);
         assert_eq!(total.capture_queue_watermark, 5, "watermarks merge as max");
+        assert_eq!(total.flow_tracked_packets, 88);
+        assert_eq!(total.flow_table_occupancy, 12, "occupancy levels sum");
         assert_eq!(total.latency_ns.count, 1);
         assert_eq!(total.stage_deliver_ns.count, 1, "stage histograms merge");
         assert_eq!(

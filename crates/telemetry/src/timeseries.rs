@@ -44,6 +44,9 @@ pub struct SeriesSample {
     /// Total packets delivered through stolen chunks so far (consumer
     /// pool rebalancing; 0 when no pool is attached).
     pub stolen_packets: u64,
+    /// Total packets recorded into flow tables so far (0 when no flow
+    /// sink is attached).
+    pub flow_packets: u64,
     /// Gauge: chunks waiting on all capture queues combined.
     pub capture_queue_len: u64,
     /// Gauge: deepest single capture queue at the sample instant.
@@ -68,6 +71,7 @@ impl SeriesSample {
             s.offloaded_chunks += q.offloaded_out_chunks;
             s.disk_drop_packets += q.disk_drop_packets;
             s.stolen_packets += q.stolen_packets;
+            s.flow_packets += q.flow_tracked_packets;
             s.capture_queue_len += q.capture_queue_len;
             s.capture_queue_max_len = s.capture_queue_max_len.max(q.capture_queue_len);
             s.free_chunks += q.free_chunks;
@@ -108,6 +112,9 @@ pub struct Rates {
     /// Work-stealing rate, packets/s delivered via stolen chunks —
     /// nonzero only while a consumer pool is actively rebalancing.
     pub steal_pps: f64,
+    /// Flow-analytics ingest rate, packets/s recorded into flow tables
+    /// — nonzero only while a flow sink is attached.
+    pub flow_pps: f64,
     /// Deepest single capture queue at the interval's end sample — the
     /// high-watermark signal the anomaly detector compares against the
     /// offload threshold.
@@ -133,6 +140,7 @@ pub fn rates_between(prev: &SeriesSample, next: &SeriesSample) -> Option<Rates> 
     let offloaded = d(prev.offloaded_chunks, next.offloaded_chunks);
     let disk_drops = d(prev.disk_drop_packets, next.disk_drop_packets);
     let stolen = d(prev.stolen_packets, next.stolen_packets);
+    let flow = d(prev.flow_packets, next.flow_packets);
     let seen = captured + drops;
     Some(Rates {
         dt_ns,
@@ -153,6 +161,7 @@ pub fn rates_between(prev: &SeriesSample, next: &SeriesSample) -> Option<Rates> 
         },
         disk_drop_pps: disk_drops as f64 / secs,
         steal_pps: stolen as f64 / secs,
+        flow_pps: flow as f64 / secs,
         queue_depth_peak: next.capture_queue_max_len.max(prev.capture_queue_max_len),
     })
 }

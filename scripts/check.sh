@@ -156,11 +156,32 @@ awk '
     }
 ' BENCH_hotpath.json
 
+echo "==> flow-tracking overhead budget (<= 10% at 1M flows)"
+# The per-chunk flow-analytics stage (two-pass batched ingest into a
+# pre-warmed million-entry set-associative table, top-K offers, and the
+# telemetry delta flush) is measured against the BPF-filtering consumer
+# it rides beside. The baseline applies the filter x=10 times — a
+# deliberately *light* application load, an order of magnitude below
+# the paper's heavy x=300 setting (Figs. 9-10) — so the gate holds even
+# when the consumer does little work, not only when its own cost
+# dwarfs the flow stage (DESIGN.md section 4.15).
+awk '
+    /"flow_tracking_overhead":/ { sub(/,$/, "", $2); ov = $2 + 0; seen = 1 }
+    END {
+        if (!seen) { print "FAIL: no flow_tracking_overhead entry in BENCH_hotpath.json"; exit 1 }
+        printf "    flow_tracking_overhead=%.2f%%\n", ov * 100
+        if (ov > 0.10) {
+            printf "FAIL: flow tracking overhead %.2f%% > 10%%\n", ov * 100
+            exit 1
+        }
+    }
+' BENCH_hotpath.json
+
 echo "==> BENCH_hotpath.json gated-entry completeness"
 # Every key a gate above reads must be present: a refactor that drops
 # one from the benchmark output must fail here, not silently skip its
 # gate on the next edit.
-for key in latency_overhead span_tracing_overhead disk_writer_overhead pool_speedup hotq_speedup backend_dispatch_overhead; do
+for key in latency_overhead span_tracing_overhead disk_writer_overhead pool_speedup hotq_speedup backend_dispatch_overhead flow_tracking_overhead; do
     if ! grep -q "\"$key\":" BENCH_hotpath.json; then
         echo "FAIL: BENCH_hotpath.json is missing gated entry \"$key\"" >&2
         exit 1
@@ -185,10 +206,18 @@ cargo test -q --release --test inorder_conservation
 echo "==> work-stealing conservation smoke (two-thread steal + forced stop)"
 cargo test -q --release --test steal_conservation
 
+echo "==> flow-count conservation (eviction pressure, forced stop, both claim modes)"
+cargo test -q --release --test flow_conservation
+
 echo "==> multi-core delivery scaling point (2 workers, small)"
 # Writes to a scratch directory so the full-scale results/ artifacts
 # referenced by EXPERIMENTS.md are not clobbered by the smoke run.
 cargo run -q --release -p bench --bin fig_scaling -- --small --out target/check-scaling
+
+echo "==> online flow analytics point (2k flows, 2 workers, small)"
+# Conservation and (eviction-free) exact top-16 are asserted inside
+# the binary at every point.
+cargo run -q --release -p bench --bin fig_flows -- --small --out target/check-flows
 
 echo "==> capture-to-disk smoke (conservation + rotation + degradation)"
 cargo test -q --test capture_to_disk

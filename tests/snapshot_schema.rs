@@ -43,8 +43,13 @@ const QUEUE_FIELDS: &[&str] = &[
     "stolen_packets",
     "worker_parks",
     "claim_contention",
+    "flow_tracked_packets",
+    "flow_evicted_flows",
+    "flow_evicted_packets",
+    "flow_hash_collisions",
     "steal_queue_len",
     "reorder_occupancy",
+    "flow_table_occupancy",
     "capture_queue_len",
     "capture_queue_watermark",
     "free_chunks",
