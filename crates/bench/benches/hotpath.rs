@@ -18,6 +18,7 @@
 //! Run with `cargo bench -p bench --bench hotpath` (set
 //! `CRITERION_QUICK=1` for a short CI run).
 
+use bench::latency;
 use bench::scaling;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use crossbeam::queue::ArrayQueue;
@@ -285,9 +286,13 @@ fn telemetry_path(
 /// The telemetry pipeline plus the PR-3 latency instrumentation: one
 /// monotonic-clock read per NIC poll batch stamping every chunk sealed
 /// within it (`seal_at`, exactly as the capture thread amortizes its
-/// stamp), one clock read per consumer pop batch (the delivery stamp,
-/// shared by every chunk in the batch, as `LiveConsumer::refill` stamps
-/// its inbox), and one log2 histogram record per recycled chunk.
+/// stamp), one lazy clock read per consumer drain call (the delivery
+/// stamp, shared by every chunk the drain recycles, as the engine's
+/// worker loop stamps each processing burst and `LiveConsumer::refill`
+/// stamps its inbox), and run-collapsed histogram recording — the
+/// shared stamps make the intervals arrive in runs, so recording is a
+/// compare per chunk plus one `record_repeat` flush per run
+/// (`telemetry::RunRecorder`, the engine's refill recording exactly).
 /// Measured against [`telemetry_path`] to bound what capture-to-
 /// delivery latency metering costs on top of the counters: the
 /// `latency_overhead` entry in `BENCH_hotpath.json`.
@@ -309,14 +314,24 @@ fn stamped_path(
                  bytes: &mut u64| {
         let mut delivered = 0u64;
         let mut recycled = 0u64;
+        // Delivery stamp: one lazy clock read per drain call, shared
+        // by every chunk it recycles — the engine's refill-batch
+        // amortization (`LiveConsumer::refill` reads the clock once
+        // per refill, `steal::worker_loop` once per burst).
+        let mut delivered_ns = 0u64;
+        // Latency intervals arrive in runs (one delivery stamp per
+        // drain, poll-batch-shared seal stamps): a compare per chunk,
+        // one histogram flush per run — `LiveConsumer::refill`'s
+        // recording, exactly.
+        let mut lat = telemetry::RunRecorder::new(&tel.app.latency_ns);
         loop {
             popped.clear();
             if ring.pop_batch(popped, MAX_BATCH) == 0 {
                 break;
             }
-            // Delivery stamp: one clock read per pop batch, shared by
-            // every chunk in it, as `LiveConsumer::refill` does.
-            let delivered_ns = clock::mono_ns();
+            if delivered_ns == 0 {
+                delivered_ns = clock::mono_ns();
+            }
             for seal in popped.drain(..) {
                 for p in arena.view(&seal).iter() {
                     delivered += 1;
@@ -324,14 +339,13 @@ fn stamped_path(
                 }
                 let sealed_ns = seal.sealed_ns();
                 if sealed_ns > 0 {
-                    tel.app
-                        .latency_ns
-                        .record(delivered_ns.saturating_sub(sealed_ns));
+                    lat.push(delivered_ns.saturating_sub(sealed_ns));
                 }
                 recycled += 1;
                 free.push(arena.release(seal));
             }
         }
+        lat.finish();
         *consumed += delivered;
         if recycled > 0 {
             tel.app.delivered_packets.add(delivered);
@@ -448,12 +462,23 @@ fn spans_path(
                  deliver_seq: &mut u64| {
         let mut delivered = 0u64;
         let mut recycled = 0u64;
+        // One lazy delivery stamp per drain call (see `stamped_path`);
+        // span stamps reuse it, as the engine's concurrent worker
+        // reuses its burst stamp.
+        let mut delivered_ns = 0u64;
+        // Latency intervals arrive in runs (one delivery stamp per
+        // drain, poll-batch-shared seal stamps): a compare per chunk,
+        // one histogram flush per run — `LiveConsumer::refill`'s
+        // recording, exactly.
+        let mut lat = telemetry::RunRecorder::new(&tel.app.latency_ns);
         loop {
             popped.clear();
             if ring.pop_batch(popped, MAX_BATCH) == 0 {
                 break;
             }
-            let delivered_ns = clock::mono_ns();
+            if delivered_ns == 0 {
+                delivered_ns = clock::mono_ns();
+            }
             for seal in popped.drain(..) {
                 for p in arena.view(&seal).iter() {
                     delivered += 1;
@@ -461,9 +486,7 @@ fn spans_path(
                 }
                 let sealed_ns = seal.sealed_ns();
                 if sealed_ns > 0 {
-                    tel.app
-                        .latency_ns
-                        .record(delivered_ns.saturating_sub(sealed_ns));
+                    lat.push(delivered_ns.saturating_sub(sealed_ns));
                 }
                 if pending.front().is_some_and(|(s, _)| *s == *deliver_seq) {
                     let (s, mut st) = pending.pop_front().expect("front checked");
@@ -494,6 +517,7 @@ fn spans_path(
                 free.push(arena.release(seal));
             }
         }
+        lat.finish();
         *consumed += delivered;
         if recycled > 0 {
             tel.app.delivered_packets.add(delivered);
@@ -649,12 +673,21 @@ fn disk_writer_path(
                       bytes: &mut u64| {
         let mut delivered = 0u64;
         let mut recycled = 0u64;
+        // One lazy delivery stamp per drain call (see `stamped_path`).
+        let mut delivered_ns = 0u64;
+        // Latency intervals arrive in runs (one delivery stamp per
+        // drain, poll-batch-shared seal stamps): a compare per chunk,
+        // one histogram flush per run — `LiveConsumer::refill`'s
+        // recording, exactly.
+        let mut lat = telemetry::RunRecorder::new(&tel.app.latency_ns);
         loop {
             popped.clear();
             if ring.pop_batch(popped, MAX_BATCH) == 0 {
                 break;
             }
-            let delivered_ns = clock::mono_ns();
+            if delivered_ns == 0 {
+                delivered_ns = clock::mono_ns();
+            }
             // Cursor into the batch buffer, reset at each commit —
             // the `RotatingWriter` encode discipline: pre-sized
             // zeroed storage, pure slice stores per packet.
@@ -677,9 +710,7 @@ fn disk_writer_path(
                 }
                 let sealed_ns = seal.sealed_ns();
                 if sealed_ns > 0 {
-                    tel.app
-                        .latency_ns
-                        .record(delivered_ns.saturating_sub(sealed_ns));
+                    lat.push(delivered_ns.saturating_sub(sealed_ns));
                 }
                 recycled += 1;
                 free.push(arena.release(seal));
@@ -690,6 +721,7 @@ fn disk_writer_path(
             tel.disk.disk_written_bytes.add(cursor as u64);
             black_box(&enc[..cursor]);
         }
+        lat.finish();
         *consumed += delivered;
         if recycled > 0 {
             tel.app.delivered_packets.add(delivered);
@@ -991,36 +1023,84 @@ fn measure(mut f: impl FnMut() -> (u64, u64), n_packets: usize, rounds: usize) -
 /// therefore comes from the *median of per-round time ratios*: a and b
 /// of the same round run back-to-back under (nearly) the same load, so
 /// sustained slowdowns cancel in the ratio and the median discards the
-/// rounds where a spike hit only one side.
+/// rounds where a spike hit only one side. With
+/// [`PairOrder::Alternating`] the within-round execution order also
+/// alternates (a-then-b, b-then-a, …): whichever side runs second
+/// inherits the first side's warmed caches and any tail-end of its
+/// interference, and on a single-core host that order bias alone can
+/// exceed a small delta under measurement — alternating makes it
+/// cancel in the median instead of stacking onto one side.
 /// Returns `(pps_a, pps_b, overhead_clamped, overhead_raw)`: the raw
 /// value keeps its sign so the JSON shows when a delta sits below the
 /// noise floor (slightly negative) rather than silently reading as a
 /// true zero; the clamped value is what the gates consume.
+/// Within-round execution order for [`measure_pair`].
+#[derive(Clone, Copy, PartialEq)]
+enum PairOrder {
+    /// Alternate a-then-b / b-then-a per round. The right choice for
+    /// *stateless* pairs (both closures touch the same working set the
+    /// same way each round): order bias cancels in the median.
+    Alternating,
+    /// Run a-then-b every round. The right choice when one side owns
+    /// large persistent state (the flow pair's pre-warmed 32 MiB
+    /// table): alternation would make each round's cache predecessor
+    /// heterogeneous — half the instrumented rounds following
+    /// themselves, half following the baseline — and the median would
+    /// straddle two populations instead of measuring one. A fixed
+    /// order gives every round the same predecessor.
+    Fixed,
+}
+
 fn measure_pair(
     mut a: impl FnMut() -> (u64, u64),
     mut b: impl FnMut() -> (u64, u64),
     n_packets: usize,
     rounds: usize,
+    order: PairOrder,
 ) -> (f64, f64, f64, f64) {
     black_box(a());
     black_box(b());
     let mut best_a = f64::INFINITY;
     let mut best_b = f64::INFINITY;
     let mut ratios = Vec::with_capacity(rounds);
-    for _ in 0..rounds {
+    let timed = |f: &mut dyn FnMut() -> (u64, u64)| {
         let start = Instant::now();
-        let (consumed, bytes) = black_box(a());
-        let time_a = start.elapsed().as_secs_f64();
+        let (consumed, bytes) = black_box(f());
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(consumed as usize, n_packets);
+        assert_eq!(bytes as usize, n_packets * FRAME);
+        elapsed
+    };
+    let mut times = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let (time_a, time_b) = if order == PairOrder::Fixed || round % 2 == 0 {
+            let ta = timed(&mut a);
+            let tb = timed(&mut b);
+            (ta, tb)
+        } else {
+            let tb = timed(&mut b);
+            let ta = timed(&mut a);
+            (ta, tb)
+        };
         best_a = best_a.min(time_a);
-        assert_eq!(consumed as usize, n_packets);
-        assert_eq!(bytes as usize, n_packets * FRAME);
-        let start = Instant::now();
-        let (consumed, bytes) = black_box(b());
-        let time_b = start.elapsed().as_secs_f64();
         best_b = best_b.min(time_b);
-        assert_eq!(consumed as usize, n_packets);
-        assert_eq!(bytes as usize, n_packets * FRAME);
-        ratios.push(time_a / time_b);
+        times.push((time_a, time_b));
+    }
+    match order {
+        // Each ratio spans a two-round block — one a-then-b round plus
+        // one b-then-a round — so order bias cancels *within every
+        // sample*, rather than leaving the median to split two
+        // oppositely-biased populations.
+        PairOrder::Alternating => {
+            for block in times.chunks_exact(2) {
+                ratios.push((block[0].0 + block[1].0) / (block[0].1 + block[1].1));
+            }
+        }
+        PairOrder::Fixed => {
+            for (time_a, time_b) in times {
+                ratios.push(time_a / time_b);
+            }
+        }
     }
     ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite round times"));
     // Clamp at zero for the gates: when the delta under test is below
@@ -1048,7 +1128,7 @@ fn bench_hotpath(c: &mut Criterion) {
     // The overhead comparisons resolve small deltas, so their
     // median-of-ratios needs more rounds than the headline numbers even
     // in quick mode; each round is sub-millisecond, so this stays cheap.
-    let pair_rounds = 61;
+    let pair_rounds = 121;
     let pkts = traffic(n_packets);
 
     let mut results = Vec::new();
@@ -1080,6 +1160,7 @@ fn bench_hotpath(c: &mut Criterion) {
                 },
                 n_packets,
                 pair_rounds,
+                PairOrder::Alternating,
             );
             free = free_cell.into_inner();
             r
@@ -1112,6 +1193,7 @@ fn bench_hotpath(c: &mut Criterion) {
                 },
                 n_packets,
                 pair_rounds,
+                PairOrder::Alternating,
             );
             free = free_cell.into_inner();
             r
@@ -1146,6 +1228,7 @@ fn bench_hotpath(c: &mut Criterion) {
                 },
                 n_packets,
                 pair_rounds,
+                PairOrder::Alternating,
             );
             free = free_cell.into_inner();
             r
@@ -1180,6 +1263,7 @@ fn bench_hotpath(c: &mut Criterion) {
                 },
                 n_packets,
                 pair_rounds,
+                PairOrder::Alternating,
             );
             free = free_cell.into_inner();
             r
@@ -1305,6 +1389,7 @@ fn bench_hotpath(c: &mut Criterion) {
             },
             n_packets,
             pair_rounds,
+            PairOrder::Alternating,
         )
     };
     let backend_dispatch = BackendDispatchEntry {
@@ -1347,6 +1432,55 @@ fn bench_hotpath(c: &mut Criterion) {
         single_hot_queue.many_worker_pps,
         single_hot_queue.hotq_speedup,
         single_hot_queue.claim_contention
+    );
+
+    // Latency-SLO entry (DESIGN.md §4.16): capture-to-delivery tail
+    // latency of the two tuning modes at the same configured pool,
+    // saturating load, one worker with a blocking per-chunk stage —
+    // the headline `fig_latency` pair. A `Throughput`-tuned pool lets
+    // the backlog grow R chunks deep (bufferbloat in chunk units);
+    // `CacheResident` shrinks the pool to the LLC budget and bounds
+    // the consumer's backlog at the derived recycle depth.
+    // `scripts/check.sh` gates `slo_ok`: cache-resident p99.9 must
+    // not exceed throughput p99.9.
+    let slo_r = 256usize;
+    let slo_llc: u64 = 4 << 20;
+    let slo_packets: u64 = if quick() { 100_000 } else { 300_000 };
+    eprintln!(
+        "hotpath latency_slo: R={slo_r}, llc {} MiB, saturating load, \
+         {slo_packets} packets per mode",
+        slo_llc >> 20
+    );
+    let slo_thr = latency::latency_point(wirecap::TuningMode::Throughput, slo_r, 0, slo_packets);
+    let slo_cache = latency::latency_point(
+        wirecap::TuningMode::CacheResident { llc_bytes: slo_llc },
+        slo_r,
+        0,
+        slo_packets,
+    );
+    let latency_slo = LatencySloEntry {
+        pool_chunks: slo_r,
+        llc_bytes: slo_llc,
+        r_effective: slo_cache.r_effective,
+        recycle_depth: slo_cache.recycle_depth,
+        packets: slo_packets,
+        throughput_p50_ns: slo_thr.p50_ns,
+        throughput_p99_ns: slo_thr.p99_ns,
+        throughput_p999_ns: slo_thr.p999_ns,
+        cache_resident_p50_ns: slo_cache.p50_ns,
+        cache_resident_p99_ns: slo_cache.p99_ns,
+        cache_resident_p999_ns: slo_cache.p999_ns,
+        tail_reduction: slo_thr.p999_ns as f64 / slo_cache.p999_ns.max(1) as f64,
+        slo_ok: slo_cache.p999_ns <= slo_thr.p999_ns,
+    };
+    eprintln!(
+        "hotpath latency_slo: throughput p99.9 {}us, cache_resident p99.9 {}us \
+         ({:.1}x, R_eff {}, depth {})",
+        latency_slo.throughput_p999_ns / 1_000,
+        latency_slo.cache_resident_p999_ns / 1_000,
+        latency_slo.tail_reduction,
+        latency_slo.r_effective,
+        latency_slo.recycle_depth
     );
 
     // Flow-tracking entry (DESIGN.md §4.15): the price of the per-chunk
@@ -1392,6 +1526,7 @@ fn bench_hotpath(c: &mut Criterion) {
             },
             n_packets,
             pair_rounds,
+            PairOrder::Fixed,
         )
     };
     let flow_snap = flow_tel.snapshot(0);
@@ -1423,6 +1558,7 @@ fn bench_hotpath(c: &mut Criterion) {
         single_hot_queue,
         backend_dispatch,
         flow_tracking,
+        latency_slo,
         n_packets,
         rounds,
     );
@@ -1530,6 +1666,27 @@ struct FlowTrackingEntry {
     evicted_flows: u64,
 }
 
+/// Capture-to-delivery tail latency SLO (DESIGN.md §4.16): the two
+/// tuning modes at the same configured pool under saturating load.
+/// Gated by `scripts/check.sh`: `slo_ok` must be true (cache-resident
+/// p99.9 ≤ throughput p99.9).
+#[derive(serde::Serialize)]
+struct LatencySloEntry {
+    pool_chunks: usize,
+    llc_bytes: u64,
+    r_effective: usize,
+    recycle_depth: usize,
+    packets: u64,
+    throughput_p50_ns: u64,
+    throughput_p99_ns: u64,
+    throughput_p999_ns: u64,
+    cache_resident_p50_ns: u64,
+    cache_resident_p99_ns: u64,
+    cache_resident_p999_ns: u64,
+    tail_reduction: f64,
+    slo_ok: bool,
+}
+
 #[derive(serde::Serialize)]
 struct Doc {
     benchmark: String,
@@ -1542,14 +1699,17 @@ struct Doc {
     single_hot_queue: SingleHotQueueEntry,
     backend_dispatch: BackendDispatchEntry,
     flow_tracking: FlowTrackingEntry,
+    latency_slo: LatencySloEntry,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     results: &[HotpathResult],
     consumer_pool: ConsumerPoolEntry,
     single_hot_queue: SingleHotQueueEntry,
     backend_dispatch: BackendDispatchEntry,
     flow_tracking: FlowTrackingEntry,
+    latency_slo: LatencySloEntry,
     n_packets: usize,
     rounds: usize,
 ) {
@@ -1584,6 +1744,7 @@ fn write_json(
         single_hot_queue,
         backend_dispatch,
         flow_tracking,
+        latency_slo,
     };
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")

@@ -36,6 +36,7 @@ use std::path::{Path, PathBuf};
 
 pub mod experiments;
 pub mod fig14_model;
+pub mod latency;
 pub mod scaling;
 
 /// Command-line options shared by all figure binaries.

@@ -114,7 +114,10 @@ fn skewed_traffic(n: u64) -> Vec<Packet> {
         .collect()
 }
 
-fn assert_conserved(snap: &EngineSnapshot, offered: u64) {
+/// Asserts the engine's conservation laws over a finished run's
+/// snapshot (shared with the `latency` sweep — every reported data
+/// point passes through here first).
+pub fn assert_conserved(snap: &EngineSnapshot, offered: u64) {
     let captured: u64 = snap.queues.iter().map(|q| q.captured_packets).sum();
     let delivered: u64 = snap.queues.iter().map(|q| q.delivered_packets).sum();
     let delivery_dropped: u64 = snap.queues.iter().map(|q| q.delivery_drop_packets).sum();

@@ -169,6 +169,17 @@ pub(crate) struct Shared {
     /// In-order mode: one reorder buffer per *home* queue (capacity R)
     /// re-serializing claimed chunks by seal sequence.
     pub(crate) reorder: Option<Vec<ReorderBuffer<LiveChunk>>>,
+    /// Fast-recycle bound from the resolved [`TuningPlan`]: max
+    /// sealed-but-unrecycled chunks a consumer holds before it
+    /// prioritizes recycling over claiming new work. 0 = unbounded
+    /// (`Throughput` mode's lazy recycle at refill).
+    ///
+    /// [`TuningPlan`]: crate::config::TuningPlan
+    pub(crate) recycle_depth: usize,
+    /// The resolved tuning derivation, reported verbatim in every
+    /// engine snapshot so a capture of "what geometry actually ran"
+    /// travels with the counters.
+    pub(crate) tuning: telemetry::TuningTelemetry,
 }
 
 /// The live WireCAP engine: per-queue capture threads over any
@@ -233,6 +244,14 @@ impl LiveWireCap {
     ) -> Self {
         cfg.validate().expect("invalid WireCAP configuration");
         let queues = backend.queue_count();
+        // Resolve the tuning derivation (DESIGN.md §4.16) against the
+        // actual queue count and build the pools with the *effective*
+        // geometry: `CacheResident` shrinks R (and sometimes M) so the
+        // hot working set fits the LLC budget; `Throughput` is the
+        // identity.
+        let plan = cfg.tuning_plan(queues);
+        let tuning = crate::engine::tuning_telemetry(&cfg, queues);
+        let cfg = plan.apply(cfg);
         let mut arenas = Vec::with_capacity(queues);
         let mut freelists = Vec::with_capacity(queues);
         for _ in 0..queues {
@@ -260,6 +279,8 @@ impl LiveWireCap {
             }),
             reorder: (cfg.concurrent_queue && cfg.in_order)
                 .then(|| (0..queues).map(|_| ReorderBuffer::new(cfg.r)).collect()),
+            recycle_depth: plan.recycle_depth,
+            tuning,
         });
         if std::env::var_os("WIRECAP_TELEMETRY_DUMP").is_some() {
             dump::install_sigusr1();
@@ -272,6 +293,12 @@ impl LiveWireCap {
         let mut pcfg = PipelineConfig::from_env();
         if let (Some(anom), Some(t)) = (pcfg.anomaly.as_mut(), cfg.threshold) {
             anom.queue_depth_limit = Some((t * cfg.capture_queue_capacity() as f64).ceil() as u64);
+        }
+        // Tail latency as a first-class SLO: a configured p99.9 budget
+        // becomes a hysteretic anomaly condition, so a sustained
+        // regression freezes a flight record like any other anomaly.
+        if let (Some(anom), Some(slo)) = (pcfg.anomaly.as_mut(), cfg.latency_slo_ns) {
+            anom.tail_latency_ns = Some(slo);
         }
         let pipeline = TelemetryPipeline::start(
             &cfg.name(),
@@ -491,6 +518,7 @@ fn engine_snapshot(
 ) -> EngineSnapshot {
     EngineSnapshot {
         engine: cfg.name(),
+        tuning: Some(shared.tuning.clone()),
         queues: (0..shared.rings.len())
             .map(|q| queue_telemetry(shared, backend, cfg, q))
             .collect(),
@@ -1007,13 +1035,31 @@ impl LiveConsumer {
     }
 
     /// Pops a batch from each inbound ring into the local inbox.
+    ///
+    /// Fast-recycle mode (`CacheResident` tuning): the pop is capped at
+    /// the plan's recycle depth, so the consumer never holds more
+    /// sealed-but-unrecycled chunks than the bound — each one goes back
+    /// to the capture thread while its cells are still cache-warm,
+    /// instead of queueing a full `MAX_BATCH` behind the handler.
     fn refill(&mut self) -> bool {
         self.flush_tally();
         let producers = self.shared.rings[self.q].len();
+        let depth = self.shared.recycle_depth;
+        let mut budget = if depth > 0 {
+            depth.saturating_sub(self.inbox.len()).max(1)
+        } else {
+            usize::MAX
+        };
         let mut got = false;
         for i in 0..producers {
             let p = (self.rr + i) % producers;
-            if self.shared.rings[self.q][p].pop_batch(&mut self.scratch, MAX_BATCH) > 0 {
+            if budget == 0 {
+                break;
+            }
+            let n =
+                self.shared.rings[self.q][p].pop_batch(&mut self.scratch, MAX_BATCH.min(budget));
+            budget -= n;
+            if n > 0 {
                 got = true;
             }
         }
@@ -1028,7 +1074,20 @@ impl LiveConsumer {
             // and the handler runs inline), so the claim, reorder and
             // deliver stages collapse to zero and the stage sum equals
             // the end-to-end latency exactly.
+            // The capture-to-delivery interval closes at the refill
+            // stamp, so it is recorded here too — not per chunk at
+            // recycle time (this consumer is the single writer of its
+            // queue's delivery shard). Chunks sealed in one capture
+            // poll batch share a seal stamp, so the intervals arrive
+            // in runs and recording is a compare per chunk plus one
+            // histogram flush per run.
+            let mut lat =
+                telemetry::RunRecorder::new(&self.shared.tel.queue(self.q).app.latency_ns);
             for chunk in self.scratch.iter_mut() {
+                let sealed_ns = chunk.seal.sealed_ns();
+                if sealed_ns > 0 {
+                    lat.push(now.saturating_sub(sealed_ns));
+                }
                 if let Some(span) = chunk.span.as_mut() {
                     span.acquire_started_ns = now;
                     span.acquired_ns = now;
@@ -1036,6 +1095,7 @@ impl LiveConsumer {
                     span.deliver_end_ns = now;
                 }
             }
+            lat.finish();
         }
         self.inbox.extend(self.scratch.drain(..));
         got
@@ -1093,20 +1153,9 @@ impl LiveConsumer {
         let home = chunk.home();
         let (delivered, recycled) = self.tally[home].get();
         self.tally[home].set((delivered + chunk.len() as u64, recycled + 1));
-        // Close the capture-to-delivery latency interval opened at seal
-        // time against the batch delivery stamp (no clock read here),
-        // recorded into *this* queue's delivery shard (the consumer is
-        // its single writer; `home` may be written by several consumers
-        // when chunks were offloaded).
-        let sealed_ns = chunk.seal.sealed_ns();
-        if sealed_ns > 0 {
-            self.shared
-                .tel
-                .queue(self.q)
-                .app
-                .latency_ns
-                .record(self.delivered_ns.get().saturating_sub(sealed_ns));
-        }
+        // The capture-to-delivery latency interval was already recorded
+        // at refill time (the delivery moment), batched for the whole
+        // inbox — nothing to record per chunk here.
         // Sampled chunk: decompose the same interval into stages and
         // retire the span (this consumer is the single writer of its
         // queue's delivery shard, same discipline as `latency_ns`).

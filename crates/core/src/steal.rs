@@ -784,11 +784,22 @@ fn profiler_for(ctx: &WorkerCtx) -> Option<WorkerProfiler> {
 
 /// Processes one chunk: hands it to the handler, closes the latency
 /// interval, recycles the slot home, and tallies delivery telemetry.
+///
+/// `delivered_ns` is the caller's batch delivery stamp — read once per
+/// burst (the moment the batch crossed from the engine to this worker)
+/// and shared by every chunk in it, mirroring [`LiveConsumer`]'s
+/// per-refill stamp. `0` means the caller had no batch stamp (single
+/// chunk off the steal path); the interval then closes against a fresh
+/// clock read. Either way the ceiling is one read per chunk, and on
+/// the burst paths it is one read per *burst* — the fix for the small-M
+/// latency-overhead regression, where chunks seal every few packets
+/// and a per-chunk clock read dominates the delivery cost.
 fn process_chunk(
     ctx: &WorkerCtx,
     report: &mut PoolWorkerReport,
     mut chunk: LiveChunk,
     stolen: bool,
+    delivered_ns: u64,
 ) {
     let home = chunk.home();
     let len = chunk.len() as u64;
@@ -831,12 +842,17 @@ fn process_chunk(
     if let Some(&pq) = ctx.owned.first() {
         let sealed_ns = chunk.seal.sealed_ns();
         if sealed_ns > 0 {
+            let now = if delivered_ns > 0 {
+                delivered_ns
+            } else {
+                clock::mono_ns()
+            };
             ctx.shared
                 .tel
                 .queue(pq)
                 .app
                 .latency_ns
-                .record(clock::mono_ns().saturating_sub(sealed_ns));
+                .record(now.saturating_sub(sealed_ns));
         }
     }
     // Sampled chunk: decompose the interval into stages (same shard
@@ -926,10 +942,28 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
 
         let mut progressed = false;
 
-        // 1. Drain owned queues' rings into the local deque.
-        for &q in &ctx.owned {
+        // 1. Drain owned queues' rings into the local deque. In
+        // fast-recycle mode (`CacheResident` tuning) the drain is
+        // bounded at the plan's recycle depth: once the deque backlog
+        // reaches the bound the worker stops claiming new chunks and
+        // the burst below recycles what it holds first — sealed cells
+        // go home while still cache-warm instead of cooling in a long
+        // backlog. Chunks left on the rings stay the producers'
+        // (bounded) inventory; nothing is lost, only deferred.
+        let depth = ctx.shared.recycle_depth;
+        let mut budget = if depth > 0 {
+            depth.saturating_sub(deque.len())
+        } else {
+            usize::MAX
+        };
+        'drain: for &q in &ctx.owned {
             for p in 0..producers {
-                if ctx.shared.rings[q][p].pop_batch(&mut scratch, MAX_BATCH) > 0 {
+                if budget == 0 {
+                    break 'drain;
+                }
+                let n = ctx.shared.rings[q][p].pop_batch(&mut scratch, MAX_BATCH.min(budget));
+                budget -= n;
+                if n > 0 {
                     progressed = true;
                 }
             }
@@ -951,7 +985,7 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
             if let Err(back) = deque.push(chunk) {
                 // Sized to every chunk in existence, so this is
                 // unreachable; process inline rather than lose a chunk.
-                process_chunk(&ctx, &mut report, back, false);
+                process_chunk(&ctx, &mut report, back, false, 0);
             }
         }
         if let Some(p) = prof.as_mut() {
@@ -967,11 +1001,16 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
         }
 
         // 2. Process a bounded burst from the local deque (LIFO:
-        // cache-warm chunks first; thieves take the oldest).
+        // cache-warm chunks first; thieves take the oldest). One lazy
+        // clock read stamps the delivery moment for the whole burst.
+        let mut burst_ns = 0u64;
         for _ in 0..PROCESS_BURST {
             match deque.pop() {
                 Some(chunk) => {
-                    process_chunk(&ctx, &mut report, chunk, false);
+                    if burst_ns == 0 {
+                        burst_ns = clock::mono_ns();
+                    }
+                    process_chunk(&ctx, &mut report, chunk, false, burst_ns);
                     progressed = true;
                 }
                 None => break,
@@ -1006,7 +1045,7 @@ fn worker_loop(ctx: WorkerCtx, mut deque: DequeOwner<LiveChunk>) -> PoolWorkerRe
                                 .inc();
                         }
                         report.stolen_chunks += 1;
-                        process_chunk(&ctx, &mut report, chunk, true);
+                        process_chunk(&ctx, &mut report, chunk, true, 0);
                         progressed = true;
                         break;
                     }
@@ -1098,24 +1137,39 @@ fn concurrent_worker_loop(ctx: WorkerCtx) -> PoolWorkerReport {
 
         let mut claimed = false;
         let mut contended = false;
+        // Fast-recycle mode caps the per-queue claim burst at the
+        // recycle depth: a worker turns each claimed chunk around
+        // (deliver + recycle home) within a bounded window before
+        // scanning for more, instead of monopolizing one queue's
+        // cursor for a full burst while sealed cells cool.
+        let burst = if ctx.shared.recycle_depth > 0 {
+            PROCESS_BURST.min(ctx.shared.recycle_depth)
+        } else {
+            PROCESS_BURST
+        };
         for i in 0..members {
             // Rotate the scan start per worker so N workers don't all
             // hammer the same queue's claim cursor first.
             let q = ctx.members[(ctx.worker + i) % members];
-            for _ in 0..PROCESS_BURST {
+            // Delivery stamp shared by the whole burst (lazy: no clock
+            // read on an empty scan), as in `worker_loop`'s burst.
+            let mut burst_ns = 0u64;
+            for _ in 0..burst {
                 match claims[q].try_claim() {
                     Claim::Claimed(mut chunk) => {
                         claimed = true;
+                        if burst_ns == 0 {
+                            burst_ns = clock::mono_ns();
+                        }
                         // The winning CAS is the whole acquisition in
                         // concurrent mode (the claim stage is the CAS
                         // itself); reorder-buffer dwell then lands in
                         // the reorder stage.
                         if let Some(span) = chunk.span.as_mut() {
-                            let now = clock::mono_ns();
-                            span.acquire_started_ns = now;
-                            span.acquired_ns = now;
+                            span.acquire_started_ns = burst_ns;
+                            span.acquired_ns = burst_ns;
                         }
-                        deliver_claimed(&ctx, &mut report, reorder, chunk);
+                        deliver_claimed(&ctx, &mut report, reorder, chunk, burst_ns);
                     }
                     Claim::Contended => {
                         ctx.shared.tel.queue(q).pool.claim_contention.inc();
@@ -1190,9 +1244,10 @@ fn deliver_claimed(
     report: &mut PoolWorkerReport,
     reorder: Option<&[ReorderBuffer<LiveChunk>]>,
     chunk: LiveChunk,
+    delivered_ns: u64,
 ) {
     let Some(ro) = reorder else {
-        process_chunk(ctx, report, chunk, false);
+        process_chunk(ctx, report, chunk, false, delivered_ns);
         return;
     };
     // Claimed after stop was raised: drop instead of parking it in the
@@ -1205,7 +1260,7 @@ fn deliver_claimed(
     let buf = &ro[chunk.home()];
     let home = chunk.home();
     buf.insert(chunk.seq(), chunk);
-    let delivered = buf.pump(|_seq, c| process_chunk(ctx, report, c, false));
+    let delivered = buf.pump(|_seq, c| process_chunk(ctx, report, c, false, delivered_ns));
     ctx.shared
         .tel
         .queue(home)

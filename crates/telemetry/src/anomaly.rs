@@ -15,7 +15,12 @@
 //! * **disk writer falling behind** — the capture-to-disk sink is
 //!   shedding packets (its bounded handoff ring overflowed): the
 //!   capture-and-save workload of §4 is degrading gracefully instead
-//!   of losing packets silently.
+//!   of losing packets silently;
+//! * **tail-latency SLO regression** — the engine-wide p99.9
+//!   capture-to-delivery latency exceeded the configured SLO: the hot
+//!   working set has likely outgrown the cache budget the tuning mode
+//!   sized for (DESIGN.md §4.16), and a flight record of the episode
+//!   is worth keeping.
 //!
 //! Detection is hysteretic: a condition must hold for
 //! [`AnomalyConfig::sustain_samples`] consecutive samples to fire, and
@@ -41,6 +46,10 @@ pub struct AnomalyConfig {
     /// Fire when the disk sink sheds packets faster than this
     /// (packets/s) — the "writer falling behind" episode.
     pub disk_drop_pps: Option<f64>,
+    /// Fire when the engine-wide p99.9 capture-to-delivery latency
+    /// exceeds this many ns — the tail-latency SLO regression episode
+    /// (set from the engine's tuning-mode latency budget).
+    pub tail_latency_ns: Option<u64>,
     /// Consecutive violating samples required to fire.
     pub sustain_samples: u32,
     /// Consecutive clean samples required to re-arm after firing.
@@ -54,6 +63,7 @@ impl Default for AnomalyConfig {
             queue_depth_limit: None,
             offload_storm_cps: None,
             disk_drop_pps: Some(1.0),
+            tail_latency_ns: None,
             sustain_samples: 2,
             clear_samples: 2,
         }
@@ -91,6 +101,13 @@ pub enum Anomaly {
         /// Configured threshold (packets/s).
         limit: f64,
     },
+    /// Engine-wide p99.9 capture-to-delivery latency exceeded the SLO.
+    TailLatency {
+        /// Observed p99.9 latency (ns).
+        p999_ns: u64,
+        /// Configured SLO (ns).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for Anomaly {
@@ -109,6 +126,12 @@ impl fmt::Display for Anomaly {
                 write!(
                     f,
                     "disk writer falling behind: shedding {pps:.0} > {limit:.0} packets/s"
+                )
+            }
+            Anomaly::TailLatency { p999_ns, limit } => {
+                write!(
+                    f,
+                    "tail-latency SLO regression: p99.9 {p999_ns} > {limit} ns"
                 )
             }
         }
@@ -188,6 +211,14 @@ impl AnomalyDetector {
                 });
             }
         }
+        if let Some(limit) = self.cfg.tail_latency_ns {
+            if r.latency_p999_ns > limit {
+                return Some(Anomaly::TailLatency {
+                    p999_ns: r.latency_p999_ns,
+                    limit,
+                });
+            }
+        }
         None
     }
 
@@ -249,6 +280,7 @@ mod tests {
             queue_depth_limit: None,
             offload_storm_cps: None,
             disk_drop_pps: None,
+            tail_latency_ns: None,
             sustain_samples: 3,
             clear_samples: 2,
         })
@@ -298,6 +330,7 @@ mod tests {
             queue_depth_limit: Some(10),
             offload_storm_cps: None,
             disk_drop_pps: None,
+            tail_latency_ns: None,
             sustain_samples: 1,
             clear_samples: 1,
         });
@@ -317,6 +350,7 @@ mod tests {
             queue_depth_limit: None,
             offload_storm_cps: Some(100.0),
             disk_drop_pps: None,
+            tail_latency_ns: None,
             sustain_samples: 1,
             clear_samples: 1,
         });
@@ -335,6 +369,7 @@ mod tests {
             queue_depth_limit: None,
             offload_storm_cps: None,
             disk_drop_pps: Some(10.0),
+            tail_latency_ns: None,
             sustain_samples: 1,
             clear_samples: 1,
         });
@@ -355,5 +390,38 @@ mod tests {
             })
         );
         assert!(format!("{}", d.violation(&behind).unwrap()).contains("disk writer falling behind"));
+    }
+
+    #[test]
+    fn tail_latency_condition_is_hysteretic() {
+        let mut d = AnomalyDetector::new(AnomalyConfig {
+            drop_rate_spike: None,
+            queue_depth_limit: None,
+            offload_storm_cps: None,
+            disk_drop_pps: None,
+            tail_latency_ns: Some(1_000_000),
+            sustain_samples: 2,
+            clear_samples: 2,
+        });
+        let slow = Rates {
+            latency_p999_ns: 5_000_000,
+            ..Default::default()
+        };
+        let fast = Rates {
+            latency_p999_ns: 200_000,
+            ..Default::default()
+        };
+        assert!(d.observe(&fast).is_none(), "within SLO");
+        assert!(d.observe(&slow).is_none(), "first violation: not sustained");
+        assert_eq!(
+            d.observe(&slow),
+            Some(Anomaly::TailLatency {
+                p999_ns: 5_000_000,
+                limit: 1_000_000
+            }),
+            "fires once sustained"
+        );
+        assert!(d.observe(&slow).is_none(), "latched: no dump storm");
+        assert!(format!("{}", d.violation(&slow).unwrap()).contains("tail-latency SLO"));
     }
 }

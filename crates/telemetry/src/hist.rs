@@ -70,6 +70,43 @@ impl Log2Histogram {
         b.store(load(b) + 1, Ordering::Relaxed);
     }
 
+    /// Records `n` samples of the same value with one set of scalar
+    /// updates — the cost of a single [`Self::record`], whatever `n`.
+    /// Same single-writer discipline.
+    ///
+    /// This is the primitive behind run-length recording: latency
+    /// samples from a consumer inbox refill or a bench drain share one
+    /// delivery stamp, and every chunk sealed in the same capture poll
+    /// batch shares one seal stamp, so the intervals arrive in a
+    /// handful of long runs of identical values. [`RunRecorder`] feeds
+    /// those runs here.
+    pub fn record_repeat(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        self.count.store(load(&self.count) + n, Ordering::Relaxed);
+        self.sum.store(load(&self.sum) + v * n, Ordering::Relaxed);
+        if v > load(&self.max) {
+            self.max.store(v, Ordering::Relaxed);
+        }
+        let b = &self.buckets[bucket_index(v)];
+        b.store(load(b) + n, Ordering::Relaxed);
+    }
+
+    /// Records a batch of samples, collapsing runs of equal values
+    /// into single [`Self::record_repeat`] calls. Observationally
+    /// identical to recording each sample in order. Prefer
+    /// [`RunRecorder`] on hot paths that would otherwise have to
+    /// buffer the samples first.
+    pub fn record_batch(&self, values: &[u64]) {
+        let mut runs = RunRecorder::new(self);
+        for &v in values {
+            runs.push(v);
+        }
+        runs.finish();
+    }
+
     /// Number of samples recorded so far.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -90,6 +127,56 @@ impl Log2Histogram {
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
             buckets,
+        }
+    }
+}
+
+/// Streams samples that arrive in runs of identical values into a
+/// [`Log2Histogram`], flushing one [`Log2Histogram::record_repeat`]
+/// per run.
+///
+/// On the hot path this turns histogram recording into a `u64`
+/// compare and an increment per sample: a consumer inbox refill or a
+/// bench drain produces intervals from one shared delivery stamp and
+/// poll-batch-shared seal stamps, so a whole batch is typically one
+/// to three runs. Call [`Self::finish`] to flush the trailing run —
+/// dropping the recorder without it loses that run, deliberately, so
+/// the flush stays explicit on the path that pays for it.
+pub struct RunRecorder<'a> {
+    hist: &'a Log2Histogram,
+    value: u64,
+    len: u64,
+}
+
+impl<'a> RunRecorder<'a> {
+    /// Starts an empty run stream into `hist`.
+    pub fn new(hist: &'a Log2Histogram) -> Self {
+        RunRecorder {
+            hist,
+            value: 0,
+            len: 0,
+        }
+    }
+
+    /// Adds one sample: extends the current run when the value
+    /// repeats, otherwise flushes the run and starts a new one.
+    #[inline]
+    pub fn push(&mut self, v: u64) {
+        if self.len > 0 && v == self.value {
+            self.len += 1;
+        } else {
+            if self.len > 0 {
+                self.hist.record_repeat(self.value, self.len);
+            }
+            self.value = v;
+            self.len = 1;
+        }
+    }
+
+    /// Flushes the trailing run.
+    pub fn finish(self) {
+        if self.len > 0 {
+            self.hist.record_repeat(self.value, self.len);
         }
     }
 }
@@ -126,19 +213,49 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper edge (exclusive) of the bucket containing the `q`-quantile
-    /// sample, `q` in `[0, 1]`. Returns 0 when empty.
+    /// The `q`-quantile sample value, `q` in `[0, 1]`, with sub-bucket
+    /// linear interpolation. Returns 0 when empty.
+    ///
+    /// The rank-`r` sample (`r = ceil(q·count)`, clamped to
+    /// `[1, count]`) is located in its bucket, then its value is
+    /// interpolated linearly between the bucket's bounds by the rank's
+    /// position among the bucket's samples. Two anchors keep the
+    /// estimate inside observed data: the top non-empty bucket
+    /// interpolates toward the recorded `max` rather than the bucket's
+    /// nominal upper edge (so `q → 1` converges on an observed value,
+    /// and a single sample is returned exactly), and when every sample
+    /// equals `max` (`count·max == sum`) that exact value is returned
+    /// for any `q`. The result is monotone in `q` and always lies in
+    /// the same log2 bucket as the true rank-`r` sample.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        // All samples identical (only possible when each equals max):
+        // the quantile is that value, no interpolation error.
+        if self.max.checked_mul(self.count) == Some(self.sum) {
+            return self.max;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank.max(1) {
-                return bucket_upper_edge(i);
+            if n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                let pos = rank - seen; // 1..=n within this bucket
+                let lo = bucket_lower_edge(i);
+                let last_nonempty = self.buckets[i + 1..].iter().all(|&b| b == 0);
+                let hi = if last_nonempty {
+                    self.max
+                } else {
+                    bucket_upper_edge(i).saturating_sub(1)
+                }
+                .max(lo);
+                let v = lo as f64 + (hi - lo) as f64 * (pos as f64 / n as f64);
+                return (v.round() as u64).clamp(lo, hi);
+            }
+            seen += n;
         }
         self.max
     }
@@ -189,6 +306,15 @@ pub fn bucket_upper_edge(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower edge of bucket `i` (0 for the zero bucket).
+pub fn bucket_lower_edge(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +329,34 @@ mod tests {
         assert_eq!(bucket_index(1023), 10);
         assert_eq!(bucket_index(1024), 11);
         assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    /// `record_batch` must be observationally identical to a sequence
+    /// of `record` calls — including on the run-heavy inputs its
+    /// run-length scan is optimized for (shared delivery stamps) and
+    /// on run-free inputs where every run has length one.
+    #[test]
+    fn record_batch_matches_sequential_records() {
+        let cases: [&[u64]; 5] = [
+            &[],
+            &[7; 64],
+            &[0, 0, 0, 5, 5, 1024, 1024, 1024, 3],
+            &[1, 2, 4, 8, 16, u64::MAX >> 1],
+            &[9, 9, 0, 9, 9],
+        ];
+        for values in cases {
+            let batched = Log2Histogram::new();
+            batched.record_batch(values);
+            let sequential = Log2Histogram::new();
+            for &v in values {
+                sequential.record(v);
+            }
+            assert_eq!(
+                batched.snapshot(),
+                sequential.snapshot(),
+                "diverged on {values:?}"
+            );
+        }
     }
 
     #[test]
@@ -233,12 +387,90 @@ mod tests {
             h.record(1000);
         }
         let mut s = h.snapshot();
-        assert_eq!(s.quantile(0.5), 2);
-        assert_eq!(s.quantile(0.99), 1024);
+        // Bucket 1 is [1, 2): interpolation collapses to the exact value.
+        assert_eq!(s.quantile(0.5), 1);
+        // Rank 99 is the 9th of 10 samples in [512, 1024); the top
+        // bucket interpolates toward max=1000: 512 + 488·(9/10) ≈ 951.
+        assert_eq!(s.quantile(0.99), 951);
         let other = s.clone();
         s.merge(&other);
         assert_eq!(s.count, 200);
         assert_eq!(s.buckets[1], 180);
+    }
+
+    #[test]
+    fn quantile_exact_on_single_bucket_data() {
+        // All samples identical: every quantile is that exact value,
+        // even though the bucket spans [1024, 2048).
+        let h = Log2Histogram::new();
+        for _ in 0..37 {
+            h.record(1500);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), 1500, "q={q}");
+        }
+        // A single sample anywhere is returned exactly.
+        let h = Log2Histogram::new();
+        h.record(777);
+        assert_eq!(h.snapshot().quantile(0.999), 777);
+        // All-zero samples stay exactly zero.
+        let h = Log2Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_monotone_and_bounded() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 3, 3, 17, 120, 121, 300, 5000, 5001, 1 << 40] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut prev = 0u64;
+        for i in 0..=1000 {
+            let q = i as f64 / 1000.0;
+            let v = s.quantile(q);
+            assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+            assert!(v <= s.max, "quantile exceeds max at q={q}");
+            prev = v;
+        }
+        assert_eq!(s.quantile(1.0), s.max, "q=1 converges on the max");
+    }
+
+    proptest::proptest! {
+        /// Against a sorted-vec reference: the interpolated quantile
+        /// always lands in the same log2 bucket as the true rank-r
+        /// sample, and never exceeds the observed max.
+        #[test]
+        fn quantile_tracks_sorted_reference(
+            mut samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+            qs_mille in proptest::collection::vec(0u32..=1000, 1..20),
+        ) {
+            let h = Log2Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            samples.sort_unstable();
+            for &qm in &qs_mille {
+                let q = f64::from(qm) / 1000.0;
+                let rank = ((q * samples.len() as f64).ceil() as usize)
+                    .clamp(1, samples.len());
+                let truth = samples[rank - 1];
+                let est = s.quantile(q);
+                proptest::prop_assert_eq!(
+                    bucket_index(est),
+                    bucket_index(truth),
+                    "q={} est={} truth={}",
+                    q,
+                    est,
+                    truth
+                );
+                proptest::prop_assert!(est <= s.max);
+            }
+        }
     }
 
     #[test]

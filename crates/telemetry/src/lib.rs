@@ -57,12 +57,12 @@ pub use counters::{
     CaptureSide, Counter, DeliverySide, DiskSide, Gauge, PeerSide, PoolSide, QueueCounters,
 };
 pub use flight::{FlightEvent, FlightRecord};
-pub use hist::{HistogramSnapshot, Log2Histogram, BUCKETS};
+pub use hist::{HistogramSnapshot, Log2Histogram, RunRecorder, BUCKETS};
 pub use pipeline::{PipelineConfig, TelemetryPipeline};
 pub use registry::Registry;
 pub use sampler::{Observable, Sampler, SamplerConfig, SamplerCore, SamplerState};
 pub use scrape::ScrapeServer;
-pub use snapshot::{EngineSnapshot, QueueTelemetry};
+pub use snapshot::{EngineSnapshot, QueueTelemetry, TuningTelemetry};
 pub use spans::{
     chrome_trace_json, SpanRecord, SpanRing, SpanStamps, WorkerState, WorkerTelemetry,
     WorkerTimeState, DEFAULT_SPAN_CAPACITY,

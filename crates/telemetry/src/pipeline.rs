@@ -15,6 +15,7 @@
 //!     fn snapshot(&self) -> EngineSnapshot {
 //!         EngineSnapshot {
 //!             engine: "my-engine".into(),
+//!             tuning: None,
 //!             queues: vec![QueueTelemetry::empty(0)],
 //!             workers: Vec::new(),
 //!             copies: Default::default(),
@@ -201,6 +202,7 @@ mod tests {
         fn snapshot(&self) -> EngineSnapshot {
             EngineSnapshot {
                 engine: "pipeline-test".into(),
+                tuning: None,
                 queues: vec![QueueTelemetry::empty(0)],
                 workers: Vec::new(),
                 copies: sim::stats::CopyMeter::default(),

@@ -342,6 +342,7 @@ mod tests {
             }
             EngineSnapshot {
                 engine: "fake".into(),
+                tuning: None,
                 queues: vec![q],
                 workers: Vec::new(),
                 copies: sim::stats::CopyMeter::default(),
@@ -416,6 +417,7 @@ mod tests {
                 queue_depth_limit: None,
                 offload_storm_cps: None,
                 disk_drop_pps: None,
+                tail_latency_ns: None,
                 sustain_samples: 2,
                 clear_samples: 2,
             }),

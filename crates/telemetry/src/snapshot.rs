@@ -109,9 +109,9 @@ pub struct QueueTelemetry {
     /// timestamp to its consumption/recycle. One clock read per chunk,
     /// never per packet, so the hot path stays flat (§5c).
     pub latency_ns: HistogramSnapshot,
-    /// p99.9 of `latency_ns` (the bucket upper edge covering the
-    /// 99.9th percentile), derived at snapshot time — the first-class
-    /// tail-latency number the SLO work (ROADMAP item 4) gates on.
+    /// p99.9 of `latency_ns` (sub-bucket interpolated — see
+    /// [`HistogramSnapshot::quantile`]), derived at snapshot time —
+    /// the first-class tail-latency number the SLO gate rests on.
     pub latency_p999_ns: u64,
     /// Sampled-span stage (see `telemetry::spans`): seal → ring
     /// publish. Only 1-in-N chunks are sampled, so `count` tracks
@@ -222,12 +222,40 @@ impl From<QueueTelemetry> for DropStats {
     }
 }
 
+/// How an engine's pool geometry was derived by the tuning sizing
+/// pass (DESIGN.md §4.16). Logged into [`EngineSnapshot`] so a
+/// capture's cache-budget decisions are auditable after the fact.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TuningTelemetry {
+    /// `"throughput"` or `"cache_resident"`.
+    pub mode: String,
+    /// Target LLC budget in bytes (0 in throughput mode).
+    pub llc_bytes: u64,
+    /// Queue count the budget was split across.
+    pub queues: u64,
+    /// Configured pool chunks per queue (R before the sizing pass).
+    pub r_configured: u64,
+    /// Effective pool chunks per queue the engine runs with.
+    pub r_effective: u64,
+    /// Effective cells per chunk (M after the sizing pass).
+    pub m_effective: u64,
+    /// Max sealed-but-unrecycled chunks per queue before consumers
+    /// prioritize recycling (0 = unbounded lazy recycle).
+    pub recycle_depth: u64,
+    /// Estimated per-queue hot working set at the effective geometry.
+    pub working_set_bytes: u64,
+}
+
 /// Full engine snapshot: one [`QueueTelemetry`] per queue plus the
 /// engine-wide copy and latency meters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineSnapshot {
     /// Engine display name (e.g. `WireCAP-A-(64, 20, 60%)`).
     pub engine: String,
+    /// The tuning sizing pass that produced the engine's pool
+    /// geometry (`None` for engines without a tuned pool).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tuning: Option<TuningTelemetry>,
     /// Per-queue telemetry, indexed by queue.
     pub queues: Vec<QueueTelemetry>,
     /// Per-pool-worker time-state profiles (empty unless a
@@ -429,6 +457,7 @@ mod tests {
         q0.stage_deliver_ns.buckets = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
         EngineSnapshot {
             engine: "test".into(),
+            tuning: None,
             queues: vec![q0, QueueTelemetry::empty(1)],
             workers: vec![WorkerTelemetry {
                 worker: 0,
@@ -496,7 +525,9 @@ mod tests {
         assert!(text.contains("# TYPE wirecap_latency_ns histogram"));
         assert!(text.contains("wirecap_latency_ns_sum{engine=\"test\",queue=\"0\"} 1500"));
         assert!(text.contains("# TYPE wirecap_latency_p999_ns gauge"));
-        assert!(text.contains("wirecap_latency_p999_ns{engine=\"test\",queue=\"0\"} 2048"));
+        // A single 1500 ns sample: interpolation anchors the last
+        // non-empty bucket at the observed max, so p99.9 is exact.
+        assert!(text.contains("wirecap_latency_p999_ns{engine=\"test\",queue=\"0\"} 1500"));
         assert!(text.contains("# TYPE wirecap_stage_deliver_ns histogram"));
         assert!(text.contains("wirecap_stage_deliver_ns_sum{engine=\"test\",queue=\"0\"} 700"));
         assert!(text.contains("# TYPE wirecap_stage_disk_ns histogram"));

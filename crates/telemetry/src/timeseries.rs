@@ -53,6 +53,10 @@ pub struct SeriesSample {
     pub capture_queue_max_len: u64,
     /// Gauge: free chunks across all pools.
     pub free_chunks: u64,
+    /// Gauge: engine-wide p99.9 capture-to-delivery latency (ns),
+    /// interpolated from the merged per-queue `latency_ns` histograms
+    /// at the sample instant; 0 until any latency is recorded.
+    pub latency_p999_ns: u64,
 }
 
 impl SeriesSample {
@@ -63,6 +67,7 @@ impl SeriesSample {
             ts_ns,
             ..Default::default()
         };
+        let mut latency = crate::hist::HistogramSnapshot::default();
         for q in &snap.queues {
             s.captured_packets += q.captured_packets;
             s.delivered_packets += q.delivered_packets;
@@ -75,7 +80,9 @@ impl SeriesSample {
             s.capture_queue_len += q.capture_queue_len;
             s.capture_queue_max_len = s.capture_queue_max_len.max(q.capture_queue_len);
             s.free_chunks += q.free_chunks;
+            latency.merge(&q.latency_ns);
         }
+        s.latency_p999_ns = latency.quantile(0.999);
         s
     }
 }
@@ -119,6 +126,10 @@ pub struct Rates {
     /// high-watermark signal the anomaly detector compares against the
     /// offload threshold.
     pub queue_depth_peak: u64,
+    /// Engine-wide p99.9 capture-to-delivery latency over the interval
+    /// (ns): the higher of the two samples' gauges, so a regression in
+    /// either endpoint is visible to the tail-latency anomaly rule.
+    pub latency_p999_ns: u64,
 }
 
 /// Computes rates between `prev` and `next` samples of one engine.
@@ -163,6 +174,7 @@ pub fn rates_between(prev: &SeriesSample, next: &SeriesSample) -> Option<Rates> 
         steal_pps: stolen as f64 / secs,
         flow_pps: flow as f64 / secs,
         queue_depth_peak: next.capture_queue_max_len.max(prev.capture_queue_max_len),
+        latency_p999_ns: next.latency_p999_ns.max(prev.latency_p999_ns),
     })
 }
 
